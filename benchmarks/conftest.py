@@ -1,0 +1,28 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Each file under ``benchmarks/`` regenerates one artifact of the paper's
+evaluation section.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every benchmark prints the rows/series the corresponding paper figure plots
+(visible with ``-s``; also exported through ``benchmark.extra_info``) and
+asserts the paper-shape properties from DESIGN.md's per-experiment index --
+who wins, by roughly what factor, where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a (deterministic, possibly multi-second) experiment exactly once
+    under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def publish(benchmark, result, label: str = "table") -> None:
+    """Print the experiment's table and attach it to the benchmark record."""
+    text = result.table.render()
+    print("\n" + text)
+    benchmark.extra_info[label] = text

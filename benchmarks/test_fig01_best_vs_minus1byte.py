@@ -1,0 +1,38 @@
+"""Fig. 1 -- cuDNN's workspace-limit cliff on AlexNet forward convolutions.
+
+Paper: with the workspace limit one byte below the best algorithm's
+requirement, cuDNN silently falls back to a slower algorithm; the penalty
+reaches 4.51x on conv2.  We regenerate the per-layer "Best" vs "-1 byte"
+series and assert the cliff's shape: conv2 is the worst layer, in the
+3x-7x band, and the stride-4 conv1 (GEMM-only) barely moves.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish, run_once
+from repro.harness import experiments as E
+
+
+@pytest.mark.parametrize("gpu", ["p100-sxm2"])
+def test_fig1_best_vs_minus_one_byte(benchmark, gpu):
+    result = run_once(benchmark, E.fig1_best_vs_minus_one_byte, gpu=gpu)
+    publish(benchmark, result)
+    rows = {r.layer: r for r in result.rows}
+
+    # Paper shape: conv2 pays the worst penalty, around 4.5x.
+    assert result.worst_penalty == rows["conv2"].penalty
+    assert 3.0 < rows["conv2"].penalty < 7.0
+    # conv2's best algorithm is FFT-family and needs >100 MiB.
+    assert rows["conv2"].best_algo in ("FFT", "FFT_TILING")
+    assert rows["conv2"].best_workspace > 100 * 2**20
+    # conv1 (stride 4) has only GEMM-family options: small cliff.
+    assert rows["conv1"].penalty < 2.5
+    # The 3x3 layers fall back from non-fused to fused Winograd: mild.
+    for layer in ("conv3", "conv4", "conv5"):
+        assert 1.0 <= rows[layer].penalty < 2.0
+
+
+def test_fig1_k80_also_cliffs(benchmark):
+    result = run_once(benchmark, E.fig1_best_vs_minus_one_byte, gpu="k80")
+    publish(benchmark, result)
+    assert result.worst_penalty > 2.5

@@ -1,0 +1,47 @@
+"""Fig. 8 -- desirable configurations (Pareto front) of AlexNet conv2.
+
+Paper: the desirable set of conv2 (Forward) under a 120 MiB limit at
+mini-batch 256 spans from a zero-workspace GEMM point to finely divided
+FFT-family configurations (the top-left point divides into two micro-
+batches of 128 on FFT_TILING); at most ~68 configurations survive pruning.
+"""
+
+from benchmarks.conftest import publish, run_once
+from repro.core.policies import BatchSizePolicy
+from repro.harness import experiments as E
+from repro.units import MIB
+
+
+def test_fig8_pareto_front_all_policy(benchmark):
+    result = run_once(benchmark, E.fig8_pareto_front,
+                      policy=BatchSizePolicy.ALL)
+    publish(benchmark, result)
+    front = result.configurations
+
+    # Paper scale: a rich but small front (<= ~68 points for AlexNet).
+    assert 5 <= len(front) <= 100
+    # Monotone trade-off curve.
+    wss = [c.workspace for c in front]
+    times = [c.time for c in front]
+    assert wss == sorted(wss)
+    assert times == sorted(times, reverse=True)
+    # Anchors: a (near-)zero-workspace GEMM-family point ...
+    assert front[0].workspace < 1 * MIB
+    assert front[0].is_undivided
+    # ... and a divided FFT-family point at the fast end, like the paper's
+    # two-micro-batch FFT_TILING top-left point.
+    fastest = front[-1]
+    assert fastest.num_micro_batches >= 2
+    assert {m.algo.name for m in fastest} <= {"FFT", "FFT_TILING"}
+    # End-to-end trade-off magnitude: several-fold time range on the front.
+    assert times[0] / times[-1] > 3.0
+
+
+def test_fig8_power_of_two_front_is_subset_quality(benchmark):
+    """powerOfTwo's front is slightly coarser but spans the same envelope."""
+    result = run_once(benchmark, E.fig8_pareto_front,
+                      policy=BatchSizePolicy.POWER_OF_TWO)
+    publish(benchmark, result)
+    front = result.configurations
+    assert len(front) >= 3
+    assert front[-1].time < front[0].time / 3.0

@@ -1,0 +1,42 @@
+"""Fig. 9 -- WR-optimized conv2 forward at 64 MiB, per batch-size policy.
+
+Paper: with 64 MiB, undivided cuDNN picks the GEMM family (4.3 KiB
+workspace); powerOfTwo enables FFT over micro-batches of 32 (48.9 MiB); the
+``all`` option additionally reaches 2.33x total speedup over undivided.
+"""
+
+from benchmarks.conftest import publish, run_once
+from repro.harness import experiments as E
+from repro.units import KIB, MIB
+
+
+def test_fig9_conv2_policies(benchmark):
+    result = run_once(benchmark, E.fig9_conv2_wr)
+    publish(benchmark, result)
+    by = result.by_policy()
+
+    # Undivided == plain cuDNN: GEMM-family with KiB-scale workspace.
+    undiv = by["undivided"]
+    assert undiv.configuration.is_undivided
+    assert undiv.workspace < 64 * KIB
+    assert undiv.configuration.algorithms()[0].name == "IMPLICIT_PRECOMP_GEMM"
+
+    # powerOfTwo divides and engages the FFT family within 64 MiB.
+    p2 = by["powerOfTwo"]
+    assert not p2.configuration.is_undivided
+    assert {m.algo.name for m in p2.configuration} <= {"FFT", "FFT_TILING"}
+    assert p2.workspace <= 64 * MIB
+
+    # Speedups: paper reports 2.33x for `all`; assert the >1.5x band, with
+    # `all` at least matching powerOfTwo.
+    assert undiv.time / p2.time > 1.5
+    assert by["all"].time <= p2.time + 1e-12
+    assert undiv.time / by["all"].time > 1.5
+
+
+def test_fig9_off_p100(benchmark):
+    """Same mechanism on K80 (the paper's Fig. 10a shows it even larger)."""
+    result = run_once(benchmark, E.fig9_conv2_wr, gpu="k80")
+    publish(benchmark, result)
+    by = result.by_policy()
+    assert by["undivided"].time / by["powerOfTwo"].time > 1.5

@@ -1,0 +1,39 @@
+"""Fig. 11 -- TensorFlow-driver: AlexNet / ResNet-50 / DenseNet-40 on P100.
+
+Paper: TF 1.4.1 passes no workspace limit through the cuDNN benchmarking
+API, so limits are handed to mu-cuDNN manually; at 64 MiB mu-cuDNN then
+speeds AlexNet by 1.24x and ResNet-50 by 1.06x whole-iteration --
+demonstrating framework portability.  We assert AlexNet > 1.2x,
+ResNet-50/DenseNet-40 in the few-percent band (>1.02x), and monotonicity
+in the workspace limit.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish, run_once
+from repro.harness import experiments as E
+
+
+def test_fig11_tf_models(benchmark):
+    result = run_once(
+        benchmark, E.fig11_tensorflow,
+        models=("alexnet", "resnet50", "densenet40"),
+        policies=("undivided", "powerOfTwo"),
+    )
+    publish(benchmark, result)
+
+    # AlexNet: large win (paper 1.24x; our substrate lands higher).
+    assert result.total_speedup("alexnet", 64, "powerOfTwo") > 1.2
+    # ResNet-50 / DenseNet-40: dominated by 3x3+1x1 layers that already run
+    # well -- small but positive gains (paper: 1.06x).
+    assert result.total_speedup("resnet50", 64, "powerOfTwo") > 1.02
+    assert result.total_speedup("densenet40", 64, "powerOfTwo") > 1.02
+    # 8 MiB: parity everywhere.
+    for model in ("alexnet", "resnet50", "densenet40"):
+        assert result.total_speedup(model, 8, "powerOfTwo") == \
+            pytest.approx(1.0, abs=0.05), model
+    # More per-layer workspace never slows the undivided baseline.
+    for model in ("alexnet", "resnet50", "densenet40"):
+        t8 = result.cell(model, 8, "undivided").total_time
+        t512 = result.cell(model, 512, "undivided").total_time
+        assert t512 <= t8 + 1e-9, model

@@ -1,0 +1,25 @@
+"""Fig. 12 -- per-layer memory: cuDNN@512 MiB vs mu-cuDNN@64 MiB.
+
+Paper: mu-cuDNN cuts per-layer memory consumption by up to 3.43x (AlexNet)
+and 2.73x (ResNet-18) while the slowdown from the tighter limit stays
+negligible (1.17x).  We assert per-layer cuts > 2x, aggregate workspace
+cuts > 1.5x, and slowdown < 1.35x for both networks.
+"""
+
+from benchmarks.conftest import publish, run_once
+from repro.harness import experiments as E
+
+
+def test_fig12_memory_breakdown(benchmark):
+    result = run_once(benchmark, E.fig12_memory)
+    publish(benchmark, result)
+
+    for model in ("alexnet", "resnet18"):
+        m = result.models[model]
+        assert m.max_layer_reduction > 2.0, model
+        assert m.workspace_reduction > 1.5, model
+        assert m.slowdown < 1.35, model
+        # mu-cuDNN workspace per layer stays within its 64 MiB limit.
+        for layer in m.ucudnn_report.layers:
+            if layer.is_conv:
+                assert layer.workspace_bytes <= 64 * 2**20

@@ -1,0 +1,46 @@
+"""Fig. 13 -- WR vs WD at equal total workspace (AlexNet & ResNet-50).
+
+Paper: with 120 MiB pooled, WD+all is 1.24x faster than WR-undivided
+whole-iteration (1.38x convolutions), and even beats the 960 MiB
+(8x larger) WR-undivided baseline; for ResNet-50, WD at half the baseline's
+footprint is 1.05x/1.14x faster.  We assert (convolution times): WD >= WR
+at every equal budget, WD@small-pool beats WR-undivided by > 1.2x on
+AlexNet, and WD@small beats the 8x-larger undivided baseline.
+"""
+
+from benchmarks.conftest import publish, run_once
+from repro.harness import experiments as E
+from repro.units import MIB
+
+
+def test_fig13_wr_vs_wd(benchmark):
+    result = run_once(benchmark, E.fig13_wr_vs_wd,
+                      models=("alexnet", "resnet50"),
+                      per_kernel_mib=(8, 64))
+    publish(benchmark, result)
+
+    # AlexNet: 15 kernels -> 120 MiB / 960 MiB totals.
+    wd_120 = result.cell("alexnet", "wd", 120 * MIB, "powerOfTwo")
+    wr_120 = result.cell("alexnet", "wr", 120 * MIB, "powerOfTwo")
+    base_120 = result.cell("alexnet", "wr-undivided", 120 * MIB, "undivided")
+    base_960 = result.cell("alexnet", "wr-undivided", 960 * MIB, "undivided")
+    assert wd_120.conv_time <= wr_120.conv_time + 1e-12
+    # Paper: 1.38x conv speedup of WD@120MiB over the undivided baseline.
+    assert base_120.conv_time / wd_120.conv_time > 1.2
+    # Paper: WD@120MiB also beats the 8x-larger 960 MiB baseline.
+    assert base_960.conv_time / wd_120.conv_time > 1.2
+    assert wd_120.workspace_used <= 120 * MIB
+
+    # ResNet-50: 159 kernels; WD helps at the tight pool.
+    kernels = 159
+    wd_small = result.cell("resnet50", "wd", kernels * 8 * MIB, "powerOfTwo")
+    base_small = result.cell("resnet50", "wr-undivided", kernels * 8 * MIB,
+                             "undivided")
+    assert base_small.conv_time / wd_small.conv_time > 1.05
+    assert wd_small.workspace_used <= kernels * 8 * MIB
+
+    # Larger pools never hurt WD.
+    for model, kernels in (("alexnet", 15), ("resnet50", 159)):
+        t_small = result.cell(model, "wd", kernels * 8 * MIB, "powerOfTwo").conv_time
+        t_big = result.cell(model, "wd", kernels * 64 * MIB, "powerOfTwo").conv_time
+        assert t_big <= t_small + 1e-12, model

@@ -1,0 +1,53 @@
+"""mu-cuDNN reproduction (CLUSTER 2018).
+
+A full-system reproduction of *"mu-cuDNN: Accelerating Deep Learning
+Frameworks with Micro-Batching"* (Oyama, Ben-Nun, Hoefler, Matsuoka):
+
+* :mod:`repro.cudnn`      -- simulated cuDNN substrate (real numpy kernels
+  + deterministic analytic performance/workspace models);
+* :mod:`repro.core`       -- mu-cuDNN itself: WR dynamic programming, WD
+  0-1 ILP with Pareto pruning, caching, micro-batched execution, and the
+  transparent ``UcudnnHandle`` wrapper;
+* :mod:`repro.frameworks` -- a mini Caffe/TF-like framework + model zoo;
+* :mod:`repro.memory`     -- per-layer memory accounting;
+* :mod:`repro.parallel`   -- multi-GPU benchmark evaluation;
+* :mod:`repro.harness`    -- one experiment per paper figure/table.
+
+Quickstart::
+
+    from repro.core import UcudnnHandle, Options, BatchSizePolicy
+    from repro.frameworks.model_zoo import build_alexnet
+    from repro.frameworks import time_net
+    from repro.units import MIB
+
+    handle = UcudnnHandle(options=Options(
+        policy=BatchSizePolicy.POWER_OF_TWO, workspace_limit=64 * MIB))
+    net = build_alexnet(batch=256).setup(handle, workspace_limit=64 * MIB)
+    report = time_net(net)
+
+See README.md and DESIGN.md for the full tour.
+"""
+
+from repro import core, cudnn, frameworks, harness, memory, parallel, units
+from repro.core import BatchSizePolicy, Options, UcudnnHandle
+from repro.cudnn import ConvGeometry, ConvType
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchSizePolicy",
+    "ConvGeometry",
+    "ConvType",
+    "Options",
+    "ReproError",
+    "UcudnnHandle",
+    "__version__",
+    "core",
+    "cudnn",
+    "frameworks",
+    "harness",
+    "memory",
+    "parallel",
+    "units",
+]

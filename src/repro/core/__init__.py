@@ -1,0 +1,50 @@
+"""mu-cuDNN: the paper's contribution.
+
+Micro-batching optimizer layers over the simulated cuDNN substrate:
+configuration types, batch-size policies, the WR dynamic program, the
+desirable-set Pareto pruning, the WD 0-1 ILP (with two exact solvers),
+benchmark/configuration caching, micro-batched execution, and the
+transparent ``UcudnnHandle`` interposition wrapper.
+"""
+
+from repro.core.benchmarker import KernelBenchmark, benchmark_kernel
+from repro.core.cache import BenchmarkCache
+from repro.core.config import EMPTY, Configuration, MicroConfig
+from repro.core.handle import UcudnnHandle, UcudnnHandle_t, VirtualAlgo
+from repro.core.optimizer import (
+    KernelPlan,
+    NetworkPlan,
+    optimize_network_wd,
+    optimize_network_wr,
+)
+from repro.core.options import Options
+from repro.core.pareto import configuration_front, desirable_set, pareto_front
+from repro.core.policies import BatchSizePolicy, candidate_sizes
+from repro.core.wd import WDKernel, WDResult
+from repro.core.wr import WRResult, optimize_kernel
+
+__all__ = [
+    "BatchSizePolicy",
+    "BenchmarkCache",
+    "Configuration",
+    "EMPTY",
+    "KernelBenchmark",
+    "KernelPlan",
+    "MicroConfig",
+    "NetworkPlan",
+    "Options",
+    "UcudnnHandle",
+    "UcudnnHandle_t",
+    "VirtualAlgo",
+    "WDKernel",
+    "WDResult",
+    "WRResult",
+    "benchmark_kernel",
+    "candidate_sizes",
+    "configuration_front",
+    "desirable_set",
+    "optimize_kernel",
+    "optimize_network_wd",
+    "optimize_network_wr",
+    "pareto_front",
+]

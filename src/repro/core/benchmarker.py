@@ -1,0 +1,189 @@
+"""Step 1 of the WR/WD pipeline: micro-batch benchmarking.
+
+For every candidate micro-batch size the policy admits, every convolution
+algorithm is "executed" through ``cudnnFindConvolution*Algorithm`` (here: the
+performance model) and the resulting (time, workspace) table is recorded.
+This is the expensive step the paper's ``powerOfTwo`` policy exists to tame
+(34.16 s for ``all`` vs 3.82 s for ``powerOfTwo`` on AlexNet/P100), so the
+benchmark *cost* -- the simulated device time spent measuring -- is tracked
+explicitly, and results are memoized through an optional
+:class:`~repro.core.cache.BenchmarkCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MicroConfig
+from repro.core.policies import BatchSizePolicy, candidate_sizes
+from repro.cudnn.api import find_algorithms
+from repro.cudnn.enums import is_deterministic
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.handle import CudnnHandle
+from repro.cudnn.perfmodel import PerfResult
+
+
+@dataclass
+class KernelBenchmark:
+    """Benchmark table of one convolution kernel.
+
+    Attributes
+    ----------
+    geometry:
+        The kernel at its full mini-batch size.
+    policy:
+        Batch-size policy that selected the measured sizes.
+    results:
+        ``micro_batch -> [PerfResult ...]`` (successful algorithms only,
+        fastest first, *unfiltered* by any workspace limit -- limits are
+        applied by the optimizers so one table serves many limits).
+    benchmark_time:
+        Simulated device seconds spent producing the table (each supported
+        algorithm runs once per measured size, as ``cudnnFind*`` does).
+    """
+
+    geometry: ConvGeometry
+    policy: BatchSizePolicy
+    results: dict[int, list[PerfResult]] = field(default_factory=dict)
+    benchmark_time: float = 0.0
+
+    @property
+    def sizes(self) -> list[int]:
+        """Measured micro-batch sizes, ascending."""
+        return sorted(self.results)
+
+    def micro_options(self, micro_batch: int, workspace_limit: int | None = None):
+        """Pareto-undominated micro-configurations at one size.
+
+        Among algorithms at a fixed micro-batch size, any algorithm that is
+        both slower and hungrier than another can never appear in an optimal
+        configuration, so it is dropped here (first-level pruning; the
+        configuration-level pruning of section III-C1 happens in
+        :mod:`repro.core.pareto`).
+        """
+        options: list[MicroConfig] = []
+        for res in self.results.get(micro_batch, ()):
+            if workspace_limit is not None and res.workspace > workspace_limit:
+                continue
+            dominated = any(
+                o.time <= res.time and o.workspace <= res.workspace for o in options
+            )
+            if dominated:
+                continue
+            options = [
+                o
+                for o in options
+                if not (res.time <= o.time and res.workspace <= o.workspace)
+            ]
+            options.append(
+                MicroConfig(micro_batch, res.algo, res.time, res.workspace)
+            )
+        return options
+
+    def restricted(self, families) -> "KernelBenchmark":
+        """Copy of this table keeping only the given algorithm families.
+
+        Used by the related-work comparisons: ZNNi's micro-batching applies
+        only to FFT convolution, so restricting the table to the FFT family
+        turns the WR optimizer into a faithful ZNNi-style baseline -- "the
+        paper generalizes the schema so that micro-batching can be applied
+        to any convolution algorithm" is then a measurable delta.
+        """
+        from repro.cudnn.enums import family_of  # local: avoid import cycle
+
+        families = set(families)
+        out = KernelBenchmark(
+            geometry=self.geometry,
+            policy=self.policy,
+            benchmark_time=self.benchmark_time,
+        )
+        for size, results in self.results.items():
+            out.results[size] = [
+                r for r in results
+                if family_of(self.geometry.conv_type, r.algo) in families
+            ]
+        return out
+
+    def fastest_micro(
+        self, micro_batch: int, workspace_limit: int | None = None
+    ) -> MicroConfig | None:
+        """The paper's ``T1``: fastest micro-configuration within the limit."""
+        best: MicroConfig | None = None
+        for res in self.results.get(micro_batch, ()):
+            if workspace_limit is not None and res.workspace > workspace_limit:
+                continue
+            if best is None or res.time < best.time:
+                best = MicroConfig(micro_batch, res.algo, res.time, res.workspace)
+        return best
+
+
+def _aggregate_samples(runs: list[list[PerfResult]]) -> list[PerfResult]:
+    """Median per-algorithm time over repeated Find invocations.
+
+    Robust benchmarking for noisy measurements: a single sample of a jittery
+    kernel can invert the ranking of close algorithms; the per-algorithm
+    median is the standard remedy (and what careful users of cudnnFind do).
+    """
+    by_algo: dict = {}
+    for run in runs:
+        for r in run:
+            by_algo.setdefault(r.algo, []).append(r)
+    out = []
+    for algo, results in by_algo.items():
+        times = sorted(r.time for r in results)
+        median = times[len(times) // 2]
+        out.append(PerfResult(algo, results[0].status, median, results[0].workspace))
+    out.sort(key=lambda r: r.time)
+    return out
+
+
+def benchmark_kernel(
+    handle: CudnnHandle,
+    geometry: ConvGeometry,
+    policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
+    cache=None,
+    samples: int = 1,
+    deterministic_only: bool = False,
+) -> KernelBenchmark:
+    """Benchmark every (candidate micro-batch size, algorithm) pair.
+
+    ``cache`` is an optional :class:`repro.core.cache.BenchmarkCache`; hits
+    contribute zero benchmark time (the whole point of the paper's file DB:
+    skip recomputation for replicated layer shapes, e.g. ResNet's repeated
+    blocks).
+
+    ``samples > 1`` repeats each Find invocation and keeps the per-algorithm
+    median time -- pointless on the deterministic model, essential when the
+    handle carries measurement jitter (see the noise-robustness ablation).
+    Every sample's cost is charged to ``benchmark_time``.
+
+    ``deterministic_only`` drops cuDNN's atomics-based algorithms (the
+    backward ``ALGO_0``s), honoring a framework's reproducibility switch.
+    The filter is applied after cache retrieval and before caching occurs on
+    the unfiltered table, so a single cache serves both settings.
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    bench = KernelBenchmark(geometry=geometry, policy=policy)
+    gpu_name = handle.gpu.spec.name
+    for size in candidate_sizes(policy, geometry.n):
+        g = geometry.with_batch(size)
+        cached = cache.get_benchmark(gpu_name, g) if cache is not None else None
+        if cached is not None:
+            found = cached
+        else:
+            runs = []
+            for _ in range(samples):
+                run = [r for r in find_algorithms(handle, g) if r.ok]
+                # cudnnFind executes each supported algorithm once per sample.
+                bench.benchmark_time += sum(r.time for r in run)
+                runs.append(run)
+            found = runs[0] if samples == 1 else _aggregate_samples(runs)
+            if cache is not None:
+                cache.put_benchmark(gpu_name, g, found)
+        if deterministic_only:
+            found = [
+                r for r in found if is_deterministic(geometry.conv_type, r.algo)
+            ]
+        bench.results[size] = found
+    return bench

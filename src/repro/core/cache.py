@@ -1,0 +1,167 @@
+"""Benchmark and configuration caching (paper section III-D).
+
+mu-cuDNN "caches the optimized configurations and the benchmark results into
+memory and optional file-based database respectively, to skip unnecessary
+recomputations" -- crucial for networks that replicate convolutional layers
+of the same shape (ResNet), and enabling offline benchmarking plus sharing
+across a homogeneous GPU cluster via a network filesystem.
+
+Keys incorporate the GPU model and the full kernel geometry (including the
+micro-batch size being measured); configuration cache keys additionally
+carry the optimizer inputs (policy, workspace limit, WR/WD).  The file
+format is a single JSON document, written atomically (write-to-temp +
+rename) so concurrent readers on a shared filesystem never observe a torn
+file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.core.config import Configuration
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import ALGOS_FOR, ConvType
+from repro.cudnn.perfmodel import PerfResult
+from repro.cudnn.status import Status
+from repro.errors import CacheError
+
+_FORMAT_VERSION = 1
+
+
+def _bench_key(gpu_name: str, geometry: ConvGeometry) -> str:
+    return f"{gpu_name}|{geometry.cache_key()}"
+
+
+class BenchmarkCache:
+    """In-memory benchmark-result cache with optional file persistence.
+
+    Parameters
+    ----------
+    path:
+        Optional database file.  When given, existing contents are loaded
+        eagerly and :meth:`save` persists the merged state.  The same file
+        can be shared by many processes/nodes (last writer wins, which is
+        safe: entries are deterministic for a given GPU model).
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = Path(path) if path is not None else None
+        self._bench: dict[str, list[PerfResult]] = {}
+        self._configs: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    # -- benchmark results ----------------------------------------------------
+
+    def get_benchmark(self, gpu_name: str, geometry: ConvGeometry):
+        entry = self._bench.get(_bench_key(gpu_name, geometry))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return list(entry)
+
+    def put_benchmark(
+        self, gpu_name: str, geometry: ConvGeometry, results: list[PerfResult]
+    ) -> None:
+        self._bench[_bench_key(gpu_name, geometry)] = list(results)
+
+    # -- optimized configurations ----------------------------------------------
+
+    def config_key(
+        self,
+        gpu_name: str,
+        geometry: ConvGeometry,
+        policy: str,
+        workspace_limit: int,
+        scheme: str,
+    ) -> str:
+        return f"{gpu_name}|{geometry.cache_key()}|{policy}|{workspace_limit}|{scheme}"
+
+    def get_configuration(self, key: str) -> Configuration | None:
+        data = self._configs.get(key)
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Configuration.from_dict(data)
+
+    def put_configuration(
+        self, key: str, conv_type: ConvType, configuration: Configuration
+    ) -> None:
+        self._configs[key] = configuration.to_dict(conv_type)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically persist to :attr:`path` (no-op without a path)."""
+        if self.path is None:
+            return
+        payload = {
+            "version": _FORMAT_VERSION,
+            "benchmarks": {
+                key: [
+                    {
+                        "conv_type": key.split("|", 1)[1].split(":", 1)[0],
+                        "algo": int(r.algo),
+                        "time": r.time,
+                        "workspace": r.workspace,
+                    }
+                    for r in results
+                ]
+                for key, results in self._bench.items()
+            },
+            "configurations": self._configs,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load(self) -> None:
+        """Load (replacing in-memory state) from :attr:`path`."""
+        if self.path is None:
+            raise CacheError("cache has no backing file")
+        try:
+            with open(self.path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CacheError(f"cannot read benchmark DB {self.path}: {exc}") from exc
+        if payload.get("version") != _FORMAT_VERSION:
+            raise CacheError(
+                f"benchmark DB {self.path} has version {payload.get('version')}, "
+                f"expected {_FORMAT_VERSION}"
+            )
+        bench: dict[str, list[PerfResult]] = {}
+        for key, rows in payload.get("benchmarks", {}).items():
+            conv_type = ConvType(rows[0]["conv_type"]) if rows else ConvType.FORWARD
+            algo_enum = ALGOS_FOR[conv_type]
+            bench[key] = [
+                PerfResult(
+                    algo=algo_enum(r["algo"]),
+                    status=Status.SUCCESS,
+                    time=float(r["time"]),
+                    workspace=int(r["workspace"]),
+                )
+                for r in rows
+            ]
+        self._bench = bench
+        self._configs = dict(payload.get("configurations", {}))
+
+    def __len__(self) -> int:
+        return len(self._bench) + len(self._configs)

@@ -1,0 +1,169 @@
+"""Micro-batched convolution execution (paper sections II and III-A).
+
+Given an optimized :class:`~repro.core.config.Configuration`, these helpers
+issue one cuDNN call per micro-configuration against disjoint slices of the
+mini-batch:
+
+* **Forward / BackwardData** -- iterations of the mini-batch loop are
+  independent, so each micro-batch reads and writes its own batch slice.
+* **BackwardFilter** -- the filter gradient carries an output dependency
+  across the whole mini-batch, so micro-batches run *sequentially with
+  accumulation*: the first call applies the caller's ``beta``, every
+  subsequent call uses ``beta = 1`` (cuDNN's output-scale accumulation).
+  This is exactly the loop-splitting argument of section II, and it keeps
+  the computation bit-for-bit equivalent to the undivided kernel up to
+  floating-point reassociation of the gradient sum.
+
+The provided ``workspace`` is a single slot sized for the configuration's
+max micro-workspace -- the WR sharing discipline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import Configuration
+from repro.cudnn import api
+from repro.cudnn.descriptors import (
+    ConvolutionDescriptor,
+    FilterDescriptor,
+    TensorDescriptor,
+)
+from repro.cudnn.handle import CudnnHandle
+from repro.cudnn.status import Status
+from repro.errors import BadParamError
+
+
+def _check_batch(config: Configuration, batch: int) -> None:
+    if config.batch != batch:
+        raise BadParamError(
+            Status.BAD_PARAM,
+            f"configuration covers batch {config.batch}, tensors have {batch}",
+        )
+
+
+def _slice(arr: np.ndarray | None, start: int, stop: int):
+    return None if arr is None else arr[start:stop]
+
+
+def forward(
+    handle: CudnnHandle,
+    config: Configuration,
+    x_desc: TensorDescriptor,
+    x: np.ndarray | None,
+    w_desc: FilterDescriptor,
+    w: np.ndarray | None,
+    conv_desc: ConvolutionDescriptor,
+    workspace: int,
+    y_desc: TensorDescriptor,
+    y: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray | None:
+    """Micro-batched ``cudnnConvolutionForward``."""
+    _check_batch(config, x_desc.n)
+    if y is None and x is not None:
+        y = np.zeros(y_desc.shape, dtype=np.float32)
+    offset = 0
+    for micro in config:
+        m = micro.micro_batch
+        out = api.convolution_forward(
+            handle,
+            x_desc.with_batch(m),
+            _slice(x, offset, offset + m),
+            w_desc,
+            w,
+            conv_desc,
+            micro.algo,
+            workspace,
+            y_desc.with_batch(m),
+            _slice(y, offset, offset + m),
+            alpha=alpha,
+            beta=beta,
+        )
+        if y is not None and out is not None:
+            y[offset : offset + m] = out
+        offset += m
+    return y
+
+
+def backward_data(
+    handle: CudnnHandle,
+    config: Configuration,
+    w_desc: FilterDescriptor,
+    w: np.ndarray | None,
+    dy_desc: TensorDescriptor,
+    dy: np.ndarray | None,
+    conv_desc: ConvolutionDescriptor,
+    workspace: int,
+    dx_desc: TensorDescriptor,
+    dx: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray | None:
+    """Micro-batched ``cudnnConvolutionBackwardData``."""
+    _check_batch(config, dy_desc.n)
+    if dx is None and dy is not None:
+        dx = np.zeros(dx_desc.shape, dtype=np.float32)
+    offset = 0
+    for micro in config:
+        m = micro.micro_batch
+        out = api.convolution_backward_data(
+            handle,
+            w_desc,
+            w,
+            dy_desc.with_batch(m),
+            _slice(dy, offset, offset + m),
+            conv_desc,
+            micro.algo,
+            workspace,
+            dx_desc.with_batch(m),
+            _slice(dx, offset, offset + m),
+            alpha=alpha,
+            beta=beta,
+        )
+        if dx is not None and out is not None:
+            dx[offset : offset + m] = out
+        offset += m
+    return dx
+
+
+def backward_filter(
+    handle: CudnnHandle,
+    config: Configuration,
+    x_desc: TensorDescriptor,
+    x: np.ndarray | None,
+    dy_desc: TensorDescriptor,
+    dy: np.ndarray | None,
+    conv_desc: ConvolutionDescriptor,
+    workspace: int,
+    dw_desc: FilterDescriptor,
+    dw: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray | None:
+    """Micro-batched ``cudnnConvolutionBackwardFilter`` with accumulation."""
+    _check_batch(config, x_desc.n)
+    if dw is None and x is not None:
+        dw = np.zeros(dw_desc.shape, dtype=np.float32)
+        beta = 0.0  # fresh buffer: first micro-batch overwrites it
+    offset = 0
+    for i, micro in enumerate(config):
+        m = micro.micro_batch
+        dw = api.convolution_backward_filter(
+            handle,
+            x_desc.with_batch(m),
+            _slice(x, offset, offset + m),
+            dy_desc.with_batch(m),
+            _slice(dy, offset, offset + m),
+            conv_desc,
+            micro.algo,
+            workspace,
+            dw_desc,
+            dw,
+            alpha=alpha,
+            # First micro-batch honors the caller's beta; the rest accumulate.
+            beta=beta if i == 0 else 1.0,
+        )
+        offset += m
+    return dw

@@ -1,0 +1,611 @@
+"""A from-scratch 0-1 Integer Linear Program solver.
+
+The paper solves WD with GLPK; offline we provide our own exact solver:
+branch-and-bound with best-first node selection, most-fractional branching,
+and a greedy rounding pass to seed the incumbent.  An exhaustive solver is
+included for cross-checking on small instances.
+
+The solver handles the general form::
+
+    minimize    c . x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                x in {0, 1}^n
+
+which covers the WD formulation (Equation 1-4): one equality row per kernel
+("pick exactly one configuration") and a single inequality row (the shared
+workspace pool).
+
+Node bounds come from one of two LP relaxations of identical tightness:
+
+* **generic** -- scipy's HiGHS ``linprog`` (any instance shape);
+* **MCKP-specialized** -- when the instance is recognized as a
+  multiple-choice knapsack (the WD shape), the LP optimum is computed
+  combinatorially via the classic convex-hull / greedy-upgrade relaxation
+  (Sinha & Zoltners): per group, only the lower-left convex hull of
+  (weight, cost) points can appear in an LP optimum; starting from each
+  group's min-weight hull point, hull arcs are taken in decreasing
+  cost-per-byte efficiency until the capacity is spent, the last arc
+  possibly fractionally.  This bound costs microseconds instead of a
+  simplex solve, which is what lets the pure-Python branch-and-bound prove
+  optimality on ResNet-50-sized WD instances in milliseconds -- the
+  performance class the paper observes with GLPK (5.46 ms for 562
+  binaries).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+
+#: Integrality tolerance: LP values this close to 0/1 count as integral.
+_INT_TOL = 1e-6
+#: Constraint-feasibility tolerance for candidate integral solutions.
+_FEAS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class ZeroOneProblem:
+    """A 0-1 ILP instance (all arrays are dense numpy)."""
+
+    costs: np.ndarray
+    a_ub: np.ndarray | None = None
+    b_ub: np.ndarray | None = None
+    a_eq: np.ndarray | None = None
+    b_eq: np.ndarray | None = None
+
+    def __post_init__(self):
+        n = self.num_variables
+        if n == 0:
+            raise SolverError("problem has no variables")
+        for name in ("a_ub", "a_eq"):
+            mat = getattr(self, name)
+            if mat is not None and mat.shape[1] != n:
+                raise SolverError(f"{name} has {mat.shape[1]} columns, expected {n}")
+        if (self.a_ub is None) != (self.b_ub is None):
+            raise SolverError("a_ub and b_ub must be provided together")
+        if (self.a_eq is None) != (self.b_eq is None):
+            raise SolverError("a_eq and b_eq must be provided together")
+
+    @property
+    def num_variables(self) -> int:
+        return int(np.asarray(self.costs).shape[0])
+
+    def is_feasible(self, x: np.ndarray) -> bool:
+        if self.a_ub is not None and np.any(self.a_ub @ x > self.b_ub + _FEAS_TOL):
+            return False
+        if self.a_eq is not None and np.any(
+            np.abs(self.a_eq @ x - self.b_eq) > _FEAS_TOL
+        ):
+            return False
+        return True
+
+    def objective(self, x: np.ndarray) -> float:
+        return float(self.costs @ x)
+
+
+@dataclass
+class ILPSolution:
+    """Result of an ILP solve."""
+
+    x: np.ndarray
+    objective: float
+    optimal: bool
+    nodes_explored: int = 0
+    lp_calls: int = 0
+    solve_time: float = 0.0
+    num_variables: int = 0
+
+    def selected(self) -> list[int]:
+        """Indices of variables set to 1."""
+        return [int(i) for i in np.flatnonzero(self.x > 0.5)]
+
+
+def _solve_lp(problem: ZeroOneProblem, lower: np.ndarray, upper: np.ndarray):
+    """LP relaxation with variable bounds [lower, upper]; None if infeasible."""
+    res = linprog(
+        problem.costs,
+        A_ub=problem.a_ub,
+        b_ub=problem.b_ub,
+        A_eq=problem.a_eq,
+        b_eq=problem.b_eq,
+        bounds=list(zip(lower, upper)),
+        method="highs",
+    )
+    if not res.success:
+        return None
+    return res
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    seq: int
+    lower: np.ndarray = field(compare=False)
+    upper: np.ndarray = field(compare=False)
+    branch_var: int = field(compare=False)
+
+
+@dataclass(frozen=True)
+class _MckpShape:
+    """Recognized multiple-choice-knapsack structure of a 0-1 ILP."""
+
+    groups: list[np.ndarray]  # variable indices per pick-exactly-one group
+    weights: np.ndarray
+    capacity: float
+
+
+def _detect_mckp(problem: ZeroOneProblem) -> _MckpShape | None:
+    """Return the MCKP structure if the instance has the WD shape."""
+    if problem.a_eq is None or problem.a_ub is None or problem.a_ub.shape[0] != 1:
+        return None
+    a_eq = problem.a_eq
+    if not np.all((a_eq == 0) | (a_eq == 1)) or not np.all(problem.b_eq == 1):
+        return None
+    if not np.all(a_eq.sum(axis=0) == 1):  # every var in exactly one group
+        return None
+    if np.any(problem.a_ub[0] < 0):
+        return None  # hull relaxation assumes non-negative weights
+    return _MckpShape(
+        groups=[np.flatnonzero(a_eq[row]) for row in range(a_eq.shape[0])],
+        weights=problem.a_ub[0],
+        capacity=float(problem.b_ub[0]),
+    )
+
+
+def _group_hull(costs, weights, variables) -> list[int]:
+    """Lower-left convex hull of a group's (weight, cost) points.
+
+    Only hull vertices can carry weight in an LP optimum of the MCKP
+    relaxation; returned ordered by increasing weight / decreasing cost.
+    """
+    order = sorted(variables, key=lambda v: (weights[v], costs[v]))
+    # Staircase: strictly decreasing cost as weight increases.
+    stairs: list[int] = []
+    for v in order:
+        if not stairs or costs[v] < costs[stairs[-1]] - 1e-15:
+            stairs.append(v)
+    # Convexify: efficiencies (cost drop per unit weight) must decrease.
+    hull: list[int] = []
+    for v in stairs:
+        while len(hull) >= 2:
+            a, b = hull[-2], hull[-1]
+            eff_ab = (costs[a] - costs[b]) / max(weights[b] - weights[a], 1e-30)
+            eff_bv = (costs[b] - costs[v]) / max(weights[v] - weights[b], 1e-30)
+            if eff_bv >= eff_ab - 1e-15:
+                hull.pop()
+            else:
+                break
+        hull.append(v)
+    return hull
+
+
+class _MckpRelaxation:
+    """Incremental MCKP LP bounds for branch-and-bound nodes.
+
+    Root hulls, per-group base points, and the globally sorted arc list are
+    computed once; a node is described by its path of variable fixings, so
+    only the touched ("dirty") groups are re-hulled, and the greedy upgrade
+    scan merges the static clean-arc stream with the few dirty arcs.  The
+    scan stops as soon as the capacity is spent, so tight instances -- the
+    expensive case for the generic LP -- are the *cheap* case here.
+    """
+
+    def __init__(self, problem: ZeroOneProblem, shape: _MckpShape):
+        self.problem = problem
+        self.shape = shape
+        costs, weights = problem.costs, shape.weights
+        self.var_group = np.empty(problem.num_variables, dtype=np.int64)
+        for gi, group in enumerate(shape.groups):
+            self.var_group[group] = gi
+        self.root_hulls = [
+            _group_hull(costs, weights, [int(v) for v in group])
+            for group in shape.groups
+        ]
+        self.base_c = np.array([costs[h[0]] for h in self.root_hulls])
+        self.base_w = np.array([weights[h[0]] for h in self.root_hulls])
+        self.total_base_cost = float(self.base_c.sum())
+        self.total_base_weight = float(self.base_w.sum())
+        self.root_arcs = self._arcs_of(
+            range(len(shape.groups)), self.root_hulls
+        )
+
+    def _arcs_of(self, group_ids, hulls):
+        costs, weights = self.problem.costs, self.shape.weights
+        arcs = []
+        for gi in group_ids:
+            hull = hulls[gi] if isinstance(hulls, list) else hulls[gi]
+            for pos in range(1, len(hull)):
+                a, b = hull[pos - 1], hull[pos]
+                dw = weights[b] - weights[a]
+                dc = costs[a] - costs[b]
+                arcs.append((dc / max(dw, 1e-30), gi, pos, dw, dc))
+        arcs.sort(key=lambda t: -t[0])
+        return arcs
+
+    def bound(self, fixed: tuple):
+        """LP bound for the node whose decisions are ``fixed``.
+
+        ``fixed`` is a tuple of (var, value) pairs.  Returns
+        ``(bound, choice_or_None, branch_var_or_None)`` as
+        the solver's ``evaluate`` contract requires.
+        """
+        problem, shape = self.problem, self.shape
+        costs, weights = problem.costs, shape.weights
+        excluded: dict[int, set] = {}
+        forced: dict[int, int] = {}
+        for var, value in fixed:
+            gi = int(self.var_group[var])
+            if value == 0.0:
+                excluded.setdefault(gi, set()).add(var)
+            else:
+                if gi in forced and forced[gi] != var:
+                    return math.inf, None, None
+                forced[gi] = var
+        dirty = set(excluded) | set(forced)
+
+        dirty_hulls: dict[int, list[int]] = {}
+        base_cost = self.total_base_cost
+        base_weight = self.total_base_weight
+        for gi in dirty:
+            if gi in forced:
+                var = forced[gi]
+                if var in excluded.get(gi, ()):
+                    return math.inf, None, None
+                hull = [var]
+            else:
+                admissible = [
+                    int(v) for v in shape.groups[gi]
+                    if int(v) not in excluded.get(gi, ())
+                ]
+                if not admissible:
+                    return math.inf, None, None
+                hull = _group_hull(costs, weights, admissible)
+            dirty_hulls[gi] = hull
+            base_cost += costs[hull[0]] - self.base_c[gi]
+            base_weight += weights[hull[0]] - self.base_w[gi]
+
+        remaining = shape.capacity - base_weight
+        if remaining < -_FEAS_TOL:
+            return math.inf, None, None
+
+        dirty_arcs = self._arcs_of(sorted(dirty_hulls), dirty_hulls) \
+            if dirty_hulls else []
+
+        # Merge the static clean-arc stream with the dirty arcs, both sorted
+        # by decreasing efficiency; stop once the capacity is spent.
+        position: dict[int, int] = {}
+        bound = base_cost
+        branch_var = None
+        ri, di = 0, 0
+        root_arcs = self.root_arcs
+        while True:
+            # Advance past clean arcs belonging to dirty groups.
+            while ri < len(root_arcs) and root_arcs[ri][1] in dirty:
+                ri += 1
+            if ri < len(root_arcs) and (
+                di >= len(dirty_arcs) or root_arcs[ri][0] >= dirty_arcs[di][0]
+            ):
+                arc = root_arcs[ri]
+                ri += 1
+            elif di < len(dirty_arcs):
+                arc = dirty_arcs[di]
+                di += 1
+            else:
+                break
+            eff, gi, pos, dw, dc = arc
+            if dw <= remaining + 1e-12:
+                remaining -= dw
+                bound -= dc
+                position[gi] = pos
+            else:
+                frac = max(0.0, remaining / dw)
+                bound -= frac * dc
+                if frac > _INT_TOL:
+                    hull = dirty_hulls.get(gi, self.root_hulls[gi])
+                    branch_var = hull[pos]
+                break
+        if branch_var is not None:
+            return bound, None, branch_var
+        choice = []
+        for gi in range(len(shape.groups)):
+            hull = dirty_hulls.get(gi, self.root_hulls[gi])
+            choice.append(hull[position.get(gi, 0)])
+        return bound, choice, None
+
+
+def _mckp_lp_bound(problem: ZeroOneProblem, shape: _MckpShape,
+                   lower: np.ndarray, upper: np.ndarray):
+    """Exact LP-relaxation optimum for an MCKP node, combinatorially.
+
+    Returns ``(bound, choice, branch_var)``:
+    ``choice`` is the integral per-group selection when the LP optimum is
+    integral (else ``None``); ``branch_var`` is the upgrade item of the
+    single fractional arc (else ``None``).  ``bound`` is ``inf`` when the
+    node is infeasible.
+    """
+    costs, weights = problem.costs, shape.weights
+    hulls: list[list[int]] = []
+    for group in shape.groups:
+        forced = [int(v) for v in group if lower[v] > 0.5]
+        if len(forced) > 1:
+            return math.inf, None, None
+        if forced:
+            hulls.append(forced)
+            continue
+        admissible = [int(v) for v in group if upper[v] > 0.5]
+        if not admissible:
+            return math.inf, None, None
+        hulls.append(_group_hull(costs, weights, admissible))
+
+    base_cost = sum(costs[h[0]] for h in hulls)
+    base_weight = sum(weights[h[0]] for h in hulls)
+    remaining = shape.capacity - base_weight
+    if remaining < -_FEAS_TOL:
+        return math.inf, None, None
+
+    arcs = []  # (efficiency, group index, hull position of the upgrade)
+    for gi, hull in enumerate(hulls):
+        for pos in range(1, len(hull)):
+            a, b = hull[pos - 1], hull[pos]
+            dw = weights[b] - weights[a]
+            dc = costs[a] - costs[b]
+            arcs.append((dc / max(dw, 1e-30), gi, pos, dw, dc))
+    arcs.sort(key=lambda t: -t[0])
+
+    position = [0] * len(hulls)
+    bound = base_cost
+    branch_var = None
+    for eff, gi, pos, dw, dc in arcs:
+        if dw <= remaining + 1e-12:
+            remaining -= dw
+            bound -= dc
+            position[gi] = pos
+        else:
+            frac = max(0.0, remaining / dw)
+            bound -= frac * dc
+            if frac > _INT_TOL:
+                branch_var = hulls[gi][pos]
+            remaining = 0.0
+            break
+    if branch_var is not None:
+        return bound, None, branch_var
+    choice = [hulls[gi][position[gi]] for gi in range(len(hulls))]
+    return bound, choice, None
+
+
+def _greedy_incumbent(problem: ZeroOneProblem) -> np.ndarray | None:
+    """Heuristic feasible point for WD-shaped instances.
+
+    Start from the min-weight item per group (most likely to be feasible),
+    then greedily apply the single swap with the best cost reduction that
+    stays feasible, until no swap helps.  Returns ``None`` when the instance
+    is not MCKP-shaped or no feasible start is found -- the branch-and-bound
+    works regardless, just with less pruning.
+    """
+    shape = _detect_mckp(problem)
+    if shape is None:
+        return None
+    weights = shape.weights
+    capacity = shape.capacity
+    groups = shape.groups
+
+    choice = [int(g[np.argmin(weights[g])]) for g in groups]
+    if sum(weights[c] for c in choice) > capacity + _FEAS_TOL:
+        return None
+    improved = True
+    while improved:
+        improved = False
+        used = sum(weights[c] for c in choice)
+        best_gain, best_swap = 1e-12, None
+        for gi, group in enumerate(groups):
+            cur = choice[gi]
+            for var in group:
+                if var == cur:
+                    continue
+                if used - weights[cur] + weights[var] > capacity + _FEAS_TOL:
+                    continue
+                gain = problem.costs[cur] - problem.costs[var]
+                if gain > best_gain:
+                    best_gain, best_swap = gain, (gi, int(var))
+        if best_swap is not None:
+            choice[best_swap[0]] = best_swap[1]
+            improved = True
+    x = np.zeros(problem.num_variables)
+    x[choice] = 1.0
+    return x if problem.is_feasible(x) else None
+
+
+class _Incumbent:
+    """Best integral feasible solution found so far."""
+
+    def __init__(self, problem: ZeroOneProblem):
+        self.problem = problem
+        self.x: np.ndarray | None = None
+        self.objective = math.inf
+
+    def consider(self, x: np.ndarray) -> None:
+        xr = np.round(x)
+        if self.problem.is_feasible(xr):
+            obj = self.problem.objective(xr)
+            if obj < self.objective - 1e-12:
+                self.objective = obj
+                self.x = xr
+
+    def consider_choice(self, choice: list[int]) -> None:
+        x = np.zeros(self.problem.num_variables)
+        x[choice] = 1.0
+        self.consider(x)
+
+
+def _solve_bnb_mckp(problem: ZeroOneProblem, shape: _MckpShape,
+                    max_nodes: int, start: float) -> ILPSolution:
+    """Branch-and-bound with the incremental combinatorial MCKP bound."""
+    relax = _MckpRelaxation(problem, shape)
+    incumbent = _Incumbent(problem)
+    greedy = _greedy_incumbent(problem)
+    if greedy is not None:
+        incumbent.consider(greedy)
+
+    lp_calls = 1
+    nodes = 0
+    bound, choice, branch_var = relax.bound(())
+    if math.isinf(bound):
+        raise SolverError("ILP is infeasible (LP relaxation has no solution)")
+    seq = itertools.count()
+    heap: list[tuple] = []  # (bound, seq, fixed decisions, branch var)
+    if choice is not None:
+        incumbent.consider_choice(choice)
+    else:
+        heap.append((bound, next(seq), (), branch_var))
+
+    while heap:
+        bound, _, fixed, branch_var = heapq.heappop(heap)
+        if bound >= incumbent.objective - 1e-12:
+            continue
+        nodes += 1
+        if nodes > max_nodes:
+            raise SolverError(f"branch-and-bound exceeded {max_nodes} nodes")
+        for value in (1.0, 0.0):
+            child_fixed = fixed + ((branch_var, value),)
+            child_bound, child_choice, child_branch = relax.bound(child_fixed)
+            lp_calls += 1
+            if math.isinf(child_bound):
+                continue
+            if child_choice is not None:
+                incumbent.consider_choice(child_choice)
+            elif child_bound < incumbent.objective - 1e-12:
+                heapq.heappush(
+                    heap, (child_bound, next(seq), child_fixed, child_branch)
+                )
+
+    if incumbent.x is None:
+        raise SolverError("ILP has no integral feasible solution")
+    return ILPSolution(
+        x=incumbent.x,
+        objective=incumbent.objective,
+        optimal=True,
+        nodes_explored=nodes,
+        lp_calls=lp_calls,
+        solve_time=_time.perf_counter() - start,
+        num_variables=problem.num_variables,
+    )
+
+
+def _solve_bnb_generic(problem: ZeroOneProblem, max_nodes: int,
+                       start: float) -> ILPSolution:
+    """Branch-and-bound over scipy's HiGHS LP relaxation (any shape)."""
+    n = problem.num_variables
+    lp_calls = 0
+    nodes = 0
+    incumbent = _Incumbent(problem)
+
+    def evaluate(lower, upper):
+        nonlocal lp_calls
+        lp_calls += 1
+        res = _solve_lp(problem, lower, upper)
+        if res is None:
+            return math.inf, None, None
+        frac = np.abs(res.x - np.round(res.x))
+        branch_var = int(np.argmax(frac))
+        if frac[branch_var] <= _INT_TOL:
+            return res.fun, res.x, None
+        incumbent.consider(res.x)  # rounding heuristic
+        return res.fun, None, branch_var
+
+    root_lo = np.zeros(n)
+    root_hi = np.ones(n)
+    bound, x_int, branch_var = evaluate(root_lo, root_hi)
+    if math.isinf(bound):
+        raise SolverError("ILP is infeasible (LP relaxation has no solution)")
+
+    seq = itertools.count()
+    heap: list[_Node] = []
+    if x_int is not None:
+        incumbent.consider(x_int)
+    else:
+        heapq.heappush(heap, _Node(bound, next(seq), root_lo, root_hi, branch_var))
+
+    while heap:
+        node = heapq.heappop(heap)
+        if node.bound >= incumbent.objective - 1e-12:
+            continue
+        nodes += 1
+        if nodes > max_nodes:
+            raise SolverError(f"branch-and-bound exceeded {max_nodes} nodes")
+        for value in (1.0, 0.0):
+            lo = node.lower.copy()
+            hi = node.upper.copy()
+            lo[node.branch_var] = hi[node.branch_var] = value
+            child_bound, child_x, child_branch = evaluate(lo, hi)
+            if math.isinf(child_bound):
+                continue
+            if child_x is not None:
+                incumbent.consider(child_x)
+            elif child_bound < incumbent.objective - 1e-12:
+                heapq.heappush(
+                    heap, _Node(child_bound, next(seq), lo, hi, child_branch)
+                )
+
+    if incumbent.x is None:
+        raise SolverError("ILP has no integral feasible solution")
+    return ILPSolution(
+        x=incumbent.x,
+        objective=incumbent.objective,
+        optimal=True,
+        nodes_explored=nodes,
+        lp_calls=lp_calls,
+        solve_time=_time.perf_counter() - start,
+        num_variables=n,
+    )
+
+
+def solve_branch_and_bound(
+    problem: ZeroOneProblem,
+    max_nodes: int = 200_000,
+) -> ILPSolution:
+    """Exact best-first branch-and-bound.
+
+    Dispatches to the incremental combinatorial MCKP relaxation when the
+    instance has the WD shape, and to scipy's HiGHS LP otherwise (see the
+    module docstring for why both bounds are equally tight).
+    """
+    start = _time.perf_counter()
+    shape = _detect_mckp(problem)
+    if shape is not None:
+        return _solve_bnb_mckp(problem, shape, max_nodes, start)
+    return _solve_bnb_generic(problem, max_nodes, start)
+
+
+def solve_exhaustive(problem: ZeroOneProblem) -> ILPSolution:
+    """Enumerate all 2^n assignments (testing aid; n <= ~20)."""
+    start = _time.perf_counter()
+    n = problem.num_variables
+    if n > 24:
+        raise SolverError(f"exhaustive solve refused for n={n} > 24")
+    best_x = None
+    best_obj = math.inf
+    for bits in itertools.product((0.0, 1.0), repeat=n):
+        x = np.array(bits)
+        if problem.is_feasible(x):
+            obj = problem.objective(x)
+            if obj < best_obj:
+                best_obj = obj
+                best_x = x
+    if best_x is None:
+        raise SolverError("ILP has no integral feasible solution")
+    return ILPSolution(
+        x=best_x,
+        objective=best_obj,
+        optimal=True,
+        solve_time=_time.perf_counter() - start,
+        num_variables=n,
+    )

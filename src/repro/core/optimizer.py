@@ -1,0 +1,131 @@
+"""Network-level optimization orchestration.
+
+Convenience layer used by the experiment harness: take every convolution
+kernel of a network (as ``name -> ConvGeometry``), optimize under WR (one
+limit per kernel) or WD (one pooled limit), and report per-kernel and total
+times, workspace consumption, and optimization cost -- the quantities
+Figures 10-14 plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.benchmarker import benchmark_kernel
+from repro.core.cache import BenchmarkCache
+from repro.core.config import Configuration
+from repro.core.pareto import desirable_set
+from repro.core.policies import BatchSizePolicy
+from repro.core.wd import WDKernel, WDResult, solve_from_kernels
+from repro.core.wr import optimize_from_benchmark
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.handle import CudnnHandle
+
+
+@dataclass
+class KernelPlan:
+    """Optimization outcome for one kernel."""
+
+    name: str
+    geometry: ConvGeometry
+    configuration: Configuration
+    #: Plain-cuDNN time under the same per-kernel limit (inf if nothing fits).
+    undivided_time: float
+
+    @property
+    def speedup(self) -> float:
+        if not math.isfinite(self.undivided_time):
+            return math.inf
+        return self.undivided_time / self.configuration.time
+
+
+@dataclass
+class NetworkPlan:
+    """Optimization outcome for a whole network."""
+
+    scheme: str  # "wr" or "wd"
+    policy: BatchSizePolicy
+    kernels: list[KernelPlan] = field(default_factory=list)
+    benchmark_time: float = 0.0
+    wd: WDResult | None = None
+
+    @property
+    def total_time(self) -> float:
+        return sum(k.configuration.time for k in self.kernels)
+
+    @property
+    def total_undivided_time(self) -> float:
+        return sum(k.undivided_time for k in self.kernels)
+
+    @property
+    def total_workspace(self) -> int:
+        return sum(k.configuration.workspace for k in self.kernels)
+
+    @property
+    def speedup(self) -> float:
+        return self.total_undivided_time / self.total_time
+
+    def by_name(self) -> dict[str, KernelPlan]:
+        return {k.name: k for k in self.kernels}
+
+
+def optimize_network_wr(
+    handle: CudnnHandle,
+    geometries: dict[str, ConvGeometry],
+    workspace_limit: int,
+    policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
+    cache: BenchmarkCache | None = None,
+) -> NetworkPlan:
+    """WR: each kernel gets its own ``workspace_limit``-byte slot."""
+    plan = NetworkPlan(scheme="wr", policy=policy)
+    for name, g in geometries.items():
+        bench = benchmark_kernel(handle, g, policy, cache=cache)
+        plan.benchmark_time += bench.benchmark_time
+        config = optimize_from_benchmark(bench, workspace_limit)
+        undivided = bench.fastest_micro(g.n, workspace_limit)
+        plan.kernels.append(
+            KernelPlan(
+                name=name,
+                geometry=g,
+                configuration=config,
+                undivided_time=undivided.time if undivided else math.inf,
+            )
+        )
+    return plan
+
+
+def optimize_network_wd(
+    handle: CudnnHandle,
+    geometries: dict[str, ConvGeometry],
+    total_workspace: int,
+    policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
+    solver: str = "ilp",
+    cache: BenchmarkCache | None = None,
+    max_front: int | None = None,
+) -> NetworkPlan:
+    """WD: all kernels share one ``total_workspace``-byte pool."""
+    plan = NetworkPlan(scheme="wd", policy=policy)
+    wd_kernels: list[WDKernel] = []
+    undivided: dict[str, float] = {}
+    for name, g in geometries.items():
+        bench = benchmark_kernel(handle, g, policy, cache=cache)
+        plan.benchmark_time += bench.benchmark_time
+        front = desirable_set(bench, workspace_limit=total_workspace, max_front=max_front)
+        wd_kernels.append(
+            WDKernel(key=name, geometry=g, benchmark=bench, desirable=front)
+        )
+        micro = bench.fastest_micro(g.n, total_workspace)
+        undivided[name] = micro.time if micro else math.inf
+    result = solve_from_kernels(wd_kernels, total_workspace, solver=solver)
+    plan.wd = result
+    for kernel in wd_kernels:
+        plan.kernels.append(
+            KernelPlan(
+                name=kernel.key,
+                geometry=kernel.geometry,
+                configuration=result.assignments[kernel.key],
+                undivided_time=undivided[kernel.key],
+            )
+        )
+    return plan

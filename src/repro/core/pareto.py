@@ -1,0 +1,197 @@
+"""Desirable configuration sets -- the Pareto pruning of section III-C1.
+
+The WD optimizer must consider, for every kernel, not just the fastest
+configuration under one limit (as WR does) but every configuration that
+could be worth picking under *some* share of the global workspace pool.  The
+paper defines this as the Pareto front in (execution time x workspace) space
+and proves that pruning everything else never removes the ILP optimum:
+configurations off the front are dominated, and substituting the dominating
+configuration into any ILP solution only improves it.
+
+The front is computed by a modified WR dynamic program whose states are
+*sets* of undominated configurations:
+
+    D(0) = { [] }
+    D(i) = prune( union over measured m <= i, micro options o at m of
+                  { c ⊕ o : c in D(i - m) } )
+
+Pruning intermediate states is safe because both aggregates compose
+monotonically: time is a sum and workspace a max of the parts, so a
+dominated prefix can only produce dominated completions.
+
+The practical payoff the paper reports: AlexNet kernels keep at most ~68
+desirable configurations, versus the ``O(|A|^(B/2))`` full space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+import numpy as np
+
+from repro.core.benchmarker import KernelBenchmark
+from repro.core.config import Configuration, MicroConfig
+from repro.errors import OptimizationError
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Iterable[T],
+    time_of: Callable[[T], float],
+    workspace_of: Callable[[T], float],
+) -> list[T]:
+    """Undominated subset of ``items`` in (time, workspace) space.
+
+    Weak dominance: ``a`` dominates ``b`` when it is no worse in both
+    coordinates and strictly better in at least one.  Of exact ties, the
+    first item encountered is kept.  Output is sorted by ascending
+    workspace (descending time), the paper's Fig. 8 presentation order.
+    """
+    ordered = sorted(items, key=lambda it: (workspace_of(it), time_of(it)))
+    front: list[T] = []
+    best_time = float("inf")
+    for item in ordered:
+        # Sorted by (ws, time): an item survives iff it strictly beats the
+        # best time seen at any smaller-or-equal workspace.
+        if time_of(item) < best_time:
+            front.append(item)
+            best_time = time_of(item)
+    return front
+
+
+def configuration_front(configs: Iterable[Configuration]) -> list[Configuration]:
+    """:func:`pareto_front` specialized to configurations."""
+    return pareto_front(configs, lambda c: c.time, lambda c: c.workspace)
+
+
+def _array_front(times: "np.ndarray", wss: "np.ndarray"):
+    """Indices of the Pareto-undominated points (vectorized).
+
+    Sort by (workspace, time); a point survives iff its time strictly beats
+    every time at smaller-or-equal workspace, i.e. the running minimum.
+    """
+    order = np.lexsort((times, wss))
+    t_sorted = times[order]
+    cummin = np.minimum.accumulate(t_sorted)
+    keep = np.empty(len(order), dtype=bool)
+    keep[0] = True
+    keep[1:] = t_sorted[1:] < cummin[:-1]
+    return order[keep]
+
+
+def desirable_set(
+    benchmark: KernelBenchmark,
+    workspace_limit: int | None = None,
+    max_front: int | None = None,
+) -> list[Configuration]:
+    """All desirable (Pareto-undominated) configurations of one kernel.
+
+    Parameters
+    ----------
+    benchmark:
+        The kernel's benchmark table (any policy).
+    workspace_limit:
+        Optional hard cap -- configurations above it can never be selected
+        by the WD ILP (whose pool is this large), so they are excluded from
+        the front up front.  ``None`` keeps the full front.
+    max_front:
+        Optional size cap on intermediate fronts, keeping an evenly-spread
+        subset by workspace.  ``None`` (default) is exact; a cap trades
+        optimality for speed on very large ``all``-policy problems and is
+        *not* used by any experiment that reproduces a paper figure.
+
+    Returns
+    -------
+    list[Configuration]
+        Sorted by ascending workspace; the last element is the fastest.
+        Always contains the WR optimum for this limit (the paper notes
+        ``WR(B) in D(B)``).
+
+    Notes
+    -----
+    The DP states are kept as flat numpy arrays with parent pointers and
+    configurations are only materialized for the final front -- the ``all``
+    policy at mini-batch 256 generates millions of candidate extensions, so
+    the per-state work must stay vectorized (see the repository's
+    hpc-parallel guides: push the inner loops into numpy).
+    """
+    batch = benchmark.geometry.n
+    micro_options: list[MicroConfig] = []
+    for size in benchmark.sizes:
+        micro_options.extend(benchmark.micro_options(size, workspace_limit))
+    if not micro_options:
+        raise OptimizationError(
+            f"no algorithm fits workspace limit {workspace_limit} for "
+            f"{benchmark.geometry}"
+        )
+    opt_size = np.array([o.micro_batch for o in micro_options])
+    opt_time = np.array([o.time for o in micro_options])
+    opt_ws = np.array([o.workspace for o in micro_options], dtype=np.int64)
+
+    # Per-state arrays: time, workspace, and a parent pointer
+    # (previous state index i - m, row in that state's front, option id).
+    empty = (np.empty(0), np.empty(0, dtype=np.int64), np.empty((0, 3), dtype=np.int64))
+    fronts: list[tuple] = [empty] * (batch + 1)
+    fronts[0] = (np.zeros(1), np.zeros(1, dtype=np.int64), np.full((1, 3), -1, np.int64))
+
+    for i in range(1, batch + 1):
+        cand_t, cand_w, cand_p = [], [], []
+        for j in range(len(micro_options)):
+            m = int(opt_size[j])
+            if m > i:
+                continue
+            pt, pw, _ = fronts[i - m]
+            if len(pt) == 0:
+                continue
+            cand_t.append(pt + opt_time[j])
+            cand_w.append(np.maximum(pw, opt_ws[j]))
+            parents = np.empty((len(pt), 3), dtype=np.int64)
+            parents[:, 0] = i - m
+            parents[:, 1] = np.arange(len(pt))
+            parents[:, 2] = j
+            cand_p.append(parents)
+        if not cand_t:
+            continue
+        times = np.concatenate(cand_t)
+        wss = np.concatenate(cand_w)
+        parents = np.concatenate(cand_p)
+        keep = _array_front(times, wss)
+        if max_front is not None and len(keep) > max_front:
+            # Evenly spread by rank, always retaining the fastest (last).
+            picks = np.unique(
+                np.round(np.linspace(0, len(keep) - 1, max_front)).astype(int)
+            )
+            keep = keep[picks]
+        fronts[i] = (times[keep], wss[keep], parents[keep])
+
+    final_t, final_w, _ = fronts[batch]
+    if len(final_t) == 0:
+        raise OptimizationError(
+            f"mini-batch {batch} is not composable from measured sizes "
+            f"{sorted(set(int(s) for s in opt_size))} "
+            f"(policy {benchmark.policy.value})"
+        )
+
+    # Materialize configurations by walking parent pointers.
+    def build(state: int, row: int) -> Configuration:
+        micros = []
+        while state > 0:
+            _, _, parents = fronts[state]
+            prev_state, prev_row, opt_id = parents[row]
+            micros.append(micro_options[int(opt_id)])
+            state, row = int(prev_state), int(prev_row)
+        micros.sort(key=lambda mc: -mc.micro_batch)
+        return Configuration(tuple(micros))
+
+    order = np.argsort(final_w, kind="stable")
+    return [build(batch, int(row)) for row in order]
+
+
+def assert_valid_front(configs: Sequence[Configuration]) -> None:
+    """Raise if ``configs`` is not a valid Pareto front (test helper)."""
+    for i, a in enumerate(configs):
+        for j, b in enumerate(configs):
+            if i != j and a.dominates(b):
+                raise AssertionError(f"front contains dominated entry: {b} by {a}")

@@ -1,0 +1,184 @@
+"""WD (Workspace Division) optimization -- the paper's section III-C.
+
+One workspace pool of ``M_total`` bytes serves the whole network; WD decides
+how to divide it among kernels by choosing one configuration per kernel:
+
+    minimize   sum_i  time(i, c_i)
+    subject to sum_i  workspace(i, c_i) <= M_total
+
+i.e. the 0-1 ILP of Equations 1-4, with one binary per (kernel,
+configuration) pair, one pick-exactly-one equality row per kernel, and the
+single pooled-workspace inequality row.  Candidate configurations per kernel
+are pruned to the kernel's *desirable set* (Pareto front) first -- the
+section III-C1 theorem guarantees this drops no optimal solution, and it is
+what makes the ILP practical (hundreds of binaries rather than exponential).
+
+Two independent exact solvers are offered: the branch-and-bound ILP
+(:mod:`repro.core.ilp`, the GLPK stand-in) and the Pareto-merge MCKP solver
+(:mod:`repro.core.mckp`); tests assert they agree.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.benchmarker import KernelBenchmark, benchmark_kernel
+from repro.core.config import Configuration
+from repro.core.ilp import ILPSolution, ZeroOneProblem, solve_branch_and_bound
+from repro.core.mckp import MCKPItem, solve_mckp
+from repro.core.pareto import desirable_set
+from repro.core.policies import BatchSizePolicy
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.handle import CudnnHandle
+from repro.errors import InfeasibleError, SolverError
+from repro.units import MIB
+
+
+@dataclass
+class WDKernel:
+    """One kernel entering the WD optimization."""
+
+    key: str
+    geometry: ConvGeometry
+    benchmark: KernelBenchmark
+    desirable: list[Configuration]
+
+
+@dataclass
+class WDResult:
+    """Outcome of a WD optimization over a set of kernels."""
+
+    assignments: dict[str, Configuration]
+    total_workspace_limit: int
+    kernels: list[WDKernel] = field(repr=False, default_factory=list)
+    #: Number of 0-1 variables after Pareto pruning (paper: 562 for
+    #: ResNet-50 at 5088 MiB).
+    num_variables: int = 0
+    solver: str = "ilp"
+    solve_time: float = 0.0
+    ilp: ILPSolution | None = None
+    benchmark_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return sum(c.time for c in self.assignments.values())
+
+    @property
+    def total_workspace(self) -> int:
+        return sum(c.workspace for c in self.assignments.values())
+
+
+def _build_problem(kernels: list[WDKernel], total_workspace: int):
+    """Flatten (kernel, configuration) pairs into ILP arrays."""
+    costs: list[float] = []
+    weights: list[float] = []
+    owner: list[int] = []
+    configs: list[Configuration] = []
+    for ki, kernel in enumerate(kernels):
+        if not kernel.desirable:
+            raise InfeasibleError(
+                f"kernel {kernel.key} has no feasible configuration under "
+                f"{total_workspace} bytes"
+            )
+        for config in kernel.desirable:
+            costs.append(config.time)
+            # Scale bytes to MiB for LP conditioning; exactness is preserved
+            # because feasibility is re-checked in exact byte arithmetic below.
+            weights.append(config.workspace / MIB)
+            owner.append(ki)
+            configs.append(config)
+    n = len(costs)
+    a_eq = np.zeros((len(kernels), n))
+    for var, ki in enumerate(owner):
+        a_eq[ki, var] = 1.0
+    problem = ZeroOneProblem(
+        costs=np.asarray(costs),
+        a_ub=np.asarray(weights)[None, :],
+        b_ub=np.asarray([total_workspace / MIB]),
+        a_eq=a_eq,
+        b_eq=np.ones(len(kernels)),
+    )
+    return problem, owner, configs
+
+
+def solve_from_kernels(
+    kernels: list[WDKernel],
+    total_workspace: int,
+    solver: str = "ilp",
+) -> WDResult:
+    """Run the WD assignment over prepared kernels (benchmarks + fronts)."""
+    start = _time.perf_counter()
+    if solver == "ilp":
+        problem, owner, configs = _build_problem(kernels, total_workspace)
+        solution = solve_branch_and_bound(problem)
+        assignments: dict[str, Configuration] = {}
+        for var in solution.selected():
+            assignments[kernels[owner[var]].key] = configs[var]
+        ilp = solution
+        num_vars = problem.num_variables
+    elif solver == "mckp":
+        groups = [
+            [
+                MCKPItem(cost=c.time, weight=c.workspace, index=ci)
+                for ci, c in enumerate(kernel.desirable)
+            ]
+            for kernel in kernels
+        ]
+        try:
+            sol = solve_mckp(groups, total_workspace)
+        except SolverError as exc:
+            raise InfeasibleError(str(exc)) from exc
+        assignments = {
+            kernel.key: kernel.desirable[choice]
+            for kernel, choice in zip(kernels, sol.selection)
+        }
+        ilp = None
+        num_vars = sum(len(k.desirable) for k in kernels)
+    else:
+        raise SolverError(f"unknown WD solver {solver!r}; use 'ilp' or 'mckp'")
+
+    result = WDResult(
+        assignments=assignments,
+        total_workspace_limit=total_workspace,
+        kernels=kernels,
+        num_variables=num_vars,
+        solver=solver,
+        solve_time=_time.perf_counter() - start,
+        ilp=ilp,
+        benchmark_time=sum(k.benchmark.benchmark_time for k in kernels),
+    )
+    if len(result.assignments) != len(kernels):
+        raise SolverError("WD solver failed to assign every kernel")
+    if result.total_workspace > total_workspace:
+        raise InfeasibleError(
+            f"WD solution uses {result.total_workspace} bytes > "
+            f"limit {total_workspace}"
+        )
+    return result
+
+
+def optimize(
+    handle: CudnnHandle,
+    geometries: dict[str, ConvGeometry],
+    total_workspace: int,
+    policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
+    solver: str = "ilp",
+    cache=None,
+    max_front: int | None = None,
+) -> WDResult:
+    """Benchmark, prune and solve WD for a whole network.
+
+    ``geometries`` maps a stable kernel key (e.g. ``"conv2:Forward"``) to its
+    geometry at the full mini-batch size.
+    """
+    kernels: list[WDKernel] = []
+    for key, geometry in geometries.items():
+        bench = benchmark_kernel(handle, geometry, policy, cache=cache)
+        front = desirable_set(bench, workspace_limit=total_workspace, max_front=max_front)
+        kernels.append(
+            WDKernel(key=key, geometry=geometry, benchmark=bench, desirable=front)
+        )
+    return solve_from_kernels(kernels, total_workspace, solver=solver)

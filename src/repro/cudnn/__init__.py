@@ -1,0 +1,74 @@
+"""Simulated cuDNN substrate.
+
+A from-scratch stand-in for NVIDIA cuDNN sufficient to host the paper's
+mu-cuDNN wrapper: descriptor types, the convolution algorithm enumerations,
+``Get``/``Find`` algorithm selection with workspace limits, the convolution
+execution entry points (with real numpy kernels and cuDNN-faithful workspace
+checking), and a deterministic analytic performance model standing in for
+on-device measurement.  See DESIGN.md section 2 for the substitution
+rationale.
+"""
+
+from repro.cudnn.descriptors import (
+    ConvGeometry,
+    ConvolutionDescriptor,
+    FilterDescriptor,
+    TensorDescriptor,
+    output_dims,
+)
+from repro.cudnn.device import (
+    K80,
+    P100_SXM2,
+    V100_SXM2,
+    DeviceMemory,
+    Gpu,
+    GpuSpec,
+    Node,
+    available_gpus,
+    gpu_spec,
+)
+from repro.cudnn.enums import (
+    Algo,
+    AlgoFamily,
+    BwdDataAlgo,
+    BwdFilterAlgo,
+    ConvType,
+    ConvolutionMode,
+    FwdAlgo,
+    algos_for,
+    family_of,
+)
+from repro.cudnn.perfmodel import PerfModel, PerfResult
+from repro.cudnn.status import Status
+from repro.cudnn.workspace import is_supported, workspace_size
+
+__all__ = [
+    "Algo",
+    "AlgoFamily",
+    "BwdDataAlgo",
+    "BwdFilterAlgo",
+    "ConvGeometry",
+    "ConvType",
+    "ConvolutionDescriptor",
+    "ConvolutionMode",
+    "DeviceMemory",
+    "FilterDescriptor",
+    "FwdAlgo",
+    "Gpu",
+    "GpuSpec",
+    "K80",
+    "Node",
+    "P100_SXM2",
+    "PerfModel",
+    "PerfResult",
+    "Status",
+    "TensorDescriptor",
+    "V100_SXM2",
+    "algos_for",
+    "available_gpus",
+    "family_of",
+    "gpu_spec",
+    "is_supported",
+    "output_dims",
+    "workspace_size",
+]

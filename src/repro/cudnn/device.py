@@ -1,0 +1,247 @@
+"""Simulated GPU devices.
+
+The paper evaluates on three NVIDIA GPUs (Table I): Tesla K80 (Kepler),
+P100-SXM2 (Pascal) and V100-SXM2 (Volta).  Because the mu-cuDNN optimizer
+only consumes (execution time, workspace size) pairs, a GPU is fully
+characterized here by a handful of scalars -- peak single-precision
+throughput, memory bandwidth, device memory capacity, kernel launch
+overhead -- plus an allocator that tracks memory usage so the memory-footprint
+experiments (Fig. 12 and the 2.87 GiB -> 0.70 GiB result of section IV-B1)
+can be reproduced.
+
+Every ``Gpu`` owns a deterministic simulated clock: kernels "run" by adding
+their modeled duration.  Nothing here depends on wall-clock time, so every
+experiment in the repository is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cudnn.status import Status
+from repro.errors import AllocFailedError, BadParamError
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static hardware description of one GPU model.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"k80"``, ``"p100-sxm2"``, ``"v100-sxm2"``).
+    peak_sp_flops:
+        Peak single-precision floating-point throughput in FLOP/s.
+    mem_bandwidth:
+        Device memory bandwidth in bytes/s.
+    mem_bytes:
+        Device memory capacity in bytes.
+    launch_overhead:
+        Fixed per-kernel-invocation cost in seconds.  This is the term that
+        penalizes very fine micro-batching and keeps the WR optimum away from
+        micro-batch size 1.
+    sm_count:
+        Number of streaming multiprocessors; small batches cannot fill the
+        machine, which the performance model expresses through this value.
+    fft_throughput_scale / winograd_throughput_scale:
+        Architecture-specific quality of the FFT and Winograd kernel
+        generations, relative to the GEMM kernels.  Pascal/Volta shipped much
+        better Winograd kernels than Kepler, which is why the paper's Fig. 10
+        shapes differ between the three GPUs.
+    """
+
+    name: str
+    peak_sp_flops: float
+    mem_bandwidth: float
+    mem_bytes: int
+    launch_overhead: float
+    sm_count: int
+    fft_throughput_scale: float = 1.0
+    winograd_throughput_scale: float = 1.0
+
+
+#: Tesla K80 -- per-board figures from the paper's Table I (8.73 SP TFlop/s
+#: across the two GK210 chips; frameworks drive one chip, so the per-chip
+#: half is what a cuDNN call sees).
+K80 = GpuSpec(
+    name="k80",
+    peak_sp_flops=4.37e12,
+    mem_bandwidth=240e9,
+    mem_bytes=12 * GIB,
+    launch_overhead=12e-6,
+    sm_count=13,
+    fft_throughput_scale=1.05,
+    winograd_throughput_scale=0.75,
+)
+
+#: Tesla P100-SXM2 (TSUBAME 3): 10.6 SP TFlop/s, 16 GiB HBM2 @ 732 GB/s.
+P100_SXM2 = GpuSpec(
+    name="p100-sxm2",
+    peak_sp_flops=10.6e12,
+    mem_bandwidth=732e9,
+    mem_bytes=16 * GIB,
+    launch_overhead=8e-6,
+    sm_count=56,
+    fft_throughput_scale=1.0,
+    winograd_throughput_scale=1.0,
+)
+
+#: Tesla V100-SXM2 (DGX-1): 15.7 SP TFlop/s, 16 GiB HBM2 @ 900 GB/s.
+V100_SXM2 = GpuSpec(
+    name="v100-sxm2",
+    peak_sp_flops=15.7e12,
+    mem_bandwidth=900e9,
+    mem_bytes=16 * GIB,
+    launch_overhead=6e-6,
+    sm_count=80,
+    fft_throughput_scale=0.95,
+    winograd_throughput_scale=1.1,
+)
+
+_SPECS = {spec.name: spec for spec in (K80, P100_SXM2, V100_SXM2)}
+# Convenience aliases.
+_SPECS["p100"] = P100_SXM2
+_SPECS["v100"] = V100_SXM2
+
+
+def gpu_spec(name: str) -> GpuSpec:
+    """Look up a :class:`GpuSpec` by name (``k80``/``p100``/``v100`` ...)."""
+    try:
+        return _SPECS[name.lower()]
+    except KeyError:
+        raise BadParamError(
+            Status.BAD_PARAM,
+            f"unknown GPU {name!r}; available: {sorted(_SPECS)}",
+        ) from None
+
+
+def available_gpus() -> list[str]:
+    """Canonical names of the modeled GPUs."""
+    return [spec.name for spec in (K80, P100_SXM2, V100_SXM2)]
+
+
+@dataclass
+class Allocation:
+    """One live device-memory allocation."""
+
+    ident: int
+    size: int
+    tag: str
+
+
+class DeviceMemory:
+    """Bump-counter device memory allocator with peak tracking.
+
+    Models ``cudaMalloc``/``cudaFree`` at the accounting level: allocations
+    are tagged (``"workspace"``, ``"data"``, ``"param"``, ...) so the memory
+    breakdowns of Fig. 12 can be produced per category.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise BadParamError(Status.BAD_PARAM, "memory capacity must be positive")
+        self.capacity = int(capacity)
+        self._live: dict[int, Allocation] = {}
+        self._ids = itertools.count(1)
+        self.in_use = 0
+        self.peak = 0
+        #: Cumulative bytes ever allocated (diagnostics).
+        self.total_allocated = 0
+
+    def alloc(self, size: int, tag: str = "generic") -> int:
+        """Allocate ``size`` bytes; returns an allocation id.
+
+        Zero-byte allocations are legal and return a real id (cuDNN callers
+        routinely pass zero workspace).
+        """
+        size = int(size)
+        if size < 0:
+            raise BadParamError(Status.BAD_PARAM, f"negative allocation: {size}")
+        if self.in_use + size > self.capacity:
+            raise AllocFailedError(
+                Status.ALLOC_FAILED,
+                f"out of device memory: requested {size} B with "
+                f"{self.capacity - self.in_use} B free (capacity {self.capacity} B)",
+            )
+        ident = next(self._ids)
+        self._live[ident] = Allocation(ident, size, tag)
+        self.in_use += size
+        self.total_allocated += size
+        self.peak = max(self.peak, self.in_use)
+        return ident
+
+    def free(self, ident: int) -> None:
+        alloc = self._live.pop(ident, None)
+        if alloc is None:
+            raise BadParamError(Status.BAD_PARAM, f"double free or bad id: {ident}")
+        self.in_use -= alloc.size
+
+    def live_by_tag(self) -> dict[str, int]:
+        """Current usage aggregated per tag, in bytes."""
+        out: dict[str, int] = {}
+        for alloc in self._live.values():
+            out[alloc.tag] = out.get(alloc.tag, 0) + alloc.size
+        return out
+
+    def live_allocations(self) -> list[Allocation]:
+        return list(self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.in_use
+
+
+@dataclass
+class Gpu:
+    """One simulated GPU: a spec, an allocator, and a deterministic clock."""
+
+    spec: GpuSpec
+    memory: DeviceMemory = field(init=False)
+    #: Simulated elapsed device time, in seconds.
+    clock: float = 0.0
+    #: Number of kernels launched (diagnostics / tests).
+    kernels_launched: int = 0
+
+    def __post_init__(self):
+        self.memory = DeviceMemory(self.spec.mem_bytes)
+
+    @classmethod
+    def create(cls, name: str = "p100-sxm2") -> "Gpu":
+        return cls(gpu_spec(name))
+
+    def run_kernel(self, duration: float) -> float:
+        """Advance the device clock by one kernel of ``duration`` seconds."""
+        if duration < 0:
+            raise BadParamError(Status.BAD_PARAM, f"negative kernel duration {duration}")
+        self.clock += duration
+        self.kernels_launched += 1
+        return self.clock
+
+    def reset_clock(self) -> None:
+        self.clock = 0.0
+        self.kernels_launched = 0
+
+
+class Node:
+    """A multi-GPU compute node (homogeneous GPUs).
+
+    Models the evaluation machines of Table I -- e.g. TSUBAME 3 nodes carry
+    four P100-SXM2 -- and backs the parallel micro-configuration evaluation
+    of paper section III-D, which "assumes that the node contains multiple
+    homogeneous GPUs".
+    """
+
+    def __init__(self, gpu_name: str = "p100-sxm2", num_gpus: int = 4):
+        if num_gpus <= 0:
+            raise BadParamError(Status.BAD_PARAM, "need at least one GPU")
+        self.gpus = [Gpu.create(gpu_name) for _ in range(num_gpus)]
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def spec(self) -> GpuSpec:
+        return self.gpus[0].spec

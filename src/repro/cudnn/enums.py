@@ -1,0 +1,173 @@
+"""Enumerations mirroring the cuDNN convolution API surface.
+
+The paper's optimizer treats a convolution *kernel* as a triple of
+(operation type, layer geometry, algorithm).  cuDNN exposes three operation
+types -- Forward, BackwardData and BackwardFilter -- each with its own
+algorithm enumeration.  We reproduce the cuDNN 7 algorithm sets (the version
+used on the paper's DGX-1) including the ordinal values, so that cached
+benchmark databases are meaningful across runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+
+class ConvType(enum.Enum):
+    """The three convolution-related cuDNN operations (paper section II)."""
+
+    FORWARD = "Forward"
+    BACKWARD_DATA = "BackwardData"
+    BACKWARD_FILTER = "BackwardFilter"
+
+    @property
+    def short(self) -> str:
+        """Two-letter tag used by the paper's Fig. 14 ('F', 'BD', 'BF')."""
+        return {"Forward": "F", "BackwardData": "BD", "BackwardFilter": "BF"}[self.value]
+
+
+class FwdAlgo(enum.IntEnum):
+    """``cudnnConvolutionFwdAlgo_t`` (cuDNN 7: eight algorithms)."""
+
+    IMPLICIT_GEMM = 0
+    IMPLICIT_PRECOMP_GEMM = 1
+    GEMM = 2
+    DIRECT = 3
+    FFT = 4
+    FFT_TILING = 5
+    WINOGRAD = 6
+    WINOGRAD_NONFUSED = 7
+
+
+class BwdDataAlgo(enum.IntEnum):
+    """``cudnnConvolutionBwdDataAlgo_t`` (cuDNN 7: six algorithms)."""
+
+    ALGO_0 = 0  # non-deterministic atomics-based
+    ALGO_1 = 1  # deterministic implicit GEMM
+    FFT = 2
+    FFT_TILING = 3
+    WINOGRAD = 4
+    WINOGRAD_NONFUSED = 5
+
+
+class BwdFilterAlgo(enum.IntEnum):
+    """``cudnnConvolutionBwdFilterAlgo_t`` (cuDNN 7: six usable algorithms)."""
+
+    ALGO_0 = 0  # non-deterministic atomics-based
+    ALGO_1 = 1  # deterministic implicit GEMM
+    FFT = 2
+    ALGO_3 = 3  # ALGO_0 with workspace (deterministic)
+    WINOGRAD_NONFUSED = 5
+    FFT_TILING = 6
+
+
+Algo = Union[FwdAlgo, BwdDataAlgo, BwdFilterAlgo]
+
+#: Map each operation type to its algorithm enumeration.
+ALGOS_FOR: dict[ConvType, type] = {
+    ConvType.FORWARD: FwdAlgo,
+    ConvType.BACKWARD_DATA: BwdDataAlgo,
+    ConvType.BACKWARD_FILTER: BwdFilterAlgo,
+}
+
+
+class AlgoFamily(enum.Enum):
+    """Implementation families shared across the three operation types.
+
+    The performance and workspace models are written per *family*; the
+    per-op enumerations above map onto these families.
+    """
+
+    IMPLICIT_GEMM = "implicit_gemm"
+    IMPLICIT_PRECOMP_GEMM = "implicit_precomp_gemm"
+    GEMM = "gemm"
+    DIRECT = "direct"
+    FFT = "fft"
+    FFT_TILING = "fft_tiling"
+    WINOGRAD = "winograd"
+    WINOGRAD_NONFUSED = "winograd_nonfused"
+
+
+_FWD_FAMILY = {
+    FwdAlgo.IMPLICIT_GEMM: AlgoFamily.IMPLICIT_GEMM,
+    FwdAlgo.IMPLICIT_PRECOMP_GEMM: AlgoFamily.IMPLICIT_PRECOMP_GEMM,
+    FwdAlgo.GEMM: AlgoFamily.GEMM,
+    FwdAlgo.DIRECT: AlgoFamily.DIRECT,
+    FwdAlgo.FFT: AlgoFamily.FFT,
+    FwdAlgo.FFT_TILING: AlgoFamily.FFT_TILING,
+    FwdAlgo.WINOGRAD: AlgoFamily.WINOGRAD,
+    FwdAlgo.WINOGRAD_NONFUSED: AlgoFamily.WINOGRAD_NONFUSED,
+}
+
+_BWD_DATA_FAMILY = {
+    BwdDataAlgo.ALGO_0: AlgoFamily.IMPLICIT_GEMM,
+    BwdDataAlgo.ALGO_1: AlgoFamily.IMPLICIT_PRECOMP_GEMM,
+    BwdDataAlgo.FFT: AlgoFamily.FFT,
+    BwdDataAlgo.FFT_TILING: AlgoFamily.FFT_TILING,
+    BwdDataAlgo.WINOGRAD: AlgoFamily.WINOGRAD,
+    BwdDataAlgo.WINOGRAD_NONFUSED: AlgoFamily.WINOGRAD_NONFUSED,
+}
+
+_BWD_FILTER_FAMILY = {
+    BwdFilterAlgo.ALGO_0: AlgoFamily.IMPLICIT_GEMM,
+    BwdFilterAlgo.ALGO_1: AlgoFamily.IMPLICIT_PRECOMP_GEMM,
+    BwdFilterAlgo.FFT: AlgoFamily.FFT,
+    BwdFilterAlgo.ALGO_3: AlgoFamily.GEMM,
+    BwdFilterAlgo.WINOGRAD_NONFUSED: AlgoFamily.WINOGRAD_NONFUSED,
+    BwdFilterAlgo.FFT_TILING: AlgoFamily.FFT_TILING,
+}
+
+
+def family_of(conv_type: ConvType, algo: Algo) -> AlgoFamily:
+    """Return the implementation family of ``algo`` for ``conv_type``."""
+    if conv_type == ConvType.FORWARD:
+        return _FWD_FAMILY[FwdAlgo(algo)]
+    if conv_type == ConvType.BACKWARD_DATA:
+        return _BWD_DATA_FAMILY[BwdDataAlgo(algo)]
+    if conv_type == ConvType.BACKWARD_FILTER:
+        return _BWD_FILTER_FAMILY[BwdFilterAlgo(algo)]
+    raise ValueError(f"unknown conv type: {conv_type!r}")
+
+
+def algos_for(conv_type: ConvType) -> list[Algo]:
+    """All algorithm values cuDNN enumerates for ``conv_type``."""
+    return list(ALGOS_FOR[conv_type])
+
+
+#: Algorithms whose accumulation order is non-deterministic on real GPUs
+#: (atomics-based scatter); frameworks expose a "deterministic" switch that
+#: excludes them, which mu-cuDNN must honor when selecting configurations.
+_NON_DETERMINISTIC: frozenset[tuple[ConvType, int]] = frozenset(
+    {
+        (ConvType.BACKWARD_DATA, int(BwdDataAlgo.ALGO_0)),
+        (ConvType.BACKWARD_FILTER, int(BwdFilterAlgo.ALGO_0)),
+    }
+)
+
+
+def is_deterministic(conv_type: ConvType, algo: Algo) -> bool:
+    """Whether ``algo`` produces bitwise-reproducible results on real GPUs.
+
+    Our numpy kernels are always deterministic, but the *selection* layer
+    must model cuDNN's contract so a framework's deterministic mode survives
+    interposition.
+    """
+    return (conv_type, int(algo)) not in _NON_DETERMINISTIC
+
+
+class MathPrecision(enum.Enum):
+    """Compute precision (the evaluation is FP32-only, kept for fidelity)."""
+
+    FLOAT = "float"
+
+
+class ConvolutionMode(enum.Enum):
+    """``cudnnConvolutionMode_t``: true convolution vs cross-correlation.
+
+    Deep learning frameworks use ``CROSS_CORRELATION``; the distinction only
+    flips the filter spatially.
+    """
+
+    CONVOLUTION = "convolution"
+    CROSS_CORRELATION = "cross_correlation"

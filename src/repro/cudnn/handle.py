@@ -1,0 +1,76 @@
+"""``cudnnHandle_t`` analog.
+
+A handle binds a simulated GPU (clock + memory) to a performance model and an
+execution mode.  Two modes are provided:
+
+* ``NUMERIC`` -- convolution calls execute the real numpy kernels *and*
+  advance the device clock by the modeled duration.  Used by the training
+  examples and every semantics test.
+* ``TIMING`` -- only the clock advances; operands may be ``None``.  Used by
+  the Caffe-``time``-style benchmark drivers, where AlexNet at batch 256
+  would be needlessly slow to compute numerically on a CPU.
+
+The paper's interposition trick (section III-D) -- the ``UcudnnHandle_t``
+that frameworks cast down to a plain ``cudnnHandle_t`` -- is mirrored in
+:mod:`repro.core.handle` on top of this type.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cudnn.device import Gpu
+from repro.cudnn.perfmodel import PerfModel
+
+
+class ExecMode(enum.Enum):
+    """How convolution entry points execute (see module docstring)."""
+
+    NUMERIC = "numeric"
+    TIMING = "timing"
+
+
+class CudnnHandle:
+    """A simulated cuDNN context bound to one GPU.
+
+    Parameters
+    ----------
+    gpu:
+        Device to run on; defaults to a fresh P100-SXM2 (the paper's primary
+        evaluation GPU).
+    mode:
+        Numeric or timing-only execution.
+    jitter:
+        Pseudo-measurement noise amplitude forwarded to :class:`PerfModel`.
+    """
+
+    def __init__(
+        self,
+        gpu: Gpu | None = None,
+        mode: ExecMode = ExecMode.NUMERIC,
+        jitter: float = 0.0,
+    ):
+        self.gpu = gpu if gpu is not None else Gpu.create("p100-sxm2")
+        self.mode = mode
+        self.perf = PerfModel(self.gpu.spec, jitter=jitter)
+        #: Monotone counter distinguishing repeated benchmark samples so a
+        #: jittered model yields fresh pseudo-measurements per Find call.
+        self._sample_counter = 0
+
+    def next_sample(self) -> int:
+        self._sample_counter += 1
+        return self._sample_counter
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated device seconds consumed through this handle's GPU."""
+        return self.gpu.clock
+
+    def reset_clock(self) -> None:
+        self.gpu.reset_clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CudnnHandle(gpu={self.gpu.spec.name}, mode={self.mode.value}, "
+            f"elapsed={self.gpu.clock:.6f}s)"
+        )

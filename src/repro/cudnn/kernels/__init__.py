@@ -1,0 +1,154 @@
+"""Numeric convolution kernels, dispatched by algorithm family.
+
+Every simulated cuDNN algorithm is backed by a real numpy implementation so
+that the micro-batching semantics the paper relies on (section II) can be
+*verified*, not assumed.  :func:`forward`, :func:`backward_data` and
+:func:`backward_filter` route a geometry + operands to the family's kernel:
+
+========================  ====================================================
+family                    implementation
+========================  ====================================================
+IMPLICIT_GEMM             :mod:`.direct` -- streaming loop nest, nothing
+                          materialized (the 7-loop Algorithm 1, vectorized)
+IMPLICIT_PRECOMP_GEMM     :mod:`.precomp` -- cached gather indices + sgemm
+GEMM                      :mod:`.im2col` -- explicit lowering + sgemm
+FFT                       :mod:`.fft` -- full-image frequency domain
+FFT_TILING                :mod:`.fft` tiled variants -- 32x32 overlap-save
+WINOGRAD(_NONFUSED)       :mod:`.winograd` -- F(2x2, 3x3) transforms
+DIRECT                    never supported (as in real cuDNN)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import Algo, AlgoFamily, ConvType, ConvolutionMode, family_of
+from repro.cudnn.kernels import direct, fft, im2col, precomp, winograd
+from repro.cudnn.status import Status
+from repro.cudnn.workspace import is_supported
+from repro.errors import BadParamError, NotSupportedError
+
+_FORWARD = {
+    AlgoFamily.IMPLICIT_GEMM: direct.forward,
+    AlgoFamily.IMPLICIT_PRECOMP_GEMM: precomp.forward,
+    AlgoFamily.GEMM: im2col.forward,
+    AlgoFamily.FFT: fft.forward,
+    AlgoFamily.FFT_TILING: fft.forward_tiled,
+    AlgoFamily.WINOGRAD: winograd.forward,
+    AlgoFamily.WINOGRAD_NONFUSED: winograd.forward,
+}
+
+_BACKWARD_DATA = {
+    AlgoFamily.IMPLICIT_GEMM: direct.backward_data,
+    AlgoFamily.IMPLICIT_PRECOMP_GEMM: precomp.backward_data,
+    AlgoFamily.GEMM: im2col.backward_data,
+    AlgoFamily.FFT: fft.backward_data,
+    AlgoFamily.FFT_TILING: fft.backward_data_tiled,
+    AlgoFamily.WINOGRAD: winograd.backward_data,
+    AlgoFamily.WINOGRAD_NONFUSED: winograd.backward_data,
+}
+
+_BACKWARD_FILTER = {
+    AlgoFamily.IMPLICIT_GEMM: direct.backward_filter,
+    AlgoFamily.IMPLICIT_PRECOMP_GEMM: precomp.backward_filter,
+    AlgoFamily.GEMM: im2col.backward_filter,
+    AlgoFamily.FFT: fft.backward_filter,
+    AlgoFamily.FFT_TILING: fft.backward_filter_tiled,
+    AlgoFamily.WINOGRAD_NONFUSED: winograd.backward_filter,
+}
+
+
+def _check(g: ConvGeometry, algo: Algo, expected: ConvType) -> AlgoFamily:
+    if g.conv_type != expected:
+        raise BadParamError(
+            Status.BAD_PARAM, f"geometry is {g.conv_type}, expected {expected}"
+        )
+    if not is_supported(g, algo):
+        raise NotSupportedError(Status.NOT_SUPPORTED, f"{algo!r} unsupported for {g}")
+    return family_of(g.conv_type, algo)
+
+
+def _flip_spatial(w: np.ndarray) -> np.ndarray:
+    """Spatial (not channel) filter flip -- CONVOLUTION vs CROSS_CORRELATION."""
+    return np.ascontiguousarray(w[:, :, ::-1, ::-1])
+
+
+def _grouped(g: ConvGeometry, run_group):
+    """Execute a grouped convolution as per-group sub-problems.
+
+    ``run_group(sub_geometry, group_index)`` computes one group's output
+    over the sliced operands; outputs concatenate along the channel axis --
+    exactly cuDNN's (pre-7.3) group loop.
+    """
+    sub = g.group_geometry()
+    outs = [run_group(sub, gi) for gi in range(g.groups)]
+    return np.ascontiguousarray(np.concatenate(outs, axis=1))
+
+
+def _group_slices(g: ConvGeometry, gi: int):
+    """(input-channel slice, output-channel slice) of group ``gi``."""
+    cg = g.c // g.groups
+    kg = g.k // g.groups
+    return slice(gi * cg, (gi + 1) * cg), slice(gi * kg, (gi + 1) * kg)
+
+
+def _as_correlation(g: ConvGeometry) -> ConvGeometry:
+    """True convolution reduces to cross-correlation with a flipped filter;
+    every kernel family is written for correlation, so the dispatcher flips
+    once at the boundary (exactly what cuDNN's mode flag does)."""
+    return dataclasses.replace(g, mode=ConvolutionMode.CROSS_CORRELATION)
+
+
+def forward(g: ConvGeometry, x: np.ndarray, w: np.ndarray, algo: Algo) -> np.ndarray:
+    """Run ``y = conv(x, w)`` with the kernel family backing ``algo``."""
+    family = _check(g, algo, ConvType.FORWARD)
+    if g.groups > 1:
+        return _grouped(
+            g,
+            lambda sub, gi: forward(
+                sub, x[:, _group_slices(g, gi)[0]],
+                w[_group_slices(g, gi)[1]], algo,
+            ),
+        )
+    if g.mode == ConvolutionMode.CONVOLUTION:
+        return _FORWARD[family](_as_correlation(g), x, _flip_spatial(w))
+    return _FORWARD[family](g, x, w)
+
+
+def backward_data(g: ConvGeometry, dy: np.ndarray, w: np.ndarray, algo: Algo) -> np.ndarray:
+    """Run ``dx = conv_bwd_data(dy, w)`` with the family backing ``algo``."""
+    family = _check(g, algo, ConvType.BACKWARD_DATA)
+    if g.groups > 1:
+        return _grouped(
+            g,
+            lambda sub, gi: backward_data(
+                sub, dy[:, _group_slices(g, gi)[1]],
+                w[_group_slices(g, gi)[1]], algo,
+            ),
+        )
+    if g.mode == ConvolutionMode.CONVOLUTION:
+        return _BACKWARD_DATA[family](_as_correlation(g), dy, _flip_spatial(w))
+    return _BACKWARD_DATA[family](g, dy, w)
+
+
+def backward_filter(g: ConvGeometry, x: np.ndarray, dy: np.ndarray, algo: Algo) -> np.ndarray:
+    """Run ``dw = conv_bwd_filter(x, dy)`` with the family backing ``algo``."""
+    family = _check(g, algo, ConvType.BACKWARD_FILTER)
+    if g.groups > 1:
+        # Here "concatenate along channels" is the dw K axis (axis 0)...
+        sub = g.group_geometry()
+        parts = []
+        for gi in range(g.groups):
+            cs, ks = _group_slices(g, gi)
+            parts.append(backward_filter(sub, x[:, cs], dy[:, ks], algo))
+        return np.ascontiguousarray(np.concatenate(parts, axis=0))
+    if g.mode == ConvolutionMode.CONVOLUTION:
+        # d/dw of conv(x, flip(w)) is the flipped correlation filter-gradient.
+        return _flip_spatial(
+            _BACKWARD_FILTER[family](_as_correlation(g), x, dy)
+        )
+    return _BACKWARD_FILTER[family](g, x, dy)

@@ -1,0 +1,120 @@
+"""Shared helpers for the numeric convolution kernels.
+
+All kernels operate on FP32 NCHW :class:`numpy.ndarray` operands and are
+driven by a :class:`~repro.cudnn.descriptors.ConvGeometry`.  Convolution here
+means *cross-correlation* (no filter flip), matching cuDNN's
+``CROSS_CORRELATION`` mode, which every deep learning framework uses.
+
+The three operand-shape checkers centralize the validation that real cuDNN
+performs against its descriptors, so every algorithm family enforces
+identical preconditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.status import Status
+from repro.errors import BadParamError
+
+DTYPE = np.float32
+
+
+def check_array(name: str, arr: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Validate dtype/shape of an operand; returns it as contiguous FP32."""
+    if not isinstance(arr, np.ndarray):
+        raise BadParamError(Status.BAD_PARAM, f"{name} must be an ndarray")
+    if tuple(arr.shape) != tuple(shape):
+        raise BadParamError(
+            Status.BAD_PARAM, f"{name} shape {arr.shape} != expected {shape}"
+        )
+    return np.ascontiguousarray(arr, dtype=DTYPE)
+
+
+def check_forward_operands(g: ConvGeometry, x: np.ndarray, w: np.ndarray):
+    x = check_array("x", x, g.x_desc.shape)
+    w = check_array("w", w, g.w_desc.shape)
+    return x, w
+
+
+def check_backward_data_operands(g: ConvGeometry, dy: np.ndarray, w: np.ndarray):
+    dy = check_array("dy", dy, g.y_desc.shape)
+    w = check_array("w", w, g.w_desc.shape)
+    return dy, w
+
+
+def check_backward_filter_operands(g: ConvGeometry, x: np.ndarray, dy: np.ndarray):
+    x = check_array("x", x, g.x_desc.shape)
+    dy = check_array("dy", dy, g.y_desc.shape)
+    return x, dy
+
+
+def pad_input(g: ConvGeometry, x: np.ndarray) -> np.ndarray:
+    """Zero-pad the spatial dims of ``x`` by the geometry's padding."""
+    if g.pad_h == 0 and g.pad_w == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (g.pad_h, g.pad_h), (g.pad_w, g.pad_w)))
+
+
+def crop_padding(g: ConvGeometry, x_padded: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pad_input`: strip the padding border."""
+    if g.pad_h == 0 and g.pad_w == 0:
+        return x_padded
+    return x_padded[:, :, g.pad_h : g.pad_h + g.h, g.pad_w : g.pad_w + g.w]
+
+
+def flip_filter(w: np.ndarray) -> np.ndarray:
+    """Spatially flip and channel-transpose a KCRS filter -> CKRS.
+
+    ``backward-data`` of a stride-1 cross-correlation with filter ``w`` is a
+    *forward* cross-correlation of the output gradient with this flipped
+    filter and padding ``r - 1 - pad`` -- the identity several kernel
+    families use to reuse their forward implementation.
+    """
+    return np.ascontiguousarray(w[:, :, ::-1, ::-1].transpose(1, 0, 2, 3))
+
+
+def backward_data_geometry(g: ConvGeometry) -> ConvGeometry:
+    """Geometry of the equivalent forward pass computing backward-data.
+
+    Only valid for unit stride/dilation (the families that use this identity
+    -- FFT, FFT tiling, Winograd -- are only supported there).
+    """
+    if g.stride_h != 1 or g.stride_w != 1 or g.dilation_h != 1 or g.dilation_w != 1:
+        raise BadParamError(
+            Status.BAD_PARAM, "backward-data-as-forward needs unit stride/dilation"
+        )
+    y = g.y_desc
+    from repro.cudnn.enums import ConvType  # local import to avoid a cycle
+
+    return ConvGeometry(
+        conv_type=ConvType.FORWARD,
+        n=g.n,
+        c=g.k,  # gradient has k channels
+        h=y.h,
+        w=y.w,
+        k=g.c,  # produces c channels
+        r=g.r,
+        s=g.s,
+        pad_h=g.r - 1 - g.pad_h,
+        pad_w=g.s - 1 - g.pad_w,
+    )
+
+
+def accumulate(out: np.ndarray | None, value: np.ndarray, beta: float) -> np.ndarray:
+    """cuDNN output blending: ``out = value + beta * out``.
+
+    With ``beta == 0`` the prior contents of ``out`` are ignored (cuDNN
+    semantics -- even NaNs are overwritten).  ``beta == 1`` is the
+    accumulation mode mu-cuDNN relies on for micro-batched BackwardFilter.
+    """
+    value = value.astype(DTYPE, copy=False)
+    if out is None:
+        return value.copy() if beta == 0.0 else value * DTYPE(1.0)
+    if beta == 0.0:
+        out[...] = value
+    else:
+        out *= DTYPE(beta)
+        out += value
+    return out

@@ -1,0 +1,82 @@
+"""Direct (implicit-GEMM-style) convolution kernels.
+
+This is the reference implementation: a vectorized form of the paper's
+Algorithm 1 seven-loop nest.  The two kernel-offset loops (r, s) remain in
+Python; the batch/channel/spatial loops are fused into numpy slicing plus an
+``einsum`` contraction, which is exactly the "stream inputs, never
+materialize the lowered matrix" structure of cuDNN's IMPLICIT_GEMM family.
+
+Supports arbitrary stride, padding and dilation for all three operation
+types, and therefore also serves as the ground truth every other algorithm
+family is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.kernels.common import (
+    DTYPE,
+    check_backward_data_operands,
+    check_backward_filter_operands,
+    check_forward_operands,
+    crop_padding,
+    pad_input,
+)
+
+
+def _offset_slice(g: ConvGeometry, i: int, j: int, out_h: int, out_w: int):
+    """Spatial slice of the padded input seen by kernel tap (i, j)."""
+    top = i * g.dilation_h
+    left = j * g.dilation_w
+    return (
+        slice(top, top + g.stride_h * out_h, g.stride_h),
+        slice(left, left + g.stride_w * out_w, g.stride_w),
+    )
+
+
+def forward(g: ConvGeometry, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """y[n,k,p,q] = sum_{c,i,j} x[n,c,p*sh+i*dh-ph, q*sw+j*dw-pw] * w[k,c,i,j]."""
+    x, w = check_forward_operands(g, x, w)
+    y_desc = g.y_desc
+    xp = pad_input(g, x)
+    y = np.zeros(y_desc.shape, dtype=DTYPE)
+    for i in range(g.r):
+        for j in range(g.s):
+            hs, ws_ = _offset_slice(g, i, j, y_desc.h, y_desc.w)
+            y += np.einsum(
+                "nchw,kc->nkhw", xp[:, :, hs, ws_], w[:, :, i, j], optimize=True
+            )
+    return y
+
+
+def backward_data(g: ConvGeometry, dy: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """dx = scatter of dy through the transposed filter taps."""
+    dy, w = check_backward_data_operands(g, dy, w)
+    y_desc = g.y_desc
+    dxp = np.zeros(
+        (g.n, g.c, g.h + 2 * g.pad_h, g.w + 2 * g.pad_w), dtype=DTYPE
+    )
+    for i in range(g.r):
+        for j in range(g.s):
+            hs, ws_ = _offset_slice(g, i, j, y_desc.h, y_desc.w)
+            dxp[:, :, hs, ws_] += np.einsum(
+                "nkhw,kc->nchw", dy, w[:, :, i, j], optimize=True
+            )
+    return np.ascontiguousarray(crop_padding(g, dxp))
+
+
+def backward_filter(g: ConvGeometry, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """dw[k,c,i,j] = sum_{n,p,q} x[n,c,...] * dy[n,k,p,q]."""
+    x, dy = check_backward_filter_operands(g, x, dy)
+    y_desc = g.y_desc
+    xp = pad_input(g, x)
+    dw = np.zeros(g.w_desc.shape, dtype=DTYPE)
+    for i in range(g.r):
+        for j in range(g.s):
+            hs, ws_ = _offset_slice(g, i, j, y_desc.h, y_desc.w)
+            dw[:, :, i, j] = np.einsum(
+                "nchw,nkhw->kc", xp[:, :, hs, ws_], dy, optimize=True
+            )
+    return dw

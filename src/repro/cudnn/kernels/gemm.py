@@ -1,0 +1,39 @@
+"""Minimal BLAS-like matrix-multiply layer used by the GEMM-family kernels.
+
+Real cuDNN lowers GEMM-family convolutions onto cuBLAS ``sgemm``; here we
+lower onto numpy's BLAS-backed ``matmul``, but keep a thin named wrapper so
+that (a) every matrix product in the convolution kernels goes through one
+audited entry point with dtype discipline, and (b) tests can count / intercept
+GEMM calls when asserting which code path an algorithm family takes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DTYPE = np.float32
+
+#: Incremented on every sgemm call; tests use this to prove code paths.
+CALL_COUNT = 0
+
+
+def sgemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Single-precision ``a @ b`` with shape validation.
+
+    Accepts 2-D operands, or 3-D batched operands with matching leading
+    dimension (used by the batched per-sample im2col products).
+    """
+    global CALL_COUNT
+    CALL_COUNT += 1
+    a = np.ascontiguousarray(a, dtype=DTYPE)
+    b = np.ascontiguousarray(b, dtype=DTYPE)
+    if a.ndim not in (2, 3) or b.ndim not in (2, 3):
+        raise ValueError(f"sgemm expects 2-D/3-D operands, got {a.ndim}-D and {b.ndim}-D")
+    if a.shape[-1] != b.shape[-2]:
+        raise ValueError(f"sgemm inner dims differ: {a.shape} @ {b.shape}")
+    return np.matmul(a, b)
+
+
+def reset_call_count() -> None:
+    global CALL_COUNT
+    CALL_COUNT = 0

@@ -1,0 +1,96 @@
+"""Explicit-GEMM convolution via im2col / col2im lowering.
+
+The ``GEMM`` algorithm family materializes the lowered matrix (the paper's
+workspace-hungry explicit algorithm): the padded input is unfolded into a
+``(N, C*R*S, OH*OW)`` column matrix -- precisely the buffer whose size
+:func:`repro.cudnn.workspace.workspace_size` charges to this family -- and the
+convolution becomes one batched matrix product.
+
+* forward:          ``y = w_mat @ col(x)``
+* backward filter:  ``dw = sum_n dy_mat @ col(x)^T``
+* backward data:    ``dx = col2im(w_mat^T @ dy_mat)``
+
+im2col is built with :func:`numpy.lib.stride_tricks.sliding_window_view`, so
+the unfold itself is a zero-copy view; only the reshape into GEMM layout
+copies (as the real algorithm's workspace write does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.kernels import gemm
+from repro.cudnn.kernels.common import (
+    DTYPE,
+    check_backward_data_operands,
+    check_backward_filter_operands,
+    check_forward_operands,
+    crop_padding,
+    pad_input,
+)
+
+
+def im2col(g: ConvGeometry, x: np.ndarray) -> np.ndarray:
+    """Unfold ``x`` into the (N, C*R*S, OH*OW) lowered matrix."""
+    y_desc = g.y_desc
+    xp = pad_input(g, x)
+    # windows: (n, c, outh_span, outw_span, r, s) honoring dilation via step slicing
+    eff_r = (g.r - 1) * g.dilation_h + 1
+    eff_s = (g.s - 1) * g.dilation_w + 1
+    win = sliding_window_view(xp, (eff_r, eff_s), axis=(2, 3))
+    win = win[:, :, :: g.stride_h, :: g.stride_w, :: g.dilation_h, :: g.dilation_w]
+    win = win[:, :, : y_desc.h, : y_desc.w]
+    # -> (n, c, r, s, oh, ow) -> (n, c*r*s, oh*ow)
+    col = win.transpose(0, 1, 4, 5, 2, 3).reshape(
+        g.n, g.c * g.r * g.s, y_desc.h * y_desc.w
+    )
+    return np.ascontiguousarray(col, dtype=DTYPE)
+
+
+def col2im(g: ConvGeometry, col: np.ndarray) -> np.ndarray:
+    """Fold a (N, C*R*S, OH*OW) matrix back into (N, C, H, W), accumulating
+    overlapping contributions (the adjoint of :func:`im2col`)."""
+    y_desc = g.y_desc
+    # The lowered layout is (n, (c, r, s), (oh, ow)) -- see im2col's reshape.
+    col6 = col.reshape(g.n, g.c, g.r, g.s, y_desc.h, y_desc.w)
+    dxp = np.zeros((g.n, g.c, g.h + 2 * g.pad_h, g.w + 2 * g.pad_w), dtype=DTYPE)
+    for i in range(g.r):
+        for j in range(g.s):
+            top = i * g.dilation_h
+            left = j * g.dilation_w
+            dxp[
+                :,
+                :,
+                top : top + g.stride_h * y_desc.h : g.stride_h,
+                left : left + g.stride_w * y_desc.w : g.stride_w,
+            ] += col6[:, :, i, j]
+    return np.ascontiguousarray(crop_padding(g, dxp))
+
+
+def forward(g: ConvGeometry, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    x, w = check_forward_operands(g, x, w)
+    y_desc = g.y_desc
+    col = im2col(g, x)  # (n, crs, ohw)
+    w_mat = w.reshape(g.k, g.c * g.r * g.s)
+    y = gemm.sgemm(np.broadcast_to(w_mat, (g.n, *w_mat.shape)), col)
+    return np.ascontiguousarray(y.reshape(y_desc.shape))
+
+
+def backward_data(g: ConvGeometry, dy: np.ndarray, w: np.ndarray) -> np.ndarray:
+    dy, w = check_backward_data_operands(g, dy, w)
+    y_desc = g.y_desc
+    w_mat = w.reshape(g.k, g.c * g.r * g.s)
+    dy_mat = dy.reshape(g.n, g.k, y_desc.h * y_desc.w)
+    dcol = gemm.sgemm(np.broadcast_to(w_mat.T, (g.n, *w_mat.T.shape)), dy_mat)
+    return col2im(g, dcol)
+
+
+def backward_filter(g: ConvGeometry, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    x, dy = check_backward_filter_operands(g, x, dy)
+    y_desc = g.y_desc
+    col = im2col(g, x)  # (n, crs, ohw)
+    dy_mat = dy.reshape(g.n, g.k, y_desc.h * y_desc.w)
+    dw = gemm.sgemm(dy_mat, col.transpose(0, 2, 1)).sum(axis=0)
+    return np.ascontiguousarray(dw.reshape(g.w_desc.shape), dtype=DTYPE)

@@ -1,0 +1,103 @@
+"""Implicit precomputed-index GEMM convolution.
+
+cuDNN's ``IMPLICIT_PRECOMP_GEMM`` computes, once per geometry, a small index
+tile mapping each (output pixel, filter tap) pair to its input offset, then
+streams the GEMM using those indices -- the lowered matrix is never
+materialized in full, which is why its workspace is a few KiB regardless of
+batch size.
+
+We reproduce that structure: a geometry-keyed cache of flat gather indices
+(the "precomputed" part -- its byte size is what
+:func:`repro.cudnn.workspace.workspace_size` reports for this family) and a
+gather + ``sgemm`` execution.  Out-of-bounds taps caused by padding are
+redirected to a zero sentinel column, the standard trick for branch-free
+gathers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.kernels import gemm
+from repro.cudnn.kernels.common import (
+    DTYPE,
+    check_backward_data_operands,
+    check_backward_filter_operands,
+    check_forward_operands,
+)
+
+
+@lru_cache(maxsize=512)
+def _gather_indices(g: ConvGeometry) -> np.ndarray:
+    """Flat indices into a zero-extended per-(n,c) image.
+
+    Returns an int64 array of shape ``(R*S, OH*OW)``; index ``H*W`` (one past
+    the last real pixel) is the zero sentinel for padded taps.
+    """
+    y = g.y_desc
+    oh_idx, ow_idx = np.meshgrid(np.arange(y.h), np.arange(y.w), indexing="ij")
+    taps = []
+    for i in range(g.r):
+        for j in range(g.s):
+            row = oh_idx * g.stride_h + i * g.dilation_h - g.pad_h
+            colm = ow_idx * g.stride_w + j * g.dilation_w - g.pad_w
+            valid = (row >= 0) & (row < g.h) & (colm >= 0) & (colm < g.w)
+            flat = np.where(valid, row * g.w + colm, g.h * g.w)
+            taps.append(flat.reshape(-1))
+    return np.stack(taps, axis=0).astype(np.int64)
+
+
+def precomputed_index_bytes(g: ConvGeometry) -> int:
+    """Actual byte size of the cached index tile (diagnostics)."""
+    return _gather_indices(g).nbytes
+
+
+def _gather(g: ConvGeometry, x: np.ndarray) -> np.ndarray:
+    """Stream the lowered matrix via the precomputed indices.
+
+    Output shape (N, C*R*S, OH*OW), identical to im2col's layout but produced
+    by gather rather than window materialization.
+    """
+    idx = _gather_indices(g)  # (rs, ohw)
+    flat = x.reshape(g.n, g.c, g.h * g.w)
+    flat = np.concatenate(
+        [flat, np.zeros((g.n, g.c, 1), dtype=DTYPE)], axis=2
+    )  # zero sentinel
+    col = flat[:, :, idx]  # (n, c, rs, ohw)
+    return col.reshape(g.n, g.c * g.r * g.s, idx.shape[1])
+
+
+def forward(g: ConvGeometry, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    x, w = check_forward_operands(g, x, w)
+    y_desc = g.y_desc
+    col = _gather(g, x)
+    w_mat = w.reshape(g.k, g.c * g.r * g.s)
+    y = gemm.sgemm(np.broadcast_to(w_mat, (g.n, *w_mat.shape)), col)
+    return np.ascontiguousarray(y.reshape(y_desc.shape))
+
+
+def backward_filter(g: ConvGeometry, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    x, dy = check_backward_filter_operands(g, x, dy)
+    y_desc = g.y_desc
+    col = _gather(g, x)
+    dy_mat = dy.reshape(g.n, g.k, y_desc.h * y_desc.w)
+    dw = gemm.sgemm(dy_mat, col.transpose(0, 2, 1)).sum(axis=0)
+    return np.ascontiguousarray(dw.reshape(g.w_desc.shape), dtype=DTYPE)
+
+
+def backward_data(g: ConvGeometry, dy: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Scatter through the same index map (adjoint of the gather)."""
+    dy, w = check_backward_data_operands(g, dy, w)
+    y_desc = g.y_desc
+    w_mat = w.reshape(g.k, g.c * g.r * g.s)
+    dy_mat = dy.reshape(g.n, g.k, y_desc.h * y_desc.w)
+    dcol = gemm.sgemm(np.broadcast_to(w_mat.T, (g.n, *w_mat.T.shape)), dy_mat)
+    dcol = dcol.reshape(g.n, g.c, g.r * g.s, y_desc.h * y_desc.w)
+    idx = _gather_indices(g)  # (rs, ohw)
+    flat = np.zeros((g.n, g.c, g.h * g.w + 1), dtype=DTYPE)
+    # np.add.at accumulates duplicate indices (overlapping receptive fields).
+    np.add.at(flat, (slice(None), slice(None), idx), dcol)
+    return np.ascontiguousarray(flat[:, :, : g.h * g.w].reshape(g.x_desc.shape))

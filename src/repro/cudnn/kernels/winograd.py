@@ -1,0 +1,160 @@
+"""Winograd F(2x2, 3x3) convolution kernels.
+
+Implements the minimal-filtering algorithm of Lavin & Gray (the paper's
+reference [23]), which cuDNN exposes as ``WINOGRAD`` (fused) and
+``WINOGRAD_NONFUSED``.  For a 3x3 filter and 2x2 output tile the transform
+matrices are::
+
+    B^T = | 1  0 -1  0 |     G = | 1    0    0  |     A^T = | 1 1  1  0 |
+          | 0  1  1  0 |         | 1/2  1/2  1/2|           | 0 1 -1 -1 |
+          | 0 -1  1  0 |         | 1/2 -1/2  1/2|
+          | 0  1  0 -1 |         | 0    0    1  |
+
+and one output tile is ``Y = A^T [ (G g G^T) .* (B^T d B) ] A`` where ``d``
+is the 4x4 input tile and ``g`` the 3x3 filter: 16 multiplies per tile pair
+instead of 36 -- the 2.25x reduction the performance model credits this
+family with.
+
+All three operation types run genuinely in the Winograd domain:
+
+* ``forward``         -- the transform pipeline above over all tiles.
+* ``backward_data``   -- stride-1 identity: forward with the flipped,
+  channel-transposed filter (a flipped 3x3 is still 3x3).
+* ``backward_filter`` -- the filter gradient is
+  ``dL/dg = G^T [ sum_tiles (B^T d B) .* (A dY_tile A^T) ] G``: input tiles
+  are transformed with B, output-gradient tiles with A (the transposed roles
+  of the forward pass), and the product is projected back through G.
+
+Only 3x3 / unit-stride / pad < 3 geometries are supported, mirroring the
+support predicate in :mod:`repro.cudnn.workspace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.kernels.common import (
+    DTYPE,
+    backward_data_geometry,
+    check_backward_data_operands,
+    check_backward_filter_operands,
+    check_forward_operands,
+    flip_filter,
+    pad_input,
+)
+from repro.cudnn.status import Status
+from repro.cudnn.workspace import WINOGRAD_M
+from repro.errors import NotSupportedError
+
+# F(2x2, 3x3) transform matrices (float32-exact: entries are dyadic).
+BT = np.array(
+    [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]], dtype=DTYPE
+)
+G = np.array(
+    [[1, 0, 0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0, 0, 1]], dtype=DTYPE
+)
+AT = np.array([[1, 1, 1, 0], [0, 1, -1, -1]], dtype=DTYPE)
+
+_TILE = WINOGRAD_M + 3 - 1  # 4x4 input tiles
+
+
+def _require_supported(g: ConvGeometry) -> None:
+    if not (
+        g.r == 3
+        and g.s == 3
+        and g.stride_h == 1
+        and g.stride_w == 1
+        and g.dilation_h == 1
+        and g.dilation_w == 1
+        and g.pad_h < 3
+        and g.pad_w < 3
+    ):
+        raise NotSupportedError(
+            Status.NOT_SUPPORTED,
+            f"Winograd F(2x2,3x3) supports 3x3 / stride 1 only, got {g}",
+        )
+
+
+def _extract_tiles(xp: np.ndarray, tiles_h: int, tiles_w: int) -> np.ndarray:
+    """Overlapping 4x4 tiles with stride 2: (n, c, th, tw, 4, 4).
+
+    ``xp`` must already be padded so that every tile is in bounds.
+    """
+    n, c = xp.shape[:2]
+    out = np.empty((n, c, tiles_h, tiles_w, _TILE, _TILE), dtype=xp.dtype)
+    for i in range(_TILE):
+        for j in range(_TILE):
+            out[:, :, :, :, i, j] = xp[
+                :,
+                :,
+                i : i + 2 * tiles_h : 2,
+                j : j + 2 * tiles_w : 2,
+            ]
+    return out
+
+
+def _pad_for_tiles(g: ConvGeometry, x: np.ndarray, out_h: int, out_w: int):
+    """Pad input with conv padding plus bottom/right fill to whole tiles."""
+    tiles_h = -(-out_h // WINOGRAD_M)
+    tiles_w = -(-out_w // WINOGRAD_M)
+    need_h = 2 * tiles_h + 2  # span of tiles_h stride-2 4x4 tiles
+    need_w = 2 * tiles_w + 2
+    xp = pad_input(g, x)
+    fill_h = max(0, need_h - xp.shape[2])
+    fill_w = max(0, need_w - xp.shape[3])
+    if fill_h or fill_w:
+        xp = np.pad(xp, ((0, 0), (0, 0), (0, fill_h), (0, fill_w)))
+    return xp, tiles_h, tiles_w
+
+
+def forward(g: ConvGeometry, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    _require_supported(g)
+    x, w = check_forward_operands(g, x, w)
+    y_desc = g.y_desc
+    xp, tiles_h, tiles_w = _pad_for_tiles(g, x, y_desc.h, y_desc.w)
+    d = _extract_tiles(xp, tiles_h, tiles_w)  # (n,c,th,tw,4,4)
+    # V = B^T d B over the last two axes ('g' labels the channel dim).
+    v = np.einsum("ai,nguvij,bj->nguvab", BT, d, BT, optimize=True)
+    # U = G g G^T
+    u = np.einsum("ai,kgij,bj->kgab", G, w, G, optimize=True)
+    # Elementwise product in the Winograd domain, contracted over channels.
+    m = np.einsum("nguvab,kgab->nkuvab", v, u, optimize=True)
+    # Y = A^T m A
+    y_tiles = np.einsum("ai,nkuvij,bj->nkuvab", AT, m, AT, optimize=True)
+    # (n,k,th,tw,2,2) -> (n,k,2*th,2*tw), cropped to the true output.
+    n = g.n
+    y = y_tiles.transpose(0, 1, 2, 4, 3, 5).reshape(
+        n, g.k, WINOGRAD_M * tiles_h, WINOGRAD_M * tiles_w
+    )
+    return np.ascontiguousarray(y[:, :, : y_desc.h, : y_desc.w], dtype=DTYPE)
+
+
+def backward_data(g: ConvGeometry, dy: np.ndarray, w: np.ndarray) -> np.ndarray:
+    _require_supported(g)
+    dy, w = check_backward_data_operands(g, dy, w)
+    return forward(backward_data_geometry(g), dy, flip_filter(w))
+
+
+def backward_filter(g: ConvGeometry, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    _require_supported(g)
+    x, dy = check_backward_filter_operands(g, x, dy)
+    y_desc = g.y_desc
+    xp, tiles_h, tiles_w = _pad_for_tiles(g, x, y_desc.h, y_desc.w)
+    d = _extract_tiles(xp, tiles_h, tiles_w)
+    v = np.einsum("ai,nguvij,bj->nguvab", BT, d, BT, optimize=True)
+    # Pad dy to whole 2x2 tiles and reshape to (n,k,th,tw,2,2).
+    pad_h = WINOGRAD_M * tiles_h - y_desc.h
+    pad_w = WINOGRAD_M * tiles_w - y_desc.w
+    dyp = np.pad(dy, ((0, 0), (0, 0), (0, pad_h), (0, pad_w)))
+    dy_tiles = (
+        dyp.reshape(g.n, g.k, tiles_h, WINOGRAD_M, tiles_w, WINOGRAD_M)
+        .transpose(0, 1, 2, 4, 3, 5)
+    )
+    # Output-gradient tiles enter the Winograd domain through A (4x2):
+    # (A dY A^T)_{ab} = sum_{pq} AT_{pa} dY_{pq} AT_{qb}.
+    dy_w = np.einsum("pa,nkuvpq,qb->nkuvab", AT, dy_tiles, AT, optimize=True)
+    # Accumulate the domain product over batch and tiles, project through G.
+    s = np.einsum("nguvab,nkuvab->kgab", v, dy_w, optimize=True)
+    dw = np.einsum("ai,kgab,bj->kgij", G, s, G, optimize=True)
+    return np.ascontiguousarray(dw, dtype=DTYPE)

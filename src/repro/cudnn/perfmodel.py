@@ -1,0 +1,282 @@
+"""Deterministic analytic performance model for the simulated cuDNN.
+
+This replaces the wall-clock measurements that ``cudnnFind*Algorithm``
+performs on a real GPU.  It captures, per algorithm family, the effects the
+paper's optimizer exploits:
+
+* **Arithmetic asymptotics** -- FFT convolution replaces the ``2*R*S`` MACs
+  per output point with transform cost plus a complex pointwise product, so
+  it wins for large filters (AlexNet conv2's 5x5).  Winograd F(2x2, 3x3)
+  performs 2.25x fewer multiplications for 3x3 filters.
+* **Efficiency ceilings** -- implicit GEMM streams redundantly and sustains a
+  low fraction of peak; precomputed-index GEMM and the transform-based
+  algorithms do much better.
+* **Occupancy** -- small micro-batches cannot fill the SMs, so per-sample
+  throughput degrades as N shrinks.  This term is what bounds how finely the
+  WR optimizer wants to divide a mini-batch.
+* **Wave quantization** -- the number of thread-block "waves" is an integer;
+  partially-filled trailing waves waste cycles.  This makes the time
+  landscape mildly non-smooth in N, which is why the paper's ``all`` policy
+  can find odd micro-batch sizes (e.g. 60 in Fig. 5) that ``powerOfTwo``
+  misses.
+* **Launch overhead** -- a fixed per-kernel cost; FFT-family algorithms issue
+  several kernels per convolution.
+* **Memory-bandwidth bound** -- each algorithm moves at least its I/O
+  footprint, plus staged workspace traffic for the materializing algorithms.
+
+The model is a pure function of (GPU spec, geometry, algorithm): repeated
+queries return identical times, so every experiment is reproducible.  An
+optional multiplicative jitter (deterministic, hash-seeded) is available to
+exercise the benchmarking machinery's robustness against noisy measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.device import GpuSpec
+from repro.cudnn.enums import Algo, AlgoFamily, ConvType, algos_for, family_of
+from repro.cudnn.status import Status
+from repro.cudnn.workspace import (
+    FFT_TILE,
+    WINOGRAD_M,
+    fft_dims,
+    fft_tiles_per_image,
+    is_supported,
+    winograd_tiles,
+    workspace_size,
+)
+from repro.errors import NotSupportedError
+from repro.units import FLOAT_SIZE
+
+#: Sustained fraction of peak FLOP/s per algorithm family.
+_BASE_EFFICIENCY = {
+    AlgoFamily.IMPLICIT_GEMM: 0.30,
+    AlgoFamily.IMPLICIT_PRECOMP_GEMM: 0.55,
+    AlgoFamily.GEMM: 0.46,
+    AlgoFamily.FFT: 0.42,
+    AlgoFamily.FFT_TILING: 0.40,
+    AlgoFamily.WINOGRAD: 0.55,
+    AlgoFamily.WINOGRAD_NONFUSED: 0.66,
+}
+
+#: Kernel launches issued per convolution call.
+_KERNELS_PER_CALL = {
+    AlgoFamily.IMPLICIT_GEMM: 1,
+    AlgoFamily.IMPLICIT_PRECOMP_GEMM: 1,
+    AlgoFamily.GEMM: 2,  # im2col + GEMM
+    AlgoFamily.FFT: 4,  # 3 transforms + pointwise
+    AlgoFamily.FFT_TILING: 4,
+    AlgoFamily.WINOGRAD: 1,
+    AlgoFamily.WINOGRAD_NONFUSED: 4,
+}
+
+#: Extra time multiplier per operation type (backward-filter pays for the
+#: gradient reduction across the batch; backward-data for the scatter).
+_OP_MULT = {
+    ConvType.FORWARD: 1.0,
+    ConvType.BACKWARD_DATA: 1.06,
+    ConvType.BACKWARD_FILTER: 1.16,
+}
+
+#: Real FLOPs of a complex multiply-accumulate.
+_CMAC_FLOPS = 8.0
+#: FLOPs of a radix FFT of length L is ~`_FFT_C * L * log2 L` per plane.
+_FFT_C = 5.0
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """One row of a ``cudnnFind*Algorithm`` result table.
+
+    Mirrors ``cudnnConvolutionFwdAlgoPerf_t``: the algorithm, its status for
+    this geometry, the (modeled) execution time in seconds, and the required
+    workspace in bytes.
+    """
+
+    algo: Algo
+    status: Status
+    time: float
+    workspace: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status == Status.SUCCESS
+
+
+def _fft_plane_flops(hf: int, wf: int) -> float:
+    """Transform cost of one (hf x wf) real plane."""
+    return _FFT_C * hf * wf * max(1.0, math.log2(hf * wf))
+
+
+class PerfModel:
+    """Analytic timing model bound to one :class:`GpuSpec`.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description.
+    jitter:
+        Relative amplitude of deterministic pseudo-measurement noise.  At the
+        default ``0.0`` the model is exactly reproducible; the benchmarking
+        robustness tests use small positive values.
+    """
+
+    def __init__(self, spec: GpuSpec, jitter: float = 0.0):
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.spec = spec
+        self.jitter = float(jitter)
+
+    # -- public API ---------------------------------------------------------
+
+    def time(self, g: ConvGeometry, algo: Algo, sample: int = 0) -> float:
+        """Modeled execution time in seconds.
+
+        Raises :class:`NotSupportedError` for unsupported (geometry, algo)
+        pairs, as executing them on real cuDNN would.
+        """
+        if not is_supported(g, algo):
+            raise NotSupportedError(
+                Status.NOT_SUPPORTED, f"{algo!r} does not support {g}"
+            )
+        base = self._time_supported(g, algo)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * self._noise(g, algo, sample))
+
+    def query(self, g: ConvGeometry, algo: Algo, sample: int = 0) -> PerfResult:
+        """Non-raising variant: unsupported pairs get NOT_SUPPORTED status."""
+        if not is_supported(g, algo):
+            return PerfResult(algo, Status.NOT_SUPPORTED, math.inf, 0)
+        return PerfResult(
+            algo,
+            Status.SUCCESS,
+            self.time(g, algo, sample=sample),
+            workspace_size(g, algo),
+        )
+
+    def find_all(self, g: ConvGeometry, sample: int = 0) -> list[PerfResult]:
+        """All algorithms for ``g``, fastest first -- ``cudnnFind*Algorithm``.
+
+        Unsupported algorithms appear at the end with infinite time, matching
+        cuDNN's behaviour of returning every enumerated algorithm with a
+        per-entry status.
+        """
+        results = [self.query(g, a, sample=sample) for a in algos_for(g.conv_type)]
+        return sorted(results, key=lambda r: (r.time, int(r.algo)))
+
+    def fastest(
+        self, g: ConvGeometry, workspace_limit: int | None = None, sample: int = 0
+    ) -> PerfResult | None:
+        """Fastest supported algorithm within ``workspace_limit`` bytes.
+
+        ``None`` when nothing fits (cannot happen for limits >= 0 since
+        implicit GEMM needs zero workspace, but kept total for safety).
+        """
+        for result in self.find_all(g, sample=sample):
+            if not result.ok:
+                continue
+            if workspace_limit is None or result.workspace <= workspace_limit:
+                return result
+        return None
+
+    # -- model internals ------------------------------------------------------
+
+    def _noise(self, g: ConvGeometry, algo: Algo, sample: int) -> float:
+        """Deterministic uniform noise in [-1, 1] keyed by the query."""
+        key = f"{g.cache_key()}|{int(algo)}|{sample}".encode()
+        return (zlib.crc32(key) / 0xFFFFFFFF) * 2.0 - 1.0
+
+    def _occupancy(self, g: ConvGeometry) -> float:
+        """Fraction of the machine a kernel at this geometry can fill."""
+        y = g.y_desc
+        par = g.n * y.h * y.w * -(-g.k // 32)
+        kappa = self.spec.sm_count * 384.0
+        return par / (par + kappa)
+
+    def _wave_quantization(self, g: ConvGeometry) -> float:
+        """Penalty factor >= 1 from partially filled trailing waves."""
+        y = g.y_desc
+        blocks = max(1, -(-(g.n * y.h * y.w) // 256)) * max(1, -(-g.k // 64))
+        waves = blocks / self.spec.sm_count
+        return 1.0 + 0.15 * (math.ceil(waves) / waves - 1.0)
+
+    def _io_bytes(self, g: ConvGeometry, family: AlgoFamily) -> float:
+        y = g.y_desc
+        io = FLOAT_SIZE * (g.x_desc.count + y.count + g.w_desc.count)
+        if g.conv_type == ConvType.BACKWARD_FILTER:
+            io += FLOAT_SIZE * g.w_desc.count  # read-modify-write of dw
+        if family in (
+            AlgoFamily.GEMM,
+            AlgoFamily.FFT,
+            AlgoFamily.FFT_TILING,
+            AlgoFamily.WINOGRAD_NONFUSED,
+        ):
+            # Materializing algorithms stream their workspace out and back.
+            io += 2.0 * workspace_size(g, family_to_algo(g.conv_type, family))
+        return io
+
+    def _effective_flops(self, g: ConvGeometry, family: AlgoFamily) -> float:
+        """FLOPs the algorithm actually executes for geometry ``g``."""
+        direct = float(g.flops)
+        if family in (
+            AlgoFamily.IMPLICIT_GEMM,
+            AlgoFamily.IMPLICIT_PRECOMP_GEMM,
+            AlgoFamily.GEMM,
+            AlgoFamily.DIRECT,
+        ):
+            return direct
+        if family == AlgoFamily.FFT:
+            hf, wf = fft_dims(g)
+            plane = _fft_plane_flops(hf, wf)
+            transforms = plane * (g.n * g.c + g.n * g.k + g.c * g.k)
+            pointwise = _CMAC_FLOPS * hf * (wf // 2 + 1) * g.n * g.k * g.c
+            return transforms + pointwise
+        if family == AlgoFamily.FFT_TILING:
+            tiles = fft_tiles_per_image(g)
+            plane = _fft_plane_flops(FFT_TILE, FFT_TILE)
+            transforms = plane * (g.c * g.k + g.n * tiles * (g.c + g.k))
+            pointwise = (
+                _CMAC_FLOPS * FFT_TILE * (FFT_TILE // 2 + 1) * g.n * tiles * g.k * g.c
+            )
+            return transforms + pointwise
+        if family in (AlgoFamily.WINOGRAD, AlgoFamily.WINOGRAD_NONFUSED):
+            t = WINOGRAD_M + g.r - 1
+            reduction = (g.r * g.s * WINOGRAD_M * WINOGRAD_M) / float(t * t)
+            tiles = winograd_tiles(g)
+            transform_cost = 4.0 * t * t * (g.n * tiles * (g.c + g.k) + g.c * g.k)
+            if family == AlgoFamily.WINOGRAD:
+                transform_cost *= 0.5  # fused transforms overlap the GEMM
+            return direct / reduction + transform_cost
+        raise AssertionError(f"unhandled family {family}")
+
+    def _time_supported(self, g: ConvGeometry, algo: Algo) -> float:
+        if g.groups > 1:
+            # cuDNN (pre-7.3) executes grouped convolutions as a loop of
+            # per-group kernels; time composes accordingly.
+            return g.groups * self._time_supported(g.group_geometry(), algo)
+        family = family_of(g.conv_type, algo)
+        spec = self.spec
+        eff = _BASE_EFFICIENCY[family] * self._occupancy(g)
+        if family in (AlgoFamily.FFT, AlgoFamily.FFT_TILING):
+            eff *= spec.fft_throughput_scale
+        elif family in (AlgoFamily.WINOGRAD, AlgoFamily.WINOGRAD_NONFUSED):
+            eff *= spec.winograd_throughput_scale
+        flops = self._effective_flops(g, family)
+        t_compute = flops / (spec.peak_sp_flops * eff)
+        t_compute *= self._wave_quantization(g)
+        t_memory = self._io_bytes(g, family) / spec.mem_bandwidth
+        overhead = spec.launch_overhead * _KERNELS_PER_CALL[family]
+        return _OP_MULT[g.conv_type] * (overhead + max(t_compute, t_memory))
+
+
+def family_to_algo(conv_type: ConvType, family: AlgoFamily) -> Algo:
+    """Inverse of :func:`repro.cudnn.enums.family_of` (first match)."""
+    for algo in algos_for(conv_type):
+        if family_of(conv_type, algo) == family:
+            return algo
+    raise KeyError(f"{family} has no algorithm for {conv_type}")

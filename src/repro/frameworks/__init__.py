@@ -1,0 +1,14 @@
+"""Mini deep-learning framework substrate (Caffe/TensorFlow stand-in).
+
+A compact NCHW layer-graph framework whose convolution layers speak the
+simulated cuDNN API -- so swapping its handle for a ``UcudnnHandle`` is the
+paper's entire integration story.  Includes the model zoo of the paper's
+evaluation (AlexNet, ResNet-18/50, DenseNet-40, Inception), an SGD solver,
+synthetic datasets, and a ``caffe time``-style benchmark driver.
+"""
+
+from repro.frameworks.net import Net
+from repro.frameworks.solver import SGDSolver
+from repro.frameworks.timing import TimingReport, export_chrome_trace, time_net
+
+__all__ = ["Net", "SGDSolver", "TimingReport", "export_chrome_trace", "time_net"]

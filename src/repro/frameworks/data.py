@@ -1,0 +1,41 @@
+"""Synthetic dataset generators.
+
+Stand-ins for ILSVRC2012 and CIFAR (DESIGN.md substitution table): only the
+tensor shapes and label ranges matter to the paper's evaluation, never the
+pixel content, so deterministic random tensors with the right geometry
+exercise identical code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical input geometries (Caffe conventions).
+IMAGENET_SHAPE = (3, 227, 227)
+IMAGENET_CLASSES = 1000
+CIFAR_SHAPE = (3, 32, 32)
+CIFAR_CLASSES = 10
+
+
+def synthetic_batch(
+    rng: np.random.Generator,
+    batch: int,
+    image_shape: tuple[int, int, int] = IMAGENET_SHAPE,
+    num_classes: int = IMAGENET_CLASSES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One (images, labels) mini-batch of the requested geometry."""
+    images = rng.standard_normal((batch, *image_shape)).astype(np.float32)
+    labels = rng.integers(0, num_classes, size=batch)
+    return images, labels
+
+
+def synthetic_stream(
+    seed: int,
+    batch: int,
+    image_shape: tuple[int, int, int] = IMAGENET_SHAPE,
+    num_classes: int = IMAGENET_CLASSES,
+):
+    """Infinite deterministic stream of mini-batches."""
+    rng = np.random.default_rng(seed)
+    while True:
+        yield synthetic_batch(rng, batch, image_shape, num_classes)

@@ -1,0 +1,56 @@
+"""Weight initializers (Caffe "filler" analogs).
+
+Deterministic given the caller's RNG; the training examples seed a single
+generator so entire runs are bit-reproducible, which is what lets the tests
+assert that micro-batched and undivided training produce *identical* loss
+trajectories (the paper's statistical-efficiency invariance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DTYPE = np.float32
+
+
+def constant(shape: tuple[int, ...], value: float = 0.0) -> np.ndarray:
+    """Constant filler (biases default to zero)."""
+    return np.full(shape, value, dtype=DTYPE)
+
+
+def gaussian(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.01) -> np.ndarray:
+    """Gaussian filler, Caffe's classic AlexNet initialization."""
+    return rng.normal(0.0, std, size=shape).astype(DTYPE)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 4:  # KCRS convolution filter
+        k, c, r, s = shape
+        return c * r * s, k * r * s
+    if len(shape) == 2:  # FC weight (out, in)
+        out_f, in_f = shape
+        return in_f, out_f
+    n = int(np.prod(shape))
+    return n, n
+
+
+def xavier(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot uniform filler (Caffe's ``xavier``)."""
+    fan_in, fan_out = _fans(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=shape).astype(DTYPE)
+
+
+def msra(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """He-normal filler (Caffe's ``msra``), standard for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    std = float(np.sqrt(2.0 / fan_in))
+    return rng.normal(0.0, std, size=shape).astype(DTYPE)
+
+
+FILLERS = {
+    "constant": lambda rng, shape: constant(shape),
+    "gaussian": gaussian,
+    "xavier": xavier,
+    "msra": msra,
+}

@@ -1,0 +1,30 @@
+"""Layer catalog of the mini framework."""
+
+from repro.frameworks.layers.activation import ReLU, Sigmoid
+from repro.frameworks.layers.base import Context, Layer, Param
+from repro.frameworks.layers.bn import BatchNorm
+from repro.frameworks.layers.conv import Convolution
+from repro.frameworks.layers.dropout import Dropout
+from repro.frameworks.layers.fc import InnerProduct
+from repro.frameworks.layers.lrn import LRN
+from repro.frameworks.layers.merge import Concat, Eltwise
+from repro.frameworks.layers.pooling import GlobalAvgPool, Pooling
+from repro.frameworks.layers.softmax import SoftmaxWithLoss
+
+__all__ = [
+    "BatchNorm",
+    "Concat",
+    "Context",
+    "Convolution",
+    "Dropout",
+    "Eltwise",
+    "GlobalAvgPool",
+    "InnerProduct",
+    "LRN",
+    "Layer",
+    "Param",
+    "Pooling",
+    "ReLU",
+    "Sigmoid",
+    "SoftmaxWithLoss",
+]

@@ -1,0 +1,59 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frameworks.layers.base import Context, Layer, count_of
+
+
+class ReLU(Layer):
+    """Rectified linear unit: ``y = max(x, 0)``.
+
+    In-place capable: the backward mask is recovered from the *output*
+    (``y > 0`` iff ``x > 0``), the standard trick that lets Caffe run ReLU
+    over its bottom blob.
+    """
+
+    SUPPORTS_INPLACE = True
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        return self.finalize_setup(ctx, in_shapes, [in_shapes[0]])
+
+    def forward(self, ctx: Context, inputs):
+        self.expect_inputs(inputs, 1)
+        x = inputs[0]
+        ctx.charge(bytes_moved=2 * 4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        return [np.maximum(x, 0.0)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(bytes_moved=3 * 4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        y, dy = outputs[0], grad_outputs[0]
+        return [np.where(y > 0.0, dy, 0.0).astype(np.float32)]
+
+
+class Sigmoid(Layer):
+    """Logistic activation (used by the toy example networks)."""
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        return self.finalize_setup(ctx, in_shapes, [in_shapes[0]])
+
+    def forward(self, ctx: Context, inputs):
+        ctx.charge(bytes_moved=2 * 4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        x = inputs[0]
+        return [(1.0 / (1.0 + np.exp(-x))).astype(np.float32)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(bytes_moved=3 * 4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        y, dy = outputs[0], grad_outputs[0]
+        return [(dy * y * (1.0 - y)).astype(np.float32)]

@@ -1,0 +1,184 @@
+"""Layer abstraction and execution context of the mini framework.
+
+Layers implement three methods:
+
+* ``setup(ctx, in_shapes) -> out_shapes`` -- shape inference, parameter
+  registration, and (for convolutions) cuDNN algorithm selection;
+* ``forward(ctx, inputs) -> outputs``;
+* ``backward(ctx, inputs, outputs, grad_outputs) -> grad_inputs`` -- also
+  writes parameter gradients into each ``Param.grad``.
+
+Execution goes through a :class:`Context`, which carries the cuDNN (or
+mu-cuDNN) handle, the per-layer workspace limit the framework would pass to
+``cudnnGetConvolution*Algorithm``, and an RNG.  Non-convolution layers charge
+their cost to the simulated device clock with :meth:`Context.charge`
+(memory-bandwidth-bound model), so whole-iteration timings include the
+"other layers" component visible in the paper's Fig. 10 stacks.
+
+In ``TIMING`` mode all arrays are ``None``: layers charge time and return
+``None`` outputs.  In ``NUMERIC`` mode they also compute real values --
+the mode every gradient/semantics test runs in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cudnn.device import DeviceMemory
+from repro.cudnn.handle import ExecMode
+from repro.errors import FrameworkError, ShapeError
+from repro.frameworks import init as fillers
+
+DTYPE = np.float32
+
+
+class Param:
+    """A learnable parameter (weight or bias) with gradient storage."""
+
+    def __init__(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        filler: str = "msra",
+        lr_mult: float = 1.0,
+        decay_mult: float = 1.0,
+    ):
+        self.name = name
+        self.shape = tuple(int(d) for d in shape)
+        self.filler = filler
+        self.lr_mult = lr_mult
+        self.decay_mult = decay_mult
+        self.data: np.ndarray | None = None
+        self.grad: np.ndarray | None = None
+        self._alloc_ids: list[int] = []
+
+    @property
+    def count(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def size_bytes(self) -> int:
+        return self.count * 4
+
+    def materialize(self, rng: np.random.Generator) -> None:
+        self.data = fillers.FILLERS[self.filler](rng, self.shape)
+        self.grad = np.zeros(self.shape, dtype=DTYPE)
+
+    def register_memory(self, memory: DeviceMemory) -> None:
+        self._alloc_ids.append(memory.alloc(self.size_bytes, tag="param"))
+        self._alloc_ids.append(memory.alloc(self.size_bytes, tag="param_grad"))
+
+    def zero_grad(self) -> None:
+        if self.grad is not None:
+            self.grad.fill(0.0)
+
+
+class Context:
+    """Execution context threading the handle through the layer graph."""
+
+    def __init__(
+        self,
+        handle,
+        workspace_limit: int | None = None,
+        rng: np.random.Generator | None = None,
+        phase: str = "train",
+    ):
+        self.handle = handle
+        #: Per-layer limit the framework passes to cuDNN's Get functions;
+        #: ``None`` means PREFER_FASTEST (the Fig. 1 "Best" setting).
+        self.workspace_limit = workspace_limit
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.phase = phase
+
+    @property
+    def numeric(self) -> bool:
+        return self.handle.mode == ExecMode.NUMERIC
+
+    @property
+    def gpu(self):
+        return self.handle.gpu
+
+    def charge(self, bytes_moved: float, flops: float = 0.0) -> None:
+        """Advance the device clock for a non-cuDNN (elementwise-ish) kernel.
+
+        Modeled as bandwidth-bound with a FLOP floor at half peak -- the
+        regime of ReLU/pool/LRN/BN kernels on every modeled GPU.
+        """
+        spec = self.gpu.spec
+        duration = spec.launch_overhead + max(
+            bytes_moved / spec.mem_bandwidth,
+            flops / (spec.peak_sp_flops * 0.5),
+        )
+        self.gpu.run_kernel(duration)
+
+
+class Layer:
+    """Base class for every layer of the mini framework."""
+
+    #: Set on conv layers so timing reports can split conv vs other.
+    IS_CONV = False
+    #: Layers that may write their output over their input blob (Caffe's
+    #: in-place execution for ReLU/Dropout).  Such layers must compute their
+    #: backward pass from outputs/side-state only, never from inputs.
+    SUPPORTS_INPLACE = False
+
+    def __init__(self, name: str):
+        self.name = name
+        self.params: list[Param] = []
+        self.in_shapes: list[tuple[int, ...]] | None = None
+        self.out_shapes: list[tuple[int, ...]] | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def setup(self, ctx: Context, in_shapes: list[tuple[int, ...]]):
+        """Infer output shapes; register parameters.  Must be overridden."""
+        raise NotImplementedError
+
+    def finalize_setup(
+        self, ctx: Context, in_shapes, out_shapes
+    ) -> list[tuple[int, ...]]:
+        """Common tail of ``setup``: record shapes, place parameters."""
+        self.in_shapes = [tuple(s) for s in in_shapes]
+        self.out_shapes = [tuple(s) for s in out_shapes]
+        for param in self.params:
+            param.register_memory(ctx.gpu.memory)
+            if ctx.numeric:
+                param.materialize(ctx.rng)
+        return self.out_shapes
+
+    # -- execution ---------------------------------------------------------------
+
+    def forward(self, ctx: Context, inputs: list):
+        raise NotImplementedError
+
+    def backward(self, ctx: Context, inputs: list, outputs: list, grad_outputs: list):
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------------
+
+    def expect_inputs(self, inputs: list, count: int) -> None:
+        if len(inputs) != count:
+            raise FrameworkError(
+                f"layer {self.name!r} expects {count} input(s), got {len(inputs)}"
+            )
+
+    def check_shape(self, label: str, arr: np.ndarray | None, shape) -> None:
+        if arr is not None and tuple(arr.shape) != tuple(shape):
+            raise ShapeError(
+                f"layer {self.name!r}: {label} has shape {arr.shape}, "
+                f"expected {tuple(shape)}"
+            )
+
+    @property
+    def param_bytes(self) -> int:
+        return sum(p.size_bytes for p in self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def count_of(shape) -> int:
+    n = 1
+    for d in shape:
+        n *= int(d)
+    return n

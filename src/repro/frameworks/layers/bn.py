@@ -1,0 +1,82 @@
+"""Batch normalization (with learnable scale/shift, Caffe's BatchNorm+Scale).
+
+Training mode normalizes with per-mini-batch statistics and maintains
+running averages for inference.  Note that unlike convolutions, batch
+normalization is *not* micro-batchable without changing semantics (its
+statistics couple the whole mini-batch) -- which is precisely why the paper
+restricts micro-batching to convolution kernels; this layer documents and
+enforces that boundary in the framework substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frameworks.layers.base import Context, Layer, Param, count_of
+
+_EPS = 1e-5
+
+
+class BatchNorm(Layer):
+    def __init__(self, name: str, momentum: float = 0.9):
+        super().__init__(name)
+        self.momentum = float(momentum)
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        c = in_shapes[0][1]
+        gamma = Param(f"{self.name}.gamma", (c,), filler="constant")
+        beta = Param(f"{self.name}.beta", (c,), filler="constant")
+        self.params.extend([gamma, beta])
+        self.running_mean = np.zeros(c, dtype=np.float32)
+        self.running_var = np.ones(c, dtype=np.float32)
+        shapes = self.finalize_setup(ctx, in_shapes, [in_shapes[0]])
+        if ctx.numeric:
+            gamma.data.fill(1.0)  # scale starts at identity
+        return shapes
+
+    def forward(self, ctx: Context, inputs):
+        self.expect_inputs(inputs, 1)
+        ctx.charge(bytes_moved=4.0 * count_of(self.in_shapes[0]) * 3)
+        if not ctx.numeric:
+            return [None]
+        x = inputs[0]
+        gamma, beta = self.params[0].data, self.params[1].data
+        if ctx.phase == "train":
+            mean = x.mean(axis=(0, 2, 3), dtype=np.float64)
+            var = x.var(axis=(0, 2, 3), dtype=np.float64)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            ).astype(np.float32)
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean.astype(np.float64)
+            var = self.running_var.astype(np.float64)
+        self._mean = mean
+        self._inv_std = 1.0 / np.sqrt(var + _EPS)
+        self._xhat = ((x - mean[None, :, None, None]) * self._inv_std[None, :, None, None]).astype(np.float32)
+        y = gamma[None, :, None, None] * self._xhat + beta[None, :, None, None]
+        return [y.astype(np.float32)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(bytes_moved=4.0 * count_of(self.in_shapes[0]) * 4)
+        if not ctx.numeric:
+            return [None]
+        dy = grad_outputs[0]
+        gamma = self.params[0].data
+        xhat = self._xhat
+        n, _, h, w = self.in_shapes[0]
+        m = n * h * w
+        self.params[0].grad += (dy * xhat).sum(axis=(0, 2, 3), dtype=np.float32)
+        self.params[1].grad += dy.sum(axis=(0, 2, 3), dtype=np.float32)
+        # Standard batch-norm backward through the batch statistics.
+        dxhat = dy * gamma[None, :, None, None]
+        sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True, dtype=np.float64)
+        sum_dxhat_xhat = (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True, dtype=np.float64)
+        dx = (
+            self._inv_std[None, :, None, None]
+            * (dxhat - sum_dxhat / m - xhat * (sum_dxhat_xhat / m))
+        )
+        return [dx.astype(np.float32)]

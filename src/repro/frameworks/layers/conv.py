@@ -1,0 +1,187 @@
+"""Convolution layer -- the framework's window onto cuDNN.
+
+This layer is written exactly the way Caffe's ``CuDNNConvolutionLayer`` is:
+
+* at setup it calls ``cudnnGetConvolution*Algorithm`` once per operation
+  (Forward / BackwardData / BackwardFilter) with the framework's workspace
+  limit, then ``cudnnGetConvolution*WorkspaceSize`` for the chosen
+  algorithms, and allocates one workspace slot sized for the max;
+* at run time it calls ``cudnnConvolution*`` with those cached algorithms.
+
+Because it talks only through :mod:`repro.cudnn.api`, handing the network a
+:class:`~repro.core.handle.UcudnnHandle` transparently reroutes all of this
+through mu-cuDNN: the Get calls return virtual algorithms with zero
+workspace (so this layer allocates nothing) and the convolution calls run
+micro-batched -- the paper's three-line Caffe integration, reproduced.
+"""
+
+from __future__ import annotations
+
+
+from repro.cudnn import api
+from repro.cudnn.descriptors import (
+    ConvolutionDescriptor,
+    FilterDescriptor,
+    TensorDescriptor,
+    output_dims,
+)
+from repro.cudnn.enums import ConvType
+from repro.frameworks.layers.base import DTYPE, Context, Layer, Param, count_of
+
+
+def _pair(value) -> tuple[int, int]:
+    """Normalize an int-or-(h, w) layer parameter (Caffe's _h/_w params)."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected (h, w) pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+class Convolution(Layer):
+    """2-D convolution (cross-correlation) with optional bias.
+
+    ``kernel_size``, ``stride`` and ``pad`` accept either an int (square)
+    or an ``(h, w)`` pair (Caffe's ``kernel_h``/``kernel_w`` etc.).
+    """
+
+    IS_CONV = True
+
+    def __init__(
+        self,
+        name: str,
+        num_output: int,
+        kernel_size,
+        stride=1,
+        pad=0,
+        bias: bool = True,
+        weight_filler: str = "msra",
+        group: int = 1,
+    ):
+        super().__init__(name)
+        self.num_output = int(num_output)
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.pad = _pair(pad)
+        self.has_bias = bias
+        self.weight_filler = weight_filler
+        self.group = int(group)
+        self.algos: dict[ConvType, object] = {}
+        self.workspace_sizes: dict[ConvType, int] = {}
+        self.workspace_slot: int = 0
+        self._ws_alloc: int | None = None
+
+    # -- setup -------------------------------------------------------------------
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        n, c, h, w = in_shapes[0]
+        self.x_desc = TensorDescriptor(n, c, h, w)
+        self.w_desc = FilterDescriptor(
+            self.num_output, c // self.group,
+            self.kernel_size[0], self.kernel_size[1],
+        )
+        self.conv_desc = ConvolutionDescriptor(
+            pad_h=self.pad[0], pad_w=self.pad[1],
+            stride_h=self.stride[0], stride_w=self.stride[1],
+            groups=self.group,
+        )
+        self.y_desc = output_dims(self.x_desc, self.w_desc, self.conv_desc)
+
+        self.params.append(
+            Param(f"{self.name}.weight", self.w_desc.shape, filler=self.weight_filler)
+        )
+        if self.has_bias:
+            self.params.append(
+                Param(f"{self.name}.bias", (self.num_output,), filler="constant")
+            )
+
+        # cuDNN algorithm selection, one Get call per operation (section III-E:
+        # "the framework calls cudnnGetConvolution*Algorithm one time for each
+        # layer prior to the computation of the entire network").
+        preference = (
+            api.AlgoPreference.PREFER_FASTEST
+            if ctx.workspace_limit is None
+            else api.AlgoPreference.SPECIFY_WORKSPACE_LIMIT
+        )
+        for conv_type in ConvType:
+            g = self.geometry(conv_type)
+            algo = api.get_algorithm(ctx.handle, g, preference, ctx.workspace_limit)
+            self.algos[conv_type] = algo
+            self.workspace_sizes[conv_type] = api.get_workspace_size(ctx.handle, g, algo)
+        # One workspace slot per layer, shared by the three operations
+        # (Caffe's discipline); zero when mu-cuDNN owns the workspace.
+        self.workspace_slot = max(self.workspace_sizes.values())
+        self._ws_alloc = ctx.gpu.memory.alloc(self.workspace_slot, tag="workspace")
+
+        return self.finalize_setup(ctx, in_shapes, [self.y_desc.shape])
+
+    def geometry(self, conv_type: ConvType):
+        return api.make_geometry(conv_type, self.x_desc, self.w_desc, self.conv_desc)
+
+    # -- execution ---------------------------------------------------------------
+
+    def forward(self, ctx: Context, inputs):
+        self.expect_inputs(inputs, 1)
+        x = inputs[0]
+        self.check_shape("input", x, self.x_desc.shape)
+        weight = self.params[0].data
+        y = api.convolution_forward(
+            ctx.handle,
+            self.x_desc,
+            x,
+            self.w_desc,
+            weight,
+            self.conv_desc,
+            self.algos[ConvType.FORWARD],
+            self.workspace_slot,
+            self.y_desc,
+        )
+        if self.has_bias:
+            # Bias addition is a separate lightweight kernel in cuDNN.
+            ctx.charge(bytes_moved=2 * 4 * count_of(self.y_desc.shape))
+            if ctx.numeric:
+                y += self.params[1].data[None, :, None, None]
+        return [y]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        x = inputs[0]
+        dy = grad_outputs[0]
+        self.check_shape("grad_output", dy, self.y_desc.shape)
+        weight = self.params[0].data
+
+        # Filter gradient (accumulated into the param's grad buffer).
+        dw = api.convolution_backward_filter(
+            ctx.handle,
+            self.x_desc,
+            x,
+            self.y_desc,
+            dy,
+            self.conv_desc,
+            self.algos[ConvType.BACKWARD_FILTER],
+            self.workspace_slot,
+            self.w_desc,
+            self.params[0].grad,
+            beta=1.0 if ctx.numeric else 0.0,
+        )
+        if ctx.numeric and dw is not None:
+            self.params[0].grad = dw
+
+        if self.has_bias:
+            ctx.charge(bytes_moved=4 * count_of(self.y_desc.shape))
+            if ctx.numeric:
+                self.params[1].grad += dy.sum(axis=(0, 2, 3), dtype=DTYPE)
+
+        # Data gradient.
+        dx = api.convolution_backward_data(
+            ctx.handle,
+            self.w_desc,
+            weight,
+            self.y_desc,
+            dy,
+            self.conv_desc,
+            self.algos[ConvType.BACKWARD_DATA],
+            self.workspace_slot,
+            self.x_desc,
+        )
+        return [dx]

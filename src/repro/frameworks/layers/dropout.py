@@ -1,0 +1,42 @@
+"""Inverted dropout (AlexNet's fc6/fc7 regularizer)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frameworks.layers.base import Context, Layer, count_of
+
+
+class Dropout(Layer):
+    SUPPORTS_INPLACE = True  # backward needs only the cached mask
+
+    def __init__(self, name: str, ratio: float = 0.5):
+        super().__init__(name)
+        if not 0.0 <= ratio < 1.0:
+            raise ValueError(f"dropout ratio must be in [0, 1), got {ratio}")
+        self.ratio = float(ratio)
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        return self.finalize_setup(ctx, in_shapes, [in_shapes[0]])
+
+    def forward(self, ctx: Context, inputs):
+        ctx.charge(bytes_moved=3.0 * 4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        x = inputs[0]
+        if ctx.phase != "train" or self.ratio == 0.0:
+            self._mask = None
+            return [x.copy()]
+        keep = 1.0 - self.ratio
+        self._mask = (ctx.rng.random(x.shape) < keep).astype(np.float32) / keep
+        return [(x * self._mask).astype(np.float32)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(bytes_moved=3.0 * 4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        dy = grad_outputs[0]
+        if self._mask is None:
+            return [dy.copy()]
+        return [(dy * self._mask).astype(np.float32)]

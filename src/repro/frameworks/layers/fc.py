@@ -1,0 +1,67 @@
+"""Fully-connected (inner product) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frameworks.layers.base import Context, Layer, Param, count_of
+
+
+class InnerProduct(Layer):
+    """``y = x_flat @ W^T + b`` with ``W`` of shape (num_output, fan_in)."""
+
+    def __init__(self, name: str, num_output: int, bias: bool = True,
+                 weight_filler: str = "xavier"):
+        super().__init__(name)
+        self.num_output = int(num_output)
+        self.has_bias = bias
+        self.weight_filler = weight_filler
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        shape = in_shapes[0]
+        n = shape[0]
+        self.fan_in = count_of(shape) // n
+        self.params.append(
+            Param(f"{self.name}.weight", (self.num_output, self.fan_in),
+                  filler=self.weight_filler)
+        )
+        if self.has_bias:
+            self.params.append(
+                Param(f"{self.name}.bias", (self.num_output,), filler="constant")
+            )
+        return self.finalize_setup(ctx, in_shapes, [(n, self.num_output)])
+
+    def _charge(self, ctx: Context, passes: int = 1) -> None:
+        n = self.in_shapes[0][0]
+        flops = 2.0 * n * self.fan_in * self.num_output * passes
+        bytes_moved = 4.0 * (
+            n * self.fan_in + self.fan_in * self.num_output + n * self.num_output
+        )
+        # FC layers are GEMM-bound; charge at the same half-peak floor the
+        # other non-cuDNN kernels use.
+        ctx.charge(bytes_moved=bytes_moved, flops=flops)
+
+    def forward(self, ctx: Context, inputs):
+        self.expect_inputs(inputs, 1)
+        self._charge(ctx)
+        if not ctx.numeric:
+            return [None]
+        x = inputs[0].reshape(self.in_shapes[0][0], self.fan_in)
+        y = x @ self.params[0].data.T
+        if self.has_bias:
+            y = y + self.params[1].data[None, :]
+        return [y.astype(np.float32)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        self._charge(ctx, passes=2)
+        if not ctx.numeric:
+            return [None]
+        n = self.in_shapes[0][0]
+        x = inputs[0].reshape(n, self.fan_in)
+        dy = grad_outputs[0]
+        self.params[0].grad += (dy.T @ x).astype(np.float32)
+        if self.has_bias:
+            self.params[1].grad += dy.sum(axis=0, dtype=np.float32)
+        dx = (dy @ self.params[0].data).astype(np.float32)
+        return [dx.reshape(self.in_shapes[0])]

@@ -1,0 +1,72 @@
+"""Local Response Normalization (across channels) -- AlexNet's ``norm`` layers.
+
+``y_i = x_i / (k + alpha/n * sum_{j in window(i)} x_j^2)^beta`` with the
+window spanning ``local_size`` adjacent channels (Krizhevsky et al. 2012,
+Caffe defaults k=1, alpha=1e-4, beta=0.75, n=5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frameworks.layers.base import Context, Layer, count_of
+
+
+class LRN(Layer):
+    def __init__(self, name: str, local_size: int = 5, alpha: float = 1e-4,
+                 beta: float = 0.75, k: float = 1.0):
+        super().__init__(name)
+        if local_size % 2 == 0:
+            raise ValueError("LRN local_size must be odd")
+        self.local_size = int(local_size)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.k = float(k)
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        return self.finalize_setup(ctx, in_shapes, [in_shapes[0]])
+
+    def _scale(self, x: np.ndarray) -> np.ndarray:
+        """The ``(k + alpha/n * window_sum(x^2))`` term, per element."""
+        n, c, h, w = x.shape
+        half = self.local_size // 2
+        sq = x.astype(np.float64) ** 2
+        # Channel-windowed sum via a padded cumulative sum.
+        csum = np.zeros((n, c + 1, h, w))
+        np.cumsum(sq, axis=1, out=csum[:, 1:])
+        lo = np.clip(np.arange(c) - half, 0, c)
+        hi = np.clip(np.arange(c) + half + 1, 0, c)
+        window = csum[:, hi] - csum[:, lo]
+        return (self.k + (self.alpha / self.local_size) * window).astype(np.float32)
+
+    def forward(self, ctx: Context, inputs):
+        self.expect_inputs(inputs, 1)
+        # LRN reads the input ~local_size times in the naive kernel.
+        ctx.charge(bytes_moved=4.0 * count_of(self.in_shapes[0]) * 3)
+        if not ctx.numeric:
+            return [None]
+        x = inputs[0]
+        self._cached_scale = self._scale(x)
+        return [(x * self._cached_scale**-self.beta).astype(np.float32)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(bytes_moved=4.0 * count_of(self.in_shapes[0]) * 4)
+        if not ctx.numeric:
+            return [None]
+        x, y, dy = inputs[0], outputs[0], grad_outputs[0]
+        scale = self._cached_scale
+        n, c, h, w = x.shape
+        half = self.local_size // 2
+        # dL/dx_i = dy_i * scale_i^-beta
+        #           - 2 alpha beta / n * x_i * sum_{j: i in window(j)} dy_j y_j / scale_j
+        ratio = (dy * y / scale).astype(np.float64)
+        csum = np.zeros((n, c + 1, h, w))
+        np.cumsum(ratio, axis=1, out=csum[:, 1:])
+        lo = np.clip(np.arange(c) - half, 0, c)
+        hi = np.clip(np.arange(c) + half + 1, 0, c)
+        window = csum[:, hi] - csum[:, lo]
+        dx = dy * scale**-self.beta - (
+            2.0 * self.alpha * self.beta / self.local_size
+        ) * x * window
+        return [dx.astype(np.float32)]

@@ -1,0 +1,84 @@
+"""Multi-input merge layers: channel concatenation and elementwise add.
+
+``Concat`` is what makes DenseNet blocks and Inception modules expressible;
+``Eltwise`` (sum) is the residual connection of ResNet.  The paper's WD
+policy explicitly motivates concatenation topologies: "small groups of
+convolution operations, as in the Inception module, [can] run concurrently
+with larger workspaces".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frameworks.layers.base import Context, Layer, count_of
+
+
+class Concat(Layer):
+    """Concatenate along the channel axis."""
+
+    def setup(self, ctx: Context, in_shapes):
+        if len(in_shapes) < 2:
+            raise ShapeError(f"concat {self.name!r} needs >= 2 inputs")
+        n, _, h, w = in_shapes[0]
+        for shape in in_shapes[1:]:
+            if shape[0] != n or shape[2:] != tuple(in_shapes[0][2:]):
+                raise ShapeError(
+                    f"concat {self.name!r}: incompatible shapes {in_shapes}"
+                )
+        channels = sum(s[1] for s in in_shapes)
+        self._splits = [s[1] for s in in_shapes]
+        return self.finalize_setup(ctx, in_shapes, [(n, channels, h, w)])
+
+    def forward(self, ctx: Context, inputs):
+        ctx.charge(bytes_moved=2.0 * 4 * count_of(self.out_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        return [np.concatenate(inputs, axis=1)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(bytes_moved=2.0 * 4 * count_of(self.out_shapes[0]))
+        if not ctx.numeric:
+            return [None] * len(self._splits)
+        dy = grad_outputs[0]
+        grads = []
+        offset = 0
+        for c in self._splits:
+            grads.append(np.ascontiguousarray(dy[:, offset : offset + c]))
+            offset += c
+        return grads
+
+
+class Eltwise(Layer):
+    """Elementwise sum of same-shape inputs (ResNet shortcut join)."""
+
+    def setup(self, ctx: Context, in_shapes):
+        if len(in_shapes) < 2:
+            raise ShapeError(f"eltwise {self.name!r} needs >= 2 inputs")
+        first = tuple(in_shapes[0])
+        for shape in in_shapes[1:]:
+            if tuple(shape) != first:
+                raise ShapeError(
+                    f"eltwise {self.name!r}: mismatched shapes {in_shapes}"
+                )
+        return self.finalize_setup(ctx, in_shapes, [first])
+
+    def forward(self, ctx: Context, inputs):
+        ctx.charge(
+            bytes_moved=4.0 * count_of(self.out_shapes[0]) * (len(inputs) + 1)
+        )
+        if not ctx.numeric:
+            return [None]
+        out = inputs[0].copy()
+        for x in inputs[1:]:
+            out += x
+        return [out]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(
+            bytes_moved=4.0 * count_of(self.out_shapes[0]) * (len(inputs) + 1)
+        )
+        if not ctx.numeric:
+            return [None] * len(inputs)
+        return [grad_outputs[0]] * len(inputs)

@@ -1,0 +1,131 @@
+"""Spatial pooling layers (max / average / global average).
+
+Output dimensions use Caffe's *ceil* convention --
+``ceil((H + 2p - k) / s) + 1`` -- which the model-zoo shapes (AlexNet's
+55 -> 27 pools, ResNet's 112 -> 56 stem pool) depend on.  Windows that
+overhang the padded input are clipped for max pooling and zero-padded for
+average pooling (Caffe's historical behavior: the average divisor is the
+full window size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frameworks.layers.base import Context, Layer, count_of
+
+_NEG_INF = np.float32(-np.inf)
+
+
+def pooled_dim(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = -(-(size + 2 * pad - kernel) // stride) + 1  # ceil division
+    # Caffe clips the last window to start inside the (padded) input.
+    if pad > 0 and (out - 1) * stride >= size + pad:
+        out -= 1
+    return out
+
+
+class Pooling(Layer):
+    """Max or average pooling."""
+
+    def __init__(self, name: str, kernel_size: int, stride: int = 1, pad: int = 0,
+                 mode: str = "max"):
+        super().__init__(name)
+        if mode not in ("max", "avg"):
+            raise ShapeError(f"pooling mode must be 'max' or 'avg', got {mode!r}")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.pad = int(pad)
+        self.mode = mode
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        n, c, h, w = in_shapes[0]
+        oh = pooled_dim(h, self.kernel_size, self.stride, self.pad)
+        ow = pooled_dim(w, self.kernel_size, self.stride, self.pad)
+        if oh <= 0 or ow <= 0:
+            raise ShapeError(f"pooling {self.name!r} output is empty")
+        return self.finalize_setup(ctx, in_shapes, [(n, c, oh, ow)])
+
+    # -- numerics -----------------------------------------------------------------
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        """(n, c, oh, ow, k, k) view of the padded input windows."""
+        n, c, h, w = x.shape
+        _, _, oh, ow = self.out_shapes[0]
+        k, s, p = self.kernel_size, self.stride, self.pad
+        fill = _NEG_INF if self.mode == "max" else np.float32(0.0)
+        # Pad enough to cover ceil-mode overhang on the bottom/right.
+        need_h = (oh - 1) * s + k
+        need_w = (ow - 1) * s + k
+        xp = np.full((n, c, need_h, need_w), fill, dtype=np.float32)
+        xp[:, :, p : p + h, p : p + w] = x
+        win = np.lib.stride_tricks.sliding_window_view(xp, (k, k), axis=(2, 3))
+        return win[:, :, ::s, ::s][:, :, :oh, :ow]
+
+    def forward(self, ctx: Context, inputs):
+        self.expect_inputs(inputs, 1)
+        elems = count_of(self.in_shapes[0]) + count_of(self.out_shapes[0])
+        ctx.charge(bytes_moved=4 * elems)
+        if not ctx.numeric:
+            return [None]
+        win = self._windows(inputs[0])
+        n, c, oh, ow = self.out_shapes[0]
+        flat = win.reshape(n, c, oh, ow, -1)
+        if self.mode == "max":
+            self._argmax = flat.argmax(axis=-1)
+            return [flat.max(axis=-1)]
+        return [(flat.sum(axis=-1) / (self.kernel_size**2)).astype(np.float32)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        elems = count_of(self.in_shapes[0]) + 2 * count_of(self.out_shapes[0])
+        ctx.charge(bytes_moved=4 * elems)
+        if not ctx.numeric:
+            return [None]
+        x, dy = inputs[0], grad_outputs[0]
+        n, c, h, w = self.in_shapes[0]
+        _, _, oh, ow = self.out_shapes[0]
+        k, s, p = self.kernel_size, self.stride, self.pad
+        need_h = (oh - 1) * s + k
+        need_w = (ow - 1) * s + k
+        dxp = np.zeros((n, c, need_h, need_w), dtype=np.float32)
+        if self.mode == "max":
+            # Scatter each output's gradient to its argmax position.
+            ki = self._argmax // k  # row within window
+            kj = self._argmax % k
+            oi, oj = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+            rows = oi[None, None] * s + ki
+            cols = oj[None, None] * s + kj
+            ni = np.arange(n)[:, None, None, None]
+            ci = np.arange(c)[None, :, None, None]
+            np.add.at(dxp, (ni, ci, rows, cols), dy)
+        else:
+            scale = np.float32(1.0 / (k * k))
+            for i in range(k):
+                for j in range(k):
+                    dxp[:, :, i : i + oh * s : s, j : j + ow * s : s] += dy * scale
+        return [np.ascontiguousarray(dxp[:, :, p : p + h, p : p + w])]
+
+
+class GlobalAvgPool(Layer):
+    """Average over all spatial positions -> (N, C, 1, 1)."""
+
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        n, c, _, _ = in_shapes[0]
+        return self.finalize_setup(ctx, in_shapes, [(n, c, 1, 1)])
+
+    def forward(self, ctx: Context, inputs):
+        ctx.charge(bytes_moved=4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        return [inputs[0].mean(axis=(2, 3), keepdims=True, dtype=np.float32)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(bytes_moved=4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        _, _, h, w = self.in_shapes[0]
+        scale = np.float32(1.0 / (h * w))
+        return [np.broadcast_to(grad_outputs[0] * scale, self.in_shapes[0]).astype(np.float32)]

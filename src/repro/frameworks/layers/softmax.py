@@ -1,0 +1,63 @@
+"""Softmax cross-entropy loss (Caffe's ``SoftmaxWithLoss``).
+
+Consumes logits ``(N, D)`` (or ``(N, D, 1, 1)``) and integer labels set via
+:meth:`SoftmaxWithLoss.set_labels`; produces a scalar mean loss.  Backward
+emits ``(softmax - onehot) / N``, the canonical fused gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frameworks.layers.base import Context, Layer, count_of
+
+
+class SoftmaxWithLoss(Layer):
+    def setup(self, ctx: Context, in_shapes):
+        self.expect_inputs(in_shapes, 1)
+        shape = in_shapes[0]
+        n = shape[0]
+        self.num_classes = count_of(shape) // n
+        self.labels: np.ndarray | None = None
+        return self.finalize_setup(ctx, in_shapes, [(1,)])
+
+    def set_labels(self, labels: np.ndarray) -> None:
+        self.labels = np.asarray(labels, dtype=np.int64)
+
+    def _check_labels(self, n: int) -> np.ndarray:
+        if self.labels is None:
+            raise ShapeError(f"{self.name!r}: labels not set before forward")
+        if self.labels.shape != (n,):
+            raise ShapeError(
+                f"{self.name!r}: labels shape {self.labels.shape} != ({n},)"
+            )
+        if self.labels.min() < 0 or self.labels.max() >= self.num_classes:
+            raise ShapeError(f"{self.name!r}: label out of range")
+        return self.labels
+
+    def forward(self, ctx: Context, inputs):
+        self.expect_inputs(inputs, 1)
+        ctx.charge(bytes_moved=3.0 * 4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        n = self.in_shapes[0][0]
+        labels = self._check_labels(n)
+        logits = inputs[0].reshape(n, self.num_classes).astype(np.float64)
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        self._probs = exp / exp.sum(axis=1, keepdims=True)
+        nll = -np.log(np.maximum(self._probs[np.arange(n), labels], 1e-30))
+        return [np.array([nll.mean()], dtype=np.float32)]
+
+    def backward(self, ctx: Context, inputs, outputs, grad_outputs):
+        ctx.charge(bytes_moved=3.0 * 4 * count_of(self.in_shapes[0]))
+        if not ctx.numeric:
+            return [None]
+        n = self.in_shapes[0][0]
+        labels = self._check_labels(n)
+        scale = float(grad_outputs[0][0]) if grad_outputs[0] is not None else 1.0
+        grad = self._probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        grad *= scale / n
+        return [grad.astype(np.float32).reshape(self.in_shapes[0])]

@@ -1,0 +1,26 @@
+"""Model zoo: the networks of the paper's evaluation plus test nets."""
+
+from repro.frameworks.model_zoo.alexnet import build_alexnet, build_alexnet_grouped
+from repro.frameworks.model_zoo.densenet import build_densenet40
+from repro.frameworks.model_zoo.googlenet import build_googlenet
+from repro.frameworks.model_zoo.inception import (
+    add_inception_module,
+    build_inception_tower,
+)
+from repro.frameworks.model_zoo.resnet import build_resnet18, build_resnet50
+from repro.frameworks.model_zoo.simple import build_conv_pair, build_tiny_cnn
+from repro.frameworks.model_zoo.vgg import build_vgg16
+
+__all__ = [
+    "add_inception_module",
+    "build_alexnet",
+    "build_alexnet_grouped",
+    "build_conv_pair",
+    "build_densenet40",
+    "build_googlenet",
+    "build_inception_tower",
+    "build_resnet18",
+    "build_resnet50",
+    "build_tiny_cnn",
+    "build_vgg16",
+]

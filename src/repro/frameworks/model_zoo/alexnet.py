@@ -1,0 +1,115 @@
+"""Single-column AlexNet (Krizhevsky's "one weird trick" variant).
+
+This is the exact network of the paper's Figs. 1, 9, 10, 12, 13, 14: the
+one-tower AlexNet (64/192/384/256/256 convolution channels, no grouping)
+over 227x227 ImageNet-shaped inputs, with the Caffe layer inventory
+(ReLU + LRN + max-pool + two dropout-regularized 4096-wide FC layers).
+
+Key layer geometries at mini-batch 256 (what the evaluation sweeps):
+
+====== ==================== =========================
+layer  input                filter
+====== ==================== =========================
+conv1  (256, 3, 227, 227)   64 x 3 x 11 x 11, stride 4
+conv2  (256, 64, 27, 27)    192 x 64 x 5 x 5, pad 2
+conv3  (256, 192, 13, 13)   384 x 192 x 3 x 3, pad 1
+conv4  (256, 384, 13, 13)   256 x 384 x 3 x 3, pad 1
+conv5  (256, 256, 13, 13)   256 x 256 x 3 x 3, pad 1
+====== ==================== =========================
+
+conv1's stride-4 kernel admits only the GEMM family; conv2's 5x5 is the
+FFT showcase; conv3-5 are Winograd/FFT territory -- the algorithm diversity
+the whole evaluation hinges on.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers import (
+    LRN,
+    Convolution,
+    Dropout,
+    InnerProduct,
+    Pooling,
+    ReLU,
+    SoftmaxWithLoss,
+)
+from repro.frameworks.net import Net
+
+#: The paper's conv2 geometry is referenced all over the benchmarks; expose
+#: the channel plan for reuse.
+CONV_CHANNELS = {"conv1": 64, "conv2": 192, "conv3": 384, "conv4": 256, "conv5": 256}
+
+
+def build_alexnet_grouped(batch: int = 256, num_classes: int = 1000,
+                          with_loss: bool = True) -> Net:
+    """The *original* two-tower AlexNet (Caffe's ``bvlc_alexnet``): 96/256/
+    384/384/256 channels with ``group=2`` on conv2/conv4/conv5.
+
+    The paper evaluates the single-column variant; this one exercises the
+    substrate's grouped-convolution path on a historically real network.
+    """
+    net = Net("alexnet_grouped", {"data": (batch, 3, 227, 227)})
+    net.add(Convolution("conv1", 96, 11, stride=4), "data", "c1")
+    net.add(ReLU("relu1"), "c1", "c1")
+    net.add(LRN("norm1"), "c1", "n1")
+    net.add(Pooling("pool1", 3, stride=2, mode="max"), "n1", "p1")
+
+    net.add(Convolution("conv2", 256, 5, pad=2, group=2), "p1", "c2")
+    net.add(ReLU("relu2"), "c2", "c2")
+    net.add(LRN("norm2"), "c2", "n2")
+    net.add(Pooling("pool2", 3, stride=2, mode="max"), "n2", "p2")
+
+    net.add(Convolution("conv3", 384, 3, pad=1), "p2", "c3")
+    net.add(ReLU("relu3"), "c3", "c3")
+    net.add(Convolution("conv4", 384, 3, pad=1, group=2), "c3", "c4")
+    net.add(ReLU("relu4"), "c4", "c4")
+    net.add(Convolution("conv5", 256, 3, pad=1, group=2), "c4", "c5")
+    net.add(ReLU("relu5"), "c5", "c5")
+    net.add(Pooling("pool5", 3, stride=2, mode="max"), "c5", "p5")
+
+    net.add(InnerProduct("fc6", 4096), "p5", "f6")
+    net.add(ReLU("relu6"), "f6", "f6")
+    net.add(Dropout("drop6"), "f6", "f6")
+    net.add(InnerProduct("fc7", 4096), "f6", "f7")
+    net.add(ReLU("relu7"), "f7", "f7")
+    net.add(Dropout("drop7"), "f7", "f7")
+    net.add(InnerProduct("fc8", num_classes), "f7", "f8")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "f8", "loss")
+    return net
+
+
+def build_alexnet(batch: int = 256, num_classes: int = 1000,
+                  with_loss: bool = True) -> Net:
+    """One-column AlexNet over (batch, 3, 227, 227) inputs."""
+    net = Net("alexnet", {"data": (batch, 3, 227, 227)})
+    # ReLU and Dropout run in place on their bottom blobs, as in the Caffe
+    # prototxt -- without this, batch-1024 AlexNet does not fit a 16 GiB GPU.
+    net.add(Convolution("conv1", CONV_CHANNELS["conv1"], 11, stride=4), "data", "c1")
+    net.add(ReLU("relu1"), "c1", "c1")
+    net.add(LRN("norm1"), "c1", "n1")
+    net.add(Pooling("pool1", 3, stride=2, mode="max"), "n1", "p1")
+
+    net.add(Convolution("conv2", CONV_CHANNELS["conv2"], 5, pad=2), "p1", "c2")
+    net.add(ReLU("relu2"), "c2", "c2")
+    net.add(LRN("norm2"), "c2", "n2")
+    net.add(Pooling("pool2", 3, stride=2, mode="max"), "n2", "p2")
+
+    net.add(Convolution("conv3", CONV_CHANNELS["conv3"], 3, pad=1), "p2", "c3")
+    net.add(ReLU("relu3"), "c3", "c3")
+    net.add(Convolution("conv4", CONV_CHANNELS["conv4"], 3, pad=1), "c3", "c4")
+    net.add(ReLU("relu4"), "c4", "c4")
+    net.add(Convolution("conv5", CONV_CHANNELS["conv5"], 3, pad=1), "c4", "c5")
+    net.add(ReLU("relu5"), "c5", "c5")
+    net.add(Pooling("pool5", 3, stride=2, mode="max"), "c5", "p5")
+
+    net.add(InnerProduct("fc6", 4096), "p5", "f6")
+    net.add(ReLU("relu6"), "f6", "f6")
+    net.add(Dropout("drop6"), "f6", "f6")
+    net.add(InnerProduct("fc7", 4096), "f6", "f7")
+    net.add(ReLU("relu7"), "f7", "f7")
+    net.add(Dropout("drop7"), "f7", "f7")
+    net.add(InnerProduct("fc8", num_classes), "f7", "f8")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "f8", "loss")
+    return net

@@ -1,0 +1,69 @@
+"""DenseNet-40 with growth rate k=40 (Huang et al., the paper's ref [21]).
+
+CIFAR-geometry densely connected network, exactly as evaluated in the
+paper's Fig. 11(c): L=40 layers (three dense blocks of 12 layers), growth
+rate set to 40 "to obtain better computational efficiency", 32x32 inputs.
+Every dense layer is BN -> ReLU -> 3x3 conv(k) whose output is concatenated
+onto the running feature map; transitions halve the spatial dims with a
+1x1 conv + 2x2 average pool.
+
+The dense connectivity makes channel counts climb to 1456 in the last
+block -- lots of distinct convolution geometries, a good stress of the
+benchmark cache and of WD's per-kernel workspace shaping.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers import (
+    BatchNorm,
+    Concat,
+    Convolution,
+    GlobalAvgPool,
+    InnerProduct,
+    Pooling,
+    ReLU,
+    SoftmaxWithLoss,
+)
+from repro.frameworks.net import Net
+
+#: DenseNet-40: (40 - 4) / 3 = 12 conv layers per dense block.
+LAYERS_PER_BLOCK = 12
+INITIAL_CHANNELS = 16
+
+
+def _bn_relu_conv(net: Net, name: str, bottom: str, out_ch: int, kernel: int,
+                  pad: int = 0) -> str:
+    net.add(BatchNorm(f"{name}_bn"), bottom, f"{name}_b")
+    net.add(ReLU(f"{name}_relu"), f"{name}_b", f"{name}_b")  # in place
+    net.add(Convolution(name, out_ch, kernel, pad=pad, bias=False),
+            f"{name}_b", f"{name}_c")
+    return f"{name}_c"
+
+
+def build_densenet40(batch: int = 256, growth_rate: int = 40,
+                     num_classes: int = 10, with_loss: bool = True) -> Net:
+    """DenseNet-40 (k=``growth_rate``) over (batch, 3, 32, 32) inputs."""
+    net = Net("densenet40", {"data": (batch, 3, 32, 32)})
+    net.add(Convolution("conv1", INITIAL_CHANNELS, 3, pad=1, bias=False),
+            "data", "stem")
+    top, channels = "stem", INITIAL_CHANNELS
+    for block in range(1, 4):
+        for layer in range(1, LAYERS_PER_BLOCK + 1):
+            name = f"b{block}l{layer}"
+            new = _bn_relu_conv(net, name, top, growth_rate, 3, pad=1)
+            net.add(Concat(f"{name}_cat"), [top, new], f"{name}_x")
+            top = f"{name}_x"
+            channels += growth_rate
+        if block < 3:
+            tname = f"trans{block}"
+            top = _bn_relu_conv(net, tname, top, channels, 1)
+            net.add(Pooling(f"{tname}_pool", 2, stride=2, mode="avg"),
+                    top, f"{tname}_p")
+            top = f"{tname}_p"
+    net.add(BatchNorm("final_bn"), top, "fb")
+    net.add(ReLU("final_relu"), "fb", "fb")  # in place
+    net.add(GlobalAvgPool("gap"), "fb", "pooled")
+    net.add(InnerProduct("fc", num_classes), "pooled", "logits")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+    return net

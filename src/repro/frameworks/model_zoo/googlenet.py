@@ -1,0 +1,80 @@
+"""GoogLeNet (Szegedy et al. 2015) -- the full Inception-v1 network.
+
+The paper's WD policy is motivated by Inception modules (section III-A);
+this builder assembles the complete 22-layer GoogLeNet from the module
+builder in :mod:`repro.frameworks.model_zoo.inception`: the 7x7/2 stem,
+nine inception modules (3a-3b, 4a-4e, 5a-5b) with the canonical branch
+widths, and the global-average-pool head.  57 convolution layers across
+wildly different geometries (1x1 reductions next to 5x5 branches) -- the
+richest WD workload in the zoo.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers import (
+    LRN,
+    Convolution,
+    Dropout,
+    GlobalAvgPool,
+    InnerProduct,
+    Pooling,
+    ReLU,
+    SoftmaxWithLoss,
+)
+from repro.frameworks.model_zoo.inception import add_inception_module
+from repro.frameworks.net import Net
+
+#: Canonical branch widths (1x1, 3x3reduce, 3x3, 5x5reduce, 5x5, poolproj).
+INCEPTION_WIDTHS = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _widths(tag: str) -> dict[str, int]:
+    b1, b3r, b3, b5r, b5, pp = INCEPTION_WIDTHS[tag]
+    return {"b1": b1, "b3_reduce": b3r, "b3": b3, "b5_reduce": b5r,
+            "b5": b5, "pool_proj": pp}
+
+
+def build_googlenet(batch: int = 32, num_classes: int = 1000,
+                    with_loss: bool = True) -> Net:
+    """GoogLeNet over (batch, 3, 224, 224) inputs."""
+    net = Net("googlenet", {"data": (batch, 3, 224, 224)})
+    # Stem: 7x7/2 -> pool -> 1x1 -> 3x3 -> pool (224 -> 28 spatial).
+    net.add(Convolution("conv1", 64, 7, stride=2, pad=3), "data", "c1")
+    net.add(ReLU("relu1"), "c1", "c1")
+    net.add(Pooling("pool1", 3, stride=2, mode="max"), "c1", "p1")
+    net.add(LRN("norm1"), "p1", "n1")
+    net.add(Convolution("conv2_reduce", 64, 1), "n1", "c2r")
+    net.add(ReLU("relu2r"), "c2r", "c2r")
+    net.add(Convolution("conv2", 192, 3, pad=1), "c2r", "c2")
+    net.add(ReLU("relu2"), "c2", "c2")
+    net.add(LRN("norm2"), "c2", "n2")
+    net.add(Pooling("pool2", 3, stride=2, mode="max"), "n2", "p2")
+
+    top = "p2"
+    for tag in ("3a", "3b"):
+        top = add_inception_module(net, f"inception_{tag}", top, _widths(tag))
+    net.add(Pooling("pool3", 3, stride=2, mode="max"), top, "p3")
+    top = "p3"
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        top = add_inception_module(net, f"inception_{tag}", top, _widths(tag))
+    net.add(Pooling("pool4", 3, stride=2, mode="max"), top, "p4")
+    top = "p4"
+    for tag in ("5a", "5b"):
+        top = add_inception_module(net, f"inception_{tag}", top, _widths(tag))
+
+    net.add(GlobalAvgPool("pool5"), top, "gap")
+    net.add(Dropout("drop", ratio=0.4), "gap", "gap")
+    net.add(InnerProduct("fc", num_classes), "gap", "logits")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+    return net

@@ -1,0 +1,76 @@
+"""A GoogLeNet Inception module (Szegedy et al., the paper's ref [14]).
+
+The paper's WD policy is motivated by exactly this topology: "WD enables
+small groups of convolution operations, as in the Inception module, to run
+concurrently with larger workspaces."  This builder produces the classic
+``inception_3a`` module (1x1 / 1x1->3x3 / 1x1->5x5 / pool->1x1 branches,
+channel-concatenated), used by the WD tests and the inception example.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers import (
+    Concat,
+    Convolution,
+    InnerProduct,
+    Pooling,
+    ReLU,
+    SoftmaxWithLoss,
+)
+from repro.frameworks.net import Net
+
+#: GoogLeNet inception_3a branch widths.
+DEFAULT_WIDTHS = {
+    "b1": 64,          # 1x1
+    "b3_reduce": 96,   # 1x1 before the 3x3
+    "b3": 128,         # 3x3
+    "b5_reduce": 16,   # 1x1 before the 5x5
+    "b5": 32,          # 5x5
+    "pool_proj": 32,   # 1x1 after the 3x3 max pool
+}
+
+
+def add_inception_module(net: Net, name: str, bottom: str,
+                         widths: dict[str, int] | None = None) -> str:
+    """Append one inception module; returns the concatenated top blob."""
+    w = dict(DEFAULT_WIDTHS if widths is None else widths)
+
+    net.add(Convolution(f"{name}_1x1", w["b1"], 1), bottom, f"{name}_b1c")
+    net.add(ReLU(f"{name}_1x1_relu"), f"{name}_b1c", f"{name}_b1c")
+
+    net.add(Convolution(f"{name}_3x3_reduce", w["b3_reduce"], 1), bottom, f"{name}_b3rc")
+    net.add(ReLU(f"{name}_3x3_reduce_relu"), f"{name}_b3rc", f"{name}_b3rc")
+    net.add(Convolution(f"{name}_3x3", w["b3"], 3, pad=1), f"{name}_b3rc", f"{name}_b3c")
+    net.add(ReLU(f"{name}_3x3_relu"), f"{name}_b3c", f"{name}_b3c")
+
+    net.add(Convolution(f"{name}_5x5_reduce", w["b5_reduce"], 1), bottom, f"{name}_b5rc")
+    net.add(ReLU(f"{name}_5x5_reduce_relu"), f"{name}_b5rc", f"{name}_b5rc")
+    net.add(Convolution(f"{name}_5x5", w["b5"], 5, pad=2), f"{name}_b5rc", f"{name}_b5c")
+    net.add(ReLU(f"{name}_5x5_relu"), f"{name}_b5c", f"{name}_b5c")
+
+    net.add(Pooling(f"{name}_pool", 3, stride=1, pad=1, mode="max"),
+            bottom, f"{name}_pp")
+    net.add(Convolution(f"{name}_pool_proj", w["pool_proj"], 1),
+            f"{name}_pp", f"{name}_ppc")
+    net.add(ReLU(f"{name}_pool_proj_relu"), f"{name}_ppc", f"{name}_ppc")
+
+    net.add(
+        Concat(f"{name}_output"),
+        [f"{name}_b1c", f"{name}_b3c", f"{name}_b5c", f"{name}_ppc"],
+        f"{name}_y",
+    )
+    return f"{name}_y"
+
+
+def build_inception_tower(batch: int = 64, in_channels: int = 192,
+                          spatial: int = 28, modules: int = 2,
+                          num_classes: int = 1000, with_loss: bool = True) -> Net:
+    """A small tower of inception modules (the WD concurrency workload)."""
+    net = Net("inception_tower", {"data": (batch, in_channels, spatial, spatial)})
+    top = "data"
+    for i in range(modules):
+        top = add_inception_module(net, f"inception_{i + 1}", top)
+    net.add(InnerProduct("fc", num_classes), top, "logits")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+    return net

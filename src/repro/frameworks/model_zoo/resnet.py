@@ -1,0 +1,109 @@
+"""ResNet-18 and ResNet-50 (He et al., the paper's reference [2]).
+
+ImageNet-geometry residual networks as used in the paper's Figs. 10-13:
+7x7/2 stem + 3x3/2 max pool, four stages of basic (ResNet-18) or
+bottleneck (ResNet-50) blocks, BN after every convolution, identity or
+1x1-projection shortcuts, global average pooling, and a 1000-way FC.
+
+These are the "10x more convolutional layers than AlexNet" workloads that
+stress the WD ILP size (562 binaries for ResNet-50 at 5088 MiB) and the
+benchmark cache (stages replicate identical layer geometries, so the
+file-DB hit rate is high -- exactly the paper's motivation for caching).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers import (
+    BatchNorm,
+    Convolution,
+    Eltwise,
+    GlobalAvgPool,
+    InnerProduct,
+    Pooling,
+    ReLU,
+    SoftmaxWithLoss,
+)
+from repro.frameworks.net import Net
+
+#: Blocks per stage.
+BASIC_STAGES = [2, 2, 2, 2]  # ResNet-18
+BOTTLENECK_STAGES = [3, 4, 6, 3]  # ResNet-50
+STAGE_CHANNELS = [64, 128, 256, 512]
+
+
+def _conv_bn_relu(net: Net, name: str, bottom: str, out_ch: int, kernel: int,
+                  stride: int = 1, pad: int = 0, relu: bool = True) -> str:
+    net.add(Convolution(name, out_ch, kernel, stride=stride, pad=pad, bias=False),
+            bottom, f"{name}_c")
+    net.add(BatchNorm(f"{name}_bn"), f"{name}_c", f"{name}_b")
+    if not relu:
+        return f"{name}_b"
+    net.add(ReLU(f"{name}_relu"), f"{name}_b", f"{name}_b")  # in place
+    return f"{name}_b"
+
+
+def _shortcut(net: Net, name: str, bottom: str, in_ch: int, out_ch: int,
+              stride: int) -> str:
+    """Identity when shapes match, 1x1 BN-projection otherwise."""
+    if stride == 1 and in_ch == out_ch:
+        return bottom
+    return _conv_bn_relu(net, f"{name}_proj", bottom, out_ch, 1,
+                         stride=stride, relu=False)
+
+
+def _basic_block(net: Net, name: str, bottom: str, in_ch: int, channels: int,
+                 stride: int) -> tuple[str, int]:
+    main = _conv_bn_relu(net, f"{name}_conv1", bottom, channels, 3,
+                         stride=stride, pad=1)
+    main = _conv_bn_relu(net, f"{name}_conv2", main, channels, 3, pad=1, relu=False)
+    short = _shortcut(net, name, bottom, in_ch, channels, stride)
+    net.add(Eltwise(f"{name}_add"), [main, short], f"{name}_sum")
+    net.add(ReLU(f"{name}_out"), f"{name}_sum", f"{name}_sum")  # in place
+    return f"{name}_sum", channels
+
+
+def _bottleneck_block(net: Net, name: str, bottom: str, in_ch: int,
+                      channels: int, stride: int) -> tuple[str, int]:
+    out_ch = channels * 4
+    main = _conv_bn_relu(net, f"{name}_conv1", bottom, channels, 1, stride=stride)
+    main = _conv_bn_relu(net, f"{name}_conv2", main, channels, 3, pad=1)
+    main = _conv_bn_relu(net, f"{name}_conv3", main, out_ch, 1, relu=False)
+    short = _shortcut(net, name, bottom, in_ch, out_ch, stride)
+    net.add(Eltwise(f"{name}_add"), [main, short], f"{name}_sum")
+    net.add(ReLU(f"{name}_out"), f"{name}_sum", f"{name}_sum")  # in place
+    return f"{name}_sum", out_ch
+
+
+def _build_resnet(name: str, stages: list[int], block_fn, batch: int,
+                  num_classes: int, with_loss: bool) -> Net:
+    net = Net(name, {"data": (batch, 3, 224, 224)})
+    top = _conv_bn_relu(net, "conv1", "data", 64, 7, stride=2, pad=3)
+    # Caffe's ResNet prototxt: 3x3/2 max pool, no padding, ceil mode
+    # (112 -> 56).
+    net.add(Pooling("pool1", 3, stride=2, mode="max"), top, "p1")
+    top, channels = "p1", 64
+    for stage, (blocks, width) in enumerate(zip(stages, STAGE_CHANNELS), start=2):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 2) else 1
+            top, channels = block_fn(
+                net, f"res{stage}{chr(ord('a') + block)}", top, channels, width, stride
+            )
+    net.add(GlobalAvgPool("pool5"), top, "gap")
+    net.add(InnerProduct("fc1000", num_classes), "gap", "logits")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+    return net
+
+
+def build_resnet18(batch: int = 128, num_classes: int = 1000,
+                   with_loss: bool = True) -> Net:
+    """ResNet-18 over (batch, 3, 224, 224) inputs."""
+    return _build_resnet("resnet18", BASIC_STAGES, _basic_block, batch,
+                         num_classes, with_loss)
+
+
+def build_resnet50(batch: int = 32, num_classes: int = 1000,
+                   with_loss: bool = True) -> Net:
+    """ResNet-50 over (batch, 3, 224, 224) inputs."""
+    return _build_resnet("resnet50", BOTTLENECK_STAGES, _bottleneck_block, batch,
+                         num_classes, with_loss)

@@ -1,0 +1,40 @@
+"""Small networks for tests and the quickstart example."""
+
+from __future__ import annotations
+
+from repro.frameworks.layers import (
+    Convolution,
+    InnerProduct,
+    Pooling,
+    ReLU,
+    SoftmaxWithLoss,
+)
+from repro.frameworks.net import Net
+
+
+def build_tiny_cnn(batch: int = 16, in_channels: int = 3, spatial: int = 16,
+                   num_classes: int = 10, with_loss: bool = True) -> Net:
+    """conv-relu-pool-conv-relu-fc over small images; seconds to train."""
+    net = Net("tiny_cnn", {"data": (batch, in_channels, spatial, spatial)})
+    net.add(Convolution("conv1", 8, 3, pad=1), "data", "c1")
+    net.add(ReLU("relu1"), "c1", "r1")
+    net.add(Pooling("pool1", 2, stride=2, mode="max"), "r1", "p1")
+    net.add(Convolution("conv2", 16, 3, pad=1), "p1", "c2")
+    net.add(ReLU("relu2"), "c2", "r2")
+    net.add(InnerProduct("fc", num_classes), "r2", "logits")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+    return net
+
+
+def build_conv_pair(batch: int = 8, in_channels: int = 4, spatial: int = 12,
+                    with_loss: bool = True) -> Net:
+    """Two stacked convolutions; the smallest net with inter-layer gradients."""
+    net = Net("conv_pair", {"data": (batch, in_channels, spatial, spatial)})
+    net.add(Convolution("conv1", 6, 3, pad=1), "data", "c1")
+    net.add(ReLU("relu1"), "c1", "r1")
+    net.add(Convolution("conv2", 5, 3, pad=1), "r1", "c2")
+    net.add(InnerProduct("fc", 3), "c2", "logits")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+    return net

@@ -1,0 +1,49 @@
+"""VGG-16 (Simonyan & Zisserman 2015).
+
+All-3x3 stacks: the zoo's purest Winograd workload, and the memory-pressure
+extreme (its conv1 activations at batch 64 are ~800 MB each way).  Useful
+for exercising mu-cuDNN where *every* layer is Winograd-eligible -- the
+regime where the paper's gains are smallest, which the tests assert rather
+than hide.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers import (
+    Convolution,
+    Dropout,
+    InnerProduct,
+    Pooling,
+    ReLU,
+    SoftmaxWithLoss,
+)
+from repro.frameworks.net import Net
+
+#: Convolution widths per block (the classic configuration D).
+VGG16_BLOCKS = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+
+
+def build_vgg16(batch: int = 64, num_classes: int = 1000,
+                with_loss: bool = True) -> Net:
+    """VGG-16 over (batch, 3, 224, 224) inputs."""
+    net = Net("vgg16", {"data": (batch, 3, 224, 224)})
+    top = "data"
+    for block, (width, layers) in enumerate(VGG16_BLOCKS, start=1):
+        for layer in range(1, layers + 1):
+            name = f"conv{block}_{layer}"
+            net.add(Convolution(name, width, 3, pad=1), top, name)
+            net.add(ReLU(f"relu{block}_{layer}"), name, name)
+            top = name
+        net.add(Pooling(f"pool{block}", 2, stride=2, mode="max"), top,
+                f"p{block}")
+        top = f"p{block}"
+    net.add(InnerProduct("fc6", 4096), top, "f6")
+    net.add(ReLU("relu6"), "f6", "f6")
+    net.add(Dropout("drop6"), "f6", "f6")
+    net.add(InnerProduct("fc7", 4096), "f6", "f7")
+    net.add(ReLU("relu7"), "f7", "f7")
+    net.add(Dropout("drop7"), "f7", "f7")
+    net.add(InnerProduct("fc8", num_classes), "f7", "f8")
+    if with_loss:
+        net.add(SoftmaxWithLoss("loss"), "f8", "loss")
+    return net

@@ -1,0 +1,274 @@
+"""The network container: a Caffe-style DAG of layers over named blobs.
+
+Layers are added in topological order (each bottom blob must already be
+produced); the net performs shape inference and device-memory registration
+at :meth:`Net.setup`, and per-layer timed execution at
+:meth:`Net.forward` / :meth:`Net.backward` -- the simulated-clock deltas per
+layer are what the Fig. 10/11 stacked-bar reproductions consume.
+
+Handing ``setup`` a :class:`~repro.core.handle.UcudnnHandle` instead of a
+plain :class:`~repro.cudnn.handle.CudnnHandle` is the entire mu-cuDNN
+integration (the paper's "approximately three lines" for Caffe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import ConvType
+from repro.errors import FrameworkError
+from repro.frameworks.layers.base import Context, Layer, Param
+from repro.frameworks.layers.conv import Convolution
+from repro.frameworks.layers.softmax import SoftmaxWithLoss
+from repro.frameworks.tensor import Blob
+
+
+@dataclass
+class LayerEntry:
+    layer: Layer
+    bottoms: list[str]
+    tops: list[str]
+
+    @property
+    def inplace(self) -> bool:
+        return len(self.bottoms) == 1 and self.bottoms == self.tops
+
+
+@dataclass
+class LayerTiming:
+    """Simulated seconds spent in one layer during the last pass."""
+
+    forward: float = 0.0
+    backward: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward
+
+
+class Net:
+    """A feed-forward (DAG) network."""
+
+    def __init__(self, name: str, input_shapes: dict[str, tuple[int, ...]]):
+        self.name = name
+        self.input_shapes = {k: tuple(v) for k, v in input_shapes.items()}
+        self.entries: list[LayerEntry] = []
+        self.blobs: dict[str, Blob] = {}
+        self.ctx: Context | None = None
+        self.timings: dict[str, LayerTiming] = {}
+        self._producers: set[str] = set(self.input_shapes)
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, layer: Layer, bottoms, tops) -> "Net":
+        """Append a layer (chainable).  ``bottoms``/``tops`` may be strings.
+
+        Passing the same name as bottom and top requests Caffe-style
+        *in-place* execution, allowed only for layers whose backward pass
+        needs no pre-image (``SUPPORTS_INPLACE``), and only as the blob's
+        first consumer (later consumers then read the post-image, which is
+        exactly Caffe's semantics).
+        """
+        bottoms = [bottoms] if isinstance(bottoms, str) else list(bottoms)
+        tops = [tops] if isinstance(tops, str) else list(tops)
+        for b in bottoms:
+            if b not in self._producers:
+                raise FrameworkError(
+                    f"layer {layer.name!r}: bottom blob {b!r} is not produced yet"
+                )
+        entry = LayerEntry(layer, bottoms, tops)
+        if entry.inplace:
+            if not layer.SUPPORTS_INPLACE:
+                raise FrameworkError(
+                    f"layer {layer.name!r} ({type(layer).__name__}) cannot run "
+                    "in place: its backward pass needs the pre-image"
+                )
+            # Chains of in-place layers over one blob are fine (relu ->
+            # dropout, the Caffe pattern); a prior *materializing* consumer
+            # is not -- its backward would see the overwritten pre-image.
+            for e in self.entries:
+                if bottoms[0] in e.bottoms and not e.inplace:
+                    raise FrameworkError(
+                        f"layer {layer.name!r}: blob {bottoms[0]!r} is "
+                        f"consumed by {e.layer.name!r}; in-place execution "
+                        "would corrupt that layer's view"
+                    )
+        else:
+            for t in tops:
+                if t in self._producers:
+                    raise FrameworkError(
+                        f"layer {layer.name!r}: top blob {t!r} already exists"
+                    )
+                self._producers.add(t)
+        self.entries.append(entry)
+        return self
+
+    # -- setup -------------------------------------------------------------------
+
+    def setup(
+        self,
+        handle,
+        workspace_limit: int | None = None,
+        rng: np.random.Generator | None = None,
+        phase: str = "train",
+        static_gradients: bool = True,
+    ) -> "Net":
+        """Shape inference, parameter init, cuDNN algorithm selection.
+
+        ``static_gradients=True`` registers device storage for every blob's
+        gradient up front (Caffe's allocation discipline).  ``False`` models
+        TensorFlow's memory optimizer, which recycles activation-gradient
+        buffers as backward proceeds -- required to fit DenseNet-40 at
+        mini-batch 256 in 16 GiB, as the paper's Fig. 11 runs do.
+        """
+        self.ctx = Context(handle, workspace_limit=workspace_limit, rng=rng, phase=phase)
+        memory = self.ctx.gpu.memory
+        self._static_gradients = static_gradients
+        shapes: dict[str, tuple[int, ...]] = dict(self.input_shapes)
+        for name, shape in self.input_shapes.items():
+            self.blobs[name] = Blob(name, shape, memory, tag="data",
+                                    with_grad=static_gradients)
+        for entry in self.entries:
+            in_shapes = [shapes[b] for b in entry.bottoms]
+            out_shapes = entry.layer.setup(self.ctx, in_shapes)
+            if len(out_shapes) != len(entry.tops):
+                raise FrameworkError(
+                    f"layer {entry.layer.name!r} produced {len(out_shapes)} "
+                    f"outputs for {len(entry.tops)} tops"
+                )
+            if entry.inplace:
+                if tuple(out_shapes[0]) != tuple(in_shapes[0]):
+                    raise FrameworkError(
+                        f"in-place layer {entry.layer.name!r} changed the "
+                        f"shape {in_shapes[0]} -> {out_shapes[0]}"
+                    )
+                continue  # blob already exists; no new storage
+            for top, shape in zip(entry.tops, out_shapes):
+                shapes[top] = tuple(shape)
+                self.blobs[top] = Blob(top, shape, memory, tag="data",
+                                       with_grad=static_gradients)
+        return self
+
+    def _require_setup(self) -> Context:
+        if self.ctx is None:
+            raise FrameworkError(f"net {self.name!r} used before setup()")
+        return self.ctx
+
+    # -- execution ---------------------------------------------------------------
+
+    def forward(
+        self,
+        data: dict[str, np.ndarray] | None = None,
+        labels: np.ndarray | None = None,
+    ) -> float | None:
+        """One forward pass; returns the scalar loss (numeric mode) or None.
+
+        ``data`` maps input blob names to arrays (omit in timing mode);
+        ``labels`` is forwarded to every :class:`SoftmaxWithLoss` layer.
+        """
+        ctx = self._require_setup()
+        if data:
+            for name, array in data.items():
+                self.blobs[name].set_data(array)
+        if labels is not None:
+            for entry in self.entries:
+                if isinstance(entry.layer, SoftmaxWithLoss):
+                    entry.layer.set_labels(labels)
+        loss = None
+        for entry in self.entries:
+            start = ctx.gpu.clock
+            inputs = [self.blobs[b].data for b in entry.bottoms]
+            outputs = entry.layer.forward(ctx, inputs)
+            for top, out in zip(entry.tops, outputs):
+                self.blobs[top].data = out
+            timing = self.timings.setdefault(entry.layer.name, LayerTiming())
+            timing.forward = ctx.gpu.clock - start
+            if isinstance(entry.layer, SoftmaxWithLoss) and outputs[0] is not None:
+                loss = float(outputs[0][0])
+        return loss
+
+    def backward(self) -> None:
+        """One backward pass (through every layer, reverse order)."""
+        ctx = self._require_setup()
+        numeric = ctx.numeric
+        if numeric:
+            for blob in self.blobs.values():
+                blob.grad = None
+        # Seed the loss gradient.
+        for entry in reversed(self.entries):
+            if isinstance(entry.layer, SoftmaxWithLoss) and numeric:
+                self.blobs[entry.tops[0]].grad = np.ones(1, dtype=np.float32)
+        for entry in reversed(self.entries):
+            start = ctx.gpu.clock
+            inputs = [self.blobs[b].data for b in entry.bottoms]
+            outputs = [self.blobs[t].data for t in entry.tops]
+            grad_outputs = []
+            for t in entry.tops:
+                g = self.blobs[t].grad
+                if g is None and numeric:
+                    g = np.zeros(self.blobs[t].shape, dtype=np.float32)
+                grad_outputs.append(g)
+            grad_inputs = entry.layer.backward(ctx, inputs, outputs, grad_outputs)
+            if numeric:
+                for bottom, grad in zip(entry.bottoms, grad_inputs):
+                    if grad is None:
+                        continue
+                    blob = self.blobs[bottom]
+                    if entry.inplace:
+                        # The shared blob's grad becomes the pre-image grad
+                        # (replace, not accumulate: the post-image grads were
+                        # already summed into it by later consumers).
+                        blob.grad = grad
+                    elif blob.grad is None:
+                        blob.grad = grad.copy()
+                    else:
+                        blob.grad += grad  # fan-out blobs sum their gradients
+            timing = self.timings.setdefault(entry.layer.name, LayerTiming())
+            timing.backward = ctx.gpu.clock - start
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def layers(self) -> list[Layer]:
+        return [e.layer for e in self.entries]
+
+    def layer(self, name: str) -> Layer:
+        for entry in self.entries:
+            if entry.layer.name == name:
+                return entry.layer
+        raise KeyError(name)
+
+    def params(self) -> list[Param]:
+        return [p for e in self.entries for p in e.layer.params]
+
+    def conv_layers(self) -> list[Convolution]:
+        return [l for l in self.layers if isinstance(l, Convolution)]
+
+    def conv_geometries(self) -> dict[str, ConvGeometry]:
+        """Every convolution kernel of the net: ``"name:OpType" -> geometry``.
+
+        This is the input to the network-level WR/WD optimizers and the
+        per-experiment harness.
+        """
+        out: dict[str, ConvGeometry] = {}
+        for conv in self.conv_layers():
+            for conv_type in ConvType:
+                out[f"{conv.name}:{conv_type.value}"] = conv.geometry(conv_type)
+        return out
+
+    def zero_param_grads(self) -> None:
+        for param in self.params():
+            param.zero_grad()
+
+    def total_param_bytes(self) -> int:
+        return sum(p.size_bytes for p in self.params())
+
+    def total_workspace_bytes(self) -> int:
+        """Framework-allocated workspace (zero under mu-cuDNN, which owns it)."""
+        return sum(l.workspace_slot for l in self.conv_layers())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Net({self.name!r}, layers={len(self.entries)})"

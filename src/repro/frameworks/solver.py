@@ -1,0 +1,50 @@
+"""SGD solver (Caffe-style) for the training examples and semantics tests.
+
+Plain SGD with momentum and L2 weight decay.  All state is float32 and all
+updates are deterministic functions of the gradients, so two training runs
+whose per-step gradients are bitwise identical produce bitwise identical
+parameter trajectories -- the property the micro-batching semantics tests
+exercise end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frameworks.net import Net
+
+
+@dataclass
+class SGDSolver:
+    net: Net
+    lr: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    _velocity: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def step(self, data: dict[str, np.ndarray], labels: np.ndarray) -> float:
+        """One forward/backward/update iteration; returns the loss."""
+        self.net.zero_param_grads()
+        loss = self.net.forward(data, labels)
+        self.net.backward()
+        self.apply_update()
+        return loss
+
+    def apply_update(self) -> None:
+        for param in self.net.params():
+            if param.data is None or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay and param.decay_mult:
+                grad = grad + np.float32(self.weight_decay * param.decay_mult) * param.data
+            vel = self._velocity.get(id(param))
+            update = np.float32(self.lr * param.lr_mult) * grad
+            if self.momentum:
+                if vel is None:
+                    vel = np.zeros_like(param.data)
+                vel = np.float32(self.momentum) * vel + update
+                self._velocity[id(param)] = vel
+                update = vel
+            param.data -= update

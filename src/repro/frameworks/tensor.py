@@ -1,0 +1,92 @@
+"""Framework tensors: a value/gradient pair with device accounting.
+
+The mini framework mirrors Caffe's ``Blob``: every named edge of the layer
+graph holds an activation array and (after backward) its gradient.  Device
+memory for both is registered with the simulated GPU allocator under a tag,
+so the per-layer memory breakdowns of Fig. 12 fall out of the allocator's
+books rather than being estimated separately.
+
+In timing-only runs the arrays stay ``None`` (shape-only tensors); the
+allocator is still charged, because memory footprint is a first-class output
+of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cudnn.device import DeviceMemory
+from repro.errors import ShapeError
+
+DTYPE = np.float32
+
+
+class Blob:
+    """A named activation/parameter tensor with an optional gradient."""
+
+    def __init__(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        memory: DeviceMemory | None = None,
+        tag: str = "data",
+        with_grad: bool = True,
+    ):
+        if any(int(d) <= 0 for d in shape):
+            raise ShapeError(f"blob {name!r} has non-positive shape {shape}")
+        self.name = name
+        self.shape = tuple(int(d) for d in shape)
+        self.data: np.ndarray | None = None
+        self.grad: np.ndarray | None = None
+        self.tag = tag
+        self._memory = memory
+        self._alloc_ids: list[int] = []
+        if memory is not None:
+            self._alloc_ids.append(memory.alloc(self.size_bytes, tag=tag))
+            if with_grad:
+                self._alloc_ids.append(memory.alloc(self.size_bytes, tag=f"{tag}_grad"))
+
+    @property
+    def count(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        return self.count * 4
+
+    def ensure_data(self) -> np.ndarray:
+        if self.data is None:
+            self.data = np.zeros(self.shape, dtype=DTYPE)
+        return self.data
+
+    def ensure_grad(self) -> np.ndarray:
+        if self.grad is None:
+            self.grad = np.zeros(self.shape, dtype=DTYPE)
+        return self.grad
+
+    def zero_grad(self) -> None:
+        if self.grad is not None:
+            self.grad.fill(0.0)
+
+    def set_data(self, array: np.ndarray) -> None:
+        array = np.asarray(array, dtype=DTYPE)
+        if tuple(array.shape) != self.shape:
+            raise ShapeError(
+                f"blob {self.name!r}: assigned shape {array.shape} != {self.shape}"
+            )
+        self.data = array
+
+    def release(self) -> None:
+        """Return device memory to the allocator."""
+        if self._memory is not None:
+            for ident in self._alloc_ids:
+                self._memory.free(ident)
+            self._alloc_ids.clear()
+        self.data = None
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Blob({self.name!r}, {self.shape}, tag={self.tag})"

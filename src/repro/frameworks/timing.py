@@ -1,0 +1,136 @@
+"""Benchmark driver mirroring ``caffe time`` / the TF benchmark scripts.
+
+Runs forward+backward passes of a network on the simulated clock and
+reports per-layer and aggregate timings, split into *convolution* and
+*other* layers -- the decomposition every stacked bar of Fig. 10/11 uses.
+Networks are run in ``TIMING`` mode (no numerics), so AlexNet at mini-batch
+256 benchmarks in milliseconds of wall time.
+
+:func:`export_chrome_trace` renders a report as a ``chrome://tracing`` /
+Perfetto-compatible JSON timeline (one forward and one backward track), the
+standard way to eyeball where an iteration's time goes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.frameworks.net import Net
+
+
+@dataclass
+class LayerTime:
+    name: str
+    is_conv: bool
+    forward: float
+    backward: float
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward
+
+
+@dataclass
+class TimingReport:
+    """Per-iteration timing of one network configuration."""
+
+    net_name: str
+    iterations: int
+    layers: list[LayerTime] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        """Mean seconds per iteration (forward + backward)."""
+        return sum(l.total for l in self.layers)
+
+    @property
+    def conv_total(self) -> float:
+        return sum(l.total for l in self.layers if l.is_conv)
+
+    @property
+    def other_total(self) -> float:
+        return sum(l.total for l in self.layers if not l.is_conv)
+
+    @property
+    def forward_total(self) -> float:
+        return sum(l.forward for l in self.layers)
+
+    @property
+    def backward_total(self) -> float:
+        return sum(l.backward for l in self.layers)
+
+    def by_layer(self) -> dict[str, LayerTime]:
+        return {l.name: l for l in self.layers}
+
+    def conv_layers(self) -> list[LayerTime]:
+        return [l for l in self.layers if l.is_conv]
+
+
+def export_chrome_trace(report: TimingReport) -> str:
+    """One mean iteration as a Chrome-trace JSON string.
+
+    Layers appear in execution order on thread 1 (forward) and in reverse
+    on thread 2 (backward); durations are the report's per-layer means.
+    Load the result in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events = []
+    clock_us = 0.0
+    for layer in report.layers:
+        events.append({
+            "name": layer.name, "ph": "X", "pid": 1, "tid": 1,
+            "ts": clock_us, "dur": layer.forward * 1e6,
+            "cat": "conv" if layer.is_conv else "other",
+            "args": {"pass": "forward"},
+        })
+        clock_us += layer.forward * 1e6
+    for layer in reversed(report.layers):
+        events.append({
+            "name": layer.name, "ph": "X", "pid": 1, "tid": 2,
+            "ts": clock_us, "dur": layer.backward * 1e6,
+            "cat": "conv" if layer.is_conv else "other",
+            "args": {"pass": "backward"},
+        })
+        clock_us += layer.backward * 1e6
+    return json.dumps({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"net": report.net_name,
+                      "iterations_averaged": report.iterations},
+    })
+
+
+def time_net(net: Net, iterations: int = 10) -> TimingReport:
+    """Measure mean per-iteration forward+backward time of a set-up net.
+
+    The first iteration may include mu-cuDNN's one-off optimization cost
+    (benchmarking + DP/ILP are triggered by the first convolution call), so
+    it is excluded -- exactly like ``caffe time``'s warm-up iteration.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    # Warm-up: triggers lazy optimization, not measured.
+    net.forward()
+    net.backward()
+
+    totals: dict[str, list[float]] = {}
+    for _ in range(iterations):
+        net.forward()
+        net.backward()
+        for name, timing in net.timings.items():
+            acc = totals.setdefault(name, [0.0, 0.0])
+            acc[0] += timing.forward
+            acc[1] += timing.backward
+
+    report = TimingReport(net_name=net.name, iterations=iterations)
+    for entry in net.entries:
+        fwd, bwd = totals[entry.layer.name]
+        report.layers.append(
+            LayerTime(
+                name=entry.layer.name,
+                is_conv=entry.layer.IS_CONV,
+                forward=fwd / iterations,
+                backward=bwd / iterations,
+            )
+        )
+    return report

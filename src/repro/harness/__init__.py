@@ -1,0 +1,29 @@
+"""Experiment harness: one entry point per paper figure/table."""
+
+from repro.harness.experiments import (
+    fig1_best_vs_minus_one_byte,
+    fig8_pareto_front,
+    fig9_conv2_wr,
+    fig10_alexnet_three_gpus,
+    fig11_tensorflow,
+    fig12_memory,
+    fig13_wr_vs_wd,
+    fig14_workspace_division,
+    tab_ilp_stats,
+    tab_optimization_cost,
+)
+from repro.harness.tables import Table
+
+__all__ = [
+    "Table",
+    "fig1_best_vs_minus_one_byte",
+    "fig8_pareto_front",
+    "fig9_conv2_wr",
+    "fig10_alexnet_three_gpus",
+    "fig11_tensorflow",
+    "fig12_memory",
+    "fig13_wr_vs_wd",
+    "fig14_workspace_division",
+    "tab_ilp_stats",
+    "tab_optimization_cost",
+]

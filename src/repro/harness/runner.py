@@ -1,0 +1,85 @@
+"""Command-line experiment runner: ``python -m repro.harness.runner``.
+
+Regenerates paper artifacts outside of pytest, printing the same tables the
+benchmark suite asserts on.  Useful for eyeballing a single figure quickly::
+
+    python -m repro.harness.runner fig1 fig9
+    python -m repro.harness.runner --list
+    python -m repro.harness.runner all            # everything (~1 min)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments as E
+
+#: Experiment registry: id -> (callable, description).  Callables take no
+#: arguments here (paper-default parameterizations).
+REGISTRY = {
+    "fig1": (E.fig1_best_vs_minus_one_byte,
+             "cuDNN fallback cliff, AlexNet fwd (Best vs -1 byte)"),
+    "fig8": (E.fig8_pareto_front,
+             "desirable set (Pareto front) of conv2 Forward @120 MiB"),
+    "fig9": (E.fig9_conv2_wr,
+             "WR on conv2 @64 MiB per batch-size policy"),
+    "fig10": (E.fig10_alexnet_three_gpus,
+              "Caffe AlexNet on K80/P100/V100 x {8,64,512} MiB"),
+    "fig11": (E.fig11_tensorflow,
+              "TensorFlow driver: AlexNet/ResNet-50/DenseNet-40"),
+    "fig12": (E.fig12_memory,
+              "per-layer memory: cuDNN@512 MiB vs mu-cuDNN@64 MiB"),
+    "fig13": (E.fig13_wr_vs_wd,
+              "WR vs WD at equal total workspace"),
+    "fig14": (E.fig14_workspace_division,
+              "WD division of AlexNet's 120 MiB pool"),
+    "opt-cost": (E.tab_optimization_cost,
+                 "optimization cost: all vs powerOfTwo, 1 vs 4 GPUs"),
+    "ilp-stats": (E.tab_ilp_stats,
+                  "WD ILP size & solve time, ResNet-50"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.runner", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (or 'all'); see --list")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--format", choices=["table", "csv"], default="table",
+                        help="output format (csv suits external plotting)")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        width = max(len(k) for k in REGISTRY)
+        for key, (_, desc) in REGISTRY.items():
+            print(f"{key:<{width}}  {desc}")
+        return 0
+
+    wanted = list(REGISTRY) if args.experiments == ["all"] else args.experiments
+    unknown = [w for w in wanted if w not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; try --list",
+              file=sys.stderr)
+        return 2
+
+    for key in wanted:
+        fn, desc = REGISTRY[key]
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if args.format == "csv":
+            print(result.table.to_csv())
+        else:
+            print(result.table.render())
+            print(f"[{key}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

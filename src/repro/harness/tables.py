@@ -1,0 +1,78 @@
+"""Plain-text table/series rendering for the experiment harness.
+
+Every experiment in :mod:`repro.harness.experiments` returns structured rows
+plus a :class:`Table` rendering, so the benchmark scripts print the same
+rows/series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.units import format_bytes, format_time
+
+
+@dataclass
+class Table:
+    """A fixed-width text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        cells = [[str(v) for v in row] for row in self.rows]
+        widths = [
+            max([len(c)] + [len(row[i]) for row in cells])
+            for i, c in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        out = [self.title, "=" * len(self.title)]
+        out.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        out.append(sep)
+        for row in cells:
+            out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """RFC-4180-ish CSV of the table (header + rows), for plotting."""
+        def esc(value) -> str:
+            text = str(value)
+            if any(ch in text for ch in ',"\n'):
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(esc(c) for c in self.columns)]
+        lines.extend(",".join(esc(v) for v in row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def fmt_ms(seconds: float) -> str:
+    """Milliseconds with two decimals (figure-axis granularity)."""
+    return f"{seconds * 1e3:.2f}"
+
+
+def fmt_ratio(x: float) -> str:
+    return f"{x:.2f}x"
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    """A crude horizontal bar for series output (stacked-figure analog)."""
+    if scale <= 0:
+        return ""
+    n = int(round(width * value / scale))
+    return "#" * max(0, min(width, n))
+
+
+__all__ = ["Table", "bar", "fmt_ms", "fmt_ratio", "format_bytes", "format_time"]

@@ -1,0 +1,16 @@
+"""Memory accounting, per-layer reporting (Fig. 12), and the vDNN-style
+offload analysis (the paper's section V composition argument)."""
+
+from repro.memory.offload import OffloadPlan, plan_offload
+from repro.memory.report import LayerMemory, MemoryReport, memory_report
+from repro.memory.tracker import MemorySnapshot, PeakTracker
+
+__all__ = [
+    "LayerMemory",
+    "MemoryReport",
+    "MemorySnapshot",
+    "OffloadPlan",
+    "PeakTracker",
+    "memory_report",
+    "plan_offload",
+]

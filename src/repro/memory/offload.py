@@ -1,0 +1,101 @@
+"""vDNN-style activation offloading model (the paper's §V, Rhu et al.).
+
+vDNN virtualizes GPU memory by offloading forward activations to host RAM
+over PCIe and prefetching them back during the backward pass.  The paper
+argues micro-batching *composes* with such memory managers: "even in such
+memory-efficient implementation ... mu-cuDNN is expected to save the peak
+memory usage of each layer" -- because workspaces cannot be offloaded (they
+are live during the kernel), only micro-batching shrinks them.
+
+This module quantifies that composition: given a network's timing report
+and per-layer memory, it computes
+
+* the resident-activation footprint with an offload window of ``k`` layers
+  (layer L's input must be on-device while L runs; everything older may be
+  in host RAM),
+* the PCIe traffic and how much of it hides behind compute,
+* the resulting peak device memory *including workspace* -- where mu-cuDNN's
+  contribution shows up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frameworks.net import Net
+from repro.frameworks.timing import TimingReport
+from repro.memory.report import MemoryReport
+
+#: Host link bandwidth for offload traffic (PCIe 3.0 x16 effective).
+PCIE_BANDWIDTH = 12e9
+
+
+@dataclass
+class OffloadPlan:
+    """Outcome of the vDNN-style analysis for one network configuration."""
+
+    #: Largest sum of ``window`` consecutive layers' activations -- the
+    #: resident working set the offload scheme cannot evict.
+    resident_activation_bytes: int
+    #: Parameters are never offloaded (needed every iteration).
+    param_bytes: int
+    #: Peak single-layer workspace -- live during its kernel, unoffloadable.
+    peak_workspace_bytes: int
+    #: Total bytes shipped to host and back per iteration.
+    pcie_traffic_bytes: int
+    #: Compute time per iteration (the window PCIe transfers can hide in).
+    compute_time: float
+
+    @property
+    def peak_device_bytes(self) -> int:
+        return (self.resident_activation_bytes + self.param_bytes
+                + self.peak_workspace_bytes)
+
+    @property
+    def transfer_time(self) -> float:
+        return self.pcie_traffic_bytes / PCIE_BANDWIDTH
+
+    @property
+    def exposed_transfer_time(self) -> float:
+        """PCIe time not hidden behind compute (simple overlap model)."""
+        return max(0.0, self.transfer_time - self.compute_time)
+
+    @property
+    def iteration_time(self) -> float:
+        return self.compute_time + self.exposed_transfer_time
+
+    @property
+    def slowdown_vs_no_offload(self) -> float:
+        return self.iteration_time / self.compute_time
+
+
+def plan_offload(
+    net: Net,
+    memory: MemoryReport,
+    report: TimingReport,
+    window: int = 2,
+) -> OffloadPlan:
+    """Analyze vDNN-style offloading for a set-up, timed network.
+
+    ``window`` is how many consecutive layers' activations must stay
+    resident (the transfer pipeline depth); vDNN's ``all`` policy
+    corresponds to a small window, its conservative variants to larger ones.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    layers = memory.layers
+    activations = [l.data_bytes for l in layers]
+    resident = 0
+    for start in range(len(activations)):
+        resident = max(resident, sum(activations[start:start + window]))
+    offloadable = sum(
+        a for i, a in enumerate(activations) if a > 0
+    )
+    return OffloadPlan(
+        resident_activation_bytes=resident,
+        param_bytes=sum(l.param_bytes for l in layers),
+        peak_workspace_bytes=max((l.workspace_bytes for l in layers), default=0),
+        # Each offloaded activation travels out (forward) and back (backward).
+        pcie_traffic_bytes=2 * offloadable,
+        compute_time=report.total,
+    )

@@ -1,0 +1,56 @@
+"""Device-memory accounting helpers.
+
+The allocator (:class:`repro.cudnn.device.DeviceMemory`) already tags every
+allocation; this module aggregates those books into the per-category and
+per-layer views the paper's memory experiments report (Fig. 12 and the
+workspace totals quoted in section IV-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cudnn.device import DeviceMemory
+
+
+@dataclass
+class MemorySnapshot:
+    """Usage by tag at one point in time, in bytes."""
+
+    by_tag: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_tag.values())
+
+    def get(self, tag: str) -> int:
+        return self.by_tag.get(tag, 0)
+
+    @classmethod
+    def capture(cls, memory: DeviceMemory) -> "MemorySnapshot":
+        return cls(by_tag=memory.live_by_tag())
+
+    def diff(self, earlier: "MemorySnapshot") -> "MemorySnapshot":
+        tags = set(self.by_tag) | set(earlier.by_tag)
+        return MemorySnapshot(
+            by_tag={t: self.get(t) - earlier.get(t) for t in tags if self.get(t) != earlier.get(t)}
+        )
+
+
+class PeakTracker:
+    """Track the peak total usage across a scoped region of execution."""
+
+    def __init__(self, memory: DeviceMemory):
+        self.memory = memory
+        self.start_peak = 0
+        self.observed_peak = 0
+
+    def __enter__(self) -> "PeakTracker":
+        self.start_peak = self.memory.peak
+        # Reset the high-water mark so the scope measures its own peak.
+        self.memory.peak = self.memory.in_use
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.observed_peak = self.memory.peak
+        self.memory.peak = max(self.start_peak, self.memory.peak)

@@ -1,0 +1,105 @@
+"""Parallel micro-configuration evaluation (paper section III-D).
+
+"mu-cuDNN supports parallel micro-configuration evaluation ..., in which the
+aforementioned micro-batches are distributed to different GPUs on the same
+computing node and tested concurrently.  This function assumes that the node
+contains multiple homogeneous GPUs."
+
+A *benchmark unit* is one ``cudnnFind*`` invocation -- all algorithms at one
+(kernel geometry, micro-batch size) pair.  Units are independent and their
+durations are known from the model, so the evaluator schedules them across
+the node's GPUs with LPT and reports both the serial cost (what a single
+GPU would have spent) and the parallel makespan (the wall cost with the
+node).  Homogeneity guarantees the *results* are identical to single-GPU
+benchmarking, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.benchmarker import KernelBenchmark
+from repro.core.cache import BenchmarkCache
+from repro.core.policies import BatchSizePolicy, candidate_sizes
+from repro.cudnn.api import find_algorithms
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.device import Node
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.parallel.scheduler import Schedule, schedule_lpt
+
+
+@dataclass
+class ParallelBenchmarkResult:
+    """Benchmarks for a set of kernels plus the cost accounting."""
+
+    benchmarks: dict[str, KernelBenchmark]
+    serial_time: float
+    parallel_time: float
+    schedule: Schedule
+    num_gpus: int
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_time == 0.0:
+            return 1.0
+        return self.serial_time / self.parallel_time
+
+
+def benchmark_kernels_parallel(
+    node: Node,
+    geometries: dict[str, ConvGeometry],
+    policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
+    cache: BenchmarkCache | None = None,
+) -> ParallelBenchmarkResult:
+    """Benchmark every kernel's candidate sizes across the node's GPUs.
+
+    Cache hits cost nothing and are excluded from the schedule, matching
+    :func:`repro.core.benchmarker.benchmark_kernel`'s accounting.
+    """
+    handles = [CudnnHandle(gpu=gpu, mode=ExecMode.TIMING) for gpu in node.gpus]
+    probe = handles[0]
+    gpu_name = node.spec.name
+
+    # Enumerate benchmark units: (kernel key, micro size) pairs not cached.
+    units: list[tuple[str, ConvGeometry]] = []
+    benchmarks = {
+        key: KernelBenchmark(geometry=g, policy=policy)
+        for key, g in geometries.items()
+    }
+    for key, g in geometries.items():
+        for size in candidate_sizes(policy, g.n):
+            sized = g.with_batch(size)
+            cached = cache.get_benchmark(gpu_name, sized) if cache is not None else None
+            if cached is not None:
+                benchmarks[key].results[size] = cached
+            else:
+                units.append((key, sized))
+
+    durations = []
+    unit_results = []
+    for key, sized in units:
+        found = [r for r in find_algorithms(probe, sized) if r.ok]
+        unit_results.append((key, sized, found))
+        durations.append(sum(r.time for r in found))
+        if cache is not None:
+            cache.put_benchmark(gpu_name, sized, found)
+
+    schedule = schedule_lpt(durations, node.num_gpus)
+    # Charge each GPU's clock with its assigned share (homogeneous GPUs
+    # produce identical measurements, so only the accounting differs).
+    for worker, unit_ids in enumerate(schedule.assignments):
+        for unit in unit_ids:
+            handles[worker].gpu.run_kernel(durations[unit])
+
+    for key, sized, found in unit_results:
+        bench = benchmarks[key]
+        bench.results[sized.n] = found
+        bench.benchmark_time += sum(r.time for r in found)
+
+    return ParallelBenchmarkResult(
+        benchmarks=benchmarks,
+        serial_time=sum(durations),
+        parallel_time=schedule.makespan,
+        schedule=schedule,
+        num_gpus=node.num_gpus,
+    )

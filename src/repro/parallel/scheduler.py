@@ -1,0 +1,60 @@
+"""Static schedulers for distributing benchmark work across GPUs.
+
+The parallel micro-configuration evaluation (paper section III-D) spreads
+independent benchmark units over the homogeneous GPUs of one node.  Unit
+durations are known up front (the performance model is the oracle), so this
+is classic makespan minimization; we provide Longest-Processing-Time-first
+(LPT, the standard 4/3-approximation) and round-robin for comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+@dataclass
+class Schedule:
+    """An assignment of work units to workers."""
+
+    assignments: list[list[int]]  # worker -> unit indices
+    loads: list[float]  # worker -> total assigned duration
+
+    @property
+    def makespan(self) -> float:
+        return max(self.loads, default=0.0)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.assignments)
+
+
+def schedule_lpt(durations: list[float], workers: int) -> Schedule:
+    """Longest-processing-time-first list scheduling."""
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    assignments: list[list[int]] = [[] for _ in range(workers)]
+    loads = [0.0] * workers
+    heap = [(0.0, w) for w in range(workers)]
+    heapq.heapify(heap)
+    order = sorted(range(len(durations)), key=lambda i: -durations[i])
+    for unit in order:
+        load, worker = heapq.heappop(heap)
+        assignments[worker].append(unit)
+        load += durations[unit]
+        loads[worker] = load
+        heapq.heappush(heap, (load, worker))
+    return Schedule(assignments=assignments, loads=loads)
+
+
+def schedule_round_robin(durations: list[float], workers: int) -> Schedule:
+    """Naive striping (what a simple env-var implementation would do)."""
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    assignments: list[list[int]] = [[] for _ in range(workers)]
+    loads = [0.0] * workers
+    for unit, duration in enumerate(durations):
+        worker = unit % workers
+        assignments[worker].append(unit)
+        loads[worker] += duration
+    return Schedule(assignments=assignments, loads=loads)

@@ -1,0 +1,65 @@
+"""Byte-size helpers and formatting used throughout the reproduction.
+
+The paper quotes workspace limits in MiB (8, 64, 120, 512, 960, 2544, 5088)
+and per-layer memory in KiB/MiB/GiB; all internal accounting in this package
+is in plain integer bytes, converted at the edges with these helpers.
+"""
+
+from __future__ import annotations
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+#: Default per-layer workspace limit of Caffe (8 MiB), see paper section IV.
+CAFFE_DEFAULT_WORKSPACE: int = 8 * MIB
+#: Default per-layer workspace limit of Caffe2 (64 MiB), see paper section IV.
+CAFFE2_DEFAULT_WORKSPACE: int = 64 * MIB
+
+#: Bytes per element for single-precision floats; the whole evaluation uses
+#: FP32 NCHW tensors (paper section IV).
+FLOAT_SIZE: int = 4
+#: Bytes per element for single-precision complex values (FFT workspaces).
+COMPLEX_SIZE: int = 8
+
+
+def kib(n: float) -> int:
+    """Return ``n`` KiB as integer bytes (rounded up)."""
+    return int(-(-n * KIB // 1))
+
+
+def mib(n: float) -> int:
+    """Return ``n`` MiB as integer bytes (rounded up)."""
+    return int(-(-n * MIB // 1))
+
+
+def gib(n: float) -> int:
+    """Return ``n`` GiB as integer bytes (rounded up)."""
+    return int(-(-n * GIB // 1))
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count using binary units, e.g. ``'48.9 MiB'``.
+
+    Mirrors the granularity the paper uses when reporting workspace sizes.
+    """
+    n = int(n)
+    sign = "-" if n < 0 else ""
+    v = abs(n)
+    if v < KIB:
+        return f"{sign}{v} B"
+    for unit, size in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if v >= size:
+            return f"{sign}{v / size:.1f} {unit}"
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration: us / ms / s, three significant digits."""
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    return f"{seconds:.3g} s"

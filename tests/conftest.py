@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.device import Gpu
+from repro.cudnn.enums import ConvType
+from repro.cudnn.handle import CudnnHandle, ExecMode
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def handle() -> CudnnHandle:
+    """Numeric-mode handle on a P100 (the paper's primary GPU)."""
+    return CudnnHandle(gpu=Gpu.create("p100-sxm2"), mode=ExecMode.NUMERIC)
+
+
+@pytest.fixture
+def timing_handle() -> CudnnHandle:
+    return CudnnHandle(gpu=Gpu.create("p100-sxm2"), mode=ExecMode.TIMING)
+
+
+def make_geometry(conv_type=ConvType.FORWARD, n=4, c=3, h=8, w=8, k=5, r=3, s=3,
+                  pad=1, stride=1, dilation=1) -> ConvGeometry:
+    """Compact geometry constructor for tests."""
+    return ConvGeometry(
+        conv_type=conv_type, n=n, c=c, h=h, w=w, k=k, r=r, s=s,
+        pad_h=pad, pad_w=pad, stride_h=stride, stride_w=stride,
+        dilation_h=dilation, dilation_w=dilation,
+    )
+
+
+def random_operands(rng: np.random.Generator, g: ConvGeometry):
+    """(x, w, dy) FP32 operands matching a geometry."""
+    x = rng.standard_normal(g.x_desc.shape).astype(np.float32)
+    w = rng.standard_normal(g.w_desc.shape).astype(np.float32)
+    dy = rng.standard_normal(g.y_desc.shape).astype(np.float32)
+    return x, w, dy
+
+
+def assert_close(actual, expected, tol=2e-3, context=""):
+    """Relative max-error assertion tuned for FP32 kernel comparisons."""
+    actual = np.asarray(actual, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    assert actual.shape == expected.shape, (
+        f"{context}: shape {actual.shape} != {expected.shape}"
+    )
+    scale = max(float(np.abs(expected).max()), 1e-9)
+    err = float(np.abs(actual - expected).max()) / scale
+    assert err < tol, f"{context}: relative error {err:.3e} >= {tol}"

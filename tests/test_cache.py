@@ -1,0 +1,128 @@
+"""Tests for the benchmark / configuration cache (paper section III-D)."""
+
+import json
+
+import pytest
+
+from repro.core.cache import BenchmarkCache
+from repro.core.config import Configuration, MicroConfig
+from repro.cudnn.enums import ConvType, FwdAlgo
+from repro.cudnn.perfmodel import PerfResult
+from repro.cudnn.status import Status
+from repro.errors import CacheError
+from tests.conftest import make_geometry
+
+
+def sample_results():
+    return [
+        PerfResult(FwdAlgo.FFT, Status.SUCCESS, 0.001, 1024),
+        PerfResult(FwdAlgo.IMPLICIT_GEMM, Status.SUCCESS, 0.002, 0),
+    ]
+
+
+def sample_config():
+    return Configuration((
+        MicroConfig(64, FwdAlgo.FFT, 0.5, 2048),
+        MicroConfig(64, FwdAlgo.FFT_TILING, 0.6, 1024),
+    ))
+
+
+class TestInMemory:
+    def test_benchmark_roundtrip(self):
+        cache = BenchmarkCache()
+        g = make_geometry()
+        assert cache.get_benchmark("p100-sxm2", g) is None
+        cache.put_benchmark("p100-sxm2", g, sample_results())
+        got = cache.get_benchmark("p100-sxm2", g)
+        assert [r.algo for r in got] == [FwdAlgo.FFT, FwdAlgo.IMPLICIT_GEMM]
+
+    def test_keys_include_gpu_and_geometry(self):
+        cache = BenchmarkCache()
+        g = make_geometry()
+        cache.put_benchmark("p100-sxm2", g, sample_results())
+        assert cache.get_benchmark("k80", g) is None
+        assert cache.get_benchmark("p100-sxm2", g.with_batch(2)) is None
+
+    def test_hit_miss_counters(self):
+        cache = BenchmarkCache()
+        g = make_geometry()
+        cache.get_benchmark("p100-sxm2", g)
+        cache.put_benchmark("p100-sxm2", g, sample_results())
+        cache.get_benchmark("p100-sxm2", g)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_configuration_roundtrip(self):
+        cache = BenchmarkCache()
+        key = cache.config_key("p100-sxm2", make_geometry(), "powerOfTwo",
+                               64 * 2**20, "wr")
+        assert cache.get_configuration(key) is None
+        cache.put_configuration(key, ConvType.FORWARD, sample_config())
+        assert cache.get_configuration(key) == sample_config()
+
+    def test_config_key_distinguishes_parameters(self):
+        cache = BenchmarkCache()
+        g = make_geometry()
+        keys = {
+            cache.config_key("p100-sxm2", g, "powerOfTwo", 100, "wr"),
+            cache.config_key("p100-sxm2", g, "all", 100, "wr"),
+            cache.config_key("p100-sxm2", g, "powerOfTwo", 200, "wr"),
+            cache.config_key("p100-sxm2", g, "powerOfTwo", 100, "wd"),
+            cache.config_key("k80", g, "powerOfTwo", 100, "wr"),
+        }
+        assert len(keys) == 5
+
+
+class TestFileDB:
+    def test_save_load_roundtrip(self, tmp_path):
+        """The paper's file DB: offline benchmarking + sharing over NFS."""
+        path = tmp_path / "bench.json"
+        cache = BenchmarkCache(path)
+        g = make_geometry()
+        cache.put_benchmark("p100-sxm2", g, sample_results())
+        key = cache.config_key("p100-sxm2", g, "all", 10, "wr")
+        cache.put_configuration(key, ConvType.FORWARD, sample_config())
+        cache.save()
+
+        fresh = BenchmarkCache(path)  # loads eagerly
+        got = fresh.get_benchmark("p100-sxm2", g)
+        assert [(r.algo, r.time, r.workspace) for r in got] == \
+            [(r.algo, r.time, r.workspace) for r in sample_results()]
+        assert fresh.get_configuration(key) == sample_config()
+
+    def test_save_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "bench.json"
+        cache = BenchmarkCache(path)
+        cache.put_benchmark("k80", make_geometry(), sample_results())
+        cache.save()
+        cache.put_benchmark("k80", make_geometry(n=2), sample_results())
+        cache.save()
+        # Only the final file remains; no temp litter.
+        assert [p.name for p in tmp_path.iterdir()] == ["bench.json"]
+
+    def test_corrupt_file_raises_cache_error(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        with pytest.raises(CacheError):
+            BenchmarkCache(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"version": 999}))
+        with pytest.raises(CacheError):
+            BenchmarkCache(path)
+
+    def test_save_without_path_is_noop(self):
+        BenchmarkCache().save()  # must not raise
+
+    def test_load_without_path_raises(self):
+        with pytest.raises(CacheError):
+            BenchmarkCache().load()
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = BenchmarkCache()
+        assert len(cache) == 0
+        cache.put_benchmark("k80", make_geometry(), sample_results())
+        key = cache.config_key("k80", make_geometry(), "all", 1, "wr")
+        cache.put_configuration(key, ConvType.FORWARD, sample_config())
+        assert len(cache) == 2

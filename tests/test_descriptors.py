@@ -1,0 +1,159 @@
+"""Tests for cuDNN descriptor types and geometry derivations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cudnn.descriptors import (
+    ConvGeometry,
+    ConvolutionDescriptor,
+    FilterDescriptor,
+    TensorDescriptor,
+    output_dims,
+)
+from repro.cudnn.enums import ConvType
+from repro.errors import BadParamError
+from tests.conftest import make_geometry
+
+
+class TestTensorDescriptor:
+    def test_shape_and_sizes(self):
+        t = TensorDescriptor(2, 3, 5, 7)
+        assert t.shape == (2, 3, 5, 7)
+        assert t.count == 210
+        assert t.size_bytes == 840
+
+    def test_with_batch(self):
+        t = TensorDescriptor(8, 3, 5, 7).with_batch(2)
+        assert t.shape == (2, 3, 5, 7)
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1, 1), (1, -1, 1, 1), (1, 1, 0, 1)])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(BadParamError):
+            TensorDescriptor(*bad)
+
+
+class TestFilterDescriptor:
+    def test_sizes(self):
+        f = FilterDescriptor(4, 3, 3, 3)
+        assert f.count == 108
+        assert f.size_bytes == 432
+
+    def test_rejects_zero(self):
+        with pytest.raises(BadParamError):
+            FilterDescriptor(0, 3, 3, 3)
+
+
+class TestConvolutionDescriptor:
+    def test_defaults(self):
+        c = ConvolutionDescriptor()
+        assert (c.pad_h, c.stride_h, c.dilation_h) == (0, 1, 1)
+
+    def test_rejects_negative_pad(self):
+        with pytest.raises(BadParamError):
+            ConvolutionDescriptor(pad_h=-1)
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(BadParamError):
+            ConvolutionDescriptor(stride_h=0)
+
+
+class TestOutputDims:
+    def test_alexnet_conv1(self):
+        # 227x227, 11x11 stride 4: (227 - 11) / 4 + 1 = 55.
+        y = output_dims(
+            TensorDescriptor(256, 3, 227, 227),
+            FilterDescriptor(64, 3, 11, 11),
+            ConvolutionDescriptor(stride_h=4, stride_w=4),
+        )
+        assert y.shape == (256, 64, 55, 55)
+
+    def test_same_padding(self):
+        y = output_dims(
+            TensorDescriptor(1, 8, 13, 13),
+            FilterDescriptor(8, 8, 3, 3),
+            ConvolutionDescriptor(pad_h=1, pad_w=1),
+        )
+        assert (y.h, y.w) == (13, 13)
+
+    def test_dilation(self):
+        # Effective kernel 5 with dilation 2 on 3x3.
+        y = output_dims(
+            TensorDescriptor(1, 1, 9, 9),
+            FilterDescriptor(1, 1, 3, 3),
+            ConvolutionDescriptor(dilation_h=2, dilation_w=2),
+        )
+        assert (y.h, y.w) == (5, 5)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(BadParamError):
+            output_dims(
+                TensorDescriptor(1, 3, 8, 8),
+                FilterDescriptor(4, 5, 3, 3),
+                ConvolutionDescriptor(),
+            )
+
+    def test_empty_output(self):
+        with pytest.raises(BadParamError):
+            output_dims(
+                TensorDescriptor(1, 1, 2, 2),
+                FilterDescriptor(1, 1, 5, 5),
+                ConvolutionDescriptor(),
+            )
+
+
+class TestConvGeometry:
+    def test_macs_match_loop_nest(self):
+        g = make_geometry(n=2, c=3, h=6, w=6, k=4, r=3, s=3, pad=1)
+        # N * K * H' * W' * C * R * S (Algorithm 1's seven loops).
+        assert g.macs == 2 * 4 * 6 * 6 * 3 * 3 * 3
+        assert g.flops == 2 * g.macs
+
+    def test_macs_equal_across_op_types(self):
+        g = make_geometry()
+        for ct in ConvType:
+            assert g.with_type(ct).macs == g.macs
+
+    def test_with_batch_identity(self):
+        g = make_geometry(n=8)
+        assert g.with_batch(8) is g
+        assert g.with_batch(2).n == 2
+        assert g.with_batch(2).with_batch(8) == g
+
+    def test_cache_key_distinguishes_geometry(self):
+        a = make_geometry(n=8)
+        keys = {
+            a.cache_key(),
+            a.with_batch(4).cache_key(),
+            a.with_type(ConvType.BACKWARD_DATA).cache_key(),
+            make_geometry(n=8, pad=0).cache_key(),
+        }
+        assert len(keys) == 4
+
+    def test_roundtrip_descriptors(self):
+        g = make_geometry(n=3, c=2, h=9, w=7, k=4, r=3, s=3, pad=1, stride=2)
+        rebuilt = ConvGeometry.from_descriptors(
+            g.conv_type, g.x_desc, g.w_desc, g.conv_desc
+        )
+        assert rebuilt == g
+
+    def test_rejects_negative_pad(self):
+        with pytest.raises(BadParamError):
+            make_geometry(pad=-1)
+
+    def test_hashable(self):
+        assert len({make_geometry(), make_geometry()}) == 1
+
+
+@given(
+    n=st.integers(1, 16), c=st.integers(1, 8), hw=st.integers(3, 20),
+    k=st.integers(1, 8), r=st.integers(1, 3), stride=st.integers(1, 3),
+)
+def test_output_dims_nonempty_and_consistent(n, c, hw, k, r, stride):
+    """Property: y_desc agrees with output_dims and is always positive."""
+    g = ConvGeometry(ConvType.FORWARD, n, c, hw, hw, k, r, r,
+                     pad_h=r // 2, pad_w=r // 2, stride_h=stride, stride_w=stride)
+    y = g.y_desc
+    assert y.n == n and y.c == k
+    assert y.h >= 1 and y.w >= 1
+    expected_h = (hw + 2 * (r // 2) - r) // stride + 1
+    assert y.h == expected_h

@@ -1,0 +1,117 @@
+"""Tests for simulated GPU devices, allocator, and node."""
+
+import pytest
+
+from repro.cudnn.device import (
+    DeviceMemory,
+    Gpu,
+    Node,
+    available_gpus,
+    gpu_spec,
+)
+from repro.errors import AllocFailedError, BadParamError
+from repro.units import GIB
+
+
+class TestGpuSpec:
+    def test_paper_table1_specs(self):
+        # Table I: P100-SXM2 10.6 SP TFlop/s, 16 GiB @ 732 GB/s.
+        p100 = gpu_spec("p100-sxm2")
+        assert p100.peak_sp_flops == pytest.approx(10.6e12)
+        assert p100.mem_bandwidth == pytest.approx(732e9)
+        assert p100.mem_bytes == 16 * GIB
+        v100 = gpu_spec("v100")
+        assert v100.peak_sp_flops == pytest.approx(15.7e12)
+
+    def test_aliases(self):
+        assert gpu_spec("p100") is gpu_spec("P100-SXM2")
+
+    def test_unknown_gpu(self):
+        with pytest.raises(BadParamError):
+            gpu_spec("a100")
+
+    def test_available(self):
+        assert available_gpus() == ["k80", "p100-sxm2", "v100-sxm2"]
+
+
+class TestDeviceMemory:
+    def test_alloc_free_cycle(self):
+        mem = DeviceMemory(1000)
+        a = mem.alloc(400, tag="data")
+        assert mem.in_use == 400
+        b = mem.alloc(600, tag="workspace")
+        assert mem.in_use == 1000
+        assert mem.peak == 1000
+        mem.free(a)
+        assert mem.in_use == 600
+        assert mem.peak == 1000  # peak is a high-water mark
+        mem.free(b)
+        assert mem.in_use == 0
+
+    def test_oom(self):
+        mem = DeviceMemory(100)
+        mem.alloc(60)
+        with pytest.raises(AllocFailedError):
+            mem.alloc(41)
+        mem.alloc(40)  # exactly fits
+
+    def test_zero_byte_allocation_is_legal(self):
+        mem = DeviceMemory(10)
+        ident = mem.alloc(0, tag="workspace")
+        assert mem.in_use == 0
+        mem.free(ident)
+
+    def test_double_free_detected(self):
+        mem = DeviceMemory(10)
+        ident = mem.alloc(5)
+        mem.free(ident)
+        with pytest.raises(BadParamError):
+            mem.free(ident)
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(BadParamError):
+            DeviceMemory(10).alloc(-1)
+
+    def test_live_by_tag(self):
+        mem = DeviceMemory(1000)
+        mem.alloc(100, tag="param")
+        mem.alloc(200, tag="param")
+        mem.alloc(50, tag="data")
+        assert mem.live_by_tag() == {"param": 300, "data": 50}
+
+    def test_capacity_validation(self):
+        with pytest.raises(BadParamError):
+            DeviceMemory(0)
+
+
+class TestGpu:
+    def test_clock_accumulates(self):
+        gpu = Gpu.create("p100-sxm2")
+        gpu.run_kernel(1e-3)
+        gpu.run_kernel(2e-3)
+        assert gpu.clock == pytest.approx(3e-3)
+        assert gpu.kernels_launched == 2
+        gpu.reset_clock()
+        assert gpu.clock == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(BadParamError):
+            Gpu.create("k80").run_kernel(-1.0)
+
+    def test_memory_capacity_from_spec(self):
+        gpu = Gpu.create("k80")
+        assert gpu.memory.capacity == gpu.spec.mem_bytes
+
+
+class TestNode:
+    def test_homogeneous_gpus(self):
+        node = Node("p100-sxm2", num_gpus=4)
+        assert node.num_gpus == 4
+        assert all(g.spec.name == "p100-sxm2" for g in node.gpus)
+        # Independent clocks and allocators.
+        node.gpus[0].run_kernel(1.0)
+        assert node.gpus[1].clock == 0.0
+
+    def test_needs_one_gpu(self):
+        with pytest.raises(BadParamError):
+            Node("k80", num_gpus=0)

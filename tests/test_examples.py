@@ -1,0 +1,45 @@
+"""Smoke tests for the runnable examples (bitrot guard).
+
+The two numerics-heavy examples (quickstart, train_microbatched) are
+excluded here -- they multiply real tensors for tens of seconds and their
+logic is covered by the semantics tests; these five run the simulated
+clock only and finish in about a second each.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("wd_inception.py", ["--total-mib", "60"], "WD speedup over WR"),
+    ("memory_report.py", ["--model", "alexnet"], "largest per-layer memory cut"),
+    ("offline_benchmark.py", [], "workers spent 0 s benchmarking"),
+    ("data_parallel_scaling.py", [], "Weak scaling"),
+    ("alexnet_caffe_time.py",
+     ["--policies", "undivided,powerOfTwo", "--workspaces", "64",
+      "--iterations", "1"],
+     "Summary"),
+]
+
+
+@pytest.mark.parametrize("script,args,marker", FAST_EXAMPLES,
+                         ids=[e[0] for e in FAST_EXAMPLES])
+def test_example_runs(script, args, marker):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout
+
+
+def test_all_examples_are_accounted_for():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {e[0] for e in FAST_EXAMPLES} | {
+        "quickstart.py", "train_microbatched.py",  # numerics-heavy, see module docstring
+    }
+    assert on_disk == covered

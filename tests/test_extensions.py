@@ -1,0 +1,176 @@
+"""Tests for the extension features beyond the paper's minimal surface:
+
+* true CONVOLUTION mode (cuDNN supports both modes; frameworks use
+  cross-correlation),
+* the greedy halve-until-it-fits division baseline (ablation comparator),
+* repeated-measurement (median) benchmarking for noisy handles.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.benchmarker import benchmark_kernel
+from repro.core.policies import BatchSizePolicy
+from repro.core.wr import optimize_from_benchmark, optimize_greedy_halving
+from repro.cudnn import kernels
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import (
+    BwdDataAlgo,
+    BwdFilterAlgo,
+    ConvType,
+    ConvolutionMode,
+    FwdAlgo,
+)
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.cudnn.kernels import direct
+from repro.cudnn.workspace import is_supported, workspace_size
+from repro.units import MIB
+from tests.conftest import assert_close, make_geometry, random_operands
+
+CONV2 = ConvGeometry(ConvType.FORWARD, 256, 64, 27, 27, 192, 5, 5, 2, 2)
+
+
+def conv_mode(g: ConvGeometry) -> ConvGeometry:
+    import dataclasses
+    return dataclasses.replace(g, mode=ConvolutionMode.CONVOLUTION)
+
+
+class TestTrueConvolutionMode:
+    @pytest.mark.parametrize("algo", [FwdAlgo.IMPLICIT_GEMM, FwdAlgo.FFT,
+                                      FwdAlgo.WINOGRAD, FwdAlgo.GEMM])
+    def test_forward_equals_flipped_correlation(self, rng, algo):
+        g = make_geometry(n=2, c=3, h=9, w=9, k=4, r=3, s=3, pad=1)
+        gm = conv_mode(g)
+        x, w, _ = random_operands(rng, g)
+        expected = direct.forward(g, x, np.ascontiguousarray(w[:, :, ::-1, ::-1]))
+        got = kernels.forward(gm, x, w, algo)
+        assert_close(got, expected, context=algo.name)
+
+    def test_backward_ops_are_consistent_adjoints(self, rng):
+        """<conv(x,w), dy> == <x, bwd_data> == <w, bwd_filter> in CONV mode."""
+        g = conv_mode(make_geometry(n=2, c=3, h=8, w=8, k=4, r=3, s=3, pad=1))
+        x, w, dy = random_operands(rng, g)
+        y = kernels.forward(g, x, w, FwdAlgo.IMPLICIT_GEMM)
+        dx = kernels.backward_data(g.with_type(ConvType.BACKWARD_DATA), dy, w,
+                                   BwdDataAlgo.ALGO_0)
+        dw = kernels.backward_filter(g.with_type(ConvType.BACKWARD_FILTER), x, dy,
+                                     BwdFilterAlgo.ALGO_1)
+        lhs = float(np.vdot(y.astype(np.float64), dy.astype(np.float64)))
+        assert abs(lhs - float(np.vdot(x.astype(np.float64), dx.astype(np.float64)))) \
+            < 1e-3 * max(abs(lhs), 1.0)
+        assert abs(lhs - float(np.vdot(w.astype(np.float64), dw.astype(np.float64)))) \
+            < 1e-3 * max(abs(lhs), 1.0)
+
+    def test_mode_preserved_by_geometry_surgery(self):
+        g = conv_mode(make_geometry(n=8))
+        assert g.with_batch(4).mode == ConvolutionMode.CONVOLUTION
+        assert g.with_type(ConvType.BACKWARD_DATA).mode == ConvolutionMode.CONVOLUTION
+
+    def test_mode_in_cache_key(self):
+        g = make_geometry()
+        assert g.cache_key() != conv_mode(g).cache_key()
+
+    def test_symmetric_filter_modes_agree(self, rng):
+        """With a spatially symmetric filter the two modes coincide."""
+        g = make_geometry(n=2, c=2, h=7, w=7, k=3, r=3, s=3, pad=1)
+        x, w, _ = random_operands(rng, g)
+        w_sym = (w + w[:, :, ::-1, ::-1]) / 2
+        a = kernels.forward(g, x, w_sym, FwdAlgo.IMPLICIT_GEMM)
+        b = kernels.forward(conv_mode(g), x, w_sym, FwdAlgo.IMPLICIT_GEMM)
+        assert_close(a, b, tol=1e-5)
+
+    def test_workspace_and_time_mode_independent(self, timing_handle):
+        g = make_geometry(n=16)
+        gm = conv_mode(g)
+        for algo in FwdAlgo:
+            if is_supported(g, algo):
+                assert workspace_size(g, algo) == workspace_size(gm, algo)
+                assert timing_handle.perf.time(g, algo) == \
+                    timing_handle.perf.time(gm, algo)
+
+
+class TestGreedyBaseline:
+    def test_dp_never_loses_to_greedy(self, timing_handle):
+        for limit_mib in (1, 8, 64, 512):
+            bench = benchmark_kernel(timing_handle, CONV2, BatchSizePolicy.ALL)
+            dp = optimize_from_benchmark(bench, limit_mib * MIB)
+            greedy = optimize_greedy_halving(timing_handle, CONV2, limit_mib * MIB)
+            assert dp.time <= greedy.time + 1e-12, limit_mib
+            assert greedy.workspace <= limit_mib * MIB
+            assert greedy.batch == 256
+
+    def test_greedy_covers_non_power_of_two(self, timing_handle):
+        g = CONV2.with_batch(100)
+        greedy = optimize_greedy_halving(timing_handle, g, 32 * MIB)
+        assert greedy.batch == 100
+        assert greedy.workspace <= 32 * MIB
+
+    def test_greedy_actually_divides_under_pressure(self, timing_handle):
+        greedy = optimize_greedy_halving(timing_handle, CONV2, 64 * MIB)
+        assert greedy.num_micro_batches > 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(limit_mib=st.integers(1, 256))
+    def test_greedy_always_feasible(self, limit_mib):
+        handle = CudnnHandle(mode=ExecMode.TIMING)
+        greedy = optimize_greedy_halving(handle, CONV2, limit_mib * MIB)
+        assert greedy.workspace <= limit_mib * MIB
+        assert greedy.batch == CONV2.n
+
+
+class TestSampledBenchmarking:
+    def test_invalid_samples(self, timing_handle):
+        with pytest.raises(ValueError):
+            benchmark_kernel(timing_handle, make_geometry(), samples=0)
+
+    def test_deterministic_handle_samples_identical(self, timing_handle):
+        g = make_geometry(n=8)
+        one = benchmark_kernel(timing_handle, g, BatchSizePolicy.UNDIVIDED)
+        many = benchmark_kernel(timing_handle, g, BatchSizePolicy.UNDIVIDED,
+                                samples=5)
+        assert [r.time for r in one.results[8]] == \
+            [r.time for r in many.results[8]]
+        # ... but the benchmarking bill is 5x.
+        assert many.benchmark_time == pytest.approx(5 * one.benchmark_time)
+
+    def test_median_tames_jitter(self):
+        """With noise, the 9-sample median lands closer to the true time
+        than single samples do on average."""
+        g = make_geometry(n=16, c=16, k=16, h=14, w=14)
+        truth = {
+            r.algo: r.time
+            for r in benchmark_kernel(
+                CudnnHandle(mode=ExecMode.TIMING), g, BatchSizePolicy.UNDIVIDED
+            ).results[16]
+        }
+        noisy_handle = CudnnHandle(mode=ExecMode.TIMING, jitter=0.3)
+        single_err, median_err = 0.0, 0.0
+        for _ in range(5):
+            single = benchmark_kernel(noisy_handle, g, BatchSizePolicy.UNDIVIDED)
+            med = benchmark_kernel(noisy_handle, g, BatchSizePolicy.UNDIVIDED,
+                                   samples=9)
+            for r in single.results[16]:
+                single_err += abs(r.time - truth[r.algo]) / truth[r.algo]
+            for r in med.results[16]:
+                median_err += abs(r.time - truth[r.algo]) / truth[r.algo]
+        assert median_err < single_err
+
+    def test_noisy_wr_stays_near_optimal_with_samples(self):
+        """End-to-end robustness: a jittered handle with median sampling
+        produces a configuration whose TRUE time is within 20% of the
+        noise-free optimum."""
+        clean = CudnnHandle(mode=ExecMode.TIMING)
+        bench_clean = benchmark_kernel(clean, CONV2, BatchSizePolicy.POWER_OF_TWO)
+        optimum = optimize_from_benchmark(bench_clean, 64 * MIB)
+
+        noisy = CudnnHandle(mode=ExecMode.TIMING, jitter=0.2)
+        bench_noisy = benchmark_kernel(noisy, CONV2, BatchSizePolicy.POWER_OF_TWO,
+                                       samples=9)
+        chosen = optimize_from_benchmark(bench_noisy, 64 * MIB)
+        # Re-cost the chosen configuration with the true (noise-free) model.
+        true_time = sum(
+            clean.perf.time(CONV2.with_batch(m.micro_batch), m.algo)
+            for m in chosen
+        )
+        assert true_time <= optimum.time * 1.2

@@ -1,0 +1,186 @@
+"""Tests for framework support modules: tensors, fillers, data, timing."""
+
+import numpy as np
+import pytest
+
+from repro.cudnn.device import DeviceMemory
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.errors import ShapeError
+from repro.frameworks import init as fillers
+from repro.frameworks.data import (
+    CIFAR_SHAPE,
+    IMAGENET_SHAPE,
+    synthetic_batch,
+    synthetic_stream,
+)
+from repro.frameworks.model_zoo import build_tiny_cnn
+from repro.frameworks.tensor import Blob
+from repro.frameworks.timing import time_net
+from repro.units import MIB
+
+
+class TestBlob:
+    def test_memory_registration(self):
+        mem = DeviceMemory(10_000)
+        blob = Blob("x", (2, 3, 4, 4), mem, tag="data")
+        # data + grad, 4 bytes each element.
+        assert mem.in_use == 2 * 2 * 3 * 4 * 4 * 4
+        blob.release()
+        assert mem.in_use == 0
+
+    def test_without_grad(self):
+        mem = DeviceMemory(10_000)
+        Blob("x", (2, 3, 4, 4), mem, with_grad=False)
+        assert mem.in_use == 2 * 3 * 4 * 4 * 4
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            Blob("x", (0, 3))
+        blob = Blob("x", (2, 3))
+        with pytest.raises(ShapeError):
+            blob.set_data(np.zeros((3, 2), dtype=np.float32))
+
+    def test_ensure_and_zero(self):
+        blob = Blob("x", (2, 2))
+        assert blob.ensure_data().shape == (2, 2)
+        grad = blob.ensure_grad()
+        grad[...] = 5.0
+        blob.zero_grad()
+        assert float(blob.grad.sum()) == 0.0
+
+    def test_sizes(self):
+        blob = Blob("x", (3, 5))
+        assert blob.count == 15
+        assert blob.size_bytes == 60
+
+
+class TestFillers:
+    def test_constant(self):
+        w = fillers.constant((3, 4), 2.5)
+        assert w.dtype == np.float32
+        np.testing.assert_allclose(w, 2.5)
+
+    def test_gaussian_stats(self):
+        rng = np.random.default_rng(0)
+        w = fillers.gaussian(rng, (200, 200), std=0.01)
+        assert abs(float(w.mean())) < 1e-3
+        assert float(w.std()) == pytest.approx(0.01, rel=0.05)
+
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        w = fillers.xavier(rng, (64, 32, 3, 3))
+        limit = np.sqrt(6.0 / (32 * 9 + 64 * 9))
+        assert float(np.abs(w).max()) <= limit
+
+    def test_msra_variance(self):
+        rng = np.random.default_rng(0)
+        w = fillers.msra(rng, (256, 64, 3, 3))
+        expected_std = np.sqrt(2.0 / (64 * 9))
+        assert float(w.std()) == pytest.approx(expected_std, rel=0.05)
+
+    def test_deterministic_given_rng(self):
+        a = fillers.msra(np.random.default_rng(7), (8, 8))
+        b = fillers.msra(np.random.default_rng(7), (8, 8))
+        np.testing.assert_array_equal(a, b)
+
+    def test_registry_complete(self):
+        rng = np.random.default_rng(1)
+        for name, fn in fillers.FILLERS.items():
+            out = fn(rng, (4, 4))
+            assert out.shape == (4, 4)
+            assert out.dtype == np.float32
+
+
+class TestSyntheticData:
+    def test_shapes_and_ranges(self):
+        rng = np.random.default_rng(0)
+        x, y = synthetic_batch(rng, 8, CIFAR_SHAPE, 10)
+        assert x.shape == (8, 3, 32, 32)
+        assert x.dtype == np.float32
+        assert y.shape == (8,)
+        assert y.min() >= 0 and y.max() < 10
+
+    def test_imagenet_default(self):
+        rng = np.random.default_rng(0)
+        x, _ = synthetic_batch(rng, 2)
+        assert x.shape == (2, *IMAGENET_SHAPE)
+
+    def test_stream_deterministic(self):
+        a = synthetic_stream(5, 4, CIFAR_SHAPE, 10)
+        b = synthetic_stream(5, 4, CIFAR_SHAPE, 10)
+        for _ in range(3):
+            xa, ya = next(a)
+            xb, yb = next(b)
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_stream_advances(self):
+        s = synthetic_stream(5, 4, CIFAR_SHAPE, 10)
+        x1, _ = next(s)
+        x2, _ = next(s)
+        assert not np.array_equal(x1, x2)
+
+
+class TestTimeNet:
+    def _net(self):
+        handle = CudnnHandle(mode=ExecMode.TIMING)
+        return build_tiny_cnn(batch=8).setup(handle, workspace_limit=1 * MIB)
+
+    def test_report_structure(self):
+        report = time_net(self._net(), iterations=3)
+        assert report.iterations == 3
+        assert report.net_name == "tiny_cnn"
+        assert len(report.layers) > 0
+        assert report.total == pytest.approx(
+            report.conv_total + report.other_total
+        )
+        assert report.total == pytest.approx(
+            report.forward_total + report.backward_total
+        )
+
+    def test_conv_split(self):
+        report = time_net(self._net(), iterations=2)
+        conv_names = {l.name for l in report.conv_layers()}
+        assert conv_names == {"conv1", "conv2"}
+        assert report.conv_total > 0
+        assert report.other_total > 0
+
+    def test_mean_is_stable_across_iteration_counts(self):
+        """The deterministic model gives identical per-iteration means."""
+        a = time_net(self._net(), iterations=1)
+        b = time_net(self._net(), iterations=4)
+        assert a.total == pytest.approx(b.total, rel=1e-9)
+
+    def test_by_layer_lookup(self):
+        report = time_net(self._net(), iterations=1)
+        assert report.by_layer()["conv1"].is_conv
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            time_net(self._net(), iterations=0)
+
+
+class TestChromeTrace:
+    def test_export_structure(self):
+        import json
+
+        from repro.frameworks.timing import export_chrome_trace
+
+        handle = CudnnHandle(mode=ExecMode.TIMING)
+        net = build_tiny_cnn(batch=8).setup(handle, workspace_limit=1 * MIB)
+        report = time_net(net, iterations=1)
+        trace = json.loads(export_chrome_trace(report))
+        events = trace["traceEvents"]
+        # Two events per layer: one forward (tid 1), one backward (tid 2).
+        assert len(events) == 2 * len(report.layers)
+        assert {e["tid"] for e in events} == {1, 2}
+        assert all(e["ph"] == "X" and e["dur"] >= 0 for e in events)
+        # Events are laid out back to back on a single timeline.
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        # Total duration equals the report's iteration time (in us).
+        total_us = sum(e["dur"] for e in events)
+        assert total_us == pytest.approx(report.total * 1e6, rel=1e-9)
+        # Conv layers are categorized for coloring.
+        conv_events = [e for e in events if e["cat"] == "conv"]
+        assert len(conv_events) == 2 * len(report.conv_layers())

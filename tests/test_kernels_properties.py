@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on the convolution kernels.
+
+These exercise the algebraic identities convolution must satisfy regardless
+of geometry: linearity in both operands, locality/shift structure, and --
+the paper's core invariant -- exact decomposability over the batch axis.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import ConvType, FwdAlgo
+from repro.cudnn.kernels import direct, fft, winograd
+from repro.cudnn.workspace import is_supported
+from tests.conftest import assert_close
+
+SMALL = dict(max_examples=25, deadline=None)
+
+
+@st.composite
+def small_geometry(draw, stride_ok=True):
+    r = draw(st.sampled_from([1, 3, 5]))
+    stride = draw(st.sampled_from([1, 2])) if stride_ok else 1
+    pad = draw(st.integers(0, r - 1)) if r > 1 else 0
+    h = draw(st.integers(max(r, 4), 12))
+    w = draw(st.integers(max(r, 4), 12))
+    return ConvGeometry(
+        ConvType.FORWARD,
+        n=draw(st.integers(1, 4)),
+        c=draw(st.integers(1, 4)),
+        h=h,
+        w=w,
+        k=draw(st.integers(1, 4)),
+        r=r,
+        s=r,
+        pad_h=pad,
+        pad_w=pad,
+        stride_h=stride,
+        stride_w=stride,
+    )
+
+
+def _operands(g, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(g.x_desc.shape).astype(np.float32)
+    w = rng.standard_normal(g.w_desc.shape).astype(np.float32)
+    return x, w
+
+
+@settings(**SMALL)
+@given(g=small_geometry(), seed=st.integers(0, 2**16))
+def test_batch_decomposition_forward(g, seed):
+    """The paper's section II claim: the mini-batch loop has no cross-sample
+    dependency, so conv(concat(x1, x2)) == concat(conv(x1), conv(x2))."""
+    if g.n < 2:
+        return
+    x, w = _operands(g, seed)
+    split = g.n // 2
+    whole = direct.forward(g, x, w)
+    top = direct.forward(g.with_batch(split), x[:split], w)
+    bottom = direct.forward(g.with_batch(g.n - split), x[split:], w)
+    # Equality up to FP32 reassociation: BLAS blocking may differ with the
+    # batch extent, so the sums are the same only mathematically.
+    assert_close(np.concatenate([top, bottom]), whole, tol=1e-5)
+
+
+@settings(**SMALL)
+@given(g=small_geometry(), seed=st.integers(0, 2**16))
+def test_backward_filter_accumulation(g, seed):
+    """dw over the batch equals the exact sum of per-slice dws computed in
+    float64 order -- the accumulation identity BackwardFilter splitting
+    relies on (up to FP32 reassociation, hence the tolerance)."""
+    if g.n < 2:
+        return
+    rng = np.random.default_rng(seed)
+    x, w = _operands(g, seed)
+    dy = rng.standard_normal(g.y_desc.shape).astype(np.float32)
+    gw = g.with_type(ConvType.BACKWARD_FILTER)
+    whole = direct.backward_filter(gw, x, dy)
+    split = g.n // 2
+    parts = (
+        direct.backward_filter(gw.with_batch(split), x[:split], dy[:split])
+        + direct.backward_filter(gw.with_batch(g.n - split), x[split:], dy[split:])
+    )
+    assert_close(parts, whole, tol=1e-3)
+
+
+@settings(**SMALL)
+@given(g=small_geometry(), seed=st.integers(0, 2**16),
+       a=st.floats(-3, 3), b=st.floats(-3, 3))
+def test_linearity_in_input(g, seed, a, b):
+    x1, w = _operands(g, seed)
+    x2, _ = _operands(g, seed + 1)
+    lhs = direct.forward(g, np.float32(a) * x1 + np.float32(b) * x2, w)
+    rhs = a * direct.forward(g, x1, w) + b * direct.forward(g, x2, w)
+    assert_close(lhs, rhs, tol=5e-3)
+
+
+@settings(**SMALL)
+@given(g=small_geometry(), seed=st.integers(0, 2**16))
+def test_linearity_in_filter(g, seed):
+    x, w1 = _operands(g, seed)
+    _, w2 = _operands(g, seed + 1)
+    lhs = direct.forward(g, x, w1 + w2)
+    rhs = direct.forward(g, x, w1) + direct.forward(g, x, w2)
+    assert_close(lhs, rhs, tol=5e-3)
+
+
+@settings(**SMALL)
+@given(g=small_geometry(stride_ok=False), seed=st.integers(0, 2**16))
+def test_fft_matches_direct_property(g, seed):
+    if not is_supported(g, FwdAlgo.FFT):
+        return
+    x, w = _operands(g, seed)
+    assert_close(fft.forward(g, x, w), direct.forward(g, x, w), tol=2e-3)
+
+
+@settings(**SMALL)
+@given(g=small_geometry(stride_ok=False), seed=st.integers(0, 2**16))
+def test_winograd_matches_direct_property(g, seed):
+    if not is_supported(g, FwdAlgo.WINOGRAD):
+        return
+    x, w = _operands(g, seed)
+    assert_close(winograd.forward(g, x, w), direct.forward(g, x, w), tol=2e-3)
+
+
+@settings(**SMALL)
+@given(seed=st.integers(0, 2**16), n=st.integers(1, 4))
+def test_delta_filter_is_identity(seed, n):
+    """A centered 1x1... actually a delta 3x3 filter with pad 1 copies the
+    input channel: conv(x, delta) == x."""
+    rng = np.random.default_rng(seed)
+    g = ConvGeometry(ConvType.FORWARD, n, 1, 8, 8, 1, 3, 3, 1, 1)
+    x = rng.standard_normal(g.x_desc.shape).astype(np.float32)
+    w = np.zeros(g.w_desc.shape, dtype=np.float32)
+    w[0, 0, 1, 1] = 1.0
+    np.testing.assert_allclose(direct.forward(g, x, w), x, rtol=0, atol=0)
+
+
+@settings(**SMALL)
+@given(seed=st.integers(0, 2**16))
+def test_constant_input_averaging_filter(seed):
+    """Constant input through an all-ones kernel (no padding) yields
+    C * R * S everywhere -- a closed-form cross-check."""
+    g = ConvGeometry(ConvType.FORWARD, 2, 3, 7, 7, 2, 3, 3, 0, 0)
+    x = np.ones(g.x_desc.shape, dtype=np.float32)
+    w = np.ones(g.w_desc.shape, dtype=np.float32)
+    y = direct.forward(g, x, w)
+    np.testing.assert_allclose(y, 27.0)

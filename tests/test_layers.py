@@ -1,0 +1,357 @@
+"""Per-layer tests: shape inference + finite-difference gradient checks.
+
+DESIGN.md invariant 7: every framework layer's backward pass agrees with a
+central-difference numerical gradient on small tensors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cudnn.handle import CudnnHandle
+from repro.errors import FrameworkError, ShapeError
+from repro.frameworks.layers import (
+    LRN,
+    BatchNorm,
+    Concat,
+    Context,
+    Convolution,
+    Dropout,
+    Eltwise,
+    GlobalAvgPool,
+    InnerProduct,
+    Pooling,
+    ReLU,
+    Sigmoid,
+    SoftmaxWithLoss,
+)
+from repro.units import MIB
+
+
+@pytest.fixture
+def ctx():
+    return Context(CudnnHandle(), workspace_limit=1 * MIB,
+                   rng=np.random.default_rng(0))
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar-valued f at x (float64)."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f(x.astype(np.float32))
+        flat[i] = orig - eps
+        fm = f(x.astype(np.float32))
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(ctx, layer, in_shapes, seed=0, tol=5e-2, which=0):
+    """Verify layer backward vs numeric gradient of sum(y * probe)."""
+    rng = np.random.default_rng(seed)
+    layer.setup(ctx, in_shapes)
+    inputs = [rng.standard_normal(s).astype(np.float32) * 0.5 for s in in_shapes]
+    outputs = layer.forward(ctx, inputs)
+    probes = [rng.standard_normal(o.shape).astype(np.float32) for o in outputs]
+
+    def loss_fn(x):
+        trial = list(inputs)
+        trial[which] = x
+        outs = layer.forward(ctx, trial)
+        return sum(float(np.vdot(o.astype(np.float64), p)) for o, p in zip(outs, probes))
+
+    expected = numeric_grad(loss_fn, inputs[which])
+    layer.forward(ctx, inputs)  # restore caches for backward
+    grads = layer.backward(ctx, inputs, outputs, probes)
+    got = grads[which]
+    scale = max(np.abs(expected).max(), 1e-6)
+    assert np.abs(got - expected).max() / scale < tol, layer.name
+
+
+class TestReLU:
+    def test_forward(self, ctx):
+        layer = ReLU("r")
+        layer.setup(ctx, [(2, 3, 4, 4)])
+        x = np.array([[-1.0, 2.0], [0.0, -3.0]], dtype=np.float32)
+        layer.in_shapes = [(2, 2)]
+        layer.out_shapes = [(2, 2)]
+        (y,) = layer.forward(ctx, [x])
+        np.testing.assert_array_equal(y, [[0, 2], [0, 0]])
+
+    def test_gradient(self, ctx):
+        check_input_gradient(ctx, ReLU("r"), [(2, 3, 5, 5)])
+
+    def test_inplace_capable(self):
+        assert ReLU.SUPPORTS_INPLACE
+
+
+class TestSigmoid:
+    def test_gradient(self, ctx):
+        check_input_gradient(ctx, Sigmoid("s"), [(2, 3, 4, 4)])
+
+
+class TestPooling:
+    def test_max_shapes_ceil_mode(self, ctx):
+        # AlexNet pool1: 55 -> 27 with k3 s2; ResNet pool1: 112 -> 56 k3 s2.
+        p = Pooling("p", 3, stride=2)
+        assert p.setup(ctx, [(1, 2, 55, 55)])[0] == (1, 2, 27, 27)
+        p2 = Pooling("p2", 3, stride=2)
+        assert p2.setup(ctx, [(1, 2, 112, 112)])[0] == (1, 2, 56, 56)
+        # Ceil mode proper: 7 -> ceil((7-3)/2)+1 = 3 even though floor is 3;
+        # 8 -> ceil(5/2)+1 = 4 (floor would give 3).
+        p3 = Pooling("p3", 3, stride=2)
+        assert p3.setup(ctx, [(1, 1, 8, 8)])[0] == (1, 1, 4, 4)
+
+    def test_max_values(self, ctx):
+        p = Pooling("p", 2, stride=2, mode="max")
+        p.setup(ctx, [(1, 1, 4, 4)])
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        (y,) = p.forward(ctx, [x])
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_values(self, ctx):
+        p = Pooling("p", 2, stride=2, mode="avg")
+        p.setup(ctx, [(1, 1, 4, 4)])
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        (y,) = p.forward(ctx, [x])
+        np.testing.assert_allclose(y[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_gradient(self, ctx):
+        check_input_gradient(ctx, Pooling("p", 2, stride=2, mode="max"),
+                             [(2, 2, 6, 6)])
+
+    def test_avg_gradient(self, ctx):
+        check_input_gradient(ctx, Pooling("p", 3, stride=2, pad=1, mode="avg"),
+                             [(2, 2, 7, 7)])
+
+    def test_overlapping_max_gradient(self, ctx):
+        check_input_gradient(ctx, Pooling("p", 3, stride=2, mode="max"),
+                             [(1, 2, 7, 7)])
+
+    def test_bad_mode(self):
+        with pytest.raises(ShapeError):
+            Pooling("p", 2, mode="median")
+
+
+class TestGlobalAvgPool:
+    def test_shape_and_value(self, ctx):
+        g = GlobalAvgPool("g")
+        assert g.setup(ctx, [(2, 3, 5, 5)])[0] == (2, 3, 1, 1)
+        x = np.ones((2, 3, 5, 5), dtype=np.float32)
+        np.testing.assert_allclose(g.forward(ctx, [x])[0], 1.0)
+
+    def test_gradient(self, ctx):
+        check_input_gradient(ctx, GlobalAvgPool("g"), [(2, 3, 4, 4)])
+
+
+class TestInnerProduct:
+    def test_shape(self, ctx):
+        fc = InnerProduct("fc", 7)
+        assert fc.setup(ctx, [(4, 3, 2, 2)])[0] == (4, 7)
+        assert fc.fan_in == 12
+
+    def test_gradient_input(self, ctx):
+        check_input_gradient(ctx, InnerProduct("fc", 5), [(3, 4, 2, 2)])
+
+    def test_gradient_weights(self, ctx):
+        rng = np.random.default_rng(1)
+        fc = InnerProduct("fc", 4)
+        fc.setup(ctx, [(3, 6)])
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+        (y,) = fc.forward(ctx, [x])
+        probe = rng.standard_normal(y.shape).astype(np.float32)
+        w0 = fc.params[0].data.copy()
+
+        def loss_fn(wflat):
+            fc.params[0].data = wflat.reshape(w0.shape).astype(np.float32)
+            out = fc.forward(ctx, [x])[0]
+            fc.params[0].data = w0
+            return float(np.vdot(out.astype(np.float64), probe))
+
+        expected = numeric_grad(loss_fn, w0.copy())
+        fc.params[0].zero_grad()
+        fc.backward(ctx, [x], [y], [probe])
+        scale = max(np.abs(expected).max(), 1e-6)
+        assert np.abs(fc.params[0].grad - expected).max() / scale < 5e-2
+
+
+class TestLRN:
+    def test_identity_at_zero_alpha(self, ctx):
+        lrn = LRN("n", alpha=0.0)
+        lrn.setup(ctx, [(2, 6, 3, 3)])
+        x = np.random.default_rng(0).standard_normal((2, 6, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(lrn.forward(ctx, [x])[0], x, rtol=1e-6)
+
+    def test_matches_reference_formula(self, ctx):
+        lrn = LRN("n", local_size=3, alpha=0.3, beta=0.75, k=2.0)
+        lrn.setup(ctx, [(1, 4, 2, 2)])
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 4, 2, 2)).astype(np.float32)
+        (y,) = lrn.forward(ctx, [x])
+        # Naive loop reference.
+        ref = np.zeros_like(x)
+        for c in range(4):
+            lo, hi = max(0, c - 1), min(4, c + 2)
+            denom = (2.0 + 0.3 / 3 * (x[:, lo:hi] ** 2).sum(axis=1)) ** 0.75
+            ref[:, c] = x[:, c] / denom
+        np.testing.assert_allclose(y, ref, rtol=1e-4)
+
+    def test_gradient(self, ctx):
+        check_input_gradient(ctx, LRN("n", local_size=3), [(2, 5, 3, 3)],
+                             tol=5e-2)
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ValueError):
+            LRN("n", local_size=4)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_train(self, ctx):
+        bn = BatchNorm("bn")
+        bn.setup(ctx, [(8, 3, 4, 4)])
+        rng = np.random.default_rng(3)
+        x = (rng.standard_normal((8, 3, 4, 4)) * 5 + 2).astype(np.float32)
+        (y,) = bn.forward(ctx, [x])
+        assert abs(float(y.mean())) < 1e-4
+        assert float(y.std()) == pytest.approx(1.0, abs=1e-2)
+
+    def test_running_stats_used_in_test_phase(self):
+        ctx = Context(CudnnHandle(), rng=np.random.default_rng(0), phase="train")
+        bn = BatchNorm("bn", momentum=0.0)  # running stats = last batch
+        bn.setup(ctx, [(8, 2, 4, 4)])
+        rng = np.random.default_rng(4)
+        x = (rng.standard_normal((8, 2, 4, 4)) * 3 + 1).astype(np.float32)
+        bn.forward(ctx, [x])
+        ctx.phase = "test"
+        (y,) = bn.forward(ctx, [x])
+        assert abs(float(y.mean())) < 1e-3
+
+    def test_gradient(self, ctx):
+        check_input_gradient(ctx, BatchNorm("bn"), [(4, 3, 3, 3)], tol=5e-2)
+
+
+class TestMerge:
+    def test_concat_shapes(self, ctx):
+        c = Concat("c")
+        assert c.setup(ctx, [(2, 3, 4, 4), (2, 5, 4, 4)])[0] == (2, 8, 4, 4)
+
+    def test_concat_mismatch(self, ctx):
+        with pytest.raises(ShapeError):
+            Concat("c").setup(ctx, [(2, 3, 4, 4), (2, 5, 3, 3)])
+
+    def test_concat_roundtrip(self, ctx):
+        c = Concat("c")
+        c.setup(ctx, [(2, 3, 4, 4), (2, 5, 4, 4)])
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 5, 4, 4)).astype(np.float32)
+        (y,) = c.forward(ctx, [a, b])
+        dy = rng.standard_normal(y.shape).astype(np.float32)
+        ga, gb = c.backward(ctx, [a, b], [y], [dy])
+        np.testing.assert_array_equal(ga, dy[:, :3])
+        np.testing.assert_array_equal(gb, dy[:, 3:])
+
+    def test_concat_gradients_each_input(self, ctx):
+        check_input_gradient(ctx, Concat("c"), [(2, 2, 3, 3), (2, 3, 3, 3)], which=0)
+        check_input_gradient(ctx, Concat("c2"), [(2, 2, 3, 3), (2, 3, 3, 3)], which=1)
+
+    def test_eltwise_sum_and_gradient(self, ctx):
+        e = Eltwise("e")
+        e.setup(ctx, [(2, 3, 4, 4)] * 3)
+        xs = [np.full((2, 3, 4, 4), float(i), dtype=np.float32) for i in range(3)]
+        (y,) = e.forward(ctx, xs)
+        np.testing.assert_allclose(y, 3.0)
+        check_input_gradient(ctx, Eltwise("e2"), [(2, 2, 3, 3)] * 2, which=1)
+
+    def test_eltwise_shape_mismatch(self, ctx):
+        with pytest.raises(ShapeError):
+            Eltwise("e").setup(ctx, [(2, 3, 4, 4), (2, 3, 4, 5)])
+
+
+class TestDropout:
+    def test_inverted_scaling_preserves_expectation(self, ctx):
+        d = Dropout("d", ratio=0.5)
+        d.setup(ctx, [(64, 8, 8, 8)])
+        x = np.ones((64, 8, 8, 8), dtype=np.float32)
+        (y,) = d.forward(ctx, [x])
+        assert float(y.mean()) == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(y)) <= {0.0, 2.0}
+
+    def test_test_phase_is_identity(self):
+        ctx = Context(CudnnHandle(), rng=np.random.default_rng(0), phase="test")
+        d = Dropout("d", ratio=0.5)
+        d.setup(ctx, [(2, 3, 4, 4)])
+        x = np.random.default_rng(1).standard_normal((2, 3, 4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(d.forward(ctx, [x])[0], x)
+
+    def test_backward_uses_same_mask(self, ctx):
+        d = Dropout("d", ratio=0.3)
+        d.setup(ctx, [(4, 2, 3, 3)])
+        x = np.ones((4, 2, 3, 3), dtype=np.float32)
+        (y,) = d.forward(ctx, [x])
+        dy = np.ones_like(x)
+        (dx,) = d.backward(ctx, [x], [y], [dy])
+        np.testing.assert_array_equal((y != 0), (dx != 0))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            Dropout("d", ratio=1.0)
+
+
+class TestSoftmaxWithLoss:
+    def test_loss_value_uniform(self, ctx):
+        sm = SoftmaxWithLoss("loss")
+        sm.setup(ctx, [(4, 10)])
+        sm.set_labels(np.zeros(4, dtype=np.int64))
+        logits = np.zeros((4, 10), dtype=np.float32)
+        (loss,) = sm.forward(ctx, [logits])
+        assert float(loss[0]) == pytest.approx(np.log(10.0), rel=1e-5)
+
+    def test_gradient_matches_probs_minus_onehot(self, ctx):
+        sm = SoftmaxWithLoss("loss")
+        sm.setup(ctx, [(3, 5)])
+        rng = np.random.default_rng(6)
+        logits = rng.standard_normal((3, 5)).astype(np.float32)
+        labels = np.array([0, 2, 4])
+        sm.set_labels(labels)
+        sm.forward(ctx, [logits])
+        (grad,) = sm.backward(ctx, [logits], [None],
+                              [np.ones(1, dtype=np.float32)])
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        probs[np.arange(3), labels] -= 1
+        np.testing.assert_allclose(grad, probs / 3, rtol=1e-4, atol=1e-6)
+
+    def test_label_validation(self, ctx):
+        sm = SoftmaxWithLoss("loss")
+        sm.setup(ctx, [(2, 3)])
+        sm.set_labels(np.array([0, 7]))
+        with pytest.raises(ShapeError):
+            sm.forward(ctx, [np.zeros((2, 3), dtype=np.float32)])
+
+    def test_labels_required(self, ctx):
+        sm = SoftmaxWithLoss("loss")
+        sm.setup(ctx, [(2, 3)])
+        with pytest.raises(ShapeError):
+            sm.forward(ctx, [np.zeros((2, 3), dtype=np.float32)])
+
+
+class TestConvolutionLayer:
+    def test_setup_selects_algorithms(self, ctx):
+        conv = Convolution("c", 8, 3, pad=1)
+        out = conv.setup(ctx, [(4, 3, 10, 10)])
+        assert out[0] == (4, 8, 10, 10)
+        assert len(conv.algos) == 3
+        assert conv.workspace_slot <= 1 * MIB
+
+    def test_gradient_via_net_probe(self, ctx):
+        check_input_gradient(ctx, Convolution("c", 4, 3, pad=1, bias=True),
+                             [(2, 3, 6, 6)], tol=5e-2)
+
+    def test_wrong_input_count(self, ctx):
+        with pytest.raises(FrameworkError):
+            Convolution("c", 8, 3).setup(ctx, [(1, 1, 5, 5), (1, 1, 5, 5)])

@@ -1,0 +1,87 @@
+"""Tests for the Pareto-merge MCKP solver."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mckp import MCKPItem, solve_mckp
+from repro.errors import SolverError
+
+
+def brute_force(groups, capacity):
+    best = math.inf
+    best_sel = None
+    for combo in itertools.product(*[range(len(g)) for g in groups]):
+        weight = sum(groups[gi][ci].weight for gi, ci in enumerate(combo))
+        if weight <= capacity:
+            cost = sum(groups[gi][ci].cost for gi, ci in enumerate(combo))
+            if cost < best:
+                best, best_sel = cost, combo
+    return best, best_sel
+
+
+def make_groups(spec):
+    return [
+        [MCKPItem(cost=c, weight=w, index=i) for i, (c, w) in enumerate(group)]
+        for group in spec
+    ]
+
+
+class TestSolveMCKP:
+    def test_simple(self):
+        groups = make_groups([[(5.0, 0), (1.0, 10)], [(4.0, 0), (1.0, 10)]])
+        sol = solve_mckp(groups, capacity=10)
+        assert sol.cost == pytest.approx(5.0)  # one cheap item fits
+        assert sol.weight <= 10
+        assert len(sol.selection) == 2
+
+    def test_selection_indices_are_original(self):
+        groups = make_groups([[(2.0, 0), (1.0, 5)]])
+        sol = solve_mckp(groups, capacity=5)
+        assert sol.selection == [1]
+
+    def test_infeasible(self):
+        groups = make_groups([[(1.0, 10)], [(1.0, 10)]])
+        with pytest.raises(SolverError):
+            solve_mckp(groups, capacity=15)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(SolverError):
+            solve_mckp([[]], capacity=10)
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(SolverError):
+            solve_mckp([], capacity=10)
+
+    def test_front_peak_reported(self):
+        groups = make_groups([[(3.0, 0), (2.0, 1), (1.0, 2)]] * 3)
+        sol = solve_mckp(groups, capacity=6)
+        assert sol.front_peak >= 1
+        assert sol.cost == pytest.approx(3.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_matches_brute_force(self, data):
+        num_groups = data.draw(st.integers(1, 4))
+        spec = [
+            [(data.draw(st.floats(0.1, 10.0)), data.draw(st.integers(0, 15)))
+             for _ in range(data.draw(st.integers(1, 4)))]
+            for _ in range(num_groups)
+        ]
+        capacity = data.draw(st.integers(0, 40))
+        groups = make_groups(spec)
+        expected, _ = brute_force(groups, capacity)
+        if math.isinf(expected):
+            with pytest.raises(SolverError):
+                solve_mckp(groups, capacity)
+            return
+        sol = solve_mckp(groups, capacity)
+        assert sol.cost == pytest.approx(expected)
+        assert sol.weight <= capacity
+        # The reported selection reproduces the reported totals.
+        assert sum(groups[g][c].cost for g, c in enumerate(sol.selection)) == \
+            pytest.approx(sol.cost)
+        assert sum(groups[g][c].weight for g, c in enumerate(sol.selection)) == \
+            sol.weight

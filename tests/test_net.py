@@ -1,0 +1,189 @@
+"""Tests for the Net container: DAG construction, execution, in-place rules."""
+
+import numpy as np
+import pytest
+
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.errors import FrameworkError
+from repro.frameworks.layers import (
+    Concat,
+    Convolution,
+    Eltwise,
+    InnerProduct,
+    LRN,
+    ReLU,
+    SoftmaxWithLoss,
+)
+from repro.frameworks.model_zoo import build_conv_pair, build_tiny_cnn
+from repro.frameworks.net import Net
+from repro.units import MIB
+
+
+class TestConstruction:
+    def test_unknown_bottom_rejected(self):
+        net = Net("t", {"data": (1, 1, 4, 4)})
+        with pytest.raises(FrameworkError):
+            net.add(ReLU("r"), "nope", "out")
+
+    def test_duplicate_top_rejected(self):
+        net = Net("t", {"data": (1, 1, 4, 4)})
+        net.add(Convolution("c", 2, 3, pad=1), "data", "y")
+        with pytest.raises(FrameworkError):
+            net.add(Convolution("c2", 2, 3, pad=1), "data", "y")
+
+    def test_inplace_requires_capability(self):
+        net = Net("t", {"data": (1, 1, 4, 4)})
+        net.add(Convolution("c", 2, 3, pad=1), "data", "y")
+        with pytest.raises(FrameworkError):
+            net.add(Convolution("c2", 2, 3, pad=1), "y", "y")  # conv can't
+
+    def test_inplace_after_materializing_consumer_rejected(self):
+        net = Net("t", {"data": (2, 2, 4, 4)})
+        net.add(Convolution("c", 2, 3, pad=1), "data", "y")
+        net.add(LRN("n"), "y", "z")  # materializing consumer of y
+        with pytest.raises(FrameworkError):
+            net.add(ReLU("r"), "y", "y")
+
+    def test_inplace_chain_allowed(self):
+        net = Net("t", {"data": (2, 2, 4, 4)})
+        net.add(Convolution("c", 2, 3, pad=1), "data", "y")
+        net.add(ReLU("r1"), "y", "y")
+        net.add(ReLU("r2"), "y", "y")  # chained in-place: fine
+
+    def test_use_before_setup(self):
+        net = build_tiny_cnn(batch=2)
+        with pytest.raises(FrameworkError):
+            net.forward()
+
+
+class TestExecution:
+    def test_forward_backward_numeric(self, rng):
+        net = build_tiny_cnn(batch=4).setup(CudnnHandle(), workspace_limit=1 * MIB,
+                                            rng=rng)
+        x = rng.standard_normal((4, 3, 16, 16)).astype(np.float32)
+        labels = rng.integers(0, 10, 4)
+        loss = net.forward({"data": x}, labels)
+        assert loss is not None and loss > 0
+        net.backward()
+        for p in net.params():
+            assert p.grad is not None
+            assert float(np.abs(p.grad).sum()) > 0
+
+    def test_net_level_gradient_check(self, rng):
+        """End-to-end finite-difference check through conv/relu/conv/fc/loss."""
+        net = build_conv_pair(batch=2).setup(CudnnHandle(), workspace_limit=1 * MIB,
+                                             rng=np.random.default_rng(0))
+        x = (rng.standard_normal((2, 4, 12, 12)) * 0.5).astype(np.float32)
+        labels = np.array([0, 2])
+        net.forward({"data": x}, labels)
+        net.backward()
+        got = net.blobs["data"].grad.copy()
+
+        eps = 1e-2
+        idxs = [(0, 0, 3, 4), (1, 2, 7, 1), (0, 3, 0, 0)]
+        for idx in idxs:
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            lp = net.forward({"data": xp}, labels)
+            lm = net.forward({"data": xm}, labels)
+            expected = (lp - lm) / (2 * eps)
+            assert got[idx] == pytest.approx(expected, abs=3e-3)
+
+    def test_fan_out_gradients_sum(self, rng):
+        """A blob consumed by two layers accumulates both gradients."""
+        net = Net("fan", {"data": (2, 3, 6, 6)})
+        net.add(Convolution("a", 2, 3, pad=1), "data", "ya")
+        net.add(Convolution("b", 2, 3, pad=1), "data", "yb")
+        net.add(Concat("cat"), ["ya", "yb"], "y")
+        net.add(InnerProduct("fc", 3), "y", "logits")
+        net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+        net.setup(CudnnHandle(), workspace_limit=1 * MIB,
+                  rng=np.random.default_rng(1))
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        net.forward({"data": x}, np.array([0, 1]))
+        net.backward()
+        data_grad = net.blobs["data"].grad
+        # Zeroing one branch's filter halves the contribution.
+        net.layer("b").params[0].data[...] = 0.0
+        net.layer("b").params[1].data[...] = 0.0
+        net.forward({"data": x}, np.array([0, 1]))
+        net.backward()
+        assert not np.allclose(net.blobs["data"].grad, data_grad)
+
+    def test_eltwise_residual_gradients(self, rng):
+        """ResNet-style join: shortcut and main path both receive grads."""
+        net = Net("res", {"data": (2, 4, 6, 6)})
+        net.add(Convolution("conv", 4, 3, pad=1), "data", "main")
+        net.add(Eltwise("add"), ["main", "data"], "sum")
+        net.add(InnerProduct("fc", 2), "sum", "logits")
+        net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+        net.setup(CudnnHandle(), workspace_limit=1 * MIB,
+                  rng=np.random.default_rng(2))
+        x = rng.standard_normal((2, 4, 6, 6)).astype(np.float32)
+        net.forward({"data": x}, np.array([0, 1]))
+        net.backward()
+        assert net.blobs["data"].grad is not None
+        assert net.blobs["main"].grad is not None
+
+    def test_inplace_matches_out_of_place(self, rng):
+        """The in-place optimization must not change any value."""
+        def build(inplace):
+            net = Net("t", {"data": (3, 2, 8, 8)})
+            net.add(Convolution("c1", 4, 3, pad=1), "data", "y1")
+            if inplace:
+                net.add(ReLU("r"), "y1", "y1")
+                top = "y1"
+            else:
+                net.add(ReLU("r"), "y1", "y2")
+                top = "y2"
+            net.add(InnerProduct("fc", 3), top, "logits")
+            net.add(SoftmaxWithLoss("loss"), "logits", "loss")
+            return net.setup(CudnnHandle(), workspace_limit=1 * MIB,
+                             rng=np.random.default_rng(3))
+
+        x = rng.standard_normal((3, 2, 8, 8)).astype(np.float32)
+        labels = np.array([0, 1, 2])
+        a, b = build(True), build(False)
+        la = a.forward({"data": x}, labels); a.backward()
+        lb = b.forward({"data": x}, labels); b.backward()
+        assert la == pytest.approx(lb)
+        np.testing.assert_allclose(a.blobs["data"].grad, b.blobs["data"].grad,
+                                   rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(a.layer("c1").params[0].grad,
+                                   b.layer("c1").params[0].grad,
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_timing_mode_produces_layer_times(self):
+        net = build_tiny_cnn(batch=8).setup(
+            CudnnHandle(mode=ExecMode.TIMING), workspace_limit=1 * MIB
+        )
+        assert net.forward() is None
+        net.backward()
+        for entry in net.entries:
+            t = net.timings[entry.layer.name]
+            assert t.forward > 0
+            assert t.backward > 0
+
+
+class TestIntrospection:
+    def test_conv_geometries_enumerates_all_kernels(self):
+        net = build_tiny_cnn(batch=8).setup(
+            CudnnHandle(mode=ExecMode.TIMING), workspace_limit=1 * MIB
+        )
+        geoms = net.conv_geometries()
+        assert len(geoms) == 2 * 3  # two convs, three op types each
+        assert "conv1:Forward" in geoms
+        assert geoms["conv1:Forward"].n == 8
+
+    def test_memory_registered(self):
+        handle = CudnnHandle(mode=ExecMode.TIMING)
+        net = build_tiny_cnn(batch=8).setup(handle, workspace_limit=1 * MIB)
+        tags = handle.gpu.memory.live_by_tag()
+        assert tags["data"] > 0
+        assert tags["param"] == net.total_param_bytes()
+
+    def test_layer_lookup(self):
+        net = build_tiny_cnn(batch=2)
+        assert net.layer("conv1").name == "conv1"
+        with pytest.raises(KeyError):
+            net.layer("missing")

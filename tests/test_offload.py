@@ -1,0 +1,98 @@
+"""Tests for the vDNN-style offload analysis."""
+
+import pytest
+
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.frameworks import time_net
+from repro.frameworks.model_zoo import build_tiny_cnn
+from repro.memory import memory_report, plan_offload
+from repro.memory.offload import PCIE_BANDWIDTH
+from repro.units import MIB
+
+
+@pytest.fixture
+def setup():
+    handle = CudnnHandle(mode=ExecMode.TIMING)
+    net = build_tiny_cnn(batch=8).setup(handle, workspace_limit=1 * MIB)
+    report = time_net(net, iterations=1)
+    mem = memory_report(net)
+    return net, mem, report
+
+
+class TestPlanOffload:
+    def test_resident_set_is_window_max(self, setup):
+        net, mem, report = setup
+        plan1 = plan_offload(net, mem, report, window=1)
+        plan_all = plan_offload(net, mem, report, window=len(mem.layers))
+        acts = [l.data_bytes for l in mem.layers]
+        assert plan1.resident_activation_bytes == max(acts)
+        assert plan_all.resident_activation_bytes == sum(acts)
+        assert plan1.resident_activation_bytes <= plan_all.resident_activation_bytes
+
+    def test_window_monotone(self, setup):
+        net, mem, report = setup
+        residents = [
+            plan_offload(net, mem, report, window=w).resident_activation_bytes
+            for w in (1, 2, 4, 8)
+        ]
+        assert residents == sorted(residents)
+
+    def test_traffic_and_overlap(self, setup):
+        net, mem, report = setup
+        plan = plan_offload(net, mem, report, window=2)
+        offloadable = sum(l.data_bytes for l in mem.layers)
+        assert plan.pcie_traffic_bytes == 2 * offloadable
+        assert plan.transfer_time == pytest.approx(
+            plan.pcie_traffic_bytes / PCIE_BANDWIDTH
+        )
+        assert plan.iteration_time >= plan.compute_time
+        assert plan.slowdown_vs_no_offload >= 1.0
+
+    def test_peak_includes_workspace_and_params(self, setup):
+        net, mem, report = setup
+        plan = plan_offload(net, mem, report, window=1)
+        assert plan.peak_device_bytes == (
+            plan.resident_activation_bytes + plan.param_bytes
+            + plan.peak_workspace_bytes
+        )
+        assert plan.param_bytes == sum(l.param_bytes for l in mem.layers)
+        assert plan.peak_workspace_bytes == max(
+            l.workspace_bytes for l in mem.layers
+        )
+
+    def test_invalid_window(self, setup):
+        net, mem, report = setup
+        with pytest.raises(ValueError):
+            plan_offload(net, mem, report, window=0)
+
+    def test_fully_hidden_when_compute_dominates(self, setup):
+        """Tiny nets: compute >= transfers -> no exposed PCIe time, the
+        regime production offloading targets."""
+        net, mem, report = setup
+        plan = plan_offload(net, mem, report, window=2)
+        if plan.transfer_time <= plan.compute_time:
+            assert plan.exposed_transfer_time == 0.0
+            assert plan.slowdown_vs_no_offload == pytest.approx(1.0)
+
+
+class TestBenchmarkRestriction:
+    def test_restricted_keeps_only_families(self, timing_handle):
+        from repro.core.benchmarker import benchmark_kernel
+        from repro.core.policies import BatchSizePolicy
+        from repro.cudnn.enums import AlgoFamily, family_of
+        from tests.conftest import make_geometry
+
+        g = make_geometry(n=8)
+        bench = benchmark_kernel(timing_handle, g, BatchSizePolicy.POWER_OF_TWO)
+        fft_only = bench.restricted({AlgoFamily.FFT, AlgoFamily.FFT_TILING})
+        assert fft_only.sizes == bench.sizes
+        for size in fft_only.sizes:
+            for r in fft_only.results[size]:
+                assert family_of(g.conv_type, r.algo) in (
+                    AlgoFamily.FFT, AlgoFamily.FFT_TILING
+                )
+        # Original table untouched.
+        assert any(
+            family_of(g.conv_type, r.algo) == AlgoFamily.WINOGRAD
+            for r in bench.results[8]
+        )

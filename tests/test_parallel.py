@@ -1,0 +1,111 @@
+"""Tests for the parallel micro-configuration evaluation (section III-D)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.benchmarker import benchmark_kernel
+from repro.core.cache import BenchmarkCache
+from repro.core.policies import BatchSizePolicy
+from repro.cudnn.device import Node
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.parallel import (
+    benchmark_kernels_parallel,
+    schedule_lpt,
+    schedule_round_robin,
+)
+from tests.conftest import make_geometry
+
+
+class TestSchedulers:
+    @given(durations=st.lists(st.floats(0.001, 10.0), min_size=1, max_size=40),
+           workers=st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_lpt_bounds(self, durations, workers):
+        sched = schedule_lpt(durations, workers)
+        total = sum(durations)
+        longest = max(durations)
+        # Every unit assigned exactly once.
+        assigned = sorted(u for worker in sched.assignments for u in worker)
+        assert assigned == list(range(len(durations)))
+        # Makespan sanity: between the trivial lower bounds and LPT's 4/3 bound.
+        lower = max(total / workers, longest)
+        assert sched.makespan >= lower - 1e-9
+        assert sched.makespan <= (4 / 3) * lower + longest  # generous envelope
+        # Loads recompute correctly.
+        for w, units in enumerate(sched.assignments):
+            assert sched.loads[w] == pytest.approx(
+                sum(durations[u] for u in units)
+            )
+
+    def test_lpt_beats_round_robin_on_skewed_loads(self):
+        """The benchmark-unit distribution is skewed (large micro-batches
+        cost far more); LPT handles that, naive striping does not."""
+        durations = [8.0, 7.0, 1.0, 1.0, 1.0, 1.0]
+        lpt = schedule_lpt(durations, 2)
+        rr = schedule_round_robin(durations, 2)
+        assert lpt.makespan == pytest.approx(10.0)
+        assert rr.makespan == pytest.approx(10.0)
+        durations = [8.0, 1.0, 8.0, 1.0]  # striping lands both 8s on worker 0
+        assert schedule_lpt(durations, 2).makespan == pytest.approx(9.0)
+        assert schedule_round_robin(durations, 2).makespan == pytest.approx(16.0)
+
+    def test_single_worker_is_serial(self):
+        sched = schedule_lpt([1.0, 2.0, 3.0], 1)
+        assert sched.makespan == pytest.approx(6.0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            schedule_lpt([1.0], 0)
+
+
+class TestParallelEvaluator:
+    def geometries(self):
+        return {
+            "a": make_geometry(n=16, c=8, k=8, h=13, w=13),
+            "b": make_geometry(n=16, c=16, k=16, h=9, w=9),
+            "c": make_geometry(n=16, c=4, k=32, h=27, w=27, r=5, s=5, pad=2),
+        }
+
+    def test_results_identical_to_serial(self):
+        """Homogeneous GPUs: parallel evaluation changes only the cost."""
+        geoms = self.geometries()
+        node = Node("p100-sxm2", num_gpus=4)
+        par = benchmark_kernels_parallel(node, geoms, BatchSizePolicy.POWER_OF_TWO)
+        serial_handle = CudnnHandle(mode=ExecMode.TIMING)
+        for key, g in geoms.items():
+            serial = benchmark_kernel(serial_handle, g, BatchSizePolicy.POWER_OF_TWO)
+            assert par.benchmarks[key].sizes == serial.sizes
+            for size in serial.sizes:
+                assert [r.time for r in par.benchmarks[key].results[size]] == \
+                    [r.time for r in serial.results[size]]
+
+    def test_speedup_with_four_gpus(self):
+        """Parallel makespan approaches serial / num_gpus for many units."""
+        geoms = self.geometries()
+        node1 = Node("p100-sxm2", num_gpus=1)
+        node4 = Node("p100-sxm2", num_gpus=4)
+        serial = benchmark_kernels_parallel(node1, geoms, BatchSizePolicy.ALL)
+        par = benchmark_kernels_parallel(node4, geoms, BatchSizePolicy.ALL)
+        assert serial.parallel_time == pytest.approx(serial.serial_time)
+        assert par.serial_time == pytest.approx(serial.serial_time)
+        assert 2.0 < par.speedup <= 4.0 + 1e-9
+
+    def test_gpu_clocks_charged(self):
+        node = Node("p100-sxm2", num_gpus=2)
+        benchmark_kernels_parallel(node, self.geometries(),
+                                   BatchSizePolicy.POWER_OF_TWO)
+        assert all(g.clock > 0 for g in node.gpus)
+
+    def test_cache_hits_not_scheduled(self):
+        geoms = self.geometries()
+        cache = BenchmarkCache()
+        node = Node("p100-sxm2", num_gpus=2)
+        first = benchmark_kernels_parallel(node, geoms,
+                                           BatchSizePolicy.POWER_OF_TWO, cache=cache)
+        assert first.parallel_time > 0
+        second = benchmark_kernels_parallel(Node("p100-sxm2", 2), geoms,
+                                            BatchSizePolicy.POWER_OF_TWO, cache=cache)
+        assert second.parallel_time == 0.0
+        assert second.benchmarks.keys() == first.benchmarks.keys()
+        for key in geoms:
+            assert second.benchmarks[key].sizes == first.benchmarks[key].sizes

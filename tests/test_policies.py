@@ -1,0 +1,71 @@
+"""Tests for batch-size policies (paper section III-D)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policies import BatchSizePolicy, candidate_sizes
+
+
+class TestParse:
+    @pytest.mark.parametrize("name,expected", [
+        ("all", BatchSizePolicy.ALL),
+        ("powerOfTwo", BatchSizePolicy.POWER_OF_TWO),
+        ("POWEROFTWO", BatchSizePolicy.POWER_OF_TWO),
+        ("undivided", BatchSizePolicy.UNDIVIDED),
+        (" Undivided ", BatchSizePolicy.UNDIVIDED),
+    ])
+    def test_paper_spellings(self, name, expected):
+        assert BatchSizePolicy.parse(name) == expected
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            BatchSizePolicy.parse("half")
+
+
+class TestCandidateSizes:
+    def test_undivided(self):
+        assert candidate_sizes(BatchSizePolicy.UNDIVIDED, 256) == [256]
+
+    def test_power_of_two(self):
+        assert candidate_sizes(BatchSizePolicy.POWER_OF_TWO, 256) == \
+            [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+    def test_power_of_two_non_power_batch(self):
+        # The original batch must stay available (never worse than cuDNN).
+        sizes = candidate_sizes(BatchSizePolicy.POWER_OF_TWO, 100)
+        assert sizes == [1, 2, 4, 8, 16, 32, 64, 100]
+
+    def test_all(self):
+        assert candidate_sizes(BatchSizePolicy.ALL, 5) == [1, 2, 3, 4, 5]
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            candidate_sizes(BatchSizePolicy.ALL, 0)
+
+    def test_cost_scaling_matches_paper(self):
+        """all costs O(B) benchmark points, powerOfTwo O(log B)."""
+        n_all = len(candidate_sizes(BatchSizePolicy.ALL, 1024))
+        n_p2 = len(candidate_sizes(BatchSizePolicy.POWER_OF_TWO, 1024))
+        assert n_all == 1024
+        assert n_p2 == 11
+
+
+@given(batch=st.integers(1, 4096))
+def test_invariants_all_policies(batch):
+    for policy in BatchSizePolicy:
+        sizes = candidate_sizes(policy, batch)
+        assert sizes == sorted(set(sizes))        # ascending, unique
+        assert batch in sizes                     # undivided always available
+        assert all(1 <= s <= batch for s in sizes)
+
+
+@given(batch=st.integers(1, 4096))
+def test_power_of_two_composability(batch):
+    """Any batch is a sum of the powerOfTwo candidate sizes (binary
+    expansion), so the WR DP is always feasible under this policy."""
+    sizes = set(candidate_sizes(BatchSizePolicy.POWER_OF_TWO, batch))
+    remaining = batch
+    for s in sorted(sizes, reverse=True):
+        while s <= remaining:
+            remaining -= s
+    assert remaining == 0

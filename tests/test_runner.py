@@ -1,0 +1,39 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.harness.runner import REGISTRY, main
+
+
+class TestRunner:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in REGISTRY:
+            assert key in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "powerOfTwo" in out
+        assert "[fig9" in out
+
+    def test_csv_format(self, capsys):
+        assert main(["fig9", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("policy,")
+        assert "|" not in out
+
+    def test_registry_covers_every_paper_artifact(self):
+        assert set(REGISTRY) == {
+            "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "opt-cost", "ilp-stats",
+        }

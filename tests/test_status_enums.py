@@ -1,0 +1,110 @@
+"""Tests for the status-code machinery and algorithm enumerations."""
+
+import pytest
+
+from repro.cudnn.enums import (
+    ALGOS_FOR,
+    AlgoFamily,
+    BwdDataAlgo,
+    BwdFilterAlgo,
+    ConvType,
+    FwdAlgo,
+    algos_for,
+    family_of,
+)
+from repro.cudnn.status import Status, check, error
+from repro.errors import (
+    AllocFailedError,
+    BadParamError,
+    CudnnStatusError,
+    ExecutionFailedError,
+    NotSupportedError,
+    ReproError,
+    UcudnnError,
+    WorkspaceTooSmallError,
+)
+
+
+class TestStatus:
+    def test_success_is_zero(self):
+        assert Status.SUCCESS == 0  # the C ABI convention
+
+    def test_check_success_is_noop(self):
+        check(Status.SUCCESS)
+
+    @pytest.mark.parametrize("status,exc", [
+        (Status.BAD_PARAM, BadParamError),
+        (Status.NOT_SUPPORTED, NotSupportedError),
+        (Status.ALLOC_FAILED, AllocFailedError),
+        (Status.EXECUTION_FAILED, ExecutionFailedError),
+        (Status.INTERNAL_ERROR, CudnnStatusError),
+    ])
+    def test_check_raises_mapped_exception(self, status, exc):
+        with pytest.raises(exc) as ei:
+            check(status, "context")
+        assert ei.value.status == status
+        assert "context" in str(ei.value)
+
+    def test_error_builds_without_raising(self):
+        e = error(Status.NOT_SUPPORTED, "nope")
+        assert isinstance(e, NotSupportedError)
+        with pytest.raises(ValueError):
+            error(Status.SUCCESS)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(WorkspaceTooSmallError, BadParamError)
+        assert issubclass(BadParamError, CudnnStatusError)
+        assert issubclass(CudnnStatusError, ReproError)
+        assert issubclass(UcudnnError, ReproError)
+
+    def test_workspace_error_carries_sizes(self):
+        e = WorkspaceTooSmallError(Status.BAD_PARAM, required=100, provided=99)
+        assert e.required == 100 and e.provided == 99
+        assert "100" in str(e) and "99" in str(e)
+
+
+class TestEnums:
+    def test_cudnn7_fwd_ordinals(self):
+        """The file DB stores raw ordinals; they must match cuDNN 7."""
+        assert FwdAlgo.IMPLICIT_GEMM == 0
+        assert FwdAlgo.IMPLICIT_PRECOMP_GEMM == 1
+        assert FwdAlgo.GEMM == 2
+        assert FwdAlgo.DIRECT == 3
+        assert FwdAlgo.FFT == 4
+        assert FwdAlgo.FFT_TILING == 5
+        assert FwdAlgo.WINOGRAD == 6
+        assert FwdAlgo.WINOGRAD_NONFUSED == 7
+
+    def test_eight_forward_algorithms(self):
+        """The paper: 'cuDNN provides up to eight different algorithms'."""
+        assert len(list(FwdAlgo)) == 8
+
+    def test_algos_for_matches_registry(self):
+        for ct in ConvType:
+            assert algos_for(ct) == list(ALGOS_FOR[ct])
+
+    def test_short_tags(self):
+        assert ConvType.FORWARD.short == "F"
+        assert ConvType.BACKWARD_DATA.short == "BD"
+        assert ConvType.BACKWARD_FILTER.short == "BF"
+
+    def test_every_family_reachable(self):
+        families = {
+            family_of(ct, algo) for ct in ConvType for algo in algos_for(ct)
+        }
+        assert families == set(AlgoFamily)
+
+    def test_bwd_filter_has_no_fused_winograd(self):
+        """cuDNN 7 quirk preserved: BackwardFilter lacks the fused WINOGRAD
+        (only NONFUSED, value 5) and has no algorithm 4."""
+        values = {int(a) for a in BwdFilterAlgo}
+        assert 4 not in values
+        assert BwdFilterAlgo.WINOGRAD_NONFUSED == 5
+        assert BwdFilterAlgo.FFT_TILING == 6
+
+    def test_bwd_data_six_algorithms(self):
+        assert len(list(BwdDataAlgo)) == 6
+
+    def test_family_of_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            family_of("not-a-type", FwdAlgo.GEMM)

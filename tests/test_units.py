@@ -1,0 +1,67 @@
+"""Tests for byte-size helpers and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_constants_are_binary_powers():
+    assert units.KIB == 2**10
+    assert units.MIB == 2**20
+    assert units.GIB == 2**30
+
+
+def test_framework_defaults_match_paper():
+    # Section IV: "8 MiB and 64 MiB ... the default workspace size limits of
+    # Caffe and Caffe2 respectively".
+    assert units.CAFFE_DEFAULT_WORKSPACE == 8 * units.MIB
+    assert units.CAFFE2_DEFAULT_WORKSPACE == 64 * units.MIB
+
+
+def test_mib_rounds_up():
+    assert units.mib(1) == units.MIB
+    assert units.mib(0.5) == units.MIB // 2
+    assert units.mib(1.0000001) > units.MIB
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [
+        (0, "0 B"),
+        (512, "512 B"),
+        (1024, "1.0 KiB"),
+        (48 * units.MIB + units.MIB * 9 // 10, "48.9 MiB"),
+        (3 * units.GIB, "3.0 GiB"),
+        (-2048, "-2.0 KiB"),
+    ],
+)
+def test_format_bytes(n, expected):
+    assert units.format_bytes(n) == expected
+
+
+@pytest.mark.parametrize(
+    "t,expected",
+    [
+        (1e-6, "1 us"),
+        (3.82, "3.82 s"),
+        (0.00482, "4.82 ms"),
+    ],
+)
+def test_format_time(t, expected):
+    assert units.format_time(t) == expected
+
+
+def test_format_time_negative():
+    assert units.format_time(-0.001).startswith("-")
+
+
+@given(st.integers(min_value=0, max_value=2**50))
+def test_format_bytes_total(n):
+    out = units.format_bytes(n)
+    assert out.endswith(("B", "KiB", "MiB", "GiB"))
+
+
+@given(st.floats(min_value=1e-9, max_value=1e4, allow_nan=False))
+def test_format_time_total(t):
+    assert units.format_time(t).endswith(("us", "ms", "s"))

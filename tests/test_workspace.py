@@ -1,0 +1,174 @@
+"""Tests for workspace-size formulas and algorithm support predicates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import (
+    AlgoFamily,
+    BwdDataAlgo,
+    BwdFilterAlgo,
+    ConvType,
+    FwdAlgo,
+    algos_for,
+    family_of,
+)
+from repro.cudnn.workspace import (
+    fft_dims,
+    fft_tiles_per_image,
+    is_supported,
+    next_fast_len,
+    winograd_tiles,
+    workspace_size,
+)
+from repro.units import KIB, MIB
+from tests.conftest import make_geometry
+
+#: The paper's AlexNet conv2 forward geometry (one-column AlexNet, N=256).
+CONV2 = ConvGeometry(ConvType.FORWARD, 256, 64, 27, 27, 192, 5, 5, 2, 2)
+
+
+class TestNextFastLen:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (7, 7), (11, 12), (31, 32),
+                                            (35, 35), (57, 60), (97, 98)])
+    def test_known_values(self, n, expected):
+        assert next_fast_len(n) == expected
+
+    @given(st.integers(1, 4096))
+    def test_is_seven_smooth_and_geq(self, n):
+        m = next_fast_len(n)
+        assert m >= n
+        k = m
+        for p in (2, 3, 5, 7):
+            while k % p == 0:
+                k //= p
+        assert k == 1, f"{m} is not 7-smooth"
+
+    @given(st.integers(1, 2048))
+    def test_minimality_vs_bruteforce(self, n):
+        m = next_fast_len(n)
+        for candidate in range(n, m):
+            k = candidate
+            for p in (2, 3, 5, 7):
+                while k % p == 0:
+                    k //= p
+            assert k != 1, f"{candidate} < {m} is 7-smooth and >= {n}"
+
+
+class TestSupport:
+    def test_direct_never_supported(self):
+        # Real cuDNN enumerates DIRECT but has never implemented it.
+        assert not is_supported(make_geometry(), FwdAlgo.DIRECT)
+
+    def test_gemm_families_always_supported(self):
+        g = make_geometry(r=11, s=11, stride=4, pad=0, h=35, w=35)
+        for algo in (FwdAlgo.IMPLICIT_GEMM, FwdAlgo.IMPLICIT_PRECOMP_GEMM,
+                     FwdAlgo.GEMM):
+            assert is_supported(g, algo)
+
+    def test_fft_requires_unit_stride(self):
+        assert is_supported(make_geometry(), FwdAlgo.FFT)
+        assert not is_supported(make_geometry(stride=2), FwdAlgo.FFT)
+        assert not is_supported(make_geometry(dilation=2), FwdAlgo.FFT)
+
+    def test_winograd_requires_3x3(self):
+        assert is_supported(make_geometry(r=3, s=3), FwdAlgo.WINOGRAD)
+        assert not is_supported(make_geometry(r=5, s=5, pad=2), FwdAlgo.WINOGRAD)
+        assert not is_supported(make_geometry(r=3, s=3, stride=2), FwdAlgo.WINOGRAD)
+
+    def test_fft_rejects_oversized_images(self):
+        g = make_geometry(h=300, w=300)
+        assert not is_supported(g, FwdAlgo.FFT)
+        assert is_supported(g, FwdAlgo.FFT_TILING)  # tiling handles any size
+
+    def test_fft_tiling_filter_must_fit_tile(self):
+        g = make_geometry(h=64, w=64, r=33, s=33, pad=0)
+        assert not is_supported(g, FwdAlgo.FFT_TILING)
+
+    def test_support_consistent_across_op_types(self):
+        """FFT-family support rules are identical for all three op types."""
+        g = make_geometry(r=3, s=3)
+        assert is_supported(g.with_type(ConvType.BACKWARD_DATA), BwdDataAlgo.FFT)
+        assert is_supported(g.with_type(ConvType.BACKWARD_DATA), BwdDataAlgo.WINOGRAD)
+        assert is_supported(g.with_type(ConvType.BACKWARD_FILTER), BwdFilterAlgo.FFT)
+
+
+class TestWorkspaceSizes:
+    def test_implicit_gemm_zero(self):
+        assert workspace_size(make_geometry(), FwdAlgo.IMPLICIT_GEMM) == 0
+        assert workspace_size(make_geometry(), FwdAlgo.WINOGRAD) == 0
+
+    def test_precomp_small_and_batch_independent(self):
+        # Paper section IV-A: 4.3 KiB for conv2 at N=256.
+        ws = workspace_size(CONV2, FwdAlgo.IMPLICIT_PRECOMP_GEMM)
+        assert KIB < ws < 16 * KIB
+        assert ws == workspace_size(CONV2.with_batch(1), FwdAlgo.IMPLICIT_PRECOMP_GEMM)
+
+    def test_fft_conv2_matches_paper_scale(self):
+        """Paper: FFT needs ~213 MiB at N=256, ~48.9 MiB at micro-batch 32."""
+        full = workspace_size(CONV2, FwdAlgo.FFT)
+        micro = workspace_size(CONV2.with_batch(32), FwdAlgo.FFT)
+        assert 150 * MIB < full < 280 * MIB
+        assert 35 * MIB < micro < 64 * MIB
+
+    def test_fft_linear_in_batch_plus_filter_term(self):
+        w1 = workspace_size(CONV2.with_batch(1), FwdAlgo.FFT)
+        w2 = workspace_size(CONV2.with_batch(2), FwdAlgo.FFT)
+        w3 = workspace_size(CONV2.with_batch(3), FwdAlgo.FFT)
+        assert w2 - w1 == pytest.approx(w3 - w2, abs=8)
+
+    def test_explicit_gemm_is_batch_linear_im2col(self):
+        g = make_geometry(n=4)
+        w4 = workspace_size(g, FwdAlgo.GEMM)
+        w8 = workspace_size(g.with_batch(8), FwdAlgo.GEMM)
+        assert w8 == 2 * w4
+        y = g.y_desc
+        assert w4 == 4 * g.n * g.c * g.r * g.s * y.h * y.w
+
+    def test_monotone_in_batch(self):
+        """Workspace never shrinks when the micro-batch grows (the property
+        micro-batching exploits)."""
+        for algo in FwdAlgo:
+            if not is_supported(CONV2, algo):
+                continue
+            sizes = [workspace_size(CONV2.with_batch(n), algo) for n in (1, 8, 64, 256)]
+            assert sizes == sorted(sizes), algo
+
+    def test_fft_dims_pad_to_fast_length(self):
+        hf, wf = fft_dims(CONV2)  # 27 + 2*2 + 5 - 1 = 35 (already 7-smooth)
+        assert (hf, wf) == (35, 35)
+
+    def test_tiles_per_image(self):
+        assert fft_tiles_per_image(CONV2) == 1  # 31 <= 32: single tile
+        big = make_geometry(h=56, w=56, r=3, s=3, pad=1)
+        assert fft_tiles_per_image(big) == 4  # 58 spans two 30-wide steps
+
+    def test_winograd_tiles(self):
+        g = make_geometry(h=13, w=13, r=3, s=3, pad=1)  # 13x13 out, m=2
+        assert winograd_tiles(g) == 7 * 7
+
+    def test_every_supported_pair_has_finite_size(self):
+        for ct in ConvType:
+            g = make_geometry().with_type(ct)
+            for algo in algos_for(ct):
+                if is_supported(g, algo):
+                    assert workspace_size(g, algo) >= 0
+
+
+@given(
+    n=st.integers(1, 64),
+    c=st.integers(1, 16),
+    k=st.integers(1, 16),
+    hw=st.integers(5, 40),
+)
+def test_workspace_monotone_in_batch_property(n, c, k, hw):
+    g = ConvGeometry(ConvType.FORWARD, n + 1, c, hw, hw, k, 3, 3, 1, 1)
+    for algo in FwdAlgo:
+        if is_supported(g, algo):
+            assert workspace_size(g.with_batch(n), algo) <= workspace_size(g, algo)
+
+
+def test_family_mapping_is_total():
+    for ct in ConvType:
+        for algo in algos_for(ct):
+            assert isinstance(family_of(ct, algo), AlgoFamily)

@@ -1,0 +1,158 @@
+"""Tests for the WR dynamic program (paper section III-B).
+
+The key theorem checked here: the DP finds the true optimum over all
+compositions of the mini-batch from measured sizes -- verified against an
+exhaustive partition enumeration on randomized synthetic cost tables.
+"""
+
+import math
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policies import BatchSizePolicy
+from repro.core.wr import optimize_from_benchmark, optimize_kernel
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import ConvType
+from repro.errors import OptimizationError
+from repro.units import MIB
+from tests.conftest import make_geometry
+from tests.test_benchmarker import synth_benchmark
+
+CONV2 = ConvGeometry(ConvType.FORWARD, 256, 64, 27, 27, 192, 5, 5, 2, 2)
+
+
+def brute_force_optimum(table: dict[int, list[tuple[float, int]]], n: int,
+                        limit: int) -> float:
+    """Minimum total time over all partitions of ``n`` (exponential)."""
+    best_at = {}
+    for size, entries in table.items():
+        feasible = [t for t, ws in entries if ws <= limit]
+        if feasible:
+            best_at[size] = min(feasible)
+
+    @lru_cache(maxsize=None)
+    def solve(remaining: int) -> float:
+        if remaining == 0:
+            return 0.0
+        best = math.inf
+        for size, t in best_at.items():
+            if size <= remaining:
+                best = min(best, t + solve(remaining - size))
+        return best
+
+    return solve(n)
+
+
+class TestDPOptimality:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 14),
+        data=st.data(),
+    )
+    def test_matches_brute_force(self, n, data):
+        sizes = data.draw(st.lists(st.integers(1, n), min_size=1, max_size=4,
+                                   unique=True))
+        if 1 not in sizes:
+            sizes.append(1)  # keep the instance feasible
+        table = {
+            s: [(data.draw(st.floats(0.01, 10.0)), data.draw(st.integers(0, 100)))
+                for _ in range(data.draw(st.integers(1, 3)))]
+            for s in sizes
+        }
+        limit = data.draw(st.integers(0, 100))
+        # Ensure feasibility: at least one zero-workspace entry at size 1.
+        table[1].append((5.0, 0))
+        bench = synth_benchmark(n, table)
+        config = optimize_from_benchmark(bench, limit)
+        expected = brute_force_optimum(table, n, limit)
+        assert config.time == pytest.approx(expected)
+        assert config.batch == n
+        assert config.workspace <= limit
+
+    def test_prefers_division_when_beneficial(self):
+        # Dividing 4 = 2 + 2 at 1.0 each beats undivided 3.0.
+        bench = synth_benchmark(4, {4: [(3.0, 0)], 2: [(1.0, 0)]})
+        config = optimize_from_benchmark(bench, 0)
+        assert config.micro_batch_sizes() == (2, 2)
+        assert config.time == pytest.approx(2.0)
+
+    def test_keeps_batch_whole_when_best(self):
+        bench = synth_benchmark(4, {4: [(1.0, 0)], 2: [(0.9, 0)]})
+        config = optimize_from_benchmark(bench, 0)
+        assert config.is_undivided
+
+    def test_mixed_sizes(self):
+        # 6 = 4 + 2 with t(4)=1, t(2)=0.7 beats 3x2 (2.1) and its own 1.9... 1.7.
+        bench = synth_benchmark(6, {6: [(5.0, 0)], 4: [(1.0, 0)], 2: [(0.7, 0)]})
+        config = optimize_from_benchmark(bench, 0)
+        assert sorted(config.micro_batch_sizes()) == [2, 4]
+
+    def test_workspace_constraint_changes_choice(self):
+        bench = synth_benchmark(4, {4: [(3.0, 0), (1.0, 100)], 2: [(1.2, 10)]})
+        assert optimize_from_benchmark(bench, 100).time == pytest.approx(1.0)
+        assert optimize_from_benchmark(bench, 10).time == pytest.approx(2.4)
+        assert optimize_from_benchmark(bench, 0).time == pytest.approx(3.0)
+
+    def test_infeasible_when_nothing_fits(self):
+        bench = synth_benchmark(4, {4: [(1.0, 100)]})
+        with pytest.raises(OptimizationError):
+            optimize_from_benchmark(bench, 50)
+
+    def test_uncomposable_batch(self):
+        bench = synth_benchmark(5, {2: [(1.0, 0)]})  # 5 not a sum of 2s
+        with pytest.raises(OptimizationError):
+            optimize_from_benchmark(bench, 0)
+
+
+class TestOnPerfModel:
+    def test_conv2_paper_shape(self, timing_handle):
+        """Fig. 9: at 64 MiB, WR divides conv2 and engages the FFT family
+        with a large speedup; undivided stays on the GEMM family."""
+        res = optimize_kernel(timing_handle, CONV2, 64 * MIB,
+                              BatchSizePolicy.POWER_OF_TWO)
+        assert not res.configuration.is_undivided
+        assert res.speedup_vs_undivided > 1.5
+        assert res.configuration.workspace <= 64 * MIB
+        names = {m.algo.name for m in res.configuration}
+        assert names <= {"FFT", "FFT_TILING"}
+
+    def test_tight_limit_no_gain(self, timing_handle):
+        """Fig. 10's 8 MiB column: nothing useful fits, mu-cuDNN == cuDNN."""
+        res = optimize_kernel(timing_handle, CONV2, 1 * MIB,
+                              BatchSizePolicy.POWER_OF_TWO)
+        assert res.speedup_vs_undivided == pytest.approx(1.0, abs=0.05)
+
+    def test_generous_limit_no_division_needed(self, timing_handle):
+        """Fig. 10's 512 MiB column: everything fits undivided."""
+        res = optimize_kernel(timing_handle, CONV2, 512 * MIB,
+                              BatchSizePolicy.POWER_OF_TWO)
+        assert res.configuration.time <= res.undivided_time
+        assert res.speedup_vs_undivided == pytest.approx(1.0, abs=0.02)
+
+    def test_all_at_least_as_good_as_power_of_two(self, timing_handle):
+        all_res = optimize_kernel(timing_handle, CONV2, 64 * MIB,
+                                  BatchSizePolicy.ALL)
+        p2_res = optimize_kernel(timing_handle, CONV2, 64 * MIB,
+                                 BatchSizePolicy.POWER_OF_TWO)
+        assert all_res.configuration.time <= p2_res.configuration.time + 1e-12
+
+    def test_undivided_policy_equals_plain_cudnn(self, timing_handle):
+        res = optimize_kernel(timing_handle, CONV2, 64 * MIB,
+                              BatchSizePolicy.UNDIVIDED)
+        assert res.configuration.is_undivided
+        assert res.speedup_vs_undivided == pytest.approx(1.0)
+
+    def test_never_slower_than_undivided(self, timing_handle):
+        """mu-cuDNN's guarantee: the DP can always fall back to undivided."""
+        for limit_mib in (1, 8, 64, 512):
+            res = optimize_kernel(timing_handle, CONV2, limit_mib * MIB,
+                                  BatchSizePolicy.POWER_OF_TWO)
+            assert res.configuration.time <= res.undivided_time + 1e-12
+
+    def test_result_covers_batch_exactly(self, timing_handle):
+        g = make_geometry(n=24, c=8, k=16, h=14, w=14)  # non-power-of-two
+        res = optimize_kernel(timing_handle, g, 4 * MIB,
+                              BatchSizePolicy.POWER_OF_TWO)
+        assert res.configuration.batch == 24
