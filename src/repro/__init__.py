@@ -11,7 +11,9 @@ Frameworks with Micro-Batching"* (Oyama, Ben-Nun, Hoefler, Matsuoka):
 * :mod:`repro.frameworks` -- a mini Caffe/TF-like framework + model zoo;
 * :mod:`repro.memory`     -- per-layer memory accounting;
 * :mod:`repro.parallel`   -- multi-GPU benchmark evaluation;
-* :mod:`repro.harness`    -- one experiment per paper figure/table.
+* :mod:`repro.harness`    -- one experiment per paper figure/table;
+* :mod:`repro.telemetry`  -- spans, metrics, and exporters over all of it
+  (off by default; see ``telemetry.enable`` / ``telemetry.capture``).
 
 Quickstart::
 
@@ -28,7 +30,7 @@ Quickstart::
 See README.md and DESIGN.md for the full tour.
 """
 
-from repro import core, cudnn, frameworks, harness, memory, parallel, units
+from repro import core, cudnn, frameworks, harness, memory, parallel, telemetry, units
 from repro.core import BatchSizePolicy, Options, UcudnnHandle
 from repro.cudnn import ConvGeometry, ConvType
 from repro.errors import ReproError
@@ -49,5 +51,6 @@ __all__ = [
     "harness",
     "memory",
     "parallel",
+    "telemetry",
     "units",
 ]

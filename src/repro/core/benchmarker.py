@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import repro.telemetry as telemetry
 from repro.core.config import MicroConfig
 from repro.core.policies import BatchSizePolicy, candidate_sizes
 from repro.cudnn.api import find_algorithms
@@ -166,24 +167,48 @@ def benchmark_kernel(
         raise ValueError("samples must be >= 1")
     bench = KernelBenchmark(geometry=geometry, policy=policy)
     gpu_name = handle.gpu.spec.name
-    for size in candidate_sizes(policy, geometry.n):
-        g = geometry.with_batch(size)
-        cached = cache.get_benchmark(gpu_name, g) if cache is not None else None
-        if cached is not None:
-            found = cached
-        else:
-            runs = []
-            for _ in range(samples):
-                run = [r for r in find_algorithms(handle, g) if r.ok]
-                # cudnnFind executes each supported algorithm once per sample.
-                bench.benchmark_time += sum(r.time for r in run)
-                runs.append(run)
-            found = runs[0] if samples == 1 else _aggregate_samples(runs)
-            if cache is not None:
-                cache.put_benchmark(gpu_name, g, found)
-        if deterministic_only:
-            found = [
-                r for r in found if is_deterministic(geometry.conv_type, r.algo)
-            ]
-        bench.results[size] = found
+    with telemetry.span(
+        "benchmark.kernel", kernel=geometry.cache_key(), policy=policy.value
+    ) as kspan:
+        for size in candidate_sizes(policy, geometry.n):
+            g = geometry.with_batch(size)
+            cached = cache.get_benchmark(gpu_name, g) if cache is not None else None
+            if cached is not None:
+                found = cached
+            else:
+                # One benchmark unit: every algorithm at one micro-batch size,
+                # as a single cudnnFind* invocation measures them.
+                with telemetry.span("benchmark.find", size=size) as unit:
+                    unit_time = 0.0
+                    runs = []
+                    for _ in range(samples):
+                        run = [r for r in find_algorithms(handle, g) if r.ok]
+                        # cudnnFind executes each supported algorithm once
+                        # per sample.
+                        unit_time += sum(r.time for r in run)
+                        runs.append(run)
+                    found = runs[0] if samples == 1 else _aggregate_samples(runs)
+                    bench.benchmark_time += unit_time
+                    unit.set("algorithms", len(found))
+                    unit.set("device_seconds", unit_time)
+                telemetry.count(
+                    "benchmark.units", help="cudnnFind benchmark units evaluated"
+                )
+                telemetry.count(
+                    "benchmark.device_seconds", unit_time,
+                    help="simulated device seconds spent benchmarking",
+                )
+                telemetry.observe(
+                    "benchmark.unit_seconds", unit_time,
+                    help="simulated device seconds per benchmark unit",
+                )
+                if cache is not None:
+                    cache.put_benchmark(gpu_name, g, found)
+            if deterministic_only:
+                found = [
+                    r for r in found if is_deterministic(geometry.conv_type, r.algo)
+                ]
+            bench.results[size] = found
+        kspan.set("sizes", len(bench.results))
+        kspan.set("benchmark_seconds", bench.benchmark_time)
     return bench

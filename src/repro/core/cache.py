@@ -21,6 +21,7 @@ import os
 import tempfile
 from pathlib import Path
 
+import repro.telemetry as telemetry
 from repro.core.config import Configuration
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.enums import ALGOS_FOR, ConvType
@@ -62,8 +63,14 @@ class BenchmarkCache:
         entry = self._bench.get(_bench_key(gpu_name, geometry))
         if entry is None:
             self.misses += 1
+            if telemetry.enabled():
+                telemetry.count("cache.misses", help="benchmark/config cache misses")
+                telemetry.event("cache.miss", key=_bench_key(gpu_name, geometry))
             return None
         self.hits += 1
+        if telemetry.enabled():
+            telemetry.count("cache.hits", help="benchmark/config cache hits")
+            telemetry.event("cache.hit", key=_bench_key(gpu_name, geometry))
         return list(entry)
 
     def put_benchmark(
@@ -87,8 +94,14 @@ class BenchmarkCache:
         data = self._configs.get(key)
         if data is None:
             self.misses += 1
+            if telemetry.enabled():
+                telemetry.count("cache.misses", help="benchmark/config cache misses")
+                telemetry.event("cache.miss", key=key)
             return None
         self.hits += 1
+        if telemetry.enabled():
+            telemetry.count("cache.hits", help="benchmark/config cache hits")
+            telemetry.event("cache.hit", key=key)
         return Configuration.from_dict(data)
 
     def put_configuration(
@@ -102,6 +115,11 @@ class BenchmarkCache:
         """Atomically persist to :attr:`path` (no-op without a path)."""
         if self.path is None:
             return
+        with telemetry.span("cache.save", path=str(self.path), entries=len(self)):
+            self._save()
+        telemetry.count("cache.saves", help="benchmark DB persist operations")
+
+    def _save(self) -> None:
         payload = {
             "version": _FORMAT_VERSION,
             "benchmarks": {
@@ -162,6 +180,7 @@ class BenchmarkCache:
             ]
         self._bench = bench
         self._configs = dict(payload.get("configurations", {}))
+        telemetry.event("cache.load", path=str(self.path), entries=len(self))
 
     def __len__(self) -> int:
         return len(self._bench) + len(self._configs)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.core.config import Configuration
 from repro.cudnn import api
 from repro.cudnn.descriptors import (
@@ -46,6 +47,27 @@ def _slice(arr: np.ndarray | None, start: int, stop: int):
     return None if arr is None else arr[start:stop]
 
 
+def _micro_span(op: str, micro):
+    """Telemetry for one micro-batch execution (inert when disabled).
+
+    Kept behind a single ``enabled()`` check so the per-micro-batch loop --
+    the hottest path in the library -- does not build attribute dicts when
+    telemetry is off.
+    """
+    if not telemetry.enabled():
+        return telemetry.NULL_SPAN
+    telemetry.count("exec.micro_batches", help="micro-batches executed")
+    telemetry.observe(
+        "exec.micro_batch_size", micro.micro_batch,
+        help="executed micro-batch sizes",
+        buckets=telemetry.metrics.SIZE_BUCKETS,
+    )
+    return telemetry.span(
+        "exec.micro_batch", op=op, algo=micro.algo.name,
+        micro_batch=micro.micro_batch, workspace=micro.workspace,
+    )
+
+
 def forward(
     handle: CudnnHandle,
     config: Configuration,
@@ -67,20 +89,21 @@ def forward(
     offset = 0
     for micro in config:
         m = micro.micro_batch
-        out = api.convolution_forward(
-            handle,
-            x_desc.with_batch(m),
-            _slice(x, offset, offset + m),
-            w_desc,
-            w,
-            conv_desc,
-            micro.algo,
-            workspace,
-            y_desc.with_batch(m),
-            _slice(y, offset, offset + m),
-            alpha=alpha,
-            beta=beta,
-        )
+        with _micro_span("Forward", micro):
+            out = api.convolution_forward(
+                handle,
+                x_desc.with_batch(m),
+                _slice(x, offset, offset + m),
+                w_desc,
+                w,
+                conv_desc,
+                micro.algo,
+                workspace,
+                y_desc.with_batch(m),
+                _slice(y, offset, offset + m),
+                alpha=alpha,
+                beta=beta,
+            )
         if y is not None and out is not None:
             y[offset : offset + m] = out
         offset += m
@@ -108,20 +131,21 @@ def backward_data(
     offset = 0
     for micro in config:
         m = micro.micro_batch
-        out = api.convolution_backward_data(
-            handle,
-            w_desc,
-            w,
-            dy_desc.with_batch(m),
-            _slice(dy, offset, offset + m),
-            conv_desc,
-            micro.algo,
-            workspace,
-            dx_desc.with_batch(m),
-            _slice(dx, offset, offset + m),
-            alpha=alpha,
-            beta=beta,
-        )
+        with _micro_span("BackwardData", micro):
+            out = api.convolution_backward_data(
+                handle,
+                w_desc,
+                w,
+                dy_desc.with_batch(m),
+                _slice(dy, offset, offset + m),
+                conv_desc,
+                micro.algo,
+                workspace,
+                dx_desc.with_batch(m),
+                _slice(dx, offset, offset + m),
+                alpha=alpha,
+                beta=beta,
+            )
         if dx is not None and out is not None:
             dx[offset : offset + m] = out
         offset += m
@@ -150,20 +174,22 @@ def backward_filter(
     offset = 0
     for i, micro in enumerate(config):
         m = micro.micro_batch
-        dw = api.convolution_backward_filter(
-            handle,
-            x_desc.with_batch(m),
-            _slice(x, offset, offset + m),
-            dy_desc.with_batch(m),
-            _slice(dy, offset, offset + m),
-            conv_desc,
-            micro.algo,
-            workspace,
-            dw_desc,
-            dw,
-            alpha=alpha,
-            # First micro-batch honors the caller's beta; the rest accumulate.
-            beta=beta if i == 0 else 1.0,
-        )
+        with _micro_span("BackwardFilter", micro):
+            dw = api.convolution_backward_filter(
+                handle,
+                x_desc.with_batch(m),
+                _slice(x, offset, offset + m),
+                dy_desc.with_batch(m),
+                _slice(dy, offset, offset + m),
+                conv_desc,
+                micro.algo,
+                workspace,
+                dw_desc,
+                dw,
+                alpha=alpha,
+                # First micro-batch honors the caller's beta; the rest
+                # accumulate.
+                beta=beta if i == 0 else 1.0,
+            )
         offset += m
     return dw

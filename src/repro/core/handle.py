@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+import repro.telemetry as telemetry
 from repro.core import convolution as uconv
 from repro.core.benchmarker import benchmark_kernel
 from repro.core.cache import BenchmarkCache
@@ -161,12 +162,16 @@ class UcudnnHandle:
         cached = self.cache.get_configuration(key)
         if cached is not None:
             return cached
-        bench = benchmark_kernel(
-            self.inner, g, self.options.policy, cache=self.cache,
-            deterministic_only=self.options.deterministic,
-        )
-        self.benchmark_time += bench.benchmark_time
-        config = optimize_from_benchmark(bench, limit)
+        with telemetry.span(
+            "ucudnn.optimize", scheme="wr", kernel=g.cache_key(),
+            workspace_limit=limit,
+        ):
+            bench = benchmark_kernel(
+                self.inner, g, self.options.policy, cache=self.cache,
+                deterministic_only=self.options.deterministic,
+            )
+            self.benchmark_time += bench.benchmark_time
+            config = optimize_from_benchmark(bench, limit)
         self.cache.put_configuration(key, g.conv_type, config)
         return config
 
@@ -174,18 +179,22 @@ class UcudnnHandle:
         """Run WD over every registered kernel (first convolution call)."""
         total = self.options.total_workspace
         assert total is not None
-        kernels: list[WDKernel] = []
-        for g in self._registered:
-            bench = benchmark_kernel(
-                self.inner, g, self.options.policy, cache=self.cache,
-                deterministic_only=self.options.deterministic,
-            )
-            self.benchmark_time += bench.benchmark_time
-            front = desirable_set(bench, workspace_limit=total)
-            kernels.append(
-                WDKernel(key=g.cache_key(), geometry=g, benchmark=bench, desirable=front)
-            )
-        result = solve_from_kernels(kernels, total, solver=self.options.wd_solver)
+        with telemetry.span(
+            "ucudnn.optimize", scheme="wd", kernels=len(self._registered),
+            total_workspace=total,
+        ):
+            kernels: list[WDKernel] = []
+            for g in self._registered:
+                bench = benchmark_kernel(
+                    self.inner, g, self.options.policy, cache=self.cache,
+                    deterministic_only=self.options.deterministic,
+                )
+                self.benchmark_time += bench.benchmark_time
+                front = desirable_set(bench, workspace_limit=total)
+                kernels.append(
+                    WDKernel(key=g.cache_key(), geometry=g, benchmark=bench, desirable=front)
+                )
+            result = solve_from_kernels(kernels, total, solver=self.options.wd_solver)
         self.wd_result = result
         for kernel in kernels:
             self._configs[kernel.geometry] = result.assignments[kernel.key]
@@ -224,6 +233,10 @@ class UcudnnHandle:
             self._workspaces[g] = self.inner.gpu.memory.alloc(
                 config.workspace, tag="workspace"
             )
+            telemetry.count("workspace.allocations",
+                            help="workspace slots allocated")
+            telemetry.count("workspace.allocated_bytes", config.workspace,
+                            help="workspace bytes allocated")
         return config.workspace
 
     def _run_with_workspace(self, config: Configuration, fn):
@@ -232,6 +245,9 @@ class UcudnnHandle:
             return fn()
         memory = self.inner.gpu.memory
         ident = memory.alloc(config.workspace, tag="workspace")
+        telemetry.count("workspace.allocations", help="workspace slots allocated")
+        telemetry.count("workspace.allocated_bytes", config.workspace,
+                        help="workspace bytes allocated")
         try:
             return fn()
         finally:

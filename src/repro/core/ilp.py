@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.optimize import linprog
 
+import repro.telemetry as telemetry
 from repro.errors import SolverError
 
 #: Integrality tolerance: LP values this close to 0/1 count as integral.
@@ -580,9 +581,22 @@ def solve_branch_and_bound(
     """
     start = _time.perf_counter()
     shape = _detect_mckp(problem)
-    if shape is not None:
-        return _solve_bnb_mckp(problem, shape, max_nodes, start)
-    return _solve_bnb_generic(problem, max_nodes, start)
+    with telemetry.span(
+        "ilp.solve",
+        variables=problem.num_variables,
+        relaxation="mckp" if shape is not None else "highs",
+    ) as tspan:
+        if shape is not None:
+            solution = _solve_bnb_mckp(problem, shape, max_nodes, start)
+        else:
+            solution = _solve_bnb_generic(problem, max_nodes, start)
+        tspan.set("objective", solution.objective)
+        tspan.set("nodes", solution.nodes_explored)
+        telemetry.count("ilp.nodes_explored", solution.nodes_explored,
+                        help="branch-and-bound nodes expanded")
+        telemetry.count("ilp.lp_calls", solution.lp_calls,
+                        help="LP relaxation bounds computed")
+    return solution
 
 
 def solve_exhaustive(problem: ZeroOneProblem) -> ILPSolution:

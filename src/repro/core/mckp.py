@@ -24,6 +24,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass
 
+import repro.telemetry as telemetry
 from repro.errors import SolverError
 
 
@@ -65,6 +66,20 @@ def solve_mckp(
     max_front: int = 2_000_000,
 ) -> MCKPSolution:
     """Pick one item per group minimizing cost with total weight <= capacity."""
+    with telemetry.span(
+        "mckp.solve", groups=len(groups), capacity=capacity
+    ) as tspan:
+        solution = _solve_mckp(groups, capacity, max_front)
+        tspan.set("front_peak", solution.front_peak)
+        tspan.set("cost", solution.cost)
+    return solution
+
+
+def _solve_mckp(
+    groups: list[list[MCKPItem]],
+    capacity: int,
+    max_front: int,
+) -> MCKPSolution:
     start = _time.perf_counter()
     if not groups:
         raise SolverError("MCKP needs at least one group")

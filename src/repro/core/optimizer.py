@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import repro.telemetry as telemetry
 from repro.core.benchmarker import benchmark_kernel
 from repro.core.cache import BenchmarkCache
 from repro.core.config import Configuration
@@ -79,19 +80,25 @@ def optimize_network_wr(
 ) -> NetworkPlan:
     """WR: each kernel gets its own ``workspace_limit``-byte slot."""
     plan = NetworkPlan(scheme="wr", policy=policy)
-    for name, g in geometries.items():
-        bench = benchmark_kernel(handle, g, policy, cache=cache)
-        plan.benchmark_time += bench.benchmark_time
-        config = optimize_from_benchmark(bench, workspace_limit)
-        undivided = bench.fastest_micro(g.n, workspace_limit)
-        plan.kernels.append(
-            KernelPlan(
-                name=name,
-                geometry=g,
-                configuration=config,
-                undivided_time=undivided.time if undivided else math.inf,
+    with telemetry.span(
+        "optimize.network", scheme="wr", kernels=len(geometries),
+        policy=policy.value, workspace_limit=workspace_limit,
+    ) as tspan:
+        for name, g in geometries.items():
+            bench = benchmark_kernel(handle, g, policy, cache=cache)
+            plan.benchmark_time += bench.benchmark_time
+            config = optimize_from_benchmark(bench, workspace_limit)
+            undivided = bench.fastest_micro(g.n, workspace_limit)
+            plan.kernels.append(
+                KernelPlan(
+                    name=name,
+                    geometry=g,
+                    configuration=config,
+                    undivided_time=undivided.time if undivided else math.inf,
+                )
             )
-        )
+        tspan.set("benchmark_seconds", plan.benchmark_time)
+        tspan.set("total_time", plan.total_time)
     return plan
 
 
@@ -106,26 +113,32 @@ def optimize_network_wd(
 ) -> NetworkPlan:
     """WD: all kernels share one ``total_workspace``-byte pool."""
     plan = NetworkPlan(scheme="wd", policy=policy)
-    wd_kernels: list[WDKernel] = []
-    undivided: dict[str, float] = {}
-    for name, g in geometries.items():
-        bench = benchmark_kernel(handle, g, policy, cache=cache)
-        plan.benchmark_time += bench.benchmark_time
-        front = desirable_set(bench, workspace_limit=total_workspace, max_front=max_front)
-        wd_kernels.append(
-            WDKernel(key=name, geometry=g, benchmark=bench, desirable=front)
-        )
-        micro = bench.fastest_micro(g.n, total_workspace)
-        undivided[name] = micro.time if micro else math.inf
-    result = solve_from_kernels(wd_kernels, total_workspace, solver=solver)
-    plan.wd = result
-    for kernel in wd_kernels:
-        plan.kernels.append(
-            KernelPlan(
-                name=kernel.key,
-                geometry=kernel.geometry,
-                configuration=result.assignments[kernel.key],
-                undivided_time=undivided[kernel.key],
+    with telemetry.span(
+        "optimize.network", scheme="wd", kernels=len(geometries),
+        policy=policy.value, total_workspace=total_workspace,
+    ) as tspan:
+        wd_kernels: list[WDKernel] = []
+        undivided: dict[str, float] = {}
+        for name, g in geometries.items():
+            bench = benchmark_kernel(handle, g, policy, cache=cache)
+            plan.benchmark_time += bench.benchmark_time
+            front = desirable_set(bench, workspace_limit=total_workspace, max_front=max_front)
+            wd_kernels.append(
+                WDKernel(key=name, geometry=g, benchmark=bench, desirable=front)
             )
-        )
+            micro = bench.fastest_micro(g.n, total_workspace)
+            undivided[name] = micro.time if micro else math.inf
+        result = solve_from_kernels(wd_kernels, total_workspace, solver=solver)
+        plan.wd = result
+        for kernel in wd_kernels:
+            plan.kernels.append(
+                KernelPlan(
+                    name=kernel.key,
+                    geometry=kernel.geometry,
+                    configuration=result.assignments[kernel.key],
+                    undivided_time=undivided[kernel.key],
+                )
+            )
+        tspan.set("benchmark_seconds", plan.benchmark_time)
+        tspan.set("total_time", plan.total_time)
     return plan

@@ -30,6 +30,7 @@ from typing import TypeVar
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.core.benchmarker import KernelBenchmark
 from repro.core.config import Configuration, MicroConfig
 from repro.errors import OptimizationError
@@ -87,6 +88,32 @@ def desirable_set(
     max_front: int | None = None,
 ) -> list[Configuration]:
     """All desirable (Pareto-undominated) configurations of one kernel.
+
+    See :func:`_desirable_set` below for the DP itself; this wrapper adds
+    the telemetry span and the front-size histogram (the paper's "at most
+    ~68 desirable configurations" claim, checkable from any profiled run).
+    """
+    with telemetry.span(
+        "optimize.pareto",
+        kernel=benchmark.geometry.cache_key(),
+        policy=benchmark.policy.value,
+    ) as tspan:
+        front = _desirable_set(benchmark, workspace_limit, max_front)
+        tspan.set("front_size", len(front))
+        telemetry.observe(
+            "pareto.front_size", len(front),
+            help="desirable-set sizes per kernel",
+            buckets=telemetry.metrics.SIZE_BUCKETS,
+        )
+    return front
+
+
+def _desirable_set(
+    benchmark: KernelBenchmark,
+    workspace_limit: int | None = None,
+    max_front: int | None = None,
+) -> list[Configuration]:
+    """The desirable-set DP (section III-C1).
 
     Parameters
     ----------

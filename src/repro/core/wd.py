@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.core.benchmarker import KernelBenchmark, benchmark_kernel
 from repro.core.config import Configuration
 from repro.core.ilp import ILPSolution, ZeroOneProblem, solve_branch_and_bound
@@ -110,6 +111,29 @@ def solve_from_kernels(
     solver: str = "ilp",
 ) -> WDResult:
     """Run the WD assignment over prepared kernels (benchmarks + fronts)."""
+    with telemetry.span(
+        "optimize.wd", solver=solver, kernels=len(kernels),
+        total_workspace=total_workspace,
+    ) as tspan:
+        result = _solve_from_kernels(kernels, total_workspace, solver)
+        tspan.set("variables", result.num_variables)
+        tspan.set("time", result.total_time)
+        tspan.set("workspace", result.total_workspace)
+        # Equations 1-4: one pick-exactly-one row per kernel plus the single
+        # pooled-workspace inequality row.
+        telemetry.gauge("wd.ilp.variables", result.num_variables,
+                        help="0-1 variables after Pareto pruning")
+        telemetry.gauge("wd.ilp.rows", len(kernels) + 1,
+                        help="WD constraint rows (kernels + workspace pool)")
+        telemetry.count("wd.solves", help="WD optimizations performed")
+    return result
+
+
+def _solve_from_kernels(
+    kernels: list[WDKernel],
+    total_workspace: int,
+    solver: str = "ilp",
+) -> WDResult:
     start = _time.perf_counter()
     if solver == "ilp":
         problem, owner, configs = _build_problem(kernels, total_workspace)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import repro.telemetry as telemetry
 from repro.core.benchmarker import KernelBenchmark, benchmark_kernel
 from repro.core.config import Configuration, MicroConfig
 from repro.core.policies import BatchSizePolicy
@@ -55,6 +56,22 @@ def optimize_from_benchmark(
     benchmark: KernelBenchmark, workspace_limit: int
 ) -> Configuration:
     """Run the WR dynamic program against an existing benchmark table."""
+    with telemetry.span(
+        "optimize.wr",
+        kernel=benchmark.geometry.cache_key(),
+        policy=benchmark.policy.value,
+        workspace_limit=workspace_limit,
+    ) as tspan:
+        config = _optimize_from_benchmark(benchmark, workspace_limit, tspan)
+        tspan.set("time", config.time)
+        tspan.set("workspace", config.workspace)
+        tspan.set("micro_batches", config.micro_batch_sizes())
+    return config
+
+
+def _optimize_from_benchmark(
+    benchmark: KernelBenchmark, workspace_limit: int, tspan
+) -> Configuration:
     batch = benchmark.geometry.n
     t1: dict[int, MicroConfig] = {}
     for size in benchmark.sizes:
@@ -66,6 +83,19 @@ def optimize_from_benchmark(
             f"no algorithm fits workspace limit {workspace_limit} for "
             f"{benchmark.geometry}"
         )
+    # A fallback in the paper's Fig. 1 sense: the kernel's unconstrained
+    # optimum at the full batch does not fit the limit, so slower (or
+    # divided) execution must cover for it.
+    unconstrained = benchmark.fastest_micro(batch)
+    constrained = t1.get(batch)
+    if unconstrained is not None and (
+        constrained is None or constrained.algo != unconstrained.algo
+    ):
+        telemetry.count("fallback.events",
+                        help="kernels whose unconstrained-fastest algorithm "
+                             "exceeds the workspace limit")
+        tspan.set("fallback", True)
+    telemetry.count("wr.dp_rows", batch, help="WR dynamic-program rows solved")
 
     times = [0.0] + [math.inf] * batch
     choice: list[MicroConfig | None] = [None] * (batch + 1)

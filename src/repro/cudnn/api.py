@@ -32,6 +32,7 @@ import enum
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.cudnn import kernels
 from repro.cudnn.descriptors import (
     ConvGeometry,
@@ -117,6 +118,20 @@ def get_algorithm(
         raise NotSupportedError(
             Status.NOT_SUPPORTED, f"no algorithm fits limit {memory_limit} for {g}"
         )
+    if memory_limit is not None and telemetry.enabled():
+        # The Fig. 1 cliff: Get silently "resorts to slower algorithms"
+        # when the fastest misses the limit.  Only checked when telemetry
+        # is on -- the comparison needs a second perf-model query.
+        unlimited = handle.perf.fastest(g)
+        if unlimited is not None and unlimited.algo != best.algo:
+            telemetry.count("cudnn.fallbacks",
+                            help="Get calls that fell back to a slower "
+                                 "algorithm under a workspace limit")
+            telemetry.event(
+                "cudnn.fallback", kernel=g.cache_key(),
+                best=unlimited.algo.name, chosen=best.algo.name,
+                limit=memory_limit,
+            )
     return best.algo
 
 
@@ -161,7 +176,7 @@ def _execute(
             Status.BAD_PARAM, required=required, provided=provided_workspace,
             message=f"{algo!r} on {g}",
         )
-    handle.gpu.run_kernel(handle.perf.time(g, algo))
+    handle.execute_kernel(g, algo, handle.perf.time(g, algo))
     if handle.mode == ExecMode.TIMING:
         return None
     return numeric()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 
+import repro.telemetry as telemetry
 from repro.cudnn.device import Gpu
 from repro.cudnn.perfmodel import PerfModel
 
@@ -60,6 +61,25 @@ class CudnnHandle:
     def next_sample(self) -> int:
         self._sample_counter += 1
         return self._sample_counter
+
+    def execute_kernel(self, g, algo, duration: float) -> None:
+        """Advance the device clock by one kernel launch, with telemetry.
+
+        When telemetry is enabled, every launch becomes a span on this
+        GPU's *simulated-time* track -- so a Chrome trace of a profiled run
+        shows the device timeline (kernel name, algorithm, micro-batch)
+        next to the host-side optimizer spans.
+        """
+        start = self.gpu.clock
+        self.gpu.run_kernel(duration)
+        if telemetry.enabled():
+            telemetry.count("cudnn.kernels", help="convolution kernels launched")
+            telemetry.count("cudnn.device_seconds", duration,
+                            help="simulated device seconds executing kernels")
+            telemetry.device_span(
+                f"{g.conv_type.short}:{algo.name}", start, self.gpu.clock,
+                track=f"{self.gpu.spec.name}", batch=g.n,
+            )
 
     @property
     def elapsed(self) -> float:

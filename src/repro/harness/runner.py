@@ -6,6 +6,13 @@ benchmark suite asserts on.  Useful for eyeballing a single figure quickly::
     python -m repro.harness.runner fig1 fig9
     python -m repro.harness.runner --list
     python -m repro.harness.runner all            # everything (~1 min)
+    python -m repro.harness.runner fig9 --profile /tmp/trace.json --metrics
+
+``--profile FILE.json`` writes a Chrome-trace (``chrome://tracing`` /
+Perfetto) profile of the run; ``--metrics`` prints the telemetry counters
+and span aggregates at the end.  A failing experiment no longer aborts the
+whole run: its traceback goes to stderr, the remaining experiments still
+run, and the exit status is non-zero.
 """
 
 from __future__ import annotations
@@ -13,8 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
+import repro.telemetry as telemetry
 from repro.harness import experiments as E
+from repro.telemetry import exporters
 
 #: Experiment registry: id -> (callable, description).  Callables take no
 #: arguments here (paper-default parameterizations).
@@ -53,6 +63,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--format", choices=["table", "csv"], default="table",
                         help="output format (csv suits external plotting)")
+    parser.add_argument("--profile", metavar="FILE.json", default=None,
+                        help="write a Chrome-trace profile of the run")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the telemetry metrics/span summary")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -68,16 +82,47 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
-    for key in wanted:
-        fn, desc = REGISTRY[key]
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        if args.format == "csv":
-            print(result.table.to_csv())
-        else:
-            print(result.table.render())
-            print(f"[{key}: {elapsed:.1f}s]\n")
+    failed: list[str] = []
+    with telemetry.capture() as session:
+        metrics = session.metrics
+        for key in wanted:
+            fn, desc = REGISTRY[key]
+            hits0 = metrics.value("cache.hits", 0)
+            misses0 = metrics.value("cache.misses", 0)
+            start = time.perf_counter()
+            with telemetry.span("experiment", id=key, description=desc) as espan:
+                try:
+                    result = fn()
+                except Exception:
+                    # Keep going: report the failure, run the rest, and let
+                    # the exit status carry the bad news.
+                    print(f"[{key}: FAILED]", file=sys.stderr)
+                    traceback.print_exc()
+                    failed.append(key)
+                    espan.set("failed", True)
+                    continue
+            elapsed = time.perf_counter() - start
+            hits = int(metrics.value("cache.hits", 0) - hits0)
+            misses = int(metrics.value("cache.misses", 0) - misses0)
+            if args.format == "csv":
+                print(result.table.to_csv())
+            else:
+                print(result.table.render())
+                print(f"[{key}: {elapsed:.1f}s | "
+                      f"cache: {hits} hits, {misses} misses]\n")
+    if args.profile:
+        try:
+            exporters.write_chrome_trace(args.profile, session.tracer)
+        except OSError as exc:
+            print(f"cannot write profile {args.profile}: {exc}", file=sys.stderr)
+            return 1
+        print(f"[profile written to {args.profile}]")
+    if args.metrics:
+        print(exporters.summary(session.tracer, session.metrics))
+    if failed:
+        print(f"[{len(failed)} experiment(s) failed: {', '.join(failed)}]",
+              file=sys.stderr)
+        return 1
     return 0
 
 

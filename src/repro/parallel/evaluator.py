@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import repro.telemetry as telemetry
 from repro.core.benchmarker import KernelBenchmark
 from repro.core.cache import BenchmarkCache
 from repro.core.policies import BatchSizePolicy, candidate_sizes
@@ -60,41 +61,65 @@ def benchmark_kernels_parallel(
     probe = handles[0]
     gpu_name = node.spec.name
 
-    # Enumerate benchmark units: (kernel key, micro size) pairs not cached.
-    units: list[tuple[str, ConvGeometry]] = []
-    benchmarks = {
-        key: KernelBenchmark(geometry=g, policy=policy)
-        for key, g in geometries.items()
-    }
-    for key, g in geometries.items():
-        for size in candidate_sizes(policy, g.n):
-            sized = g.with_batch(size)
-            cached = cache.get_benchmark(gpu_name, sized) if cache is not None else None
-            if cached is not None:
-                benchmarks[key].results[size] = cached
-            else:
-                units.append((key, sized))
+    with telemetry.span(
+        "parallel.benchmark", kernels=len(geometries), gpus=node.num_gpus,
+        policy=policy.value,
+    ) as tspan:
+        # Enumerate benchmark units: (kernel key, micro size) pairs not cached.
+        units: list[tuple[str, ConvGeometry]] = []
+        benchmarks = {
+            key: KernelBenchmark(geometry=g, policy=policy)
+            for key, g in geometries.items()
+        }
+        for key, g in geometries.items():
+            for size in candidate_sizes(policy, g.n):
+                sized = g.with_batch(size)
+                cached = (
+                    cache.get_benchmark(gpu_name, sized) if cache is not None else None
+                )
+                if cached is not None:
+                    benchmarks[key].results[size] = cached
+                else:
+                    units.append((key, sized))
 
-    durations = []
-    unit_results = []
-    for key, sized in units:
-        found = [r for r in find_algorithms(probe, sized) if r.ok]
-        unit_results.append((key, sized, found))
-        durations.append(sum(r.time for r in found))
-        if cache is not None:
-            cache.put_benchmark(gpu_name, sized, found)
+        durations = []
+        unit_results = []
+        for key, sized in units:
+            found = [r for r in find_algorithms(probe, sized) if r.ok]
+            unit_results.append((key, sized, found))
+            durations.append(sum(r.time for r in found))
+            if cache is not None:
+                cache.put_benchmark(gpu_name, sized, found)
 
-    schedule = schedule_lpt(durations, node.num_gpus)
-    # Charge each GPU's clock with its assigned share (homogeneous GPUs
-    # produce identical measurements, so only the accounting differs).
-    for worker, unit_ids in enumerate(schedule.assignments):
-        for unit in unit_ids:
-            handles[worker].gpu.run_kernel(durations[unit])
+        schedule = schedule_lpt(durations, node.num_gpus)
+        # Charge each GPU's clock with its assigned share (homogeneous GPUs
+        # produce identical measurements, so only the accounting differs).
+        # Each scheduled unit becomes a device span on its worker's track so
+        # the LPT packing -- and the makespan -- are visible in a trace.
+        for worker, unit_ids in enumerate(schedule.assignments):
+            for unit in unit_ids:
+                start = handles[worker].gpu.clock
+                handles[worker].gpu.run_kernel(durations[unit])
+                if telemetry.enabled():
+                    key, sized, _ = unit_results[unit]
+                    telemetry.device_span(
+                        f"find:{key}/n={sized.n}",
+                        start, handles[worker].gpu.clock,
+                        track=f"gpu{worker}", kernel=key, size=sized.n,
+                    )
+        if telemetry.enabled():
+            telemetry.count(
+                "parallel.units_scheduled", len(units),
+                help="benchmark units dispatched to the node's GPUs",
+            )
+            tspan.set("units", len(units))
+            tspan.set("makespan", schedule.makespan)
+            tspan.set("serial_seconds", sum(durations))
 
-    for key, sized, found in unit_results:
-        bench = benchmarks[key]
-        bench.results[sized.n] = found
-        bench.benchmark_time += sum(r.time for r in found)
+        for key, sized, found in unit_results:
+            bench = benchmarks[key]
+            bench.results[sized.n] = found
+            bench.benchmark_time += sum(r.time for r in found)
 
     return ParallelBenchmarkResult(
         benchmarks=benchmarks,

@@ -1,0 +1,201 @@
+"""Telemetry: spans, metrics, and exporters for the whole pipeline.
+
+μ-cuDNN's value proposition is *where the time and workspace go* -- the
+fallback cliffs of Fig. 1, the 34.16 s vs 3.82 s optimization cost of
+section IV-B1, the benchmark-cache reuse of section III-D, the per-layer
+workspace division of Fig. 14.  This package makes those costs observable
+without per-figure harness code: the optimizers, benchmarker, cache,
+parallel evaluator, and micro-batch execution loop are instrumented with
+nested spans and counters, and three exporters render the result (Chrome
+``trace_event`` JSON, Prometheus text, a human summary table).
+
+Telemetry is **off by default and zero-overhead when off**: every helper
+below checks one module global and returns a shared inert object, so the
+instrumented hot paths cost a single attribute load plus a function call.
+Enable it explicitly::
+
+    from repro import telemetry
+
+    session = telemetry.enable()            # or enable(clock=ManualClock())
+    ...  run any experiment or optimizer ...
+    print(telemetry.exporters.summary(session.tracer, session.metrics))
+    telemetry.exporters.write_chrome_trace("trace.json", session.tracer)
+    telemetry.disable()
+
+or scoped, restoring whatever was active before::
+
+    with telemetry.capture() as session:
+        ...
+
+The span taxonomy and metric names are documented in DESIGN.md
+("Observability"); determinism under an injectable clock is covered by
+``tests/test_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from repro.telemetry import exporters
+from repro.telemetry.clock import ManualClock, WallClock
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NullMetrics,
+)
+from repro.telemetry.spans import NULL_SPAN, NullSpan, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "Metrics",
+    "NullMetrics",
+    "NullSpan",
+    "Span",
+    "TelemetrySession",
+    "Tracer",
+    "WallClock",
+    "capture",
+    "count",
+    "device_span",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "exporters",
+    "gauge",
+    "get_metrics",
+    "get_tracer",
+    "observe",
+    "session",
+    "span",
+]
+
+
+@dataclass
+class TelemetrySession:
+    """One enabled telemetry scope: a tracer plus a metrics registry."""
+
+    tracer: Tracer
+    metrics: Metrics
+
+
+#: The active session, or ``None`` when telemetry is disabled.
+_session: TelemetrySession | None = None
+
+_NULL_METRICS = NullMetrics()
+
+
+def enable(clock=None) -> TelemetrySession:
+    """Activate telemetry globally; returns the fresh session."""
+    global _session
+    _session = TelemetrySession(tracer=Tracer(clock=clock), metrics=Metrics())
+    return _session
+
+
+def disable() -> TelemetrySession | None:
+    """Deactivate telemetry; returns the ended session for late export."""
+    global _session
+    ended, _session = _session, None
+    return ended
+
+
+def enabled() -> bool:
+    return _session is not None
+
+
+def session() -> TelemetrySession | None:
+    """The active session, or ``None``."""
+    return _session
+
+
+@contextlib.contextmanager
+def capture(clock=None):
+    """Scoped telemetry: enable on entry, restore the prior state on exit."""
+    global _session
+    previous = _session
+    _session = TelemetrySession(tracer=Tracer(clock=clock), metrics=Metrics())
+    try:
+        yield _session
+    finally:
+        _session = previous
+
+
+def get_tracer() -> Tracer:
+    """The active tracer, or a fresh throwaway one when disabled.
+
+    Instrumentation sites should prefer the module-level helpers below;
+    this accessor exists for code that needs the tracer object itself
+    (e.g. exporters at the end of a run).
+    """
+    if _session is not None:
+        return _session.tracer
+    return Tracer()
+
+
+def get_metrics() -> Metrics | NullMetrics:
+    """The active metrics registry, or the inert null registry."""
+    if _session is not None:
+        return _session.metrics
+    return _NULL_METRICS
+
+
+# -- hot-path helpers ---------------------------------------------------------
+#
+# Each does one global check and, when disabled, returns a shared inert
+# object without allocating.  Instrumented modules call these rather than
+# holding tracer references, so enable()/disable() take effect immediately.
+
+
+def span(name: str, **attributes):
+    """Open a span on the active tracer (inert when disabled)."""
+    s = _session
+    if s is None:
+        return NULL_SPAN
+    return s.tracer.span(name, **attributes)
+
+
+def event(name: str, **attributes) -> Span | NullSpan:
+    """Record an instantaneous event (inert when disabled)."""
+    s = _session
+    if s is None:
+        return NULL_SPAN
+    return s.tracer.event(name, **attributes)
+
+
+def device_span(name: str, start: float, end: float, track: str, **attributes):
+    """Add a simulated-time span on a named device track."""
+    s = _session
+    if s is None:
+        return NULL_SPAN
+    return s.tracer.device_span(name, start, end, track, **attributes)
+
+
+def count(name: str, amount: float = 1.0, help: str = "") -> None:
+    """Increment a counter (no-op when disabled)."""
+    s = _session
+    if s is not None:
+        s.metrics.counter(name, help=help).inc(amount)
+
+
+def gauge(name: str, value: float, help: str = "") -> None:
+    """Set a gauge (no-op when disabled)."""
+    s = _session
+    if s is not None:
+        s.metrics.gauge(name, help=help).set(value)
+
+
+def observe(name: str, value: float, help: str = "", buckets=None) -> None:
+    """Record a histogram observation (no-op when disabled).
+
+    ``buckets`` only takes effect on the observation that creates the
+    histogram; pass the same bounds at every site (or none after the first).
+    """
+    s = _session
+    if s is not None:
+        s.metrics.histogram(name, help=help, buckets=buckets).observe(value)

@@ -1,0 +1,49 @@
+"""Injectable time sources for the telemetry layer.
+
+Every span duration in :mod:`repro.telemetry` comes from a ``Clock`` so that
+tests (and any deterministic replay) can substitute a :class:`ManualClock`
+and assert on *exact* span trees -- the same philosophy as the simulated
+device clock in :mod:`repro.cudnn.device`, applied to host-side telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Monotonic wall time (``time.perf_counter``), the production default."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """Deterministic clock advanced explicitly by the caller.
+
+    Parameters
+    ----------
+    start:
+        Initial timestamp in seconds.
+    auto_tick:
+        Amount added to the reading on *every* ``now()`` call.  A non-zero
+        tick gives every span a distinct, reproducible begin/end pair
+        without any explicit :meth:`advance` calls -- convenient for golden
+        exporter tests.
+    """
+
+    def __init__(self, start: float = 0.0, auto_tick: float = 0.0):
+        self._now = float(start)
+        self.auto_tick = float(auto_tick)
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.auto_tick
+        return current
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+        return self._now

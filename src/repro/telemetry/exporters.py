@@ -1,0 +1,182 @@
+"""Exporters: Chrome-trace JSON, Prometheus text, and a summary table.
+
+* :func:`chrome_trace` emits the ``trace_event`` format consumed by
+  ``chrome://tracing`` / Perfetto: wall spans become complete (``"X"``)
+  events under one process per tracer thread, device spans (the simulated
+  per-GPU LPT schedule of paper section III-D) under a second process with
+  one row per track, so the benchmark makespan is visually inspectable.
+* :func:`prometheus_text` renders the metrics registry in the Prometheus
+  exposition format (``repro_`` namespace, counters with ``_total``,
+  cumulative histogram buckets).
+* :func:`summary` renders a deterministic human-readable digest: every
+  metric plus wall spans aggregated by name.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, Metrics
+from repro.telemetry.spans import Span, Tracer
+
+#: Trace-event process ids: host wall time vs simulated device time.
+_PID_WALL = 0
+_PID_DEVICE = 1
+
+
+def _us(seconds: float) -> float:
+    """Seconds -> the microseconds Chrome's ``ts``/``dur`` fields expect."""
+    return round(seconds * 1e6, 3)
+
+
+def _args(span: Span) -> dict:
+    """JSON-safe copy of a span's attributes."""
+    out = {}
+    for key, value in span.attributes.items():
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's spans as a Chrome ``trace_event`` JSON object."""
+    events = [
+        {"ph": "M", "pid": _PID_WALL, "tid": 0, "name": "process_name",
+         "args": {"name": "repro (wall time)"}},
+    ]
+    for root in tracer.roots():
+        for span in root.walk():
+            event = {
+                "name": span.name,
+                "ph": "X" if span.duration > 0 or span.children else "i",
+                "ts": _us(span.start),
+                "pid": _PID_WALL,
+                "tid": span.thread,
+                "args": _args(span),
+            }
+            if event["ph"] == "X":
+                event["dur"] = _us(span.duration)
+            else:
+                event["s"] = "t"
+            events.append(event)
+
+    device = tracer.device_spans()
+    if device:
+        events.append(
+            {"ph": "M", "pid": _PID_DEVICE, "tid": 0, "name": "process_name",
+             "args": {"name": "repro (simulated device time)"}}
+        )
+        tracks: dict[str, int] = {}
+        for span in device:
+            if span.track not in tracks:
+                tid = tracks[span.track] = len(tracks)
+                events.append(
+                    {"ph": "M", "pid": _PID_DEVICE, "tid": tid,
+                     "name": "thread_name", "args": {"name": span.track}}
+                )
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": _us(span.start),
+                "dur": _us(span.duration),
+                "pid": _PID_DEVICE,
+                "tid": tracks[span.track],
+                "args": _args(span),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer: Tracer) -> None:
+    """Dump :func:`chrome_trace` to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """``cache.hits`` -> ``repro_cache_hits`` (exposition-format safe)."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{safe}"
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(metrics: Metrics) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for inst in metrics.instruments():
+        name = _prom_name(inst.name)
+        if inst.help:
+            lines.append(f"# HELP {name} {inst.help}")
+        if isinstance(inst, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {_prom_value(inst.value)}")
+        elif isinstance(inst, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(inst.value)}")
+        elif isinstance(inst, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cum in zip(inst.buckets, inst.cumulative()):
+                lines.append(f'{name}_bucket{{le="{_prom_value(bound)}"}} {cum}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {inst.count}')
+            lines.append(f"{name}_sum {_prom_value(inst.sum)}")
+            lines.append(f"{name}_count {inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Human-readable summary
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def summary(tracer: Tracer | None = None, metrics: Metrics | None = None) -> str:
+    """Deterministic digest: metrics first, then spans aggregated by name."""
+    lines = ["== telemetry summary =="]
+    if metrics is not None and len(metrics):
+        lines.append("-- metrics --")
+        width = max(len(i.name) for i in metrics.instruments())
+        for inst in metrics.instruments():
+            if isinstance(inst, Histogram):
+                lines.append(
+                    f"{inst.name:<{width}}  count {inst.count}  "
+                    f"sum {_fmt(inst.sum)}  mean {_fmt(inst.mean)}"
+                )
+            else:
+                lines.append(f"{inst.name:<{width}}  {_fmt(inst.value)}")
+
+    if tracer is not None:
+        agg: dict[str, list[float]] = {}
+        for span in tracer.all_spans():
+            agg.setdefault(span.name, []).append(span.duration)
+        if agg:
+            lines.append("-- spans --")
+            width = max(len(n) for n in agg)
+            lines.append(
+                f"{'name':<{width}}  {'count':>6}  {'total s':>12}  "
+                f"{'mean s':>12}  {'max s':>12}"
+            )
+            for name in sorted(agg):
+                durs = agg[name]
+                lines.append(
+                    f"{name:<{width}}  {len(durs):>6}  {sum(durs):>12.6f}  "
+                    f"{sum(durs) / len(durs):>12.6f}  {max(durs):>12.6f}"
+                )
+    if len(lines) == 1:
+        lines.append("(no telemetry collected)")
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Counters, gauges, and histograms with a get-or-create registry.
+
+The instrument set mirrors what the paper's evaluation keeps quoting in
+prose -- cache hits for replicated ResNet blocks (section III-D), benchmark
+units evaluated per policy (IV-B1), ILP variables and rows after Pareto
+pruning (IV-D), micro-batches executed, workspace bytes allocated, fallback
+events (Fig. 1) -- so a single ``--metrics`` run surfaces the quantities
+that otherwise require per-figure harness code.
+
+Instruments are created lazily by name and are thread-safe; values are
+floats (integral values render without a decimal point in the exporters).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+
+#: Prometheus' classic latency buckets (seconds) -- suitable defaults for
+#: the simulated device times and optimizer solve times alike.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Power-of-two buckets for size-like observations (micro-batch sizes,
+#: Pareto-front cardinalities, ...).
+SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (by {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (problem sizes, pool levels, ...)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    name: str
+    help: str = ""
+    buckets: tuple = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self):
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.counts:
+            self.counts = [0] * len(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        idx = bisect.bisect_left(self.buckets, value)
+        if idx < len(self.buckets):
+            self.counts[idx] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[int]:
+        """Cumulative count per bucket bound (Prometheus ``le`` semantics)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class Metrics:
+    """Thread-safe registry of named instruments."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, **kwargs):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = kind(name=name, **kwargs)
+            elif not isinstance(inst, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {kind.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> Histogram:
+        kwargs = {"help": help}
+        if buckets is not None:
+            kwargs["buckets"] = tuple(buckets)
+        return self._get_or_create(name, Histogram, **kwargs)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (histograms return their sum)."""
+        inst = self.get(name)
+        if inst is None:
+            return default
+        return inst.sum if isinstance(inst, Histogram) else inst.value
+
+    def instruments(self) -> list:
+        """Every instrument, sorted by name (exporter order)."""
+        with self._lock:
+            return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def snapshot(self) -> dict[str, float]:
+        """``name -> scalar`` view (histograms contribute their sum)."""
+        return {i.name: (i.sum if isinstance(i, Histogram) else i.value)
+                for i in self.instruments()}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+
+class _NullInstrument:
+    """Inert counter/gauge/histogram for the disabled fast path."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry stand-in whose instruments all discard their updates."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        return default
+
+    def snapshot(self) -> dict[str, float]:
+        return {}

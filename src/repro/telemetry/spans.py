@@ -1,0 +1,242 @@
+"""Nested spans and the :class:`Tracer` that collects them.
+
+A *span* is one named, attributed interval of time; spans nest to form a
+tree that mirrors the call structure of the pipeline (experiment ->
+optimize -> benchmark -> Find unit -> ...).  Two kinds of spans exist:
+
+* **wall spans** -- opened/closed via the ``with tracer.span(...)`` context
+  manager; their timestamps come from the tracer's (injectable) clock and
+  their nesting follows a per-thread stack.
+* **device spans** -- added fully-formed via :meth:`Tracer.device_span`
+  with explicit *simulated* timestamps and a named track (e.g. ``gpu0``).
+  The parallel evaluator uses these to draw the LPT schedule, so the
+  makespan of paper section III-D is directly visible in a trace viewer.
+
+The tracer is thread-safe: each thread keeps its own active-span stack and
+finished roots are appended under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.telemetry.clock import WallClock
+
+
+@dataclass
+class Span:
+    """One named interval with attributes and child spans."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+    #: ``None`` for wall spans; a track name (e.g. ``"gpu0"``) for device
+    #: spans carrying simulated timestamps.
+    track: str | None = None
+    #: Small sequential id of the opening thread (0 for the first thread).
+    thread: int = 0
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, key: str, value) -> None:
+        """Attach/overwrite one attribute."""
+        self.attributes[key] = value
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree, depth-first order."""
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (stable golden-test representation)."""
+        out = {"name": self.name, "start": self.start, "end": self.end}
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, dur={self.duration:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _SpanContext:
+    """Context manager binding one span to a tracer's per-thread stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attributes["error"] = exc_type.__name__
+        self._tracer._pop(self._span)
+        return False
+
+
+class NullSpan:
+    """Inert stand-in returned by the disabled-telemetry fast path.
+
+    Implements both the span and the context-manager protocols so call
+    sites need no branching; a single module-level instance is reused, so
+    the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+#: The shared inert span (see :class:`NullSpan`).
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Thread-safe collector of nested spans.
+
+    Parameters
+    ----------
+    clock:
+        Time source for wall spans; defaults to :class:`WallClock`.  Tests
+        inject a :class:`~repro.telemetry.clock.ManualClock` to make span
+        trees exactly reproducible.
+    """
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else WallClock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: list[Span] = []
+        self._device: list[Span] = []
+        self._thread_ids: dict[int, int] = {}
+
+    # -- internal stack plumbing ---------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _thread_id(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._thread_ids:
+                self._thread_ids[ident] = len(self._thread_ids)
+            return self._thread_ids[ident]
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span.start = self.clock.now()
+        span.thread = self._thread_id()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = self.clock.now()
+        stack = self._stack()
+        # Tolerate out-of-order exits rather than corrupting the stack.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+
+    # -- public API -----------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> _SpanContext:
+        """Open a wall span: ``with tracer.span("optimize.wr", batch=256):``."""
+        return _SpanContext(self, Span(name=name, attributes=attributes))
+
+    def event(self, name: str, **attributes) -> Span:
+        """Record an instantaneous (zero-duration) span."""
+        now = self.clock.now()
+        span = Span(name=name, attributes=attributes, start=now, end=now)
+        span.thread = self._thread_id()
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        return span
+
+    def device_span(
+        self, name: str, start: float, end: float, track: str, **attributes
+    ) -> Span:
+        """Add a finished span with explicit (simulated) timestamps."""
+        if end < start:
+            raise ValueError(f"device span ends before it starts: {start}..{end}")
+        span = Span(
+            name=name, attributes=attributes, start=start, end=end, track=track
+        )
+        with self._lock:
+            self._device.append(span)
+        return span
+
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def roots(self) -> list[Span]:
+        """Finished-or-open top-level wall spans, in creation order."""
+        with self._lock:
+            return list(self._roots)
+
+    def device_spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._device)
+
+    def all_spans(self) -> list[Span]:
+        """Every wall span (depth-first) plus every device span."""
+        out: list[Span] = []
+        for root in self.roots():
+            out.extend(root.walk())
+        out.extend(self.device_spans())
+        return out
+
+    def find(self, name: str) -> list[Span]:
+        """Every span named ``name`` anywhere in the collected forest."""
+        return [s for s in self.all_spans() if s.name == name]
+
+    def tree(self) -> list[dict]:
+        """The whole wall-span forest as nested dicts (golden tests)."""
+        return [root.to_dict() for root in self.roots()]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self._device.clear()
+        self._local = threading.local()

@@ -1,7 +1,10 @@
 """Tests for the command-line experiment runner."""
 
+import json
+
 import pytest
 
+import repro.telemetry as telemetry
 from repro.harness.runner import REGISTRY, main
 
 
@@ -37,3 +40,65 @@ class TestRunner:
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
             "fig14", "opt-cost", "ilp-stats",
         }
+
+    def test_summary_line_reports_cache_hits_and_misses(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 10 hits, 256 misses" in out
+
+
+class TestRunnerTelemetry:
+    def test_profile_writes_valid_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["fig9", "--profile", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        names = {e.get("name") for e in trace["traceEvents"]}
+        # The documented nesting: experiment > optimize > benchmark > cache.
+        assert {"experiment", "optimize.network", "optimize.wr",
+                "benchmark.kernel", "benchmark.find", "cache.hit",
+                "cache.miss"} <= names
+        assert f"[profile written to {path}]" in capsys.readouterr().out
+
+    def test_metrics_prints_summary(self, capsys):
+        assert main(["fig9", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "== telemetry summary ==" in out
+        assert "cache.hits" in out and "cache.misses" in out
+        assert "benchmark.units" in out
+
+    def test_runner_leaves_telemetry_disabled(self):
+        assert not telemetry.enabled()
+        assert main(["fig9"]) == 0
+        assert not telemetry.enabled()
+
+    def test_runner_preserves_ambient_session(self):
+        with telemetry.capture() as outer:
+            assert main(["fig9"]) == 0
+            assert telemetry.session() is outer
+
+
+class TestRunnerFailures:
+    @pytest.fixture
+    def broken_registry(self, monkeypatch):
+        def boom():
+            raise RuntimeError("injected failure")
+
+        registry = dict(REGISTRY)
+        registry["boom"] = (boom, "always fails")
+        monkeypatch.setattr("repro.harness.runner.REGISTRY", registry)
+        return registry
+
+    def test_failing_experiment_exits_nonzero(self, capsys, broken_registry):
+        assert main(["boom"]) == 1
+        err = capsys.readouterr().err
+        assert "[boom: FAILED]" in err
+        assert "injected failure" in err
+        assert "1 experiment(s) failed: boom" in err
+
+    def test_failure_does_not_abort_remaining_experiments(
+        self, capsys, broken_registry
+    ):
+        assert main(["boom", "fig9"]) == 1
+        captured = capsys.readouterr()
+        assert "[boom: FAILED]" in captured.err
+        assert "powerOfTwo" in captured.out  # fig9 still ran

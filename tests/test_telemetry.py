@@ -1,0 +1,444 @@
+"""Tests for the telemetry subsystem: spans, metrics, exporters.
+
+Covers the contract the instrumented pipeline relies on:
+
+* span nesting is deterministic under an injectable :class:`ManualClock`;
+* disabled telemetry is a strict no-op (shared inert objects, no state);
+* the Chrome-trace and Prometheus exporters produce exactly the documented
+  formats (golden assertions);
+* the benchmark cache's write-to-temp + rename persistence stays atomic
+  under concurrent writers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.core.benchmarker import benchmark_kernel
+from repro.core.cache import BenchmarkCache
+from repro.core.policies import BatchSizePolicy
+from repro.core.wr import optimize_from_benchmark
+from repro.cudnn.device import Gpu
+from repro.cudnn.enums import FwdAlgo
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.cudnn.perfmodel import PerfResult
+from repro.cudnn.status import Status
+from repro.telemetry import ManualClock, Metrics, Tracer, exporters
+from repro.telemetry.metrics import SIZE_BUCKETS
+from tests.conftest import make_geometry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_disabled():
+    """Guarantee no session leaks across tests."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+# ---------------------------------------------------------------------------
+# Clock
+# ---------------------------------------------------------------------------
+
+
+class TestManualClock:
+    def test_advance(self):
+        clock = ManualClock(start=10.0)
+        assert clock.now() == 10.0
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+
+    def test_auto_tick(self):
+        clock = ManualClock(auto_tick=1.0)
+        assert [clock.now() for _ in range(3)] == [0.0, 1.0, 2.0]
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_deterministic(self):
+        tracer = Tracer(clock=ManualClock(auto_tick=1.0))
+        with tracer.span("outer", batch=256):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        assert tracer.tree() == [{
+            "name": "outer",
+            "start": 0.0,
+            "end": 5.0,
+            "attributes": {"batch": 256},
+            "children": [
+                {"name": "inner", "start": 1.0, "end": 2.0},
+                {"name": "inner", "start": 3.0, "end": 4.0},
+            ],
+        }]
+
+    def test_exception_annotates_and_propagates(self):
+        tracer = Tracer(clock=ManualClock())
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (root,) = tracer.roots()
+        assert root.attributes["error"] == "ValueError"
+        assert root.end is not None
+
+    def test_event_is_instant_child(self):
+        tracer = Tracer(clock=ManualClock(auto_tick=1.0))
+        with tracer.span("parent"):
+            tracer.event("ping", n=1)
+        (root,) = tracer.roots()
+        (ev,) = root.children
+        assert ev.name == "ping" and ev.duration == 0.0
+
+    def test_device_span_validation(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.device_span("bad", 2.0, 1.0, track="gpu0")
+        tracer.device_span("ok", 1.0, 2.0, track="gpu0", algo="FFT")
+        (d,) = tracer.device_spans()
+        assert d.track == "gpu0" and d.duration == 1.0
+
+    def test_find_and_walk(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("a"):
+                    pass
+        assert len(tracer.find("a")) == 2
+        assert [s.name for s in tracer.roots()[0].walk()] == ["a", "b", "a"]
+
+    def test_threads_get_separate_stacks(self):
+        tracer = Tracer(clock=ManualClock(auto_tick=1.0))
+        # Keep all workers alive at once: OS thread idents are reused after
+        # exit, and concurrent threads is the case the ids must separate.
+        barrier = threading.Barrier(4)
+
+        def work():
+            with tracer.span("worker"):
+                barrier.wait(timeout=10)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        with tracer.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        roots = tracer.roots()
+        # Worker spans are roots of their own threads, not children of main.
+        assert sorted(r.name for r in roots) == ["main"] + ["worker"] * 4
+        assert len({r.thread for r in roots}) == 5
+        assert not roots[0].children
+
+
+# ---------------------------------------------------------------------------
+# Enable / disable semantics
+# ---------------------------------------------------------------------------
+
+
+class TestDisabled:
+    def test_everything_is_inert(self):
+        assert not telemetry.enabled()
+        assert telemetry.span("x", a=1) is telemetry.NULL_SPAN
+        assert telemetry.event("x") is telemetry.NULL_SPAN
+        assert telemetry.device_span("x", 0, 1, track="gpu0") is telemetry.NULL_SPAN
+        telemetry.count("c")
+        telemetry.gauge("g", 1.0)
+        telemetry.observe("h", 0.5)
+        assert telemetry.session() is None
+        assert telemetry.get_metrics().value("c", -1.0) == -1.0
+
+    def test_null_span_usable_as_context(self):
+        with telemetry.span("x") as s:
+            s.set("k", "v")  # must not raise
+
+    def test_enable_disable_round_trip(self):
+        session = telemetry.enable(clock=ManualClock())
+        assert telemetry.enabled()
+        telemetry.count("c", 2.0)
+        assert session.metrics.value("c") == 2.0
+        ended = telemetry.disable()
+        assert ended is session
+        assert not telemetry.enabled()
+
+    def test_capture_restores_previous_session(self):
+        outer = telemetry.enable()
+        with telemetry.capture() as inner:
+            assert telemetry.session() is inner
+            telemetry.count("c")
+        assert telemetry.session() is outer
+        assert inner.metrics.value("c") == 1.0
+        assert outer.metrics.value("c", default=0.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        m = Metrics()
+        c = m.counter("c", help="h")
+        c.inc()
+        c.inc(2.5)
+        assert m.value("c") == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_is_idempotent_but_kind_checked(self):
+        m = Metrics()
+        assert m.counter("x") is m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+    def test_histogram_buckets(self):
+        m = Metrics()
+        h = m.histogram("h", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        assert h.cumulative() == [1, 2]  # 5.0 only lands in +Inf
+        assert h.mean == pytest.approx(5.55 / 3)
+
+    def test_snapshot_and_value(self):
+        m = Metrics()
+        m.counter("a").inc(2)
+        m.gauge("b").set(7)
+        m.histogram("c", buckets=(1.0,)).observe(0.5)
+        assert m.snapshot() == {"a": 2.0, "b": 7.0, "c": 0.5}
+        assert m.value("missing", default=42.0) == 42.0
+        assert len(m) == 3
+
+
+# ---------------------------------------------------------------------------
+# Exporters (golden assertions)
+# ---------------------------------------------------------------------------
+
+
+class TestChromeTrace:
+    def test_golden(self):
+        tracer = Tracer(clock=ManualClock(auto_tick=1.0))
+        with tracer.span("outer", phase="test"):
+            with tracer.span("inner"):
+                pass
+        tracer.device_span("F:FFT", 0.0, 0.5, track="gpu0", batch=64)
+        assert exporters.chrome_trace(tracer) == {
+            "traceEvents": [
+                {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+                 "args": {"name": "repro (wall time)"}},
+                {"name": "outer", "ph": "X", "ts": 0.0, "pid": 0, "tid": 0,
+                 "args": {"phase": "test"}, "dur": 3000000.0},
+                {"name": "inner", "ph": "X", "ts": 1000000.0, "pid": 0,
+                 "tid": 0, "args": {}, "dur": 1000000.0},
+                {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+                 "args": {"name": "repro (simulated device time)"}},
+                {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+                 "args": {"name": "gpu0"}},
+                {"name": "F:FFT", "ph": "X", "ts": 0.0, "dur": 500000.0,
+                 "pid": 1, "tid": 0, "args": {"batch": 64}},
+            ],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        tracer = Tracer(clock=ManualClock(auto_tick=1.0))
+        with tracer.span("s"):
+            pass
+        path = tmp_path / "trace.json"
+        exporters.write_chrome_trace(path, tracer)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert any(e.get("name") == "s" for e in data["traceEvents"])
+
+    def test_non_json_attributes_are_stringified(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("s", shape=(64, 3, 224, 224)):
+            pass
+        (event,) = [e for e in exporters.chrome_trace(tracer)["traceEvents"]
+                    if e.get("name") == "s"]
+        assert event["args"]["shape"] == "(64, 3, 224, 224)"
+        json.dumps(event)  # must be serializable
+
+
+class TestPrometheus:
+    def test_golden(self):
+        m = Metrics()
+        m.counter("cache.hits", help="cache hits").inc(3)
+        h = m.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        m.gauge("wd.ilp.variables").set(12)
+        assert exporters.prometheus_text(m) == (
+            "# HELP repro_cache_hits cache hits\n"
+            "# TYPE repro_cache_hits counter\n"
+            "repro_cache_hits_total 3\n"
+            "# TYPE repro_lat histogram\n"
+            'repro_lat_bucket{le="0.1"} 1\n'
+            'repro_lat_bucket{le="1"} 2\n'
+            'repro_lat_bucket{le="+Inf"} 3\n'
+            "repro_lat_sum 5.55\n"
+            "repro_lat_count 3\n"
+            "# TYPE repro_wd_ilp_variables gauge\n"
+            "repro_wd_ilp_variables 12\n"
+        )
+
+    def test_empty_registry(self):
+        assert exporters.prometheus_text(Metrics()) == ""
+
+
+class TestSummary:
+    def test_sections(self):
+        tracer = Tracer(clock=ManualClock(auto_tick=1.0))
+        with tracer.span("phase"):
+            pass
+        m = Metrics()
+        m.counter("c").inc(4)
+        text = exporters.summary(tracer, m)
+        assert "== telemetry summary ==" in text
+        assert "-- metrics --" in text and "c" in text
+        assert "-- spans --" in text and "phase" in text
+
+    def test_empty(self):
+        assert "(no telemetry collected)" in exporters.summary(Tracer(), Metrics())
+
+
+# ---------------------------------------------------------------------------
+# Pipeline instrumentation
+# ---------------------------------------------------------------------------
+
+
+class TestInstrumentation:
+    def _benchmark(self, cache=None):
+        handle = CudnnHandle(gpu=Gpu.create("p100-sxm2"), mode=ExecMode.TIMING)
+        g = make_geometry(n=8, c=16, h=16, w=16, k=16)
+        bench = benchmark_kernel(handle, g, BatchSizePolicy.POWER_OF_TWO,
+                                 cache=cache)
+        return optimize_from_benchmark(bench, 1 << 30)
+
+    def test_results_identical_with_and_without_telemetry(self):
+        baseline = self._benchmark()
+        with telemetry.capture():
+            config = self._benchmark()
+        assert config.time == baseline.time
+        assert [m.algo for m in config] == [m.algo for m in baseline]
+
+    def test_benchmark_and_cache_are_observed(self):
+        with telemetry.capture() as session:
+            cache = BenchmarkCache()
+            self._benchmark(cache=cache)  # cold: all misses
+            self._benchmark(cache=cache)  # warm: all hits
+        m = session.metrics
+        assert m.value("benchmark.units") == 4  # sizes 1, 2, 4, 8 once
+        assert m.value("cache.misses") == 4
+        assert m.value("cache.hits") == 4
+        assert cache.hits == 4 and cache.misses == 4
+        kernel_spans = session.tracer.find("benchmark.kernel")
+        assert len(kernel_spans) == 2
+        assert len(kernel_spans[0].find("benchmark.find")) == 4
+        assert not kernel_spans[1].find("benchmark.find")  # fully cached
+        assert session.tracer.find("optimize.wr")
+
+    def test_micro_batch_execution_emits_device_spans(self):
+        from repro.core.config import Configuration, MicroConfig
+        from repro.core.convolution import forward
+
+        g = make_geometry(n=4)
+        micro = g.with_batch(2)
+        handle = CudnnHandle(gpu=Gpu.create("p100-sxm2"), mode=ExecMode.TIMING)
+        t = handle.perf.time(micro, FwdAlgo.IMPLICIT_GEMM)
+        config = Configuration((
+            MicroConfig(2, FwdAlgo.IMPLICIT_GEMM, t, 0),
+            MicroConfig(2, FwdAlgo.IMPLICIT_GEMM, t, 0),
+        ))
+        with telemetry.capture() as session:
+            forward(handle, config, g.x_desc, None, g.w_desc, None,
+                    g.conv_desc, 0, g.y_desc)
+        assert session.metrics.value("exec.micro_batches") == 2
+        assert session.metrics.value("cudnn.kernels") == 2
+        spans = session.tracer.find("exec.micro_batch")
+        assert [s.attributes["micro_batch"] for s in spans] == [2, 2]
+        device = session.tracer.device_spans()
+        assert len(device) == 2
+        # Simulated timestamps tile the device clock with no gap.
+        assert device[0].end == pytest.approx(device[1].start)
+        assert device[1].end == pytest.approx(handle.gpu.clock)
+
+    def test_size_buckets_used_for_micro_batch_histogram(self):
+        from repro.core.config import Configuration, MicroConfig
+        from repro.core.convolution import forward
+
+        g = make_geometry(n=4)
+        micro = g.with_batch(4)
+        handle = CudnnHandle(gpu=Gpu.create("p100-sxm2"), mode=ExecMode.TIMING)
+        t = handle.perf.time(micro, FwdAlgo.IMPLICIT_GEMM)
+        config = Configuration((MicroConfig(4, FwdAlgo.IMPLICIT_GEMM, t, 0),))
+        with telemetry.capture() as session:
+            forward(handle, config, g.x_desc, None, g.w_desc, None,
+                    g.conv_desc, 0, g.y_desc)
+        h = session.metrics.get("exec.micro_batch_size")
+        assert h.buckets == tuple(sorted(SIZE_BUCKETS))
+        assert h.count == 1
+
+
+# ---------------------------------------------------------------------------
+# Cache persistence: atomicity under concurrent writers
+# ---------------------------------------------------------------------------
+
+
+class TestCacheSaveAtomicity:
+    def test_parallel_writers_never_produce_a_torn_file(self, tmp_path):
+        """Hammer one DB path with concurrent save() calls while readers
+        continuously load it; rename-based persistence means every observed
+        file state must be a complete, parseable, well-formed database."""
+        path = tmp_path / "bench.json"
+        g = make_geometry()
+        results = [PerfResult(FwdAlgo.FFT, Status.SUCCESS, 0.001, 1024)]
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def writer(worker: int):
+            cache = BenchmarkCache()
+            cache.path = path
+            for i in range(25):
+                cache.put_benchmark(f"gpu{worker}-{i}", g, results)
+                try:
+                    cache.save()
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+        def reader():
+            while not stop.is_set():
+                if not path.exists():
+                    continue
+                try:
+                    fresh = BenchmarkCache(path=path)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+                got = fresh.get_benchmark("gpu0-0", g)
+                if got is not None:
+                    assert got[0].time == results[0].time
+
+        writers = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        # Final state parses and no temp droppings survive.
+        final = json.loads(path.read_text())
+        assert final["version"] == 1
+        assert not list(tmp_path.glob("*.tmp"))
