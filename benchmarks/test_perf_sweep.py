@@ -1,0 +1,139 @@
+"""Cross-limit sweep solvers vs the per-limit baselines, measured.
+
+Sweeps ResNet-50 (batch 32, P100) over a 32-point geometric grid of
+workspace limits with the :mod:`repro.core.sweep` solvers, then runs the
+per-limit baselines -- one WR DP per (kernel, limit) pair and one cold
+per-copy WD ILP per limit -- and records both sides' work counters and
+wall times in ``BENCH_sweep.json`` at the repository root (uploaded as a
+CI artifact).  Every sweep answer is checked for exact equality against
+the baseline before anything is recorded.
+
+Asserted floors (the PR's acceptance criteria): the sweep runs at least
+5x fewer WR DP executions and explores at least 2x fewer ILP
+branch-and-bound nodes than the per-limit baselines on this grid.
+
+Runs under plain pytest (no pytest-benchmark fixture) so the CI perf job
+needs nothing beyond the tier-1 dependencies::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_sweep.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.benchmarker import benchmark_kernel
+from repro.core.cache import BenchmarkCache
+from repro.core.pareto import desirable_set
+from repro.core.policies import BatchSizePolicy
+from repro.core.sweep import prepare_wd_kernels, sweep_network_wr, sweep_wd
+from repro.core.wd import WDKernel, solve_from_kernels
+from repro.core.wr import optimize_from_benchmark
+from repro.cudnn.device import Gpu
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.harness.experiments import PAPER_BATCHES, conv_geometries_of
+from repro.frameworks.model_zoo.resnet import build_resnet50
+from repro.units import MIB
+
+GPU = "p100-sxm2"
+NUM_LIMITS = 32
+POLICY = BatchSizePolicy.POWER_OF_TWO
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def test_sweep_beats_per_limit_baselines():
+    geoms = conv_geometries_of(build_resnet50, PAPER_BATCHES["resnet50_wd"], GPU)
+    handle = CudnnHandle(gpu=Gpu.create(GPU), mode=ExecMode.TIMING)
+    cache = BenchmarkCache()
+    k = len(geoms)
+    per_kernel = sorted({int(x) for x in np.geomspace(MIB, 64 * MIB, NUM_LIMITS)})
+    totals = sorted(
+        {int(x) for x in np.geomspace(k * MIB, k * 64 * MIB, NUM_LIMITS)}
+    )
+
+    # Benchmark once up front; with the shared cache neither side pays any
+    # benchmarking cost below, so the walls compare pure solver work.
+    benches = {
+        name: benchmark_kernel(handle, g, POLICY, cache=cache)
+        for name, g in geoms.items()
+    }
+
+    # --- WR: sweep vs one DP per (kernel, limit) -------------------------
+    t0 = time.perf_counter()
+    wr = sweep_network_wr(handle, geoms, per_kernel, POLICY, cache=cache)
+    wr_sweep_wall = time.perf_counter() - t0
+
+    wr_mismatches = 0
+    t0 = time.perf_counter()
+    baseline_solves = 0
+    for limit in per_kernel:
+        plan = wr.plan(limit)
+        configs = {kp.name: kp.configuration for kp in plan.kernels}
+        for name, bench in benches.items():
+            expected = optimize_from_benchmark(bench, limit)
+            baseline_solves += 1
+            if configs[name] != expected:
+                wr_mismatches += 1
+    wr_baseline_wall = time.perf_counter() - t0
+    assert wr_mismatches == 0
+    assert baseline_solves == k * len(per_kernel)
+    assert baseline_solves >= 5 * wr.dp_solves  # acceptance floor
+
+    # --- WD: sweep vs cold per-copy per-limit ILP ------------------------
+    kernels = prepare_wd_kernels(handle, geoms, POLICY, cache=cache)
+    t0 = time.perf_counter()
+    wd = sweep_wd(kernels, totals, solver="ilp")
+    wd_sweep_wall = time.perf_counter() - t0
+    assert not wd.errors
+
+    wd_mismatches = 0
+    baseline_nodes = 0
+    t0 = time.perf_counter()
+    for limit in totals:
+        truncated = [
+            WDKernel(
+                key=kr.key, geometry=kr.geometry, benchmark=kr.benchmark,
+                desirable=desirable_set(kr.benchmark, workspace_limit=limit),
+            )
+            for kr in kernels
+        ]
+        expected = solve_from_kernels(truncated, limit, solver="ilp")
+        baseline_nodes += expected.ilp.nodes_explored
+        if wd.result(limit).assignments != expected.assignments:
+            wd_mismatches += 1
+    wd_baseline_wall = time.perf_counter() - t0
+    assert wd_mismatches == 0
+    assert baseline_nodes >= 2 * wd.ilp_nodes  # acceptance floor
+
+    record = {
+        "model": "resnet50",
+        "batch": PAPER_BATCHES["resnet50_wd"],
+        "gpu": GPU,
+        "policy": POLICY.value,
+        "kernels": k,
+        "num_limits": NUM_LIMITS,
+        "wr": {
+            "sweep_dp_solves": wr.dp_solves,
+            "per_limit_dp_solves": baseline_solves,
+            "dp_solve_ratio": round(baseline_solves / wr.dp_solves, 2),
+            "sweep_wall_s": round(wr_sweep_wall, 3),
+            "per_limit_wall_s": round(wr_baseline_wall, 3),
+            "config_mismatches": wr_mismatches,
+        },
+        "wd": {
+            "sweep_ilp_nodes": wd.ilp_nodes,
+            "per_limit_ilp_nodes": baseline_nodes,
+            "node_ratio": round(baseline_nodes / max(1, wd.ilp_nodes), 2),
+            "warm_started_solves": wd.warm_started_solves,
+            "solved_limits": len(wd.results),
+            "sweep_wall_s": round(wd_sweep_wall, 3),
+            "per_limit_wall_s": round(wd_baseline_wall, 3),
+            "assignment_mismatches": wd_mismatches,
+        },
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n{json.dumps(record, indent=2)}\n[written to {OUTPUT}]")

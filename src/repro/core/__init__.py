@@ -20,6 +20,17 @@ from repro.core.optimizer import (
 from repro.core.options import Options
 from repro.core.pareto import configuration_front, desirable_set, pareto_front
 from repro.core.policies import BatchSizePolicy, candidate_sizes
+from repro.core.sweep import (
+    WDSweep,
+    WRNetworkSweep,
+    WRSweep,
+    prepare_wd_kernels,
+    sweep_network_wd,
+    sweep_network_wr,
+    sweep_wd,
+    sweep_wr,
+    wr_breakpoints,
+)
 from repro.core.wd import WDKernel, WDResult
 from repro.core.wr import WRResult, optimize_kernel
 
@@ -38,7 +49,10 @@ __all__ = [
     "VirtualAlgo",
     "WDKernel",
     "WDResult",
+    "WDSweep",
+    "WRNetworkSweep",
     "WRResult",
+    "WRSweep",
     "benchmark_kernel",
     "candidate_sizes",
     "configuration_front",
@@ -47,4 +61,10 @@ __all__ = [
     "optimize_network_wd",
     "optimize_network_wr",
     "pareto_front",
+    "prepare_wd_kernels",
+    "sweep_network_wd",
+    "sweep_network_wr",
+    "sweep_wd",
+    "sweep_wr",
+    "wr_breakpoints",
 ]

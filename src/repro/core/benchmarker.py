@@ -12,12 +12,13 @@ explicitly, and results are memoized through an optional
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 import repro.telemetry as telemetry
 from repro.core.config import MicroConfig
 from repro.core.policies import BatchSizePolicy, candidate_sizes
-from repro.cudnn.api import find_algorithms
+from repro.cudnn.api import find_algorithms, find_algorithms_batched
 from repro.cudnn.enums import is_deterministic
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.handle import CudnnHandle
@@ -47,11 +48,47 @@ class KernelBenchmark:
     policy: BatchSizePolicy
     results: dict[int, list[PerfResult]] = field(default_factory=dict)
     benchmark_time: float = 0.0
+    #: Query memo for :meth:`fastest_micro` / :meth:`micro_options`, keyed by
+    #: (kind, size, limit bucket).  Two limits that admit the same result rows
+    #: at a size share a bucket, so limit sweeps stop rescanning the table.
+    _query_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def sizes(self) -> list[int]:
         """Measured micro-batch sizes, ascending."""
         return sorted(self.results)
+
+    def invalidate_query_cache(self) -> None:
+        """Drop memoized queries after mutating :attr:`results` in place."""
+        self._query_cache.clear()
+
+    def workspace_steps(self, micro_batch: int) -> list[int]:
+        """Distinct result workspace sizes at one micro-batch, ascending.
+
+        These are the only limit values at which any workspace-limited query
+        at this size can change its answer (``T1`` and the per-size option
+        front are step functions of the limit with exactly these steps).
+        """
+        key = ("steps", micro_batch)
+        steps = self._query_cache.get(key)
+        if steps is None:
+            steps = sorted({r.workspace for r in self.results.get(micro_batch, ())})
+            self._query_cache[key] = steps
+        return steps
+
+    def limit_bucket(self, micro_batch: int, workspace_limit: int | None) -> int | None:
+        """Memoization bucket of a limit at one size.
+
+        The bucket counts how many distinct workspace steps the limit admits;
+        limits in the same bucket admit the *same rows* of the result table,
+        hence identical answers to every query.  ``None`` (no limit) is its
+        own bucket.
+        """
+        if workspace_limit is None:
+            return None
+        return bisect.bisect_right(self.workspace_steps(micro_batch), workspace_limit)
 
     def micro_options(self, micro_batch: int, workspace_limit: int | None = None):
         """Pareto-undominated micro-configurations at one size.
@@ -62,6 +99,16 @@ class KernelBenchmark:
         configuration-level pruning of section III-C1 happens in
         :mod:`repro.core.pareto`).
         """
+        key = ("options", micro_batch, self.limit_bucket(micro_batch, workspace_limit))
+        cached = self._query_cache.get(key)
+        if cached is None:
+            cached = self._compute_micro_options(micro_batch, workspace_limit)
+            self._query_cache[key] = cached
+        return list(cached)
+
+    def _compute_micro_options(
+        self, micro_batch: int, workspace_limit: int | None
+    ) -> list[MicroConfig]:
         options: list[MicroConfig] = []
         for res in self.results.get(micro_batch, ()):
             if workspace_limit is not None and res.workspace > workspace_limit:
@@ -105,10 +152,22 @@ class KernelBenchmark:
             ]
         return out
 
+    _MISS = object()  # memo sentinel: fastest_micro legitimately caches None
+
     def fastest_micro(
         self, micro_batch: int, workspace_limit: int | None = None
     ) -> MicroConfig | None:
         """The paper's ``T1``: fastest micro-configuration within the limit."""
+        key = ("fastest", micro_batch, self.limit_bucket(micro_batch, workspace_limit))
+        cached = self._query_cache.get(key, self._MISS)
+        if cached is self._MISS:
+            cached = self._compute_fastest_micro(micro_batch, workspace_limit)
+            self._query_cache[key] = cached
+        return cached
+
+    def _compute_fastest_micro(
+        self, micro_batch: int, workspace_limit: int | None
+    ) -> MicroConfig | None:
         best: MicroConfig | None = None
         for res in self.results.get(micro_batch, ()):
             if workspace_limit is not None and res.workspace > workspace_limit:
@@ -170,15 +229,34 @@ def benchmark_kernel(
     with telemetry.span(
         "benchmark.kernel", kernel=geometry.cache_key(), policy=policy.value
     ) as kspan:
-        for size in candidate_sizes(policy, geometry.n):
+        sizes = candidate_sizes(policy, geometry.n)
+        found_map: dict[int, list[PerfResult]] = {}
+        pending: list[int] = []
+        for size in sizes:
             g = geometry.with_batch(size)
             cached = cache.get_benchmark(gpu_name, g) if cache is not None else None
             if cached is not None:
-                found = cached
+                found_map[size] = cached
             else:
-                # One benchmark unit: every algorithm at one micro-batch size,
-                # as a single cudnnFind* invocation measures them.
-                with telemetry.span("benchmark.find", size=size) as unit:
+                pending.append(size)
+
+        if pending and samples == 1:
+            # Single-sample misses answer in one vectorized pass of the
+            # performance model (bit-identical to per-size Find calls).
+            all_results = find_algorithms_batched(handle, geometry, pending)
+        else:
+            all_results = None
+
+        for idx, size in enumerate(pending):
+            g = geometry.with_batch(size)
+            # One benchmark unit: every algorithm at one micro-batch size,
+            # as a single cudnnFind* invocation measures them.
+            with telemetry.span("benchmark.find", size=size) as unit:
+                if all_results is not None:
+                    run = [r for r in all_results[idx] if r.ok]
+                    unit_time = sum(r.time for r in run)
+                    found = run
+                else:
                     unit_time = 0.0
                     runs = []
                     for _ in range(samples):
@@ -188,22 +266,26 @@ def benchmark_kernel(
                         unit_time += sum(r.time for r in run)
                         runs.append(run)
                     found = runs[0] if samples == 1 else _aggregate_samples(runs)
-                    bench.benchmark_time += unit_time
-                    unit.set("algorithms", len(found))
-                    unit.set("device_seconds", unit_time)
-                telemetry.count(
-                    "benchmark.units", help="cudnnFind benchmark units evaluated"
-                )
-                telemetry.count(
-                    "benchmark.device_seconds", unit_time,
-                    help="simulated device seconds spent benchmarking",
-                )
-                telemetry.observe(
-                    "benchmark.unit_seconds", unit_time,
-                    help="simulated device seconds per benchmark unit",
-                )
-                if cache is not None:
-                    cache.put_benchmark(gpu_name, g, found)
+                bench.benchmark_time += unit_time
+                unit.set("algorithms", len(found))
+                unit.set("device_seconds", unit_time)
+            telemetry.count(
+                "benchmark.units", help="cudnnFind benchmark units evaluated"
+            )
+            telemetry.count(
+                "benchmark.device_seconds", unit_time,
+                help="simulated device seconds spent benchmarking",
+            )
+            telemetry.observe(
+                "benchmark.unit_seconds", unit_time,
+                help="simulated device seconds per benchmark unit",
+            )
+            if cache is not None:
+                cache.put_benchmark(gpu_name, g, found)
+            found_map[size] = found
+
+        for size in sizes:
+            found = found_map[size]
             if deterministic_only:
                 found = [
                     r for r in found if is_deterministic(geometry.conv_type, r.algo)

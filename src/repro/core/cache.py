@@ -52,24 +52,48 @@ class BenchmarkCache:
         self.path = Path(path) if path is not None else None
         self._bench: dict[str, list[PerfResult]] = {}
         self._configs: dict[str, dict] = {}
-        self.hits = 0
-        self.misses = 0
+        #: Hit/miss counters, split by what was looked up: benchmark tables
+        #: (the expensive cudnnFind results) vs optimized configurations
+        #: (cheap to recompute, but hits skip a whole WR/WD solve).
+        self.bench_hits = 0
+        self.bench_misses = 0
+        self.config_hits = 0
+        self.config_misses = 0
+        self._dirty = False
         if self.path is not None and self.path.exists():
             self.load()
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits (benchmark + configuration)."""
+        return self.bench_hits + self.config_hits
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses (benchmark + configuration)."""
+        return self.bench_misses + self.config_misses
+
+    @property
+    def dirty(self) -> bool:
+        """Whether in-memory state has changed since the last save/load."""
+        return self._dirty
 
     # -- benchmark results ----------------------------------------------------
 
     def get_benchmark(self, gpu_name: str, geometry: ConvGeometry):
         entry = self._bench.get(_bench_key(gpu_name, geometry))
         if entry is None:
-            self.misses += 1
+            self.bench_misses += 1
             if telemetry.enabled():
                 telemetry.count("cache.misses", help="benchmark/config cache misses")
+                telemetry.count("cache.bench.misses",
+                                help="benchmark-table cache misses")
                 telemetry.event("cache.miss", key=_bench_key(gpu_name, geometry))
             return None
-        self.hits += 1
+        self.bench_hits += 1
         if telemetry.enabled():
             telemetry.count("cache.hits", help="benchmark/config cache hits")
+            telemetry.count("cache.bench.hits", help="benchmark-table cache hits")
             telemetry.event("cache.hit", key=_bench_key(gpu_name, geometry))
         return list(entry)
 
@@ -77,6 +101,7 @@ class BenchmarkCache:
         self, gpu_name: str, geometry: ConvGeometry, results: list[PerfResult]
     ) -> None:
         self._bench[_bench_key(gpu_name, geometry)] = list(results)
+        self._dirty = True
 
     # -- optimized configurations ----------------------------------------------
 
@@ -93,14 +118,18 @@ class BenchmarkCache:
     def get_configuration(self, key: str) -> Configuration | None:
         data = self._configs.get(key)
         if data is None:
-            self.misses += 1
+            self.config_misses += 1
             if telemetry.enabled():
                 telemetry.count("cache.misses", help="benchmark/config cache misses")
+                telemetry.count("cache.config.misses",
+                                help="optimized-configuration cache misses")
                 telemetry.event("cache.miss", key=key)
             return None
-        self.hits += 1
+        self.config_hits += 1
         if telemetry.enabled():
             telemetry.count("cache.hits", help="benchmark/config cache hits")
+            telemetry.count("cache.config.hits",
+                            help="optimized-configuration cache hits")
             telemetry.event("cache.hit", key=key)
         return Configuration.from_dict(data)
 
@@ -108,15 +137,27 @@ class BenchmarkCache:
         self, key: str, conv_type: ConvType, configuration: Configuration
     ) -> None:
         self._configs[key] = configuration.to_dict(conv_type)
+        self._dirty = True
 
     # -- persistence ------------------------------------------------------------
 
     def save(self) -> None:
-        """Atomically persist to :attr:`path` (no-op without a path)."""
+        """Atomically persist to :attr:`path` (no-op without a path).
+
+        Skips the write entirely when nothing changed since the last
+        save/load -- frameworks call ``save`` once per training step, and
+        after warm-up every step would otherwise rewrite an identical
+        multi-megabyte JSON document.
+        """
         if self.path is None:
+            return
+        if not self._dirty and self.path.exists():
+            telemetry.count("cache.saves_skipped",
+                            help="persist calls skipped because nothing changed")
             return
         with telemetry.span("cache.save", path=str(self.path), entries=len(self)):
             self._save()
+        self._dirty = False
         telemetry.count("cache.saves", help="benchmark DB persist operations")
 
     def _save(self) -> None:
@@ -180,6 +221,7 @@ class BenchmarkCache:
             ]
         self._bench = bench
         self._configs = dict(payload.get("configurations", {}))
+        self._dirty = False
         telemetry.event("cache.load", path=str(self.path), entries=len(self))
 
     def __len__(self) -> int:

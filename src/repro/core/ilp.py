@@ -447,16 +447,102 @@ class _Incumbent:
         self.consider(x)
 
 
+def _seed_warm_start(incumbent: _Incumbent, warm_start: np.ndarray | None) -> None:
+    """Feed a caller-provided feasible point into the incumbent.
+
+    Counted separately from the greedy seed: a warm start that survives as
+    the initial cutoff is what lets limit sweeps prune most of the tree.
+    """
+    if warm_start is None:
+        return
+    telemetry.count("ilp.warm_starts", help="warm-start vectors offered")
+    before = incumbent.objective
+    incumbent.consider(np.asarray(warm_start, dtype=float))
+    if incumbent.objective < before - 1e-12:
+        telemetry.count("ilp.warm_start_hits",
+                        help="warm starts that tightened the initial incumbent")
+
+
+def _reduced_cost_fix(problem: ZeroOneProblem, shape: _MckpShape,
+                      relax: _MckpRelaxation, cutoff: float):
+    """Root-level reduced-cost variable fixing under a known cutoff.
+
+    For every item, the forced-in relaxation bound ``bound((item, 1))`` is a
+    lower bound on any solution containing that item; when it cannot strictly
+    beat ``cutoff`` the item is removed from its group.  Only solutions with
+    objective ``>= cutoff - tol`` are discarded, so with ``cutoff`` set to a
+    feasible incumbent's objective the optimum below the cutoff is preserved
+    exactly.  Removing items shrinks the group hulls, which *raises* every
+    node bound and collapses most of the optimality-proof tree -- this is how
+    a warm start actually saves branch-and-bound nodes (an incumbent alone
+    cannot prune nodes whose bounds sit strictly below the optimum).
+
+    Iterates to a fixpoint (tighter hulls can expose further removals).
+    Returns ``(shape, relax, removed, bound_calls, emptied)``; ``emptied``
+    means some group lost every item, i.e. nothing can strictly beat the
+    cutoff and the incumbent is already optimal.
+    """
+    removed = 0
+    bound_calls = 0
+    while True:
+        removed_this_pass = 0
+        kept_groups: list[np.ndarray] = []
+        for group in shape.groups:
+            kept = []
+            for v in group:
+                bound, _, _ = relax.bound(((int(v), 1.0),))
+                bound_calls += 1
+                if bound < cutoff - 1e-12:
+                    kept.append(int(v))
+                else:
+                    removed_this_pass += 1
+            if not kept:
+                return shape, relax, removed + removed_this_pass, \
+                    bound_calls, True
+            kept_groups.append(np.asarray(kept, dtype=np.int64))
+        removed += removed_this_pass
+        if removed_this_pass == 0:
+            return shape, relax, removed, bound_calls, False
+        shape = _MckpShape(groups=kept_groups, weights=shape.weights,
+                           capacity=shape.capacity)
+        relax = _MckpRelaxation(problem, shape)
+
+
 def _solve_bnb_mckp(problem: ZeroOneProblem, shape: _MckpShape,
-                    max_nodes: int, start: float) -> ILPSolution:
+                    max_nodes: int, start: float,
+                    warm_start: np.ndarray | None = None) -> ILPSolution:
     """Branch-and-bound with the incremental combinatorial MCKP bound."""
     relax = _MckpRelaxation(problem, shape)
     incumbent = _Incumbent(problem)
     greedy = _greedy_incumbent(problem)
     if greedy is not None:
         incumbent.consider(greedy)
+    _seed_warm_start(incumbent, warm_start)
 
     lp_calls = 1
+    if warm_start is not None and incumbent.x is not None:
+        # Warm-started solves (limit sweeps) pay a linear number of root
+        # bound evaluations to fix variables against the incumbent cutoff;
+        # cold solves keep the seed behaviour bit-for-bit.
+        shape, relax, fixed_vars, bound_calls, emptied = _reduced_cost_fix(
+            problem, shape, relax, incumbent.objective
+        )
+        lp_calls += bound_calls
+        if fixed_vars:
+            telemetry.count("ilp.fixed_vars", fixed_vars,
+                            help="variables fixed to 0 by reduced-cost "
+                                 "bounds against the warm incumbent")
+        if emptied:
+            # No assignment can strictly beat the incumbent: it is optimal.
+            return ILPSolution(
+                x=incumbent.x,
+                objective=incumbent.objective,
+                optimal=True,
+                nodes_explored=0,
+                lp_calls=lp_calls,
+                solve_time=_time.perf_counter() - start,
+                num_variables=problem.num_variables,
+            )
     nodes = 0
     bound, choice, branch_var = relax.bound(())
     if math.isinf(bound):
@@ -502,12 +588,14 @@ def _solve_bnb_mckp(problem: ZeroOneProblem, shape: _MckpShape,
 
 
 def _solve_bnb_generic(problem: ZeroOneProblem, max_nodes: int,
-                       start: float) -> ILPSolution:
+                       start: float,
+                       warm_start: np.ndarray | None = None) -> ILPSolution:
     """Branch-and-bound over scipy's HiGHS LP relaxation (any shape)."""
     n = problem.num_variables
     lp_calls = 0
     nodes = 0
     incumbent = _Incumbent(problem)
+    _seed_warm_start(incumbent, warm_start)
 
     def evaluate(lower, upper):
         nonlocal lp_calls
@@ -572,12 +660,20 @@ def _solve_bnb_generic(problem: ZeroOneProblem, max_nodes: int,
 def solve_branch_and_bound(
     problem: ZeroOneProblem,
     max_nodes: int = 200_000,
+    warm_start: np.ndarray | None = None,
 ) -> ILPSolution:
     """Exact best-first branch-and-bound.
 
     Dispatches to the incremental combinatorial MCKP relaxation when the
     instance has the WD shape, and to scipy's HiGHS LP otherwise (see the
     module docstring for why both bounds are equally tight).
+
+    ``warm_start`` is an optional 0-1 vector seeding the incumbent (after
+    the greedy seed, replacing it only on strict improvement -- preserving
+    the cold solve's deterministic tie-breaking).  Beyond the usual cutoff
+    pruning, a warm incumbent enables root reduced-cost variable fixing on
+    MCKP-shaped instances (see :func:`_reduced_cost_fix`), which is how
+    limit sweeps (:mod:`repro.core.sweep`) shrink the tree itself.
     """
     start = _time.perf_counter()
     shape = _detect_mckp(problem)
@@ -585,11 +681,14 @@ def solve_branch_and_bound(
         "ilp.solve",
         variables=problem.num_variables,
         relaxation="mckp" if shape is not None else "highs",
+        warm_start=warm_start is not None,
     ) as tspan:
         if shape is not None:
-            solution = _solve_bnb_mckp(problem, shape, max_nodes, start)
+            solution = _solve_bnb_mckp(problem, shape, max_nodes, start,
+                                       warm_start=warm_start)
         else:
-            solution = _solve_bnb_generic(problem, max_nodes, start)
+            solution = _solve_bnb_generic(problem, max_nodes, start,
+                                          warm_start=warm_start)
         tspan.set("objective", solution.objective)
         tspan.set("nodes", solution.nodes_explored)
         telemetry.count("ilp.nodes_explored", solution.nodes_explored,

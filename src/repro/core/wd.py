@@ -105,17 +105,86 @@ def _build_problem(kernels: list[WDKernel], total_workspace: int):
     return problem, owner, configs
 
 
+def symmetry_class_key(kernel: WDKernel) -> tuple:
+    """Identity under which two WD kernels are interchangeable.
+
+    Kernels with the same geometry (ResNet's replicated blocks) have the
+    same benchmark table; together with an identical desirable set their
+    configurations can be permuted in any solution without changing cost or
+    workspace.
+    """
+    return (kernel.geometry.cache_key(), tuple(kernel.desirable))
+
+
+def canonicalize_symmetric(
+    kernels: list[WDKernel], assignments: dict[str, Configuration]
+) -> dict[str, Configuration]:
+    """Permute assignments within symmetry classes into canonical order.
+
+    Interchangeable kernels make the WD optimum a multiset choice: *which*
+    copy gets *which* configuration is arbitrary, and branch-and-bound
+    search order would otherwise leak into the output.  Within each class
+    the chosen configurations are redistributed to the member kernels (in
+    input order) sorted by ascending workspace -- total time and workspace
+    are untouched, and both the per-limit solvers and the sweep solver
+    (:mod:`repro.core.sweep`, which solves the symmetry-reduced aggregated
+    ILP) produce the same canonical form.
+    """
+    classes: dict[tuple, list[str]] = {}
+    for kernel in kernels:
+        classes.setdefault(symmetry_class_key(kernel), []).append(kernel.key)
+    for keys in classes.values():
+        if len(keys) < 2:
+            continue
+        chosen = sorted(
+            (assignments[k] for k in keys),
+            key=lambda c: (c.workspace, c.time),
+        )
+        for key, config in zip(keys, chosen):
+            assignments[key] = config
+    return assignments
+
+
+def _warm_vector(
+    kernels: list[WDKernel],
+    owner: list[int],
+    configs: list[Configuration],
+    num_variables: int,
+    warm_start: dict[str, Configuration],
+) -> np.ndarray | None:
+    """Map a per-kernel configuration dict onto the flattened 0-1 variables.
+
+    Returns ``None`` when any kernel's warm configuration is missing from its
+    desirable set (e.g. the previous limit pruned differently) -- the solve
+    then proceeds cold, which is always correct.
+    """
+    x = np.zeros(num_variables)
+    picked = [False] * len(kernels)
+    for var, (ki, config) in enumerate(zip(owner, configs)):
+        if not picked[ki] and config == warm_start.get(kernels[ki].key):
+            x[var] = 1.0
+            picked[ki] = True
+    return x if all(picked) else None
+
+
 def solve_from_kernels(
     kernels: list[WDKernel],
     total_workspace: int,
     solver: str = "ilp",
+    warm_start: dict[str, Configuration] | None = None,
 ) -> WDResult:
-    """Run the WD assignment over prepared kernels (benchmarks + fronts)."""
+    """Run the WD assignment over prepared kernels (benchmarks + fronts).
+
+    ``warm_start`` optionally maps kernel keys to known-good configurations
+    (typically the previous limit's optimum in a sweep); it seeds the ILP's
+    branch-and-bound incumbent and is ignored by the ``mckp`` solver.
+    """
     with telemetry.span(
         "optimize.wd", solver=solver, kernels=len(kernels),
         total_workspace=total_workspace,
     ) as tspan:
-        result = _solve_from_kernels(kernels, total_workspace, solver)
+        result = _solve_from_kernels(kernels, total_workspace, solver,
+                                     warm_start=warm_start)
         tspan.set("variables", result.num_variables)
         tspan.set("time", result.total_time)
         tspan.set("workspace", result.total_workspace)
@@ -133,11 +202,16 @@ def _solve_from_kernels(
     kernels: list[WDKernel],
     total_workspace: int,
     solver: str = "ilp",
+    warm_start: dict[str, Configuration] | None = None,
 ) -> WDResult:
     start = _time.perf_counter()
     if solver == "ilp":
         problem, owner, configs = _build_problem(kernels, total_workspace)
-        solution = solve_branch_and_bound(problem)
+        x0 = None
+        if warm_start is not None:
+            x0 = _warm_vector(kernels, owner, configs,
+                              problem.num_variables, warm_start)
+        solution = solve_branch_and_bound(problem, warm_start=x0)
         assignments: dict[str, Configuration] = {}
         for var in solution.selected():
             assignments[kernels[owner[var]].key] = configs[var]
@@ -164,6 +238,7 @@ def _solve_from_kernels(
     else:
         raise SolverError(f"unknown WD solver {solver!r}; use 'ilp' or 'mckp'")
 
+    canonicalize_symmetric(kernels, assignments)
     result = WDResult(
         assignments=assignments,
         total_workspace_limit=total_workspace,

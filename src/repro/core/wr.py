@@ -52,6 +52,67 @@ class WRResult:
         return self.undivided_time / self.configuration.time
 
 
+def t1_table(
+    benchmark: KernelBenchmark, workspace_limit: int | None
+) -> dict[int, MicroConfig]:
+    """Per-size ``T1`` entries under one limit (the DP's coin denominations).
+
+    Raises :class:`OptimizationError` when no measured size has any algorithm
+    fitting the limit.
+    """
+    t1: dict[int, MicroConfig] = {}
+    for size in benchmark.sizes:
+        micro = benchmark.fastest_micro(size, workspace_limit)
+        if micro is not None:
+            t1[size] = micro
+    if not t1:
+        raise OptimizationError(
+            f"no algorithm fits workspace limit {workspace_limit} for "
+            f"{benchmark.geometry}"
+        )
+    return t1
+
+
+def _wr_dp(t1: dict[int, MicroConfig], batch: int):
+    """The coin-change DP core shared by the optimizer and the tracer.
+
+    Returns the ``times`` table (``times[i]`` = optimal time for batch ``i``,
+    ``inf`` when not composable) and the ``choice`` table (last summand of an
+    optimal division, ``None`` when not composable).
+    """
+    times = [0.0] + [math.inf] * batch
+    choice: list[MicroConfig | None] = [None] * (batch + 1)
+    # Coin-change order: ascending i with all sizes admissible at each i
+    # allows unlimited reuse of any measured size.
+    for i in range(1, batch + 1):
+        best = math.inf
+        best_micro = None
+        for size, micro in t1.items():
+            if size > i or not math.isfinite(times[i - size]):
+                continue
+            cand = times[i - size] + micro.time
+            if cand < best:
+                best = cand
+                best_micro = micro
+        times[i] = best
+        choice[i] = best_micro
+    return times, choice
+
+
+def _rebuild(choice: list[MicroConfig | None], batch: int) -> Configuration:
+    """Reconstruct the configuration for batch ``batch`` from ``choice``."""
+    micros: list[MicroConfig] = []
+    remaining = batch
+    while remaining > 0:
+        micro = choice[remaining]
+        assert micro is not None
+        micros.append(micro)
+        remaining -= micro.micro_batch
+    # Largest micro-batches first, cosmetic but matches the paper's figures.
+    micros.sort(key=lambda m: -m.micro_batch)
+    return Configuration(tuple(micros))
+
+
 def optimize_from_benchmark(
     benchmark: KernelBenchmark, workspace_limit: int
 ) -> Configuration:
@@ -73,16 +134,7 @@ def _optimize_from_benchmark(
     benchmark: KernelBenchmark, workspace_limit: int, tspan
 ) -> Configuration:
     batch = benchmark.geometry.n
-    t1: dict[int, MicroConfig] = {}
-    for size in benchmark.sizes:
-        micro = benchmark.fastest_micro(size, workspace_limit)
-        if micro is not None:
-            t1[size] = micro
-    if not t1:
-        raise OptimizationError(
-            f"no algorithm fits workspace limit {workspace_limit} for "
-            f"{benchmark.geometry}"
-        )
+    t1 = t1_table(benchmark, workspace_limit)
     # A fallback in the paper's Fig. 1 sense: the kernel's unconstrained
     # optimum at the full batch does not fit the limit, so slower (or
     # divided) execution must cover for it.
@@ -97,39 +149,14 @@ def _optimize_from_benchmark(
         tspan.set("fallback", True)
     telemetry.count("wr.dp_rows", batch, help="WR dynamic-program rows solved")
 
-    times = [0.0] + [math.inf] * batch
-    choice: list[MicroConfig | None] = [None] * (batch + 1)
-    # Coin-change order: ascending i with all sizes admissible at each i
-    # allows unlimited reuse of any measured size.
-    for i in range(1, batch + 1):
-        best = math.inf
-        best_micro = None
-        for size, micro in t1.items():
-            if size > i or not math.isfinite(times[i - size]):
-                continue
-            cand = times[i - size] + micro.time
-            if cand < best:
-                best = cand
-                best_micro = micro
-        times[i] = best
-        choice[i] = best_micro
+    times, choice = _wr_dp(t1, batch)
 
     if not math.isfinite(times[batch]):
         raise OptimizationError(
             f"mini-batch {batch} is not composable from measured sizes "
             f"{sorted(t1)} (policy {benchmark.policy.value})"
         )
-
-    micros: list[MicroConfig] = []
-    remaining = batch
-    while remaining > 0:
-        micro = choice[remaining]
-        assert micro is not None
-        micros.append(micro)
-        remaining -= micro.micro_batch
-    # Largest micro-batches first, cosmetic but matches the paper's figures.
-    micros.sort(key=lambda m: -m.micro_batch)
-    return Configuration(tuple(micros))
+    return _rebuild(choice, batch)
 
 
 def optimize_kernel(
@@ -171,36 +198,10 @@ def trace_wr(benchmark: KernelBenchmark, workspace_limit: int) -> list[WRTraceRo
     divisions become profitable (useful for teaching and debugging).
     """
     batch = benchmark.geometry.n
-    t1: dict[int, MicroConfig] = {}
-    for size in benchmark.sizes:
-        micro = benchmark.fastest_micro(size, workspace_limit)
-        if micro is not None:
-            t1[size] = micro
-    if not t1:
-        raise OptimizationError(
-            f"no algorithm fits workspace limit {workspace_limit} for "
-            f"{benchmark.geometry}"
-        )
-    times = [0.0] + [math.inf] * batch
-    choice: list[MicroConfig | None] = [None] * (batch + 1)
-    for i in range(1, batch + 1):
-        for size, micro in t1.items():
-            if size <= i and math.isfinite(times[i - size]):
-                cand = times[i - size] + micro.time
-                if cand < times[i]:
-                    times[i] = cand
-                    choice[i] = micro
-
-    def rebuild(i: int) -> Configuration:
-        micros = []
-        while i > 0 and choice[i] is not None:
-            micros.append(choice[i])
-            i -= choice[i].micro_batch
-        micros.sort(key=lambda m: -m.micro_batch)
-        return Configuration(tuple(micros))
-
+    t1 = t1_table(benchmark, workspace_limit)
+    times, choice = _wr_dp(t1, batch)
     return [
-        WRTraceRow(i, times[i], choice[i], rebuild(i))
+        WRTraceRow(i, times[i], choice[i], _rebuild(choice, i))
         for i in range(1, batch + 1)
         if math.isfinite(times[i])
     ]
@@ -239,6 +240,11 @@ def optimize_greedy_halving(
         chosen = handle.perf.fastest(
             geometry.with_batch(m), workspace_limit=workspace_limit
         )
+        if chosen is None:
+            raise OptimizationError(
+                f"no algorithm fits workspace limit {workspace_limit} at "
+                f"micro-batch {m} for {geometry}"
+            )
         micros.append(MicroConfig(m, chosen.algo, chosen.time, chosen.workspace))
         remaining -= m
     return Configuration(tuple(micros))

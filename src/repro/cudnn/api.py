@@ -95,6 +95,28 @@ def find_algorithms(handle: CudnnHandle, g: ConvGeometry) -> list[PerfResult]:
     return handle.perf.find_all(g, sample=handle.next_sample())
 
 
+def find_algorithms_batched(
+    handle: CudnnHandle, g: ConvGeometry, sizes: list[int]
+) -> list[list[PerfResult]]:
+    """:func:`find_algorithms` for many micro-batch sizes of one geometry.
+
+    Bit-identical to ``[find_algorithms(handle, g.with_batch(n)) for n in
+    sizes]`` but answered in a single vectorized pass of the performance
+    model when the model is jitter-free.  One sample index is drawn per size
+    (in order) regardless of the path taken, so the handle's sample counter
+    advances exactly as the per-size loop would have advanced it.
+    """
+    if getattr(handle, "UCUDNN_INTERPOSE", False):
+        return [find_algorithms(handle, g.with_batch(n)) for n in sizes]
+    samples = [handle.next_sample() for _ in sizes]
+    if handle.perf.jitter != 0.0:
+        return [
+            handle.perf.find_all(g.with_batch(n), sample=s)
+            for n, s in zip(sizes, samples)
+        ]
+    return handle.perf.find_all_batched(g, sizes)
+
+
 def get_algorithm(
     handle: CudnnHandle,
     g: ConvGeometry,

@@ -36,6 +36,8 @@ import math
 import zlib
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.device import GpuSpec
 from repro.cudnn.enums import Algo, AlgoFamily, ConvType, algos_for, family_of
@@ -48,6 +50,7 @@ from repro.cudnn.workspace import (
     is_supported,
     winograd_tiles,
     workspace_size,
+    workspace_size_batch,
 )
 from repro.errors import NotSupportedError
 from repro.units import FLOAT_SIZE
@@ -169,6 +172,41 @@ class PerfModel:
         results = [self.query(g, a, sample=sample) for a in algos_for(g.conv_type)]
         return sorted(results, key=lambda r: (r.time, int(r.algo)))
 
+    def find_all_batched(
+        self, g: ConvGeometry, sizes: list[int]
+    ) -> list[list[PerfResult]]:
+        """:meth:`find_all` for every batch size at once, one numpy pass.
+
+        Returns ``[self.find_all(g.with_batch(n)) for n in sizes]`` with the
+        times and workspaces bit-identical to the per-size path: algorithm
+        support and every transform dimension are independent of N, and each
+        model term is evaluated with the exact same IEEE expression tree per
+        element (N-independent subexpressions hoisted to scalars, the rest
+        vectorized in the scalar path's association order).
+
+        Only valid for the jitter-free model -- noisy samples are keyed per
+        query and must go through :meth:`find_all`.
+        """
+        if self.jitter != 0.0:
+            raise RuntimeError("find_all_batched requires a jitter-free model")
+        ns = np.asarray([int(n) for n in sizes], dtype=np.int64)
+        per_size: list[list[PerfResult]] = [[] for _ in sizes]
+        for algo in algos_for(g.conv_type):
+            if not is_supported(g, algo):  # support never depends on N
+                row = PerfResult(algo, Status.NOT_SUPPORTED, math.inf, 0)
+                for rows in per_size:
+                    rows.append(row)
+                continue
+            times = self._time_supported_batch(g, algo, ns)
+            wss = workspace_size_batch(g, ns, algo)
+            for i, rows in enumerate(per_size):
+                rows.append(
+                    PerfResult(algo, Status.SUCCESS, float(times[i]), int(wss[i]))
+                )
+        return [
+            sorted(rows, key=lambda r: (r.time, int(r.algo))) for rows in per_size
+        ]
+
     def fastest(
         self, g: ConvGeometry, workspace_limit: int | None = None, sample: int = 0
     ) -> PerfResult | None:
@@ -272,6 +310,106 @@ class PerfModel:
         t_memory = self._io_bytes(g, family) / spec.mem_bandwidth
         overhead = spec.launch_overhead * _KERNELS_PER_CALL[family]
         return _OP_MULT[g.conv_type] * (overhead + max(t_compute, t_memory))
+
+    # -- vectorized internals (bit-identical to the scalar path over N) -------
+    #
+    # Every helper below evaluates, for an int64 array ``ns`` of batch sizes,
+    # exactly ``[scalar(g.with_batch(n)) for n in ns]``.  Integer terms are
+    # exact in any association order; float terms keep the scalar path's
+    # left-to-right order with N-independent prefixes hoisted (hoisting a
+    # prefix does not change the expression tree, only when it is computed).
+
+    def _occupancy_batch(self, g: ConvGeometry, ns: np.ndarray) -> np.ndarray:
+        y = g.y_desc
+        par = ns * (y.h * y.w * -(-g.k // 32))
+        kappa = self.spec.sm_count * 384.0
+        return par / (par + kappa)
+
+    def _wave_quantization_batch(self, g: ConvGeometry, ns: np.ndarray) -> np.ndarray:
+        y = g.y_desc
+        blocks = np.maximum(1, -(-(ns * (y.h * y.w)) // 256)) * max(1, -(-g.k // 64))
+        waves = blocks / self.spec.sm_count
+        return 1.0 + 0.15 * (np.ceil(waves) / waves - 1.0)
+
+    def _io_bytes_batch(
+        self, g: ConvGeometry, family: AlgoFamily, ns: np.ndarray
+    ) -> np.ndarray:
+        y = g.y_desc
+        w_count = g.w_desc.count
+        counts = ns * (g.c * g.h * g.w) + ns * (y.c * y.h * y.w) + w_count
+        io = FLOAT_SIZE * counts
+        if g.conv_type == ConvType.BACKWARD_FILTER:
+            io = io + FLOAT_SIZE * w_count
+        if family in (
+            AlgoFamily.GEMM,
+            AlgoFamily.FFT,
+            AlgoFamily.FFT_TILING,
+            AlgoFamily.WINOGRAD_NONFUSED,
+        ):
+            io = io + 2.0 * workspace_size_batch(
+                g, ns, family_to_algo(g.conv_type, family)
+            )
+        return io
+
+    def _effective_flops_batch(
+        self, g: ConvGeometry, family: AlgoFamily, ns: np.ndarray
+    ) -> np.ndarray:
+        y = g.y_desc
+        # flops = 2 * N * K * H' * W' * (C/G) * R * S -- linear in N.
+        direct = (
+            ns * (2 * g.k * y.h * y.w * (g.c // g.groups) * g.r * g.s)
+        ).astype(np.float64)
+        if family in (
+            AlgoFamily.IMPLICIT_GEMM,
+            AlgoFamily.IMPLICIT_PRECOMP_GEMM,
+            AlgoFamily.GEMM,
+            AlgoFamily.DIRECT,
+        ):
+            return direct
+        if family == AlgoFamily.FFT:
+            hf, wf = fft_dims(g)
+            plane = _fft_plane_flops(hf, wf)
+            transforms = plane * (ns * (g.c + g.k) + g.c * g.k)
+            pointwise = _CMAC_FLOPS * hf * (wf // 2 + 1) * ns * g.k * g.c
+            return transforms + pointwise
+        if family == AlgoFamily.FFT_TILING:
+            tiles = fft_tiles_per_image(g)
+            plane = _fft_plane_flops(FFT_TILE, FFT_TILE)
+            transforms = plane * (g.c * g.k + ns * (tiles * (g.c + g.k)))
+            pointwise = (
+                _CMAC_FLOPS * FFT_TILE * (FFT_TILE // 2 + 1) * ns * tiles * g.k * g.c
+            )
+            return transforms + pointwise
+        if family in (AlgoFamily.WINOGRAD, AlgoFamily.WINOGRAD_NONFUSED):
+            t = WINOGRAD_M + g.r - 1
+            reduction = (g.r * g.s * WINOGRAD_M * WINOGRAD_M) / float(t * t)
+            tiles = winograd_tiles(g)
+            transform_cost = 4.0 * t * t * (ns * (tiles * (g.c + g.k)) + g.c * g.k)
+            if family == AlgoFamily.WINOGRAD:
+                transform_cost = transform_cost * 0.5
+            return direct / reduction + transform_cost
+        raise AssertionError(f"unhandled family {family}")
+
+    def _time_supported_batch(
+        self, g: ConvGeometry, algo: Algo, ns: np.ndarray
+    ) -> np.ndarray:
+        if g.groups > 1:
+            # with_batch and group_geometry commute, so the recursion over the
+            # per-group sub-problem vectorizes unchanged.
+            return g.groups * self._time_supported_batch(g.group_geometry(), algo, ns)
+        family = family_of(g.conv_type, algo)
+        spec = self.spec
+        eff = _BASE_EFFICIENCY[family] * self._occupancy_batch(g, ns)
+        if family in (AlgoFamily.FFT, AlgoFamily.FFT_TILING):
+            eff *= spec.fft_throughput_scale
+        elif family in (AlgoFamily.WINOGRAD, AlgoFamily.WINOGRAD_NONFUSED):
+            eff *= spec.winograd_throughput_scale
+        flops = self._effective_flops_batch(g, family, ns)
+        t_compute = flops / (spec.peak_sp_flops * eff)
+        t_compute *= self._wave_quantization_batch(g, ns)
+        t_memory = self._io_bytes_batch(g, family, ns) / spec.mem_bandwidth
+        overhead = spec.launch_overhead * _KERNELS_PER_CALL[family]
+        return _OP_MULT[g.conv_type] * (overhead + np.maximum(t_compute, t_memory))
 
 
 def family_to_algo(conv_type: ConvType, family: AlgoFamily) -> Algo:

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+import numpy as np
+
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.enums import Algo, AlgoFamily, family_of
 from repro.units import COMPLEX_SIZE, FLOAT_SIZE
@@ -206,6 +208,43 @@ def _ws_winograd_nonfused(g: ConvGeometry) -> int:
     t = WINOGRAD_M + g.r - 1  # transform tile edge (4 for F(2,3))
     plane = FLOAT_SIZE * t * t
     return plane * (g.c * g.k + g.n * tiles * (g.c + g.k)) // TRANSFORM_CHUNKS
+
+
+def workspace_size_batch(g: ConvGeometry, ns, algo: Algo) -> np.ndarray:
+    """Vectorized :func:`workspace_size` over many batch sizes at once.
+
+    ``ns`` is a sequence of batch sizes; returns an int64 array such that
+    ``out[i] == workspace_size(g.with_batch(ns[i]), algo)`` exactly.  Every
+    per-size quantity is linear in N with integer coefficients, so the
+    int64 arithmetic reproduces the scalar path bit for bit (magnitudes
+    stay far below 2**63 for any realistic layer).
+    """
+    ns = np.asarray(ns, dtype=np.int64)
+    if g.groups > 1:
+        # with_batch and group_geometry commute: one changes n, the other c/k.
+        return workspace_size_batch(g.group_geometry(), ns, algo)
+    family = family_of(g.conv_type, algo)
+    if family in (AlgoFamily.IMPLICIT_GEMM, AlgoFamily.DIRECT, AlgoFamily.WINOGRAD):
+        return np.zeros(len(ns), dtype=np.int64)
+    if family == AlgoFamily.IMPLICIT_PRECOMP_GEMM:
+        return np.full(len(ns), _ws_precomp(g), dtype=np.int64)
+    y = g.y_desc
+    if family == AlgoFamily.GEMM:
+        return FLOAT_SIZE * ns * (g.c * g.r * g.s * y.h * y.w)
+    if family == AlgoFamily.FFT:
+        hf, wf = fft_dims(g)
+        planes = ns * (g.c + g.k) + g.c * g.k
+        return COMPLEX_SIZE * hf * (wf // 2 + 1) * planes // TRANSFORM_CHUNKS
+    if family == AlgoFamily.FFT_TILING:
+        tiles = fft_tiles_per_image(g)
+        plane = COMPLEX_SIZE * FFT_TILE * (FFT_TILE // 2 + 1)
+        return plane * (g.c * g.k + ns * (tiles * (g.c + g.k))) // TRANSFORM_CHUNKS
+    if family == AlgoFamily.WINOGRAD_NONFUSED:
+        tiles = winograd_tiles(g)
+        t = WINOGRAD_M + g.r - 1
+        plane = FLOAT_SIZE * t * t
+        return plane * (g.c * g.k + ns * (tiles * (g.c + g.k))) // TRANSFORM_CHUNKS
+    raise AssertionError(f"unhandled family {family}")
 
 
 def workspace_size(g: ConvGeometry, algo: Algo) -> int:

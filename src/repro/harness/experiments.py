@@ -12,7 +12,9 @@ paper's primary platform (P100-SXM2 / TSUBAME 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core import (
     BatchSizePolicy,
@@ -23,6 +25,10 @@ from repro.core import (
     desirable_set,
     optimize_network_wd,
     optimize_network_wr,
+    prepare_wd_kernels,
+    sweep_network_wd,
+    sweep_network_wr,
+    sweep_wd,
 )
 from repro.core.config import Configuration
 from repro.core.wr import optimize_from_benchmark
@@ -525,25 +531,25 @@ def fig13_wr_vs_wd(
         geoms = conv_geometries_of(builder, batch, gpu)
         handle = CudnnHandle(gpu=Gpu.create(gpu), mode=ExecMode.TIMING)
         cache = BenchmarkCache()
+        # All limits of a scheme are solved as one sweep (identical results
+        # to the per-limit path; see repro.core.sweep).
+        per_limits = [m * MIB for m in per_kernel_mib]
+        undiv = sweep_network_wr(handle, geoms, per_limits,
+                                 BatchSizePolicy.UNDIVIDED, cache=cache)
+        wr = sweep_network_wr(handle, geoms, per_limits, policy, cache=cache)
+        totals = [m * MIB * len(geoms) for m in per_kernel_mib]
+        _, wd_plans = sweep_network_wd(handle, geoms, totals, policy,
+                                       solver=wd_solver, cache=cache)
         for mib_each in per_kernel_mib:
             total = mib_each * MIB * len(geoms)
-            for scheme in ("wr-undivided", "wr", "wd"):
-                if scheme == "wd":
-                    plan = optimize_network_wd(
-                        handle, geoms, total, policy, solver=wd_solver, cache=cache
-                    )
-                    conv_time = plan.total_time
-                    ws_used = plan.total_workspace
-                    pol_name = policy.value
-                else:
-                    pol = (BatchSizePolicy.UNDIVIDED if scheme == "wr-undivided"
-                           else policy)
-                    plan = optimize_network_wr(
-                        handle, geoms, mib_each * MIB, pol, cache=cache
-                    )
-                    conv_time = plan.total_time
-                    ws_used = plan.total_workspace
-                    pol_name = pol.value
+            for scheme, plan, pol_name in (
+                ("wr-undivided", undiv.plan(mib_each * MIB),
+                 BatchSizePolicy.UNDIVIDED.value),
+                ("wr", wr.plan(mib_each * MIB), policy.value),
+                ("wd", wd_plans[total], policy.value),
+            ):
+                conv_time = plan.total_time
+                ws_used = plan.total_workspace
                 rows.append(Fig13Row(model, scheme, pol_name, total, conv_time, ws_used))
                 table.add(model, scheme, pol_name, format_bytes(total),
                           fmt_ms(conv_time), format_bytes(ws_used))
@@ -666,6 +672,11 @@ class ILPStatsRow:
     num_variables: int
     solve_time: float
     conv_time: float
+    #: Variables of the symmetry-reduced (aggregated) instance the sweep
+    #: solver actually solved; at most ``num_variables``.
+    aggregated_variables: int = 0
+    #: Branch-and-bound nodes of that instance (0 for the mckp solver).
+    nodes: int = 0
 
 
 @dataclass
@@ -681,24 +692,117 @@ def tab_ilp_stats(
     solvers: tuple[str, ...] = ("ilp", "mckp"),
 ) -> ILPStatsResult:
     """Section IV-D: the WD ILP for ResNet-50 stays small after Pareto
-    pruning (paper: 562 binaries at 5088 MiB, 5.46 ms GLPK solve)."""
+    pruning (paper: 562 binaries at 5088 MiB, 5.46 ms GLPK solve).
+
+    Solved through :func:`repro.core.sweep.sweep_wd`, so the table also
+    reports the symmetry-reduced instance size and its branch-and-bound
+    node count.  ``num_variables`` remains the per-copy count after Pareto
+    pruning (the paper's figure of merit).
+    """
     geoms = conv_geometries_of(build_resnet50, PAPER_BATCHES["resnet50_wd"], gpu)
     handle = CudnnHandle(gpu=Gpu.create(gpu), mode=ExecMode.TIMING)
     cache = BenchmarkCache()
+    kernels = prepare_wd_kernels(handle, geoms, policy, cache=cache)
+    totals = [m * MIB * len(geoms) for m in per_kernel_mib]
     table = Table(
         f"WD ILP statistics, ResNet-50 on {gpu} ({len(geoms)} kernels)",
-        ["total ws", "solver", "0-1 vars", "solve ms", "conv ms"],
+        ["total ws", "solver", "0-1 vars", "agg vars", "B&B nodes",
+         "solve ms", "conv ms"],
     )
+    sweeps = {solver: sweep_wd(kernels, totals, solver=solver)
+              for solver in solvers}
     rows = []
-    for mib_each in per_kernel_mib:
-        total = mib_each * MIB * len(geoms)
+    for total in totals:
         for solver in solvers:
-            plan = optimize_network_wd(handle, geoms, total, policy,
-                                       solver=solver, cache=cache)
+            result = sweeps[solver].result(total)
+            per_copy_vars = sum(len(k.desirable) for k in result.kernels)
+            nodes = result.ilp.nodes_explored if result.ilp is not None else 0
             rows.append(
-                ILPStatsRow("resnet50", total, solver, plan.wd.num_variables,
-                            plan.wd.solve_time, plan.total_time)
+                ILPStatsRow("resnet50", total, solver, per_copy_vars,
+                            result.solve_time, result.total_time,
+                            aggregated_variables=result.num_variables,
+                            nodes=nodes)
             )
-            table.add(format_bytes(total), solver, str(plan.wd.num_variables),
-                      f"{plan.wd.solve_time * 1e3:.2f}", fmt_ms(plan.total_time))
+            table.add(format_bytes(total), solver, str(per_copy_vars),
+                      str(result.num_variables), str(nodes),
+                      f"{result.solve_time * 1e3:.2f}",
+                      fmt_ms(result.total_time))
     return ILPStatsResult(rows=rows, table=table)
+
+
+# ---------------------------------------------------------------------------
+# Cross-limit sweep cost (this reproduction's solver-level contribution)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepCostResult:
+    """Work accounting of the cross-limit sweep solvers on ResNet-50."""
+
+    table: Table
+    limits_per_kernel: list[int] = field(default_factory=list)
+    totals: list[int] = field(default_factory=list)
+    wr_dp_solves: int = 0
+    wr_per_limit_solves: int = 0
+    wd_solved: int = 0
+    wd_ilp_nodes: int = 0
+    wd_warm_started: int = 0
+    wd_aggregated_variables: int = 0
+    wd_per_copy_variables: int = 0
+
+
+def tab_sweep_cost(
+    gpu: str = "p100-sxm2",
+    num_limits: int = 8,
+    policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
+) -> SweepCostResult:
+    """How much solver work the cross-limit sweeps avoid on ResNet-50.
+
+    Sweeps a geometric grid of workspace limits and reports the WR DP
+    executions actually run vs the one-DP-per-(kernel, limit) baseline, and
+    the WD sweep's symmetry-reduced instance sizes, branch-and-bound nodes,
+    and warm-started solves.  ``benchmarks/test_perf_sweep.py`` measures the
+    full baseline comparison (including cold per-limit WD solves) and
+    records it in ``BENCH_sweep.json``.
+    """
+    geoms = conv_geometries_of(build_resnet50, PAPER_BATCHES["resnet50_wd"], gpu)
+    handle = CudnnHandle(gpu=Gpu.create(gpu), mode=ExecMode.TIMING)
+    cache = BenchmarkCache()
+    k = len(geoms)
+    per_kernel = sorted({int(x) for x in np.geomspace(MIB, 64 * MIB, num_limits)})
+    totals = sorted({int(x) for x in np.geomspace(k * MIB, k * 64 * MIB, num_limits)})
+
+    wr = sweep_network_wr(handle, geoms, per_kernel, policy, cache=cache)
+    kernels = prepare_wd_kernels(handle, geoms, policy, cache=cache)
+    wd = sweep_wd(kernels, totals, solver="ilp")
+
+    per_copy_vars = sum(
+        sum(len(kr.desirable) for kr in result.kernels)
+        for result in wd.results.values()
+    )
+    agg_vars = sum(result.num_variables for result in wd.results.values())
+    table = Table(
+        f"Cross-limit sweep cost, ResNet-50 on {gpu} "
+        f"({k} kernels, {num_limits} limits)",
+        ["scheme", "metric", "sweep", "per-limit", "ratio"],
+    )
+    wr_baseline = k * len(set(per_kernel))
+    table.add("wr", "DP solves", str(wr.dp_solves), str(wr_baseline),
+              fmt_ratio(wr_baseline / max(1, wr.dp_solves)))
+    table.add("wd", "0-1 variables", str(agg_vars), str(per_copy_vars),
+              fmt_ratio(per_copy_vars / max(1, agg_vars)))
+    table.add("wd", "B&B nodes", str(wd.ilp_nodes), "-", "-")
+    table.add("wd", "warm-started solves", str(wd.warm_started_solves),
+              str(len(wd.results)), "-")
+    return SweepCostResult(
+        table=table,
+        limits_per_kernel=per_kernel,
+        totals=totals,
+        wr_dp_solves=wr.dp_solves,
+        wr_per_limit_solves=wr_baseline,
+        wd_solved=len(wd.results),
+        wd_ilp_nodes=wd.ilp_nodes,
+        wd_warm_started=wd.warm_started_solves,
+        wd_aggregated_variables=agg_vars,
+        wd_per_copy_variables=per_copy_vars,
+    )

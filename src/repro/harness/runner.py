@@ -49,6 +49,8 @@ REGISTRY = {
                  "optimization cost: all vs powerOfTwo, 1 vs 4 GPUs"),
     "ilp-stats": (E.tab_ilp_stats,
                   "WD ILP size & solve time, ResNet-50"),
+    "sweep": (E.tab_sweep_cost,
+              "cross-limit sweep cost vs per-limit solvers, ResNet-50"),
 }
 
 
@@ -87,8 +89,11 @@ def main(argv: list[str] | None = None) -> int:
         metrics = session.metrics
         for key in wanted:
             fn, desc = REGISTRY[key]
-            hits0 = metrics.value("cache.hits", 0)
-            misses0 = metrics.value("cache.misses", 0)
+            counts0 = {
+                name: metrics.value(name, 0)
+                for name in ("cache.bench.hits", "cache.bench.misses",
+                             "cache.config.hits", "cache.config.misses")
+            }
             start = time.perf_counter()
             with telemetry.span("experiment", id=key, description=desc) as espan:
                 try:
@@ -102,14 +107,18 @@ def main(argv: list[str] | None = None) -> int:
                     espan.set("failed", True)
                     continue
             elapsed = time.perf_counter() - start
-            hits = int(metrics.value("cache.hits", 0) - hits0)
-            misses = int(metrics.value("cache.misses", 0) - misses0)
+            bh, bm, ch, cm = (
+                int(metrics.value(name, 0) - counts0[name])
+                for name in ("cache.bench.hits", "cache.bench.misses",
+                             "cache.config.hits", "cache.config.misses")
+            )
             if args.format == "csv":
                 print(result.table.to_csv())
             else:
                 print(result.table.render())
                 print(f"[{key}: {elapsed:.1f}s | "
-                      f"cache: {hits} hits, {misses} misses]\n")
+                      f"cache: {bh + ch} hits, {bm + cm} misses "
+                      f"(bench {bh}/{bm}, config {ch}/{cm})]\n")
     if args.profile:
         try:
             exporters.write_chrome_trace(args.profile, session.tracer)

@@ -52,6 +52,23 @@ class TestInMemory:
         assert cache.misses == 1
         assert cache.hits == 1
 
+    def test_counters_split_benchmark_vs_configuration(self):
+        cache = BenchmarkCache()
+        g = make_geometry()
+        cache.get_benchmark("p100-sxm2", g)  # bench miss
+        cache.put_benchmark("p100-sxm2", g, sample_results())
+        cache.get_benchmark("p100-sxm2", g)  # bench hit
+        key = cache.config_key("p100-sxm2", g, "all", 100, "wr")
+        cache.get_configuration(key)  # config miss
+        cache.get_configuration(key)  # config miss
+        cache.put_configuration(key, ConvType.FORWARD, sample_config())
+        cache.get_configuration(key)  # config hit
+        assert (cache.bench_hits, cache.bench_misses) == (1, 1)
+        assert (cache.config_hits, cache.config_misses) == (1, 2)
+        # The aggregate view stays available for existing callers.
+        assert cache.hits == 2
+        assert cache.misses == 3
+
     def test_configuration_roundtrip(self):
         cache = BenchmarkCache()
         key = cache.config_key("p100-sxm2", make_geometry(), "powerOfTwo",
@@ -118,6 +135,37 @@ class TestFileDB:
     def test_load_without_path_raises(self):
         with pytest.raises(CacheError):
             BenchmarkCache().load()
+
+    def test_clean_save_skips_rewrite(self, tmp_path):
+        """Unchanged state must not rewrite the file (frameworks call save
+        every training step; after warm-up the DB is multi-megabyte and
+        static)."""
+        path = tmp_path / "bench.json"
+        cache = BenchmarkCache(path)
+        cache.put_benchmark("k80", make_geometry(), sample_results())
+        assert cache.dirty
+        cache.save()
+        assert not cache.dirty
+        before = path.stat().st_mtime_ns
+        cache.save()  # clean: must not touch the file
+        assert path.stat().st_mtime_ns == before
+
+        cache.put_benchmark("k80", make_geometry(n=2), sample_results())
+        assert cache.dirty
+        cache.save()
+        assert BenchmarkCache(path).get_benchmark(
+            "k80", make_geometry(n=2)) is not None
+
+    def test_load_clears_dirty(self, tmp_path):
+        path = tmp_path / "bench.json"
+        cache = BenchmarkCache(path)
+        cache.put_benchmark("k80", make_geometry(), sample_results())
+        cache.save()
+        fresh = BenchmarkCache(path)
+        assert not fresh.dirty
+        key = fresh.config_key("k80", make_geometry(), "all", 1, "wr")
+        fresh.put_configuration(key, ConvType.FORWARD, sample_config())
+        assert fresh.dirty
 
     def test_len_counts_entries(self, tmp_path):
         cache = BenchmarkCache()

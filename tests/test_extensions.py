@@ -25,6 +25,7 @@ from repro.cudnn.enums import (
 from repro.cudnn.handle import CudnnHandle, ExecMode
 from repro.cudnn.kernels import direct
 from repro.cudnn.workspace import is_supported, workspace_size
+from repro.errors import OptimizationError
 from repro.units import MIB
 from tests.conftest import assert_close, make_geometry, random_operands
 
@@ -117,6 +118,12 @@ class TestGreedyBaseline:
         greedy = optimize_greedy_halving(handle, CONV2, limit_mib * MIB)
         assert greedy.workspace <= limit_mib * MIB
         assert greedy.batch == CONV2.n
+
+    def test_unsatisfiable_limit_raises_optimization_error(self, timing_handle):
+        """Regression: an unsatisfiable limit used to crash with an
+        AttributeError (``None.algo``) instead of a diagnosable error."""
+        with pytest.raises(OptimizationError, match="no algorithm fits"):
+            optimize_greedy_halving(timing_handle, CONV2, -1)
 
 
 class TestSampledBenchmarking:

@@ -167,3 +167,18 @@ class TestILPStats:
         assert by_solver["ilp"].conv_time == \
             pytest.approx(by_solver["mckp"].conv_time)
         assert by_solver["ilp"].solve_time < 10.0
+
+
+class TestSweepCost:
+    def test_sweeps_do_far_less_solver_work(self):
+        res = E.tab_sweep_cost(num_limits=8)
+        # WR: one DP per occupied breakpoint interval of ~60 distinct
+        # kernel classes, vs one per (kernel, limit) pair.
+        assert res.wr_per_limit_solves == 159 * len(res.limits_per_kernel)
+        assert res.wr_per_limit_solves > 4 * res.wr_dp_solves
+        # WD: symmetry aggregation shrinks the ILP, ascending limits warm-
+        # start every solve after the first.
+        assert res.wd_solved == len(res.totals)
+        assert res.wd_aggregated_variables < res.wd_per_copy_variables
+        assert 1 <= res.wd_warm_started <= res.wd_solved - 1
+        assert res.wd_ilp_nodes > 0

@@ -38,13 +38,13 @@ class TestRunner:
     def test_registry_covers_every_paper_artifact(self):
         assert set(REGISTRY) == {
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "opt-cost", "ilp-stats",
+            "fig14", "opt-cost", "ilp-stats", "sweep",
         }
 
     def test_summary_line_reports_cache_hits_and_misses(self, capsys):
         assert main(["fig9"]) == 0
         out = capsys.readouterr().out
-        assert "cache: 10 hits, 256 misses" in out
+        assert "cache: 10 hits, 256 misses (bench 10/256, config 0/0)" in out
 
 
 class TestRunnerTelemetry:
