@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over ``BENCH_sweep.json``.
+
+Compares a freshly produced sweep benchmark record (written by
+``benchmarks/test_perf_sweep.py``) against the committed baseline with
+explicit per-metric tolerances, printing a human-readable delta table and
+exiting non-zero when any gated metric regresses::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \\
+        --baseline BENCH_sweep.json --fresh /tmp/BENCH_sweep.json
+
+Gate policy (documented in DESIGN.md "Observability"):
+
+* **Exactness metrics** (``config_mismatches``, ``assignment_mismatches``)
+  must be zero, and ``solved_limits`` must match the baseline exactly --
+  any deviation means the sweep solvers stopped agreeing with the per-limit
+  solvers, which is a correctness bug, not noise.
+* **Work counters** (DP solves, branch-and-bound nodes) are deterministic
+  on a fixed seed, but small drift is allowed (they legitimately move when
+  the optimizer's tie-breaking or pruning improves); each has a relative
+  tolerance.
+* **Work ratios** (how much the sweep saves over per-limit) must not fall
+  below baseline by more than the tolerance -- this is the headline claim
+  the sweep subsystem exists for.
+* **Wall-clock keys** are reported for context but never gated: CI machines
+  are far too noisy for sub-second timings.
+
+The module is importable (:func:`compare`) so the gate itself is testable:
+``tests/test_observability.py`` injects a >tolerance regression into a copy
+of the baseline and asserts the gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+#: Gate specification: (dotted key, mode, tolerance).  Modes:
+#:   exact_zero  -- value must be 0 in both baseline and fresh
+#:   exact_match -- fresh must equal baseline
+#:   not_above   -- fresh <= baseline * (1 + tol)   (work counters)
+#:   not_below   -- fresh >= baseline * (1 - tol)   (savings ratios)
+#:   info        -- reported, never gated            (wall-clock)
+GATES: tuple[tuple[str, str, float], ...] = (
+    ("wr.config_mismatches", "exact_zero", 0.0),
+    ("wd.assignment_mismatches", "exact_zero", 0.0),
+    ("wd.solved_limits", "exact_match", 0.0),
+    ("wr.sweep_dp_solves", "not_above", 0.10),
+    ("wd.sweep_ilp_nodes", "not_above", 0.25),
+    ("wr.dp_solve_ratio", "not_below", 0.10),
+    ("wd.node_ratio", "not_below", 0.25),
+    ("wd.warm_started_solves", "not_below", 0.10),
+    ("wr.sweep_wall_s", "info", 0.0),
+    ("wr.per_limit_wall_s", "info", 0.0),
+    ("wd.sweep_wall_s", "info", 0.0),
+    ("wd.per_limit_wall_s", "info", 0.0),
+)
+
+
+@dataclass
+class GateRow:
+    """One compared metric."""
+
+    key: str
+    mode: str
+    tolerance: float
+    baseline: float | None
+    fresh: float | None
+    ok: bool
+    note: str
+
+
+def _lookup(record: dict, dotted: str):
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _check(mode: str, tol: float, baseline, fresh) -> tuple[bool, str]:
+    if mode == "info":
+        return True, "informational"
+    if baseline is None or fresh is None:
+        return False, "missing key"
+    if mode == "exact_zero":
+        return (baseline == 0 and fresh == 0), "must be exactly 0"
+    if mode == "exact_match":
+        return (fresh == baseline), "must equal baseline"
+    if mode == "not_above":
+        limit = baseline * (1.0 + tol)
+        return (fresh <= limit), f"must stay <= {limit:g}"
+    if mode == "not_below":
+        floor = baseline * (1.0 - tol)
+        return (fresh >= floor), f"must stay >= {floor:g}"
+    raise ValueError(f"unknown gate mode {mode!r}")
+
+
+def compare(
+    baseline: dict, fresh: dict, tolerance_scale: float = 1.0
+) -> tuple[list[GateRow], list[GateRow]]:
+    """Evaluate every gate; returns ``(all rows, failing rows)``.
+
+    ``tolerance_scale`` multiplies every relative tolerance (a CI escape
+    hatch for known-noisy runners; 1.0 in normal use).
+    """
+    rows: list[GateRow] = []
+    for key, mode, tol in GATES:
+        tol = tol * tolerance_scale
+        base_v = _lookup(baseline, key)
+        fresh_v = _lookup(fresh, key)
+        ok, note = _check(mode, tol, base_v, fresh_v)
+        rows.append(GateRow(key, mode, tol, base_v, fresh_v, ok, note))
+    return rows, [r for r in rows if not r.ok]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "(missing)"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return str(int(value))
+
+
+def render(rows: list[GateRow]) -> str:
+    """The delta table CI prints."""
+    header = ["metric", "baseline", "fresh", "delta", "gate", "status"]
+    body: list[list[str]] = []
+    for r in rows:
+        if r.baseline is not None and r.fresh is not None and r.baseline:
+            delta = f"{(r.fresh - r.baseline) / r.baseline:+.1%}"
+        else:
+            delta = "-"
+        gate = r.mode if r.mode in ("exact_zero", "exact_match", "info") \
+            else f"{r.mode} {r.tolerance:.0%}"
+        body.append([
+            r.key, _fmt(r.baseline), _fmt(r.fresh), delta, gate,
+            "ok" if r.ok else "REGRESSED",
+        ])
+    widths = [max(len(h), *(len(row[i]) for row in body))
+              for i, h in enumerate(header)]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in body
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--baseline", default="BENCH_sweep.json",
+                        help="committed baseline record")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced record to check")
+    parser.add_argument("--tolerance-scale", type=float, default=1.0,
+                        help="multiply every relative tolerance (default 1.0)")
+    args = parser.parse_args(argv)
+
+    records = []
+    for path in (args.baseline, args.fresh):
+        try:
+            with open(path) as fh:
+                records.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    rows, failures = compare(records[0], records[1], args.tolerance_scale)
+    print(render(rows))
+    if failures:
+        print(f"\nPERF REGRESSION: {len(failures)} gated metric(s) failed: "
+              f"{', '.join(r.key for r in failures)}", file=sys.stderr)
+        return 1
+    print("\nall perf gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,9 @@ Frameworks with Micro-Batching"* (Oyama, Ben-Nun, Hoefler, Matsuoka):
 * :mod:`repro.parallel`   -- multi-GPU benchmark evaluation;
 * :mod:`repro.harness`    -- one experiment per paper figure/table;
 * :mod:`repro.telemetry`  -- spans, metrics, and exporters over all of it
-  (off by default; see ``telemetry.enable`` / ``telemetry.capture``).
+  (off by default; see ``telemetry.enable`` / ``telemetry.capture``);
+* :mod:`repro.observability` -- decision provenance: per-kernel "why this
+  configuration" logs and explain/diff reports (also off by default).
 
 Quickstart::
 
@@ -30,7 +32,17 @@ Quickstart::
 See README.md and DESIGN.md for the full tour.
 """
 
-from repro import core, cudnn, frameworks, harness, memory, parallel, telemetry, units
+from repro import (
+    core,
+    cudnn,
+    frameworks,
+    harness,
+    memory,
+    observability,
+    parallel,
+    telemetry,
+    units,
+)
 from repro.core import BatchSizePolicy, Options, UcudnnHandle
 from repro.cudnn import ConvGeometry, ConvType
 from repro.errors import ReproError
@@ -50,6 +62,7 @@ __all__ = [
     "frameworks",
     "harness",
     "memory",
+    "observability",
     "parallel",
     "telemetry",
     "units",

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.optimize import linprog
 
+import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.errors import SolverError
 
@@ -104,6 +105,9 @@ class ILPSolution:
     lp_calls: int = 0
     solve_time: float = 0.0
     num_variables: int = 0
+    #: Variables eliminated by root reduced-cost fixing against a warm
+    #: incumbent (:func:`_reduced_cost_fix`); 0 on cold solves.
+    fixed_variables: int = 0
 
     def selected(self) -> list[int]:
         """Indices of variables set to 1."""
@@ -520,6 +524,7 @@ def _solve_bnb_mckp(problem: ZeroOneProblem, shape: _MckpShape,
     _seed_warm_start(incumbent, warm_start)
 
     lp_calls = 1
+    fixed_vars = 0
     if warm_start is not None and incumbent.x is not None:
         # Warm-started solves (limit sweeps) pay a linear number of root
         # bound evaluations to fix variables against the incumbent cutoff;
@@ -542,6 +547,7 @@ def _solve_bnb_mckp(problem: ZeroOneProblem, shape: _MckpShape,
                 lp_calls=lp_calls,
                 solve_time=_time.perf_counter() - start,
                 num_variables=problem.num_variables,
+                fixed_variables=fixed_vars,
             )
     nodes = 0
     bound, choice, branch_var = relax.bound(())
@@ -584,6 +590,7 @@ def _solve_bnb_mckp(problem: ZeroOneProblem, shape: _MckpShape,
         lp_calls=lp_calls,
         solve_time=_time.perf_counter() - start,
         num_variables=problem.num_variables,
+        fixed_variables=fixed_vars,
     )
 
 
@@ -695,6 +702,25 @@ def solve_branch_and_bound(
                         help="branch-and-bound nodes expanded")
         telemetry.count("ilp.lp_calls", solution.lp_calls,
                         help="LP relaxation bounds computed")
+    rec = observability.recorder()
+    if rec:
+        if solution.fixed_variables:
+            rec.record(
+                "candidate.fixed.reduced_cost",
+                variables=solution.fixed_variables,
+                cutoff=solution.objective,
+            )
+        rec.record(
+            "solver.ilp",
+            variables=problem.num_variables,
+            relaxation="mckp" if shape is not None else "highs",
+            warm_start=warm_start is not None,
+            objective=solution.objective,
+            nodes_explored=solution.nodes_explored,
+            lp_calls=solution.lp_calls,
+            fixed_variables=solution.fixed_variables,
+            optimal=solution.optimal,
+        )
     return solution
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass
 
+import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.errors import SolverError
 
@@ -72,6 +73,17 @@ def solve_mckp(
         solution = _solve_mckp(groups, capacity, max_front)
         tspan.set("front_peak", solution.front_peak)
         tspan.set("cost", solution.cost)
+    rec = observability.recorder()
+    if rec:
+        rec.record(
+            "solver.mckp",
+            groups=len(groups),
+            items=sum(len(g) for g in groups),
+            capacity=capacity,
+            front_peak=solution.front_peak,
+            cost=solution.cost,
+            weight=solution.weight,
+        )
     return solution
 
 

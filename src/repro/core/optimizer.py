@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.core.benchmarker import benchmark_kernel
 from repro.core.cache import BenchmarkCache
@@ -80,6 +81,13 @@ def optimize_network_wr(
 ) -> NetworkPlan:
     """WR: each kernel gets its own ``workspace_limit``-byte slot."""
     plan = NetworkPlan(scheme="wr", policy=policy)
+    rec = observability.recorder()
+    pid = -1
+    if rec:
+        pid = rec.begin_pass(
+            "network", scheme="wr", policy=policy.value,
+            kernels=len(geometries), workspace_limit=workspace_limit,
+        )
     with telemetry.span(
         "optimize.network", scheme="wr", kernels=len(geometries),
         policy=policy.value, workspace_limit=workspace_limit,
@@ -87,7 +95,7 @@ def optimize_network_wr(
         for name, g in geometries.items():
             bench = benchmark_kernel(handle, g, policy, cache=cache)
             plan.benchmark_time += bench.benchmark_time
-            config = optimize_from_benchmark(bench, workspace_limit)
+            config = optimize_from_benchmark(bench, workspace_limit, kernel=name)
             undivided = bench.fastest_micro(g.n, workspace_limit)
             plan.kernels.append(
                 KernelPlan(
@@ -99,7 +107,24 @@ def optimize_network_wr(
             )
         tspan.set("benchmark_seconds", plan.benchmark_time)
         tspan.set("total_time", plan.total_time)
+    if rec:
+        _record_network_baselines(rec, pid, plan)
     return plan
+
+
+def _record_network_baselines(rec, pid: int, plan: NetworkPlan) -> None:
+    """Per-kernel speedup accounting + pass close (provenance on only)."""
+    for k in plan.kernels:
+        rec.record(
+            "kernel.baseline", kernel=k.name,
+            undivided_time=k.undivided_time,
+            time=k.configuration.time,
+            speedup=k.speedup,
+        )
+    rec.end_pass(
+        pid, scheme=plan.scheme, total_time=plan.total_time,
+        total_workspace=plan.total_workspace,
+    )
 
 
 def optimize_network_wd(
@@ -113,6 +138,13 @@ def optimize_network_wd(
 ) -> NetworkPlan:
     """WD: all kernels share one ``total_workspace``-byte pool."""
     plan = NetworkPlan(scheme="wd", policy=policy)
+    rec = observability.recorder()
+    pid = -1
+    if rec:
+        pid = rec.begin_pass(
+            "network", scheme="wd", policy=policy.value,
+            kernels=len(geometries), total_workspace=total_workspace,
+        )
     with telemetry.span(
         "optimize.network", scheme="wd", kernels=len(geometries),
         policy=policy.value, total_workspace=total_workspace,
@@ -122,7 +154,8 @@ def optimize_network_wd(
         for name, g in geometries.items():
             bench = benchmark_kernel(handle, g, policy, cache=cache)
             plan.benchmark_time += bench.benchmark_time
-            front = desirable_set(bench, workspace_limit=total_workspace, max_front=max_front)
+            front = desirable_set(bench, workspace_limit=total_workspace,
+                                  max_front=max_front, kernel=name)
             wd_kernels.append(
                 WDKernel(key=name, geometry=g, benchmark=bench, desirable=front)
             )
@@ -141,4 +174,6 @@ def optimize_network_wd(
             )
         tspan.set("benchmark_seconds", plan.benchmark_time)
         tspan.set("total_time", plan.total_time)
+    if rec:
+        _record_network_baselines(rec, pid, plan)
     return plan

@@ -30,6 +30,7 @@ from typing import TypeVar
 
 import numpy as np
 
+import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.core.benchmarker import KernelBenchmark
 from repro.core.config import Configuration, MicroConfig
@@ -86,12 +87,16 @@ def desirable_set(
     benchmark: KernelBenchmark,
     workspace_limit: int | None = None,
     max_front: int | None = None,
+    kernel: str | None = None,
 ) -> list[Configuration]:
     """All desirable (Pareto-undominated) configurations of one kernel.
 
     See :func:`_desirable_set` below for the DP itself; this wrapper adds
     the telemetry span and the front-size histogram (the paper's "at most
     ~68 desirable configurations" claim, checkable from any profiled run).
+    ``kernel`` optionally names the kernel in provenance events (network
+    optimizers pass their stable layer key, e.g. ``"conv2:Forward"``);
+    defaults to the geometry cache key.
     """
     with telemetry.span(
         "optimize.pareto",
@@ -105,7 +110,64 @@ def desirable_set(
             help="desirable-set sizes per kernel",
             buckets=telemetry.metrics.SIZE_BUCKETS,
         )
+    rec = observability.recorder()
+    if rec:
+        _record_pareto_provenance(rec, benchmark, workspace_limit, front, kernel)
     return front
+
+
+def _record_pareto_provenance(
+    rec, benchmark, workspace_limit, front, kernel=None
+) -> None:
+    """Post-hoc decision log for one desirable-set pass (provenance on only).
+
+    Replays the per-size first-level pruning against the already-memoized
+    benchmark queries to name each rejected algorithm's fate, then records
+    the configuration-level front itself.
+    """
+    key = kernel or benchmark.geometry.cache_key()
+    pid = rec.begin_pass(
+        "pareto", kernel=key, policy=benchmark.policy.value,
+        workspace_limit=workspace_limit,
+    )
+    for size in benchmark.sizes:
+        options = benchmark.micro_options(size, workspace_limit)
+        admitted = {(o.algo, o.time, o.workspace) for o in options}
+        for res in benchmark.results[size]:
+            if (res.algo, res.time, res.workspace) in admitted:
+                continue
+            if workspace_limit is not None and res.workspace > workspace_limit:
+                rec.record(
+                    "candidate.rejected.workspace", kernel=key,
+                    micro_batch=size, algo=res.algo.name,
+                    workspace=res.workspace, workspace_limit=workspace_limit,
+                )
+                continue
+            dominator = next(
+                (o for o in options
+                 if o.time <= res.time and o.workspace <= res.workspace),
+                None,
+            )
+            rec.record(
+                "candidate.dominated", kernel=key,
+                micro_batch=size, algo=res.algo.name,
+                time=res.time, workspace=res.workspace,
+                dominated_by=dominator.algo.name if dominator else None,
+                dominated_by_time=dominator.time if dominator else None,
+                dominated_by_workspace=dominator.workspace if dominator else None,
+            )
+    rec.record(
+        "front", kernel=key, size=len(front),
+        points=[
+            {
+                "micro_batches": list(c.micro_batch_sizes()),
+                "time": c.time,
+                "workspace": c.workspace,
+            }
+            for c in front
+        ],
+    )
+    rec.end_pass(pid, kernel=key, front_size=len(front))
 
 
 def _desirable_set(

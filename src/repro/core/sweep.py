@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.core.benchmarker import KernelBenchmark, benchmark_kernel
 from repro.core.config import Configuration
@@ -125,6 +126,15 @@ def sweep_wr(benchmark: KernelBenchmark, limits) -> WRSweep:
     representative limit; the error type and cause are identical.)
     """
     limits = tuple(int(m) for m in limits)
+    rec = observability.recorder()
+    pid = -1
+    if rec:
+        # Opened before the interval loop so each representative DP's own
+        # "wr" pass (with its chosen event) nests under this sweep pass.
+        pid = rec.begin_pass(
+            "sweep.wr", kernel=benchmark.geometry.cache_key(),
+            policy=benchmark.policy.value, limits=len(limits),
+        )
     with telemetry.span(
         "sweep.wr", kernel=benchmark.geometry.cache_key(),
         policy=benchmark.policy.value, limits=len(limits),
@@ -150,9 +160,26 @@ def sweep_wr(benchmark: KernelBenchmark, limits) -> WRSweep:
         tspan.set("dp_solves", dp_solves)
         telemetry.count("sweep.breakpoints", len(points),
                         help="distinct WR breakpoints across swept kernels")
+        telemetry.count("sweep.intervals_solved", dp_solves,
+                        help="occupied breakpoint intervals actually solved")
         telemetry.count("sweep.dp_solves_saved", saved,
                         help="per-limit WR DP executions avoided by interval "
                              "bucketing")
+    if rec:
+        key = benchmark.geometry.cache_key()
+        for interval in sorted(buckets):
+            bucket_limits = buckets[interval]
+            rec.record(
+                "sweep.interval", kernel=key,
+                interval=interval,
+                representative_limit=bucket_limits[0],
+                covered_limits=sorted(bucket_limits),
+                feasible=bucket_limits[0] not in errors,
+            )
+        rec.end_pass(
+            pid, kernel=key, breakpoints=len(points), dp_solves=dp_solves,
+            dp_solves_saved=saved,
+        )
     return WRSweep(
         benchmark=benchmark,
         limits=limits,
@@ -462,6 +489,15 @@ def sweep_wd(
     class_workspaces = [[c.workspace for c in front] for front in fronts]
     merged_memo: list[dict[int, list]] = [{} for _ in class_list]
     benchmark_time = sum(k.benchmark.benchmark_time for k in kernels)
+    rec = observability.recorder()
+    pid = -1
+    if rec:
+        # Opened before the limit loop so each aggregated ILP's solver.ilp
+        # event nests under this sweep pass.
+        pid = rec.begin_pass(
+            "sweep.wd", solver=solver, kernels=len(kernels),
+            classes=len(class_list), limits=len(limits),
+        )
     with telemetry.span(
         "sweep.wd", solver=solver, kernels=len(kernels),
         classes=len(class_list), limits=len(limits),
@@ -487,14 +523,27 @@ def sweep_wd(
                     merged_memo[ci][cut] = items
                 items_per_class.append(items)
             try:
-                chosen, solution, num_variables, warm_used = _solve_aggregated(
-                    class_list, fronts, items_per_class, limit, solver,
-                    prev_choice,
-                )
+                with telemetry.span(
+                    "sweep.wd.limit", limit=limit, solver=solver
+                ) as lspan:
+                    chosen, solution, num_variables, warm_used = \
+                        _solve_aggregated(
+                            class_list, fronts, items_per_class, limit,
+                            solver, prev_choice,
+                        )
+                    lspan.set("variables", num_variables)
+                    lspan.set("warm_start", warm_used)
             except (InfeasibleError, SolverError) as exc:
                 sweep.errors[limit] = exc
                 prev_choice = None
                 continue
+            telemetry.count("sweep.wd.solves",
+                            help="per-limit WD solves performed by sweeps")
+            if rec:
+                rec.record(
+                    "sweep.warm_start", limit=limit, warm_start=warm_used,
+                    variables=num_variables,
+                )
             assignments: dict[str, Configuration] = {}
             for members, front, counts in zip(class_list, fronts, chosen):
                 configs: list[Configuration] = []
@@ -534,6 +583,12 @@ def sweep_wd(
                 prev_choice = None
                 continue
             sweep.results[limit] = result
+            if rec:
+                for key in sorted(assignments):
+                    rec.record(
+                        "chosen", kernel=key, limit=limit,
+                        **observability.configuration_detail(assignments[key]),
+                    )
             if solution is not None:
                 sweep.ilp_nodes += solution.nodes_explored
                 if warm_used:
@@ -541,6 +596,12 @@ def sweep_wd(
             prev_choice = chosen
         tspan.set("ilp_nodes", sweep.ilp_nodes)
         tspan.set("solved", len(sweep.results))
+    if rec:
+        rec.end_pass(
+            pid, solver=solver, solved=len(sweep.results),
+            errors=len(sweep.errors), ilp_nodes=sweep.ilp_nodes,
+            warm_started_solves=sweep.warm_started_solves,
+        )
     return sweep
 
 

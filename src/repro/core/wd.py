@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.core.benchmarker import KernelBenchmark, benchmark_kernel
 from repro.core.config import Configuration
@@ -179,6 +180,15 @@ def solve_from_kernels(
     (typically the previous limit's optimum in a sweep); it seeds the ILP's
     branch-and-bound incumbent and is ignored by the ``mckp`` solver.
     """
+    rec = observability.recorder()
+    pid = -1
+    if rec:
+        # Opened before the solve so the nested solver.ilp / solver.mckp
+        # provenance events attach to this WD pass.
+        pid = rec.begin_pass(
+            "wd", kernels=len(kernels), solver=solver,
+            total_workspace=total_workspace,
+        )
     with telemetry.span(
         "optimize.wd", solver=solver, kernels=len(kernels),
         total_workspace=total_workspace,
@@ -195,6 +205,20 @@ def solve_from_kernels(
         telemetry.gauge("wd.ilp.rows", len(kernels) + 1,
                         help="WD constraint rows (kernels + workspace pool)")
         telemetry.count("wd.solves", help="WD optimizations performed")
+    if rec:
+        for kernel in kernels:
+            config = result.assignments[kernel.key]
+            rec.record(
+                "chosen", kernel=kernel.key,
+                front_index=kernel.desirable.index(config),
+                front_size=len(kernel.desirable),
+                total_workspace=total_workspace,
+                **observability.configuration_detail(config),
+            )
+        rec.end_pass(
+            pid, solver=solver, variables=result.num_variables,
+            time=result.total_time, workspace=result.total_workspace,
+        )
     return result
 
 
@@ -276,7 +300,8 @@ def optimize(
     kernels: list[WDKernel] = []
     for key, geometry in geometries.items():
         bench = benchmark_kernel(handle, geometry, policy, cache=cache)
-        front = desirable_set(bench, workspace_limit=total_workspace, max_front=max_front)
+        front = desirable_set(bench, workspace_limit=total_workspace,
+                              max_front=max_front, kernel=key)
         kernels.append(
             WDKernel(key=key, geometry=geometry, benchmark=bench, desirable=front)
         )

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.core.benchmarker import KernelBenchmark, benchmark_kernel
 from repro.core.config import Configuration, MicroConfig
@@ -114,16 +115,23 @@ def _rebuild(choice: list[MicroConfig | None], batch: int) -> Configuration:
 
 
 def optimize_from_benchmark(
-    benchmark: KernelBenchmark, workspace_limit: int
+    benchmark: KernelBenchmark, workspace_limit: int,
+    kernel: str | None = None,
 ) -> Configuration:
-    """Run the WR dynamic program against an existing benchmark table."""
+    """Run the WR dynamic program against an existing benchmark table.
+
+    ``kernel`` optionally names the kernel in provenance events (network
+    optimizers pass their stable layer key); defaults to the geometry
+    cache key.
+    """
     with telemetry.span(
         "optimize.wr",
         kernel=benchmark.geometry.cache_key(),
         policy=benchmark.policy.value,
         workspace_limit=workspace_limit,
     ) as tspan:
-        config = _optimize_from_benchmark(benchmark, workspace_limit, tspan)
+        config = _optimize_from_benchmark(benchmark, workspace_limit, tspan,
+                                          kernel=kernel)
         tspan.set("time", config.time)
         tspan.set("workspace", config.workspace)
         tspan.set("micro_batches", config.micro_batch_sizes())
@@ -131,7 +139,8 @@ def optimize_from_benchmark(
 
 
 def _optimize_from_benchmark(
-    benchmark: KernelBenchmark, workspace_limit: int, tspan
+    benchmark: KernelBenchmark, workspace_limit: int, tspan,
+    kernel: str | None = None,
 ) -> Configuration:
     batch = benchmark.geometry.n
     t1 = t1_table(benchmark, workspace_limit)
@@ -156,7 +165,68 @@ def _optimize_from_benchmark(
             f"mini-batch {batch} is not composable from measured sizes "
             f"{sorted(t1)} (policy {benchmark.policy.value})"
         )
-    return _rebuild(choice, batch)
+    config = _rebuild(choice, batch)
+    rec = observability.recorder()
+    if rec:
+        _record_wr_provenance(
+            rec, benchmark, workspace_limit, t1, times, choice, config,
+            unconstrained, constrained, kernel,
+        )
+    return config
+
+
+def _record_wr_provenance(
+    rec, benchmark, workspace_limit, t1, times, choice, config,
+    unconstrained, constrained, kernel=None,
+) -> None:
+    """Post-hoc decision log for one WR pass (only when provenance is on).
+
+    Reconstructs candidate fates from the DP tables already computed -- the
+    hot loops above run identically whether or not this executes.
+    """
+    key = kernel or benchmark.geometry.cache_key()
+    batch = benchmark.geometry.n
+    pid = rec.begin_pass(
+        "wr", kernel=key, batch=batch, policy=benchmark.policy.value,
+        workspace_limit=workspace_limit,
+    )
+    if unconstrained is not None and (
+        constrained is None or constrained.algo != unconstrained.algo
+    ):
+        # The Fig. 1 fallback, per candidate: the unconstrained-fastest
+        # algorithm at the full batch overflows the limit.
+        rec.record(
+            "candidate.rejected.workspace", kernel=key,
+            micro_batch=batch, algo=unconstrained.algo.name,
+            workspace=unconstrained.workspace,
+            workspace_limit=workspace_limit,
+            unconstrained_time=unconstrained.time,
+            admitted=constrained.algo.name if constrained else None,
+            admitted_time=constrained.time if constrained else None,
+        )
+    winner = choice[batch]
+    for size in benchmark.sizes:
+        micro = t1.get(size)
+        if micro is None:
+            rec.record(
+                "candidate.infeasible", kernel=key, micro_batch=size,
+                workspace_limit=workspace_limit,
+            )
+            continue
+        if size > batch or not math.isfinite(times[batch - size]):
+            continue
+        # The Eq. 1 final cell: ending the division with T1(size) costs
+        # `candidate_time`; strictly worse than the winning cell => pruned.
+        candidate_time = times[batch - size] + micro.time
+        if candidate_time > times[batch]:
+            rec.record(
+                "candidate.pruned.dp", kernel=key,
+                micro_batch=size, algo=micro.algo.name, t1_time=micro.time,
+                candidate_time=candidate_time, best_time=times[batch],
+                beaten_by_size=winner.micro_batch if winner else None,
+            )
+    rec.record("chosen", kernel=key, **observability.configuration_detail(config))
+    rec.end_pass(pid, kernel=key, time=config.time, workspace=config.workspace)
 
 
 def optimize_kernel(

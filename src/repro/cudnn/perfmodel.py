@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.device import GpuSpec
 from repro.cudnn.enums import Algo, AlgoFamily, ConvType, algos_for, family_of
@@ -189,20 +190,30 @@ class PerfModel:
         """
         if self.jitter != 0.0:
             raise RuntimeError("find_all_batched requires a jitter-free model")
-        ns = np.asarray([int(n) for n in sizes], dtype=np.int64)
-        per_size: list[list[PerfResult]] = [[] for _ in sizes]
-        for algo in algos_for(g.conv_type):
-            if not is_supported(g, algo):  # support never depends on N
-                row = PerfResult(algo, Status.NOT_SUPPORTED, math.inf, 0)
-                for rows in per_size:
-                    rows.append(row)
-                continue
-            times = self._time_supported_batch(g, algo, ns)
-            wss = workspace_size_batch(g, ns, algo)
-            for i, rows in enumerate(per_size):
-                rows.append(
-                    PerfResult(algo, Status.SUCCESS, float(times[i]), int(wss[i]))
-                )
+        with telemetry.span(
+            "perfmodel.batched_find", kernel=g.cache_key(), sizes=len(sizes)
+        ) as tspan:
+            ns = np.asarray([int(n) for n in sizes], dtype=np.int64)
+            per_size: list[list[PerfResult]] = [[] for _ in sizes]
+            supported = 0
+            for algo in algos_for(g.conv_type):
+                if not is_supported(g, algo):  # support never depends on N
+                    row = PerfResult(algo, Status.NOT_SUPPORTED, math.inf, 0)
+                    for rows in per_size:
+                        rows.append(row)
+                    continue
+                supported += 1
+                times = self._time_supported_batch(g, algo, ns)
+                wss = workspace_size_batch(g, ns, algo)
+                for i, rows in enumerate(per_size):
+                    rows.append(
+                        PerfResult(algo, Status.SUCCESS, float(times[i]), int(wss[i]))
+                    )
+            tspan.set("supported_algos", supported)
+            telemetry.count("perfmodel.batched_finds",
+                            help="vectorized multi-size Find invocations")
+            telemetry.count("perfmodel.batched_sizes", len(sizes),
+                            help="micro-batch sizes served by batched Finds")
         return [
             sorted(rows, key=lambda r: (r.time, int(r.algo))) for rows in per_size
         ]

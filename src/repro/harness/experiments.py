@@ -806,3 +806,72 @@ def tab_sweep_cost(
         wd_aggregated_variables=agg_vars,
         wd_per_copy_variables=per_copy_vars,
     )
+
+
+# ---------------------------------------------------------------------------
+# Explain -- decision provenance report (observability tentpole)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExplainResult:
+    """Decision provenance of one WD optimization, rendered three ways."""
+
+    report: dict
+    table: Table
+
+    def to_json(self) -> str:
+        from repro.observability import report as R
+        return R.to_json(self.report)
+
+    def to_html(self) -> str:
+        from repro.observability import report as R
+        return R.render_html(self.report)
+
+
+def explain_report(
+    gpu: str = "p100-sxm2",
+    model: str = "alexnet",
+    batch: int = 64,
+    total_workspace_mib: int = 120,
+    policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
+    solver: str = "ilp",
+) -> ExplainResult:
+    """Run WD on a small network with provenance enabled and report *why*.
+
+    Captures the full decision log -- per-kernel Pareto fronts, every
+    rejected/dominated candidate, the ILP's proof statistics, and the chosen
+    configuration -- under a :class:`~repro.telemetry.clock.ManualClock`, so
+    the serialized report is byte-deterministic (two runs produce identical
+    JSON; the ``--diff`` report of a run against itself is empty).
+    """
+    import repro.observability as observability
+    from repro.observability import report as R
+    from repro.telemetry.clock import ManualClock
+
+    builders = {"alexnet": build_alexnet, "resnet18": build_resnet18}
+    if model not in builders:
+        raise ValueError(f"unknown explain model {model!r}; "
+                         f"use one of {sorted(builders)}")
+    geoms = conv_geometries_of(builders[model], batch, gpu, forward_only=True)
+    handle = CudnnHandle(gpu=Gpu.create(gpu), mode=ExecMode.TIMING)
+    with observability.capture(clock=ManualClock()) as recorder:
+        optimize_network_wd(
+            handle, geoms, total_workspace_mib * MIB,
+            policy=policy, solver=solver,
+        )
+    report = R.build_report(
+        recorder,
+        model=model, gpu=gpu, batch=batch, policy=policy.value,
+        scheme="wd", solver=solver,
+        total_workspace_bytes=total_workspace_mib * MIB,
+    )
+    columns, rows = R.table_rows(report)
+    table = Table(
+        f"Decision provenance: {model} on {gpu} (WD, "
+        f"{total_workspace_mib} MiB pool, {policy.value})",
+        columns,
+    )
+    for row in rows:
+        table.add(*row)
+    return ExplainResult(report=report, table=table)

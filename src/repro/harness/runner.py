@@ -7,23 +7,32 @@ benchmark suite asserts on.  Useful for eyeballing a single figure quickly::
     python -m repro.harness.runner --list
     python -m repro.harness.runner all            # everything (~1 min)
     python -m repro.harness.runner fig9 --profile /tmp/trace.json --metrics
+    python -m repro.harness.runner explain --explain-json out/run.json \\
+        --explain-html out/run.html
+    python -m repro.harness.runner explain --diff a.json b.json
 
 ``--profile FILE.json`` writes a Chrome-trace (``chrome://tracing`` /
 Perfetto) profile of the run; ``--metrics`` prints the telemetry counters
-and span aggregates at the end.  A failing experiment no longer aborts the
-whole run: its traceback goes to stderr, the remaining experiments still
-run, and the exit status is non-zero.
+and span aggregates at the end (``--metrics-file`` writes the Prometheus
+exposition text instead).  The ``explain`` experiment renders the decision
+provenance report; ``--diff A.json B.json`` compares two saved reports and
+prints the configuration drift.  Output-path parent directories are created
+on demand.  A failing experiment no longer aborts the whole run: its
+traceback goes to stderr, the remaining experiments still run, and the exit
+status is non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 import traceback
 
 import repro.telemetry as telemetry
 from repro.harness import experiments as E
+from repro.observability import report as provenance_report
 from repro.telemetry import exporters
 
 #: Experiment registry: id -> (callable, description).  Callables take no
@@ -51,7 +60,55 @@ REGISTRY = {
                   "WD ILP size & solve time, ResNet-50"),
     "sweep": (E.tab_sweep_cost,
               "cross-limit sweep cost vs per-limit solvers, ResNet-50"),
+    "explain": (E.explain_report,
+                "decision provenance: why each kernel got its configuration"),
 }
+
+
+def _prepare_output(path: str) -> str:
+    """Create an output path's parent directory; returns the path.
+
+    Raises :class:`OSError` with the offending directory in the message when
+    creation fails (read-only filesystem, permission, a file in the way) --
+    callers turn that into a clear CLI error instead of the bare
+    ``FileNotFoundError`` that ``open()`` on a missing directory produces.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+    except OSError as exc:
+        raise OSError(
+            f"cannot create output directory {parent!r}: {exc}"
+        ) from exc
+    return path
+
+
+def _write_output(path: str, content: str, what: str) -> bool:
+    """Write ``content`` to ``path`` (creating parents); False on failure."""
+    try:
+        _prepare_output(path)
+        with open(path, "w") as fh:
+            fh.write(content)
+    except OSError as exc:
+        print(f"cannot write {what} {path}: {exc}", file=sys.stderr)
+        return False
+    print(f"[{what} written to {path}]")
+    return True
+
+
+def _run_diff(path_a: str, path_b: str) -> int:
+    """``--diff A.json B.json``: print configuration drift between reports."""
+    reports = []
+    for path in (path_a, path_b):
+        try:
+            with open(path) as fh:
+                reports.append(provenance_report.from_json(fh.read()))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read report {path}: {exc}", file=sys.stderr)
+            return 2
+    diff = provenance_report.diff_reports(reports[0], reports[1])
+    print(provenance_report.render_diff(diff, path_a, path_b), end="")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,7 +126,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a Chrome-trace profile of the run")
     parser.add_argument("--metrics", action="store_true",
                         help="print the telemetry metrics/span summary")
+    parser.add_argument("--metrics-file", metavar="FILE.prom", default=None,
+                        help="write the metrics in Prometheus text format")
+    parser.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
+                        default=None,
+                        help="compare two saved explain reports and exit")
+    parser.add_argument("--explain-json", metavar="FILE.json", default=None,
+                        help="write the explain report as stable JSON")
+    parser.add_argument("--explain-html", metavar="FILE.html", default=None,
+                        help="write the explain report as self-contained HTML")
+    parser.add_argument("--explain-limit-mib", type=int, default=120,
+                        metavar="MIB",
+                        help="pooled workspace limit for explain (default 120)")
     args = parser.parse_args(argv)
+
+    if args.diff is not None:
+        return _run_diff(*args.diff)
 
     if args.list or not args.experiments:
         width = max(len(k) for k in REGISTRY)
@@ -85,6 +157,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     failed: list[str] = []
+    explain_result = None
     with telemetry.capture() as session:
         metrics = session.metrics
         for key in wanted:
@@ -97,7 +170,13 @@ def main(argv: list[str] | None = None) -> int:
             start = time.perf_counter()
             with telemetry.span("experiment", id=key, description=desc) as espan:
                 try:
-                    result = fn()
+                    if key == "explain":
+                        result = fn(
+                            total_workspace_mib=args.explain_limit_mib
+                        )
+                        explain_result = result
+                    else:
+                        result = fn()
                 except Exception:
                     # Keep going: report the failure, run the rest, and let
                     # the exit status carry the bad news.
@@ -119,8 +198,21 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"[{key}: {elapsed:.1f}s | "
                       f"cache: {bh + ch} hits, {bm + cm} misses "
                       f"(bench {bh}/{bm}, config {ch}/{cm})]\n")
+    ok = True
+    if explain_result is not None:
+        if args.explain_json:
+            ok &= _write_output(args.explain_json, explain_result.to_json(),
+                                "explain report")
+        if args.explain_html:
+            ok &= _write_output(args.explain_html, explain_result.to_html(),
+                                "explain HTML")
+    elif args.explain_json or args.explain_html:
+        print("--explain-json/--explain-html need the 'explain' experiment "
+              "to have run", file=sys.stderr)
+        ok = False
     if args.profile:
         try:
+            _prepare_output(args.profile)
             exporters.write_chrome_trace(args.profile, session.tracer)
         except OSError as exc:
             print(f"cannot write profile {args.profile}: {exc}", file=sys.stderr)
@@ -128,6 +220,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[profile written to {args.profile}]")
     if args.metrics:
         print(exporters.summary(session.tracer, session.metrics))
+    if args.metrics_file:
+        ok &= _write_output(args.metrics_file,
+                            exporters.prometheus_text(session.metrics),
+                            "metrics")
+    if not ok:
+        return 1
     if failed:
         print(f"[{len(failed)} experiment(s) failed: {', '.join(failed)}]",
               file=sys.stderr)

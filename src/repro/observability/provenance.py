@@ -1,0 +1,218 @@
+"""The decision provenance recorder: *why* each kernel got its configuration.
+
+μ-cuDNN's output is a decision -- an algorithm and a micro-batch division per
+kernel under a workspace limit -- and the optimizers discard the losing
+candidates silently.  This module records their fates as a flat, ordered,
+machine-readable event log:
+
+===============================  =============================================
+event                            meaning
+===============================  =============================================
+``pass.begin`` / ``pass.end``    one optimization pass (WR, Pareto, WD, ILP
+                                 aggregation, sweep, or whole-network)
+``candidate.rejected.workspace`` an algorithm's workspace exceeds the limit;
+                                 the admitted substitute is named (the Fig. 1
+                                 fallback, per candidate)
+``candidate.dominated``          Pareto-dominated at its micro-batch size,
+                                 with the dominating point (section III-C1
+                                 first-level pruning)
+``candidate.pruned.dp``          a WR DP final-cell candidate: using this
+                                 ``T1(m)`` as the last summand loses to the
+                                 winning cell (Eq. 1), both totals given
+``candidate.fixed.reduced_cost`` ILP variables eliminated by root
+                                 reduced-cost bounds against a warm incumbent
+``candidate.infeasible``         a measured size with no admissible algorithm
+``front``                        a kernel's desirable set (Pareto front), all
+                                 points listed
+``chosen``                       the final configuration: micro-batch
+                                 division, algorithm per micro-batch,
+                                 workspace bytes, predicted time
+``kernel.baseline``              the undivided (plain cuDNN) time under the
+                                 same limit, for speedup accounting
+``solver.ilp`` / ``solver.mckp`` one exact-solver invocation with its proof
+                                 statistics (nodes, LP calls, front peak)
+``sweep.interval``               one WR breakpoint interval: representative
+                                 limit plus every grid limit it covers
+``sweep.warm_start``             one WD sweep limit: whether the previous
+                                 optimum seeded the ILP
+===============================  =============================================
+
+The recorder follows the exact zero-overhead-when-off contract of
+:mod:`repro.telemetry`: instrumented sites fetch the active recorder (one
+module-global check) and get the shared inert :data:`NULL_RECORDER` -- which
+is *falsy* -- when provenance is disabled, so every recording block is guarded
+by ``if rec:`` and costs nothing when off.
+
+Determinism: with an injectable :class:`~repro.telemetry.clock.ManualClock`
+every event timestamp, sequence number, and detail value is a pure function
+of the inputs, so serialized logs are byte-identical across runs (tested in
+``tests/test_observability.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+from repro.telemetry.clock import WallClock
+
+#: Version of the serialized provenance/report schema.  Bump on any
+#: backwards-incompatible change to event fields or the report layout;
+#: readers (:func:`repro.observability.report.from_json`) reject other
+#: versions rather than misinterpreting them.
+PROVENANCE_SCHEMA_VERSION = 1
+
+
+def _jsonify(value):
+    """Coerce a detail value into plain JSON-serializable Python.
+
+    Non-finite floats become strings ("inf", "nan") so serialized logs stay
+    strict JSON (``json.dumps`` would otherwise emit bare ``Infinity``).
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else str(value)
+    if hasattr(value, "item"):  # numpy scalars
+        return _jsonify(value.item())
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return str(value)
+
+
+def configuration_detail(configuration) -> dict:
+    """JSON-safe summary of a :class:`~repro.core.config.Configuration`.
+
+    Duck-typed (iterates micro-configurations) so this module stays
+    import-free of :mod:`repro.core`.
+    """
+    micros = list(configuration)
+    return {
+        "micro_batches": [int(m.micro_batch) for m in micros],
+        "algorithms": [str(m.algo.name) for m in micros],
+        "time": float(configuration.time),
+        "workspace": int(configuration.workspace),
+    }
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One provenance record (see the module docstring for the taxonomy)."""
+
+    seq: int
+    ts: float
+    pass_id: int  # innermost open pass when recorded; -1 outside any pass
+    kind: str  # the pass kind ("" outside any pass)
+    kernel: str  # kernel key, or "" for pass-/solver-level events
+    event: str
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "pass": self.pass_id,
+            "kind": self.kind,
+            "kernel": self.kernel,
+            "event": self.event,
+            "detail": self.detail,
+        }
+
+
+class ProvenanceRecorder:
+    """Ordered, thread-safe event log of optimizer decisions."""
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else WallClock()
+        self.events: list[DecisionEvent] = []
+        self._lock = threading.Lock()
+        self._next_seq = 0
+        self._next_pass = 0
+        #: Stack of (pass id, kind) for the innermost-pass attribution.
+        self._open: list[tuple[int, str]] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    def _append(self, kernel: str, event: str, detail: dict) -> DecisionEvent:
+        with self._lock:
+            pass_id, kind = self._open[-1] if self._open else (-1, "")
+            record = DecisionEvent(
+                seq=self._next_seq,
+                ts=float(self.clock.now()),
+                pass_id=pass_id,
+                kind=kind,
+                kernel=kernel,
+                event=event,
+                detail={k: _jsonify(v) for k, v in sorted(detail.items())},
+            )
+            self._next_seq += 1
+            self.events.append(record)
+            return record
+
+    def begin_pass(self, kind: str, kernel: str = "", **detail) -> int:
+        """Open an optimization pass; returns its id for :meth:`end_pass`."""
+        with self._lock:
+            pass_id = self._next_pass
+            self._next_pass += 1
+            self._open.append((pass_id, kind))
+        # Record *after* pushing so the begin event carries its own pass id.
+        event = self._append(kernel, "pass.begin", detail)
+        object.__setattr__(event, "pass_id", pass_id)
+        object.__setattr__(event, "kind", kind)
+        return pass_id
+
+    def end_pass(self, pass_id: int, kernel: str = "", **detail) -> None:
+        event = self._append(kernel, "pass.end", detail)
+        with self._lock:
+            for i in range(len(self._open) - 1, -1, -1):
+                if self._open[i][0] == pass_id:
+                    object.__setattr__(event, "pass_id", pass_id)
+                    object.__setattr__(event, "kind", self._open[i][1])
+                    del self._open[i]
+                    break
+
+    def record(self, event: str, kernel: str = "", **detail) -> None:
+        """Record one event against the innermost open pass."""
+        self._append(kernel, event, detail)
+
+    # -- queries (used by the report builder and tests) -----------------------
+
+    def events_named(self, *names: str) -> list[DecisionEvent]:
+        wanted = set(names)
+        return [e for e in self.events if e.event in wanted]
+
+    def kernels(self) -> list[str]:
+        """Kernel keys in first-appearance order."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            if event.kernel:
+                seen.setdefault(event.kernel, None)
+        return list(seen)
+
+    def to_dicts(self) -> list[dict]:
+        return [e.to_dict() for e in self.events]
+
+
+class NullRecorder:
+    """Shared inert recorder: falsy, so guarded sites skip all work."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def begin_pass(self, kind: str, kernel: str = "", **detail) -> int:
+        return -1
+
+    def end_pass(self, pass_id: int, kernel: str = "", **detail) -> None:
+        pass
+
+    def record(self, event: str, kernel: str = "", **detail) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()

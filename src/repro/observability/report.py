@@ -1,0 +1,410 @@
+"""Renderers over the provenance log: text, JSON, HTML, diff, Prometheus.
+
+The report is a plain (JSON-able) dict built from a
+:class:`~repro.observability.provenance.ProvenanceRecorder`:
+
+* :func:`build_report` folds the event log into a per-kernel summary
+  (chosen configuration, undivided baseline, Pareto front, rejection
+  counts) plus the raw event list;
+* :func:`to_json` / :func:`from_json` serialize it byte-deterministically
+  (sorted keys, schema-versioned, non-finite floats as strings);
+* :func:`render_text` prints the per-layer aligned table;
+* :func:`render_html` emits a self-contained page embedding each kernel's
+  Pareto front as an inline SVG with the chosen point highlighted;
+* :func:`diff_reports` / :func:`render_diff` report configuration drift
+  between two runs (the ``explain --diff A.json B.json`` backend) -- a
+  silent algorithm fallback shows up as a diff line instead of a 4x
+  slowdown;
+* :func:`prometheus_lines` exports the chosen configurations as labelled
+  Prometheus samples (kernel ids escaped per the exposition format).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+from repro.observability.provenance import (
+    PROVENANCE_SCHEMA_VERSION,
+    ProvenanceRecorder,
+    _jsonify,
+)
+
+
+class SchemaError(ValueError):
+    """A serialized report is missing or mismatching the schema version."""
+
+
+def _finite(value) -> float | None:
+    """A numeric detail value, or ``None`` when absent/non-finite."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def build_report(recorder: ProvenanceRecorder, **meta) -> dict:
+    """Fold the recorder's event log into the serializable report dict."""
+    kernels: dict[str, dict] = {}
+
+    def entry(key: str) -> dict:
+        return kernels.setdefault(
+            key,
+            {
+                "chosen": None,
+                "undivided_time": None,
+                "speedup": None,
+                "front": [],
+                "counts": {
+                    "rejected_workspace": 0,
+                    "dominated": 0,
+                    "dp_pruned": 0,
+                    "infeasible": 0,
+                },
+            },
+        )
+
+    solvers: list[dict] = []
+    passes: list[dict] = []
+    for event in recorder.events:
+        if event.event == "pass.begin":
+            passes.append(
+                {"pass": event.pass_id, "kind": event.kind,
+                 "kernel": event.kernel, "detail": event.detail}
+            )
+        elif event.event.startswith("solver."):
+            solvers.append(
+                {"solver": event.event.split(".", 1)[1], "detail": event.detail}
+            )
+        if not event.kernel:
+            continue
+        k = entry(event.kernel)
+        if event.event == "chosen":
+            k["chosen"] = dict(event.detail)
+        elif event.event == "kernel.baseline":
+            k["undivided_time"] = event.detail.get("undivided_time")
+        elif event.event == "front":
+            k["front"] = list(event.detail.get("points", []))
+        elif event.event == "candidate.rejected.workspace":
+            k["counts"]["rejected_workspace"] += 1
+        elif event.event == "candidate.dominated":
+            k["counts"]["dominated"] += 1
+        elif event.event == "candidate.pruned.dp":
+            k["counts"]["dp_pruned"] += 1
+        elif event.event == "candidate.infeasible":
+            k["counts"]["infeasible"] += 1
+
+    for k in kernels.values():
+        undivided = _finite(k["undivided_time"])
+        chosen_time = _finite((k["chosen"] or {}).get("time"))
+        if undivided is not None and chosen_time:
+            k["speedup"] = undivided / chosen_time
+
+    return {
+        "schema_version": PROVENANCE_SCHEMA_VERSION,
+        "meta": {str(key): _jsonify(value) for key, value in sorted(meta.items())},
+        "kernels": kernels,
+        "solvers": solvers,
+        "passes": passes,
+        "events": recorder.to_dicts(),
+    }
+
+
+def to_json(report: dict) -> str:
+    """Byte-deterministic serialization (under a deterministic recorder)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def from_json(text: str) -> dict:
+    """Parse and schema-check a serialized report."""
+    report = json.loads(text)
+    version = report.get("schema_version") if isinstance(report, dict) else None
+    if version != PROVENANCE_SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported provenance schema version {version!r} "
+            f"(this build reads version {PROVENANCE_SCHEMA_VERSION})"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Text rendering
+# ---------------------------------------------------------------------------
+
+
+def _fmt_ms(value) -> str:
+    v = _finite(value)
+    return f"{v * 1e3:.3f}" if v is not None else "-"
+
+def _fmt_mib(value) -> str:
+    v = _finite(value)
+    return f"{v / (1 << 20):.2f}" if v is not None else "-"
+
+
+def _division(chosen) -> str:
+    """``[(128, FFT), (64, GEMM) x 2]``-style micro-batch division."""
+    if not chosen:
+        return "(none)"
+    pairs = list(zip(chosen.get("micro_batches", []),
+                     chosen.get("algorithms", [])))
+    out: list[str] = []
+    i = 0
+    while i < len(pairs):
+        j = i
+        while j < len(pairs) and pairs[j] == pairs[i]:
+            j += 1
+        size, algo = pairs[i]
+        run = f"({size}, {algo})"
+        if j - i > 1:
+            run += f" x {j - i}"
+        out.append(run)
+        i = j
+    return "[" + ", ".join(out) + "]"
+
+
+def table_rows(report: dict) -> tuple[list[str], list[list[str]]]:
+    """The per-layer table as (columns, rows of strings)."""
+    columns = ["kernel", "chosen division", "time ms", "ws MiB", "speedup",
+               "front", "rej-ws", "dominated", "dp-pruned"]
+    rows: list[list[str]] = []
+    for key, k in report["kernels"].items():
+        chosen = k["chosen"]
+        counts = k["counts"]
+        speedup = k["speedup"]
+        rows.append([
+            key,
+            _division(chosen),
+            _fmt_ms((chosen or {}).get("time")),
+            _fmt_mib((chosen or {}).get("workspace")),
+            f"{speedup:.2f}x" if speedup is not None else "-",
+            str(len(k["front"])) if k["front"] else "-",
+            str(counts["rejected_workspace"]),
+            str(counts["dominated"]),
+            str(counts["dp_pruned"]),
+        ])
+    return columns, rows
+
+
+def _aligned(columns: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max([len(c)] + [len(r[i]) for r in rows]) for i, c in enumerate(columns)
+    ]
+    lines = [" | ".join(c.ljust(w) for c, w in zip(columns, widths)),
+             "-+-".join("-" * w for w in widths)]
+    lines.extend(
+        " | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in rows
+    )
+    return "\n".join(lines)
+
+
+def _title(report: dict) -> str:
+    meta = report["meta"]
+    bits = [f"{key}={meta[key]}" for key in sorted(meta)]
+    return "decision provenance" + (f" ({', '.join(bits)})" if bits else "")
+
+
+def render_text(report: dict) -> str:
+    """The per-layer report as an aligned text table."""
+    title = _title(report)
+    columns, rows = table_rows(report)
+    body = _aligned(columns, rows) if rows else "(no kernels recorded)"
+    return f"{title}\n{'=' * len(title)}\n{body}\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering (self-contained, stdlib only)
+# ---------------------------------------------------------------------------
+
+
+def _svg_front(front: list[dict], chosen: dict | None) -> str:
+    """Inline SVG scatter of one kernel's Pareto front (ws vs time)."""
+    points = [
+        (w, t)
+        for p in front
+        if (w := _finite(p.get("workspace"))) is not None
+        and (t := _finite(p.get("time"))) is not None
+    ]
+    if not points:
+        return "<p>(no front recorded)</p>"
+    width, height, pad = 360, 220, 36
+    ws_max = max(w for w, _ in points) or 1.0
+    t_min = min(t for _, t in points)
+    t_max = max(t for _, t in points)
+    t_span = (t_max - t_min) or t_max or 1.0
+
+    def x(w):
+        return pad + (width - 2 * pad) * (w / ws_max)
+
+    def y(t):
+        return height - pad - (height - 2 * pad) * ((t - t_min) / t_span)
+
+    chosen_key = None
+    if chosen:
+        chosen_key = (_finite(chosen.get("workspace")), _finite(chosen.get("time")))
+    dots = []
+    for w, t in points:
+        hit = chosen_key == (w, t)
+        dots.append(
+            f'<circle cx="{x(w):.1f}" cy="{y(t):.1f}" r="{6 if hit else 3}" '
+            f'fill="{"#c0392b" if hit else "#2980b9"}">'
+            f"<title>{_fmt_mib(w)} MiB, {_fmt_ms(t)} ms"
+            f"{' (chosen)' if hit else ''}</title></circle>"
+        )
+    axis = (
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#888"/>'
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{height - pad}" '
+        f'stroke="#888"/>'
+        f'<text x="{width / 2:.0f}" y="{height - 8}" text-anchor="middle" '
+        f'class="ax">workspace (max {_fmt_mib(ws_max)} MiB)</text>'
+        f'<text x="12" y="{height / 2:.0f}" text-anchor="middle" class="ax" '
+        f'transform="rotate(-90 12 {height / 2:.0f})">time (ms)</text>'
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">{axis}{"".join(dots)}</svg>'
+    )
+
+
+def render_html(report: dict) -> str:
+    """A self-contained HTML report: meta, per-kernel tables, SVG fronts."""
+    esc = html.escape
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(_title(report))}</title>",
+        "<style>",
+        "body{font-family:sans-serif;margin:2em;max-width:64em}",
+        "table{border-collapse:collapse;margin:1em 0}",
+        "td,th{border:1px solid #ccc;padding:.3em .6em;text-align:left;"
+        "font-size:.9em}",
+        "th{background:#f4f4f4}",
+        ".ax{font-size:.7em;fill:#555}",
+        "section{margin:2em 0;border-top:1px solid #ddd}",
+        "code{background:#f4f4f4;padding:0 .2em}",
+        "</style></head><body>",
+        f"<h1>{esc(_title(report))}</h1>",
+    ]
+    meta = report["meta"]
+    if meta:
+        parts.append("<table><tbody>")
+        for key in sorted(meta):
+            parts.append(
+                f"<tr><th>{esc(str(key))}</th><td>{esc(str(meta[key]))}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+
+    columns, rows = table_rows(report)
+    parts.append("<table><thead><tr>")
+    parts.extend(f"<th>{esc(c)}</th>" for c in columns)
+    parts.append("</tr></thead><tbody>")
+    for row in rows:
+        parts.append(
+            "<tr>" + "".join(f"<td>{esc(c)}</td>" for c in row) + "</tr>"
+        )
+    parts.append("</tbody></table>")
+
+    for key, k in report["kernels"].items():
+        parts.append(f"<section><h2><code>{esc(key)}</code></h2>")
+        chosen = k["chosen"]
+        if chosen:
+            parts.append(
+                f"<p>chosen {esc(_division(chosen))} &mdash; "
+                f"{_fmt_ms(chosen.get('time'))} ms, "
+                f"{_fmt_mib(chosen.get('workspace'))} MiB</p>"
+            )
+        parts.append(_svg_front(k["front"], chosen))
+        parts.append("</section>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Diff: configuration drift between two reports
+# ---------------------------------------------------------------------------
+
+#: Chosen-configuration fields compared by :func:`diff_reports`.
+_DRIFT_FIELDS = ("micro_batches", "algorithms", "workspace", "time")
+
+
+def diff_reports(a: dict, b: dict) -> dict:
+    """Configuration drift from report ``a`` to report ``b``.
+
+    Returns ``{"added": [...], "removed": [...], "changed": {kernel:
+    {"fields": [...], "before": chosen_a, "after": chosen_b}}}`` -- exactly
+    the kernels whose chosen configuration differs; identical runs yield an
+    empty diff.
+    """
+    kernels_a = a["kernels"]
+    kernels_b = b["kernels"]
+    added = sorted(set(kernels_b) - set(kernels_a))
+    removed = sorted(set(kernels_a) - set(kernels_b))
+    changed: dict[str, dict] = {}
+    for key in sorted(set(kernels_a) & set(kernels_b)):
+        before = kernels_a[key]["chosen"] or {}
+        after = kernels_b[key]["chosen"] or {}
+        fields = [f for f in _DRIFT_FIELDS if before.get(f) != after.get(f)]
+        if fields:
+            changed[key] = {"fields": fields, "before": before or None,
+                            "after": after or None}
+    return {"added": added, "removed": removed, "changed": changed}
+
+
+def diff_is_empty(diff: dict) -> bool:
+    return not (diff["added"] or diff["removed"] or diff["changed"])
+
+
+def _chosen_line(chosen) -> str:
+    if not chosen:
+        return "(none)"
+    return (f"{_division(chosen)}  {_fmt_ms(chosen.get('time'))} ms  "
+            f"{_fmt_mib(chosen.get('workspace'))} MiB")
+
+
+def render_diff(diff: dict, label_a: str = "A", label_b: str = "B") -> str:
+    """Human-readable drift report (empty diff says so explicitly)."""
+    if diff_is_empty(diff):
+        return f"no configuration drift between {label_a} and {label_b}\n"
+    lines = [f"configuration drift {label_a} -> {label_b}:"]
+    for key in diff["removed"]:
+        lines.append(f"- {key}: only in {label_a}")
+    for key in diff["added"]:
+        lines.append(f"+ {key}: only in {label_b}")
+    for key, change in diff["changed"].items():
+        lines.append(f"~ {key}: {', '.join(change['fields'])} changed")
+        lines.append(f"    {label_a}: {_chosen_line(change['before'])}")
+        lines.append(f"    {label_b}: {_chosen_line(change['after'])}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Prometheus export of the chosen configurations
+# ---------------------------------------------------------------------------
+
+
+def prometheus_lines(report: dict) -> str:
+    """Chosen configurations as labelled Prometheus samples.
+
+    Kernel keys become ``kernel`` label values, escaped per the exposition
+    format by :func:`repro.telemetry.exporters.prometheus_sample` -- the
+    hardening that makes ids with spaces, dashes, or quotes safe to scrape.
+    """
+    from repro.telemetry import exporters  # local: keep import graph acyclic
+
+    lines: list[str] = []
+    for key, k in report["kernels"].items():
+        chosen = k["chosen"]
+        if not chosen:
+            continue
+        labels = {"kernel": key}
+        time = _finite(chosen.get("time"))
+        workspace = _finite(chosen.get("workspace"))
+        if time is not None:
+            lines.append(exporters.prometheus_sample(
+                "explain.kernel.time_seconds", labels, time))
+        if workspace is not None:
+            lines.append(exporters.prometheus_sample(
+                "explain.kernel.workspace_bytes", labels, workspace))
+        lines.append(exporters.prometheus_sample(
+            "explain.kernel.micro_batches", labels,
+            len(chosen.get("micro_batches", []))))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -99,13 +99,59 @@ def write_chrome_trace(path, tracer: Tracer) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _ascii_sanitize(name: str) -> str:
+    """Metric/label-name charset: ``[a-zA-Z0-9_]`` only, ASCII only.
+
+    ``str.isalnum`` is NOT sufficient -- it accepts every unicode
+    alphanumeric (``"µ".isalnum()`` is true), which the exposition format
+    rejects.  Anything outside the ASCII class collapses to ``_``.
+    """
+    return "".join(
+        c if ("a" <= c <= "z" or "A" <= c <= "Z" or "0" <= c <= "9"
+              or c == "_") else "_"
+        for c in name
+    )
+
+
 def _prom_name(name: str) -> str:
     """``cache.hits`` -> ``repro_cache_hits`` (exposition-format safe)."""
-    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
-    return f"repro_{safe}"
+    return f"repro_{_ascii_sanitize(name)}"
+
+
+def prometheus_escape(value: str) -> str:
+    """Escape a label *value* per the exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping inside ``label="..."``; kernel cache keys and
+    user-supplied ids (spaces, dashes, quotes) pass through otherwise.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def prometheus_sample(name: str, labels: dict, value) -> str:
+    """One labelled sample line: sanitized names, escaped values.
+
+    Label names are sanitized like metric names; label values are escaped,
+    not sanitized (values may contain any UTF-8).  Labels render sorted by
+    sanitized name so output is deterministic regardless of dict order.
+    """
+    rendered = sorted(
+        (_ascii_sanitize(str(k)), prometheus_escape(str(v)))
+        for k, v in labels.items()
+    )
+    label_part = ""
+    if rendered:
+        label_part = (
+            "{" + ",".join(f'{k}="{v}"' for k, v in rendered) + "}"
+        )
+    return f"{_prom_name(name)}{label_part} {_prom_value(value)}"
 
 
 def _prom_value(value: float) -> str:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(float(value))

@@ -38,7 +38,7 @@ class TestRunner:
     def test_registry_covers_every_paper_artifact(self):
         assert set(REGISTRY) == {
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "opt-cost", "ilp-stats", "sweep",
+            "fig14", "opt-cost", "ilp-stats", "sweep", "explain",
         }
 
     def test_summary_line_reports_cache_hits_and_misses(self, capsys):
@@ -75,6 +75,72 @@ class TestRunnerTelemetry:
         with telemetry.capture() as outer:
             assert main(["fig9"]) == 0
             assert telemetry.session() is outer
+
+
+class TestOutputPaths:
+    """Output paths with missing parent directories are created, not crashed
+    into (regression: ``--profile missing/dir/trace.json`` used to die with
+    a bare ``FileNotFoundError`` message)."""
+
+    def test_profile_creates_missing_parent_dirs(self, capsys, tmp_path):
+        path = tmp_path / "deeply" / "nested" / "trace.json"
+        assert main(["fig9", "--profile", str(path)]) == 0
+        assert path.exists()
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_metrics_file_creates_missing_parent_dirs(self, capsys, tmp_path):
+        path = tmp_path / "out" / "metrics.prom"
+        assert main(["fig9", "--metrics-file", str(path)]) == 0
+        assert path.read_text().startswith("# HELP repro_")
+
+    def test_unwritable_output_fails_with_clear_message(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")  # a *file* where a directory is needed
+        path = blocker / "sub" / "trace.json"
+        assert main(["fig9", "--profile", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot write profile" in err
+        assert "cannot create output directory" in err
+
+
+class TestExplain:
+    def test_explain_runs_and_prints_table(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "Decision provenance" in out
+        assert "conv2:Forward" in out
+
+    def test_explain_writes_json_and_html(self, capsys, tmp_path):
+        jpath = tmp_path / "new" / "run.json"
+        hpath = tmp_path / "new" / "run.html"
+        assert main(["explain", "--explain-json", str(jpath),
+                     "--explain-html", str(hpath)]) == 0
+        report = json.loads(jpath.read_text())
+        assert report["schema_version"] == 1
+        assert "conv2:Forward" in report["kernels"]
+        html = hpath.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+
+    def test_explain_flags_without_explain_experiment_fail(self, capsys,
+                                                           tmp_path):
+        assert main(["fig9", "--explain-json", str(tmp_path / "x.json")]) == 1
+        assert "need the 'explain' experiment" in capsys.readouterr().err
+
+    def test_diff_of_identical_runs_is_empty(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["explain", "--explain-json", str(a)]) == 0
+        assert main(["explain", "--explain-json", str(b)]) == 0
+        assert a.read_text() == b.read_text()  # byte-deterministic
+        assert main(["--diff", str(a), str(b)]) == 0
+        assert "no configuration drift" in capsys.readouterr().out
+
+    def test_diff_unreadable_report_exits_2(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text("{}")
+        assert main(["--diff", str(a), str(tmp_path / "missing.json")]) == 2
+        assert "cannot read report" in capsys.readouterr().err
 
 
 class TestRunnerFailures:

@@ -223,6 +223,94 @@ class TestBatchedFind:
             assert fast.results[size] == slow.results[size]
 
 
+class TestSweepTelemetry:
+    """Span parity: the sweep paths must emit the same span vocabulary as
+    the per-limit paths they replace (plus their own ``sweep.*`` wrappers),
+    so profiles stay comparable whichever solver a harness picks."""
+
+    def test_wr_sweep_spans_cover_per_limit_vocabulary(self, handle):
+        import repro.telemetry as telemetry
+
+        bench = benchmark_kernel(handle, make_geometry(n=8),
+                                 BatchSizePolicy.POWER_OF_TWO)
+        limits = [4096, 8192, 1 * MIB, 8 * MIB]
+        with telemetry.capture() as per_limit:
+            for limit in limits:
+                optimize_from_benchmark(bench, limit)
+        with telemetry.capture() as swept:
+            sweep = sweep_wr(bench, limits)
+
+        per_limit_names = {s.name for r in per_limit.tracer.roots()
+                           for s in r.walk()}
+        sweep_names = {s.name for r in swept.tracer.roots() for s in r.walk()}
+        assert per_limit_names <= sweep_names
+        assert "sweep.wr" in sweep_names
+        # One nested WR solve per occupied interval, all under the sweep span.
+        (root,) = swept.tracer.roots()
+        assert root.name == "sweep.wr"
+        nested = [s for s in root.walk() if s.name == "optimize.wr"]
+        assert len(nested) == sweep.dp_solves
+        assert swept.metrics.value("sweep.intervals_solved") == sweep.dp_solves
+        assert swept.metrics.value("sweep.dp_solves_saved") == \
+            sweep.dp_solves_saved
+
+    def test_wd_sweep_emits_one_limit_span_per_feasible_limit(self, handle):
+        import repro.telemetry as telemetry
+
+        geoms = {
+            "a0": make_geometry(n=16, c=16, k=16, h=13, w=13),
+            "b": make_geometry(n=16, c=8, k=32, h=9, w=9),
+        }
+        kernels = prepare_wd_kernels(handle, geoms,
+                                     BatchSizePolicy.POWER_OF_TWO)
+        limits = [-1] + [m * MIB for m in (2, 8, 32)]
+        with telemetry.capture() as session:
+            sweep = sweep_wd(kernels, limits, solver="ilp")
+
+        limit_spans = session.tracer.find("sweep.wd.limit")
+        assert len(limit_spans) == len(sweep.results)
+        assert {s.attributes["limit"] for s in limit_spans} == \
+            set(sweep.results)
+        for span in limit_spans:
+            assert span.attributes["variables"] >= 1
+            assert isinstance(span.attributes["warm_start"], bool)
+        # The aggregated path still goes through the instrumented ILP core.
+        assert session.tracer.find("ilp.solve")
+        assert session.metrics.value("sweep.wd.solves") == len(sweep.results)
+
+    def test_wd_sweep_and_per_limit_share_solver_spans(self, handle):
+        import repro.telemetry as telemetry
+
+        geoms = {"a": make_geometry(n=16, c=16, k=16, h=13, w=13)}
+        kernels = prepare_wd_kernels(handle, geoms,
+                                     BatchSizePolicy.POWER_OF_TWO)
+        with telemetry.capture() as per_limit:
+            solve_from_kernels(kernels, 32 * MIB, solver="ilp")
+        with telemetry.capture() as swept:
+            sweep_wd(kernels, [32 * MIB], solver="ilp")
+        solver_names = {"ilp.solve"}
+        per_limit_names = {s.name for r in per_limit.tracer.roots()
+                           for s in r.walk()}
+        sweep_names = {s.name for r in swept.tracer.roots() for s in r.walk()}
+        assert solver_names <= per_limit_names
+        assert solver_names <= sweep_names
+
+    def test_batched_find_span_and_counters(self):
+        import repro.telemetry as telemetry
+
+        g = make_geometry(n=16)
+        sizes = candidate_sizes(BatchSizePolicy.POWER_OF_TWO, g.n)
+        handle = CudnnHandle(mode=ExecMode.TIMING)
+        with telemetry.capture() as session:
+            find_algorithms_batched(handle, g, sizes)
+        (span,) = session.tracer.find("perfmodel.batched_find")
+        assert span.attributes["kernel"] == g.cache_key()
+        assert span.attributes["sizes"] == len(sizes)
+        assert span.attributes["supported_algos"] >= 1
+        assert session.metrics.value("perfmodel.batched_finds") == 1
+        assert session.metrics.value("perfmodel.batched_sizes") == len(sizes)
+
+
 class TestConcurrentEvaluator:
     def test_concurrent_equals_serial_exactly(self):
         """Thread-pooled evaluation returns the same PerfResult rows (not

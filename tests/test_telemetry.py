@@ -295,6 +295,45 @@ class TestPrometheus:
         assert exporters.prometheus_text(Metrics()) == ""
 
 
+class TestPrometheusHardening:
+    """Exposition-format sanitation of hostile metric/label names."""
+
+    def test_metric_names_are_ascii_sanitized(self):
+        m = Metrics()
+        # "µ" is unicode-alphanumeric -- str.isalnum() accepts it, the
+        # exposition format does not.
+        m.counter("µ-cudnn benchmark.time (s)").inc(1)
+        assert exporters.prometheus_text(m) == (
+            "# TYPE repro___cudnn_benchmark_time__s_ counter\n"
+            "repro___cudnn_benchmark_time__s__total 1\n"
+        )
+
+    def test_escape_golden(self):
+        assert exporters.prometheus_escape('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        assert exporters.prometheus_escape("plain value") == "plain value"
+
+    def test_sample_golden(self):
+        line = exporters.prometheus_sample(
+            "explain.kernel.time_seconds",
+            {"kernel": 'conv2:Forward "odd" id', "gpu name": "p100-sxm2"},
+            0.00125,
+        )
+        assert line == (
+            'repro_explain_kernel_time_seconds{gpu_name="p100-sxm2",'
+            'kernel="conv2:Forward \\"odd\\" id"} 0.00125'
+        )
+
+    def test_sample_sorts_labels_and_handles_no_labels(self):
+        assert exporters.prometheus_sample("m", {}, 2) == "repro_m 2"
+        line = exporters.prometheus_sample("m", {"b": "1", "a": "2"}, 1)
+        assert line == 'repro_m{a="2",b="1"} 1'
+
+    def test_sample_escapes_newlines_in_label_values(self):
+        line = exporters.prometheus_sample("m", {"k": "two\nlines"}, 1)
+        assert "\n" not in line
+        assert line == 'repro_m{k="two\\nlines"} 1'
+
+
 class TestSummary:
     def test_sections(self):
         tracer = Tracer(clock=ManualClock(auto_tick=1.0))
