@@ -25,9 +25,13 @@ Gate policy (documented in DESIGN.md "Observability"):
 * **Wall-clock keys** are reported for context but never gated: CI machines
   are far too noisy for sub-second timings.
 
-The module is importable (:func:`compare`) so the gate itself is testable:
-``tests/test_observability.py`` injects a >tolerance regression into a copy
-of the baseline and asserts the gate fails.
+Exit codes are distinct so CI logs diagnose themselves: 0 all gates passed,
+1 a gated metric regressed, 2 a record file is missing or unreadable, 3 a
+record parsed but does not match the expected schema (gated keys must be
+numbers).  The module is importable (:func:`compare`, :func:`validate_record`)
+so the gate itself is testable: ``tests/test_observability.py`` injects a
+>tolerance regression into a copy of the baseline and asserts the gate
+fails, and drives the missing-file and schema-mismatch exits.
 """
 
 from __future__ import annotations
@@ -99,6 +103,28 @@ def _check(mode: str, tol: float, baseline, fresh) -> tuple[bool, str]:
     raise ValueError(f"unknown gate mode {mode!r}")
 
 
+def validate_record(record: object) -> list[str]:
+    """Schema problems that would make :func:`compare`/:func:`render` lie.
+
+    A record must be a JSON object, and every gated key that is present must
+    be a number -- a string or list where a counter belongs would otherwise
+    surface as a ``TypeError`` traceback deep inside the delta table instead
+    of a diagnosis.  Missing keys are *not* schema errors: gated modes report
+    them as failures with a "missing key" note, which is the right signal
+    when a metric is dropped from the benchmark.
+    """
+    if not isinstance(record, dict):
+        return [f"record must be a JSON object, got {type(record).__name__}"]
+    problems: list[str] = []
+    for key, _mode, _tol in GATES:
+        value = _lookup(record, key)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(f"{key}: expected a number, got {value!r}")
+    return problems
+
+
 def compare(
     baseline: dict, fresh: dict, tolerance_scale: float = 1.0
 ) -> tuple[list[GateRow], list[GateRow]]:
@@ -163,13 +189,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     records = []
-    for path in (args.baseline, args.fresh):
+    for role, path in (("baseline", args.baseline), ("fresh", args.fresh)):
         try:
             with open(path) as fh:
                 records.append(json.load(fh))
         except (OSError, ValueError) as exc:
-            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            print(f"cannot read {role} record {path}: {exc}", file=sys.stderr)
             return 2
+        problems = validate_record(records[-1])
+        if problems:
+            print(f"schema mismatch in {role} record {path}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 3
     rows, failures = compare(records[0], records[1], args.tolerance_scale)
     print(render(rows))
     if failures:

@@ -1,0 +1,75 @@
+"""reprolint: AST-based enforcement of this repo's load-bearing contracts.
+
+The package carries three conventions nothing used to check mechanically:
+telemetry/provenance are zero-overhead when off (DESIGN.md sections 7-8),
+the sweep solvers and explain reports are byte-deterministic, and all byte
+accounting goes through :mod:`repro.units` because a one-byte workspace
+error flips kernels onto cuDNN's slow fallback path (Fig. 1).  ``reprolint``
+turns each convention into a named rule checked on every PR, the way cuDNN
+enforces its own contract at the API boundary instead of by reviewer
+vigilance::
+
+    PYTHONPATH=src python -m repro.analysis src/              # text report
+    PYTHONPATH=src python -m repro.analysis src/ --format=json
+    PYTHONPATH=src python -m repro.analysis --list-rules
+    PYTHONPATH=src python -m repro.analysis --explain ZOV001
+
+Rules (see ``--explain`` or DESIGN.md section 9 for the full cards):
+
+=======  ==================  ==================================================
+id       name                invariant
+=======  ==================  ==================================================
+DET001   determinism         no wall-clock/ambient-RNG/set-order dependence in
+                             ``core/`` and the report builder
+ZOV001   zero-overhead       recorder calls behind ``if rec:``; in-loop
+                             telemetry behind ``if telemetry.enabled():``
+UNI001   units               no raw byte-count literals outside ``units.py``
+THR001   thread-safety       shared state in threaded modules mutates under
+                             its lock
+ERR001   error-taxonomy      no swallowing broad excepts; raises stay inside
+                             the ``repro.errors`` taxonomy
+API001   public-annotations  public ``core/``/``cudnn/`` signatures are fully
+                             annotated
+SUP001   unused-suppression  every ``# reprolint: disable=`` still fires
+SYN001   unparseable         every checked file parses
+=======  ==================  ==================================================
+
+Configuration lives in ``[tool.reprolint]`` in ``pyproject.toml``
+(:mod:`repro.analysis.config`); suppressions are inline
+``# reprolint: disable=RULE -- reason`` comments with unused-suppression
+detection (:mod:`repro.analysis.suppressions`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import ConfigError, LintConfig, load_config
+from repro.analysis.engine import Report, check_source, lint_paths
+from repro.analysis.registry import all_rules, get_rule
+from repro.analysis.report import (
+    REPORT_SCHEMA_VERSION,
+    render_explanation,
+    render_json,
+    render_rules,
+    render_text,
+)
+from repro.analysis.rules.base import Rule
+from repro.analysis.violations import SEVERITIES, Violation
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "SEVERITIES",
+    "ConfigError",
+    "LintConfig",
+    "Report",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_source",
+    "get_rule",
+    "lint_paths",
+    "load_config",
+    "render_explanation",
+    "render_json",
+    "render_rules",
+    "render_text",
+]

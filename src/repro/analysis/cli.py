@@ -1,0 +1,97 @@
+"""``python -m repro.analysis`` -- the reprolint command line.
+
+Exit codes: 0 clean (warnings allowed), 1 at least one error-severity
+finding, 2 usage or configuration problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.config import ConfigError, find_pyproject, load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.report import (
+    render_explanation,
+    render_json,
+    render_rules,
+    render_text,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: statically enforce the repo's determinism, "
+            "zero-overhead, units, thread-safety, error-taxonomy, and "
+            "annotation contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories to check (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the report to FILE (parent dirs created)",
+    )
+    parser.add_argument(
+        "--config", metavar="PYPROJECT", default=None,
+        help="pyproject.toml with a [tool.reprolint] table "
+             "(default: nearest pyproject.toml above the first path)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list every rule and exit"
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print one rule's invariant/rationale/fix card and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        sys.stdout.write(render_rules())
+        return 0
+    if args.explain is not None:
+        card = render_explanation(args.explain)
+        if card is None:
+            sys.stderr.write(f"unknown rule: {args.explain}\n")
+            return 2
+        sys.stdout.write(card)
+        return 0
+
+    raw_paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    paths = [Path(p) for p in raw_paths]
+    for path in paths:
+        if not path.exists():
+            sys.stderr.write(f"no such path: {path}\n")
+            return 2
+
+    config_path = args.config
+    if config_path is None:
+        config_path = find_pyproject(paths[0])
+    try:
+        config = load_config(config_path)
+    except ConfigError as exc:
+        sys.stderr.write(f"configuration error: {exc}\n")
+        return 2
+
+    report = lint_paths(paths, config)
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    if args.output is not None:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered, encoding="utf-8")
+    sys.stdout.write(rendered)
+    return report.exit_code

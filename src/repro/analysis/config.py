@@ -1,0 +1,161 @@
+"""reprolint configuration: defaults, ``pyproject.toml`` loading, round-trip.
+
+Configuration lives in a ``[tool.reprolint]`` table::
+
+    [tool.reprolint]
+    select = ["DET001", "ZOV001", ...]      # default: every registered rule
+    exclude = ["analysis/fixtures/"]        # path prefixes skipped entirely
+    [tool.reprolint.severity]
+    API001 = "warning"                      # override a rule's default
+    [tool.reprolint.rules.uni001]
+    min-bytes = 1048576                     # per-rule options
+
+Paths in ``exclude`` and per-rule ``paths`` options are package-relative
+(``core/``, ``observability/report.py``): entries ending in ``/`` match a
+directory prefix, other entries match one file exactly, and ``"."`` matches
+everything.  :func:`LintConfig.to_mapping` inverts :func:`LintConfig.from_mapping`
+exactly (tested), so configs survive a serialize/parse round trip.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.violations import SEVERITIES
+
+
+class ConfigError(ValueError):
+    """The ``[tool.reprolint]`` table is malformed."""
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective reprolint settings (immutable; see module docstring)."""
+
+    #: Rule ids to run; empty tuple means "every registered rule".
+    select: tuple[str, ...] = ()
+    #: Per-rule severity overrides (rule id -> "error"/"warning"/"off").
+    severity: Mapping[str, str] = field(default_factory=dict)
+    #: Package-relative path prefixes excluded from every rule.
+    exclude: tuple[str, ...] = ()
+    #: Per-rule option tables, keyed by lower-case rule id.
+    rules: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+
+    def rule_options(self, rule_id: str) -> Mapping[str, object]:
+        return self.rules.get(rule_id.lower(), {})
+
+    def severity_for(self, rule_id: str, default: str) -> str:
+        return self.severity.get(rule_id, default)
+
+    def enabled(self, rule_id: str, default_severity: str) -> bool:
+        if self.select and rule_id not in self.select:
+            return False
+        return self.severity_for(rule_id, default_severity) != "off"
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object]) -> "LintConfig":
+        """Build a config from a ``[tool.reprolint]``-shaped mapping."""
+        select = _str_tuple(data.get("select", ()), "select")
+        exclude = _str_tuple(data.get("exclude", ()), "exclude")
+        severity_raw = data.get("severity", {})
+        if not isinstance(severity_raw, Mapping):
+            raise ConfigError("[tool.reprolint.severity] must be a table")
+        severity: dict[str, str] = {}
+        for rule_id, level in severity_raw.items():
+            if not isinstance(level, str) or level not in SEVERITIES:
+                raise ConfigError(
+                    f"severity for {rule_id} must be one of {SEVERITIES}, "
+                    f"got {level!r}"
+                )
+            severity[str(rule_id)] = level
+        rules_raw = data.get("rules", {})
+        if not isinstance(rules_raw, Mapping):
+            raise ConfigError("[tool.reprolint.rules] must be a table")
+        rules: dict[str, dict[str, object]] = {}
+        for rule_id, table in rules_raw.items():
+            if not isinstance(table, Mapping):
+                raise ConfigError(
+                    f"[tool.reprolint.rules.{rule_id}] must be a table"
+                )
+            rules[str(rule_id).lower()] = {str(k): v for k, v in table.items()}
+        return cls(select=select, severity=severity, exclude=exclude, rules=rules)
+
+    def to_mapping(self) -> dict[str, object]:
+        """The inverse of :meth:`from_mapping` (lossless round trip)."""
+        out: dict[str, object] = {}
+        if self.select:
+            out["select"] = list(self.select)
+        if self.exclude:
+            out["exclude"] = list(self.exclude)
+        if self.severity:
+            out["severity"] = dict(self.severity)
+        if self.rules:
+            out["rules"] = {k: dict(v) for k, v in self.rules.items()}
+        return out
+
+
+def _str_tuple(value: object, key: str) -> tuple[str, ...]:
+    if isinstance(value, str):
+        raise ConfigError(f"{key} must be a list of strings, not a string")
+    if not isinstance(value, (list, tuple)):
+        raise ConfigError(f"{key} must be a list of strings")
+    items: list[str] = []
+    for item in value:
+        if not isinstance(item, str):
+            raise ConfigError(f"{key} entries must be strings, got {item!r}")
+        items.append(item)
+    return tuple(items)
+
+
+def load_config(pyproject: str | Path | None) -> LintConfig:
+    """Read ``[tool.reprolint]`` from a ``pyproject.toml``.
+
+    ``None`` or a missing file (or a file without the table) yields the
+    all-defaults config rather than an error, so the linter runs usefully on
+    trees that have not adopted a config block yet.
+    """
+    if pyproject is None:
+        return LintConfig()
+    path = Path(pyproject)
+    if not path.exists():
+        return LintConfig()
+    try:
+        with open(path, "rb") as fh:
+            document = tomllib.load(fh)
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise ConfigError(f"cannot read {path}: {exc}") from exc
+    tool = document.get("tool", {})
+    if not isinstance(tool, Mapping):
+        return LintConfig()
+    table = tool.get("reprolint", {})
+    if not isinstance(table, Mapping):
+        raise ConfigError("[tool.reprolint] must be a table")
+    return LintConfig.from_mapping(table)
+
+
+def find_pyproject(start: str | Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start`` (file or directory)."""
+    node = Path(start).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def path_matches(relpath: str, patterns: tuple[str, ...] | list[str]) -> bool:
+    """Whether a package-relative path matches any pattern (see module doc)."""
+    for pattern in patterns:
+        if pattern == ".":
+            return True
+        if pattern.endswith("/"):
+            if relpath.startswith(pattern):
+                return True
+        elif relpath == pattern or relpath.startswith(pattern + "/"):
+            return True
+    return False

@@ -1,0 +1,183 @@
+"""The reprolint engine: walk files, run rules, apply suppressions.
+
+The engine owns everything rule-agnostic: file discovery, parsing, scoping
+(per-rule ``paths``/``exclude`` plus the global ``exclude``), severity
+resolution from config, suppression matching, and the unused-suppression
+(``SUP001``) and parse-failure (``SYN001``) diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import registry
+from repro.analysis.config import LintConfig, path_matches
+from repro.analysis.context import build_context, package_relpath
+from repro.analysis.suppressions import parse_suppressions, resolve_ranges
+from repro.analysis.violations import Violation
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for v in self.violations if v.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for v in self.violations if v.severity == "warning")
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.rule] = out.get(violation.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def discover_files(paths: list[Path]) -> list[tuple[Path, str]]:
+    """``(file, package_relpath)`` for every ``.py`` under the given paths."""
+    out: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for path in paths:
+        root = path if path.is_dir() else path.parent
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            resolved = file.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append((file, package_relpath(file, root)))
+    out.sort(key=lambda pair: pair[1])
+    return out
+
+
+def check_source(
+    source: str, relpath: str, config: LintConfig, path: Path | None = None
+) -> list[Violation]:
+    """Lint one module's source text (the heart of the engine)."""
+    file_for_errors = path if path is not None else Path(relpath)
+    try:
+        module = build_context(file_for_errors, relpath, source, config)
+    except SyntaxError as exc:
+        rule = registry.get_rule("SYN001")
+        assert rule is not None
+        severity = config.severity_for(rule.id, rule.default_severity)
+        if not config.enabled(rule.id, rule.default_severity):
+            return []
+        return [
+            Violation(
+                file=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule=rule.id,
+                severity=severity,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    suppressions = parse_suppressions(source)
+    resolve_ranges(suppressions, module.tree)
+
+    raw: list[Violation] = []
+    enabled_rules: set[str] = set()
+    for rule in registry.iter_checkable():
+        if not config.enabled(rule.id, rule.default_severity):
+            continue
+        enabled_rules.add(rule.id)
+        options = config.rule_options(rule.id)
+        paths_opt = options.get("paths", rule.default_paths)
+        exclude_opt = options.get("exclude", rule.default_exclude)
+        if not isinstance(paths_opt, (list, tuple)):
+            paths_opt = rule.default_paths
+        if not isinstance(exclude_opt, (list, tuple)):
+            exclude_opt = rule.default_exclude
+        if not path_matches(relpath, tuple(str(p) for p in paths_opt)):
+            continue
+        if path_matches(relpath, tuple(str(p) for p in exclude_opt)):
+            continue
+        severity = config.severity_for(rule.id, rule.default_severity)
+        for violation in rule.check(module):
+            raw.append(
+                Violation(
+                    file=violation.file,
+                    line=violation.line,
+                    col=violation.col,
+                    rule=violation.rule,
+                    severity=severity,
+                    message=violation.message,
+                )
+            )
+
+    kept: list[Violation] = []
+    for violation in raw:
+        suppressed = False
+        for suppression in suppressions:
+            if suppression.covers(violation.rule, violation.line):
+                suppression.used.add(violation.rule)
+                suppressed = True
+        if not suppressed:
+            kept.append(violation)
+
+    sup_rule = registry.get_rule("SUP001")
+    assert sup_rule is not None
+    if config.enabled(sup_rule.id, sup_rule.default_severity):
+        sup_severity = config.severity_for(
+            sup_rule.id, sup_rule.default_severity
+        )
+        known = registry.rule_ids()
+        for suppression in suppressions:
+            for rule_id in suppression.rules:
+                if rule_id not in known:
+                    kept.append(
+                        Violation(
+                            file=relpath, line=suppression.line, col=1,
+                            rule=sup_rule.id, severity=sup_severity,
+                            message=f"suppression names unknown rule "
+                                    f"`{rule_id}`",
+                        )
+                    )
+                elif rule_id in enabled_rules and rule_id not in suppression.used:
+                    kept.append(
+                        Violation(
+                            file=relpath, line=suppression.line, col=1,
+                            rule=sup_rule.id, severity=sup_severity,
+                            message=f"unused suppression: `{rule_id}` does "
+                                    "not fire here; delete the pragma",
+                        )
+                    )
+
+    kept.sort(key=Violation.sort_key)
+    return kept
+
+
+def lint_paths(paths: list[Path], config: LintConfig) -> Report:
+    """Lint every Python file under ``paths`` and aggregate a report."""
+    report = Report()
+    for file, relpath in discover_files(paths):
+        if path_matches(relpath, config.exclude):
+            continue
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.violations.append(
+                Violation(
+                    file=relpath, line=1, col=1, rule="SYN001",
+                    severity="error", message=f"cannot read file: {exc}",
+                )
+            )
+            report.files_checked += 1
+            continue
+        report.files_checked += 1
+        report.violations.extend(check_source(source, relpath, config, path=file))
+    report.violations.sort(key=Violation.sort_key)
+    return report

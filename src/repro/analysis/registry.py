@@ -1,0 +1,53 @@
+"""The rule registry: one place that knows every rule that exists.
+
+Rules self-register at import time via the :func:`register` decorator; the
+engine, the CLI's ``--list-rules``/``--explain``, and the unused-suppression
+check all consult the same table, so adding a rule is a single-file change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Type
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a rules<->registry cycle
+    from repro.analysis.rules.base import Rule
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the global registry."""
+    rule = rule_cls()
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (stable report order)."""
+    _ensure_loaded()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule | None:
+    _ensure_loaded()
+    return _RULES.get(rule_id)
+
+
+def rule_ids() -> set[str]:
+    _ensure_loaded()
+    return set(_RULES)
+
+
+def iter_checkable() -> Iterator[Rule]:
+    """Rules that inspect source (skips engine-emitted pseudo-rules)."""
+    for rule in all_rules():
+        if not rule.engine_emitted:
+            yield rule
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package registers every rule module; done lazily
+    # so `import repro.analysis.registry` alone carries no import cycle.
+    import repro.analysis.rules  # noqa: F401  (import-for-side-effect)

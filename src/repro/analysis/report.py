@@ -1,0 +1,113 @@
+"""Text and JSON reporters for lint runs.
+
+Both renderings are pure functions of the findings -- no timestamps, no
+absolute paths, keys sorted -- so reports are byte-identical across runs
+and machines, the same contract as the observability reports they sit
+beside in CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import registry
+from repro.analysis.engine import Report
+
+#: Version of the JSON report schema; bump on incompatible layout changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_json(report: Report) -> str:
+    """Machine-readable report (schema-versioned, byte-deterministic)."""
+    payload = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "files_checked": report.files_checked,
+        "errors": report.errors,
+        "warnings": report.warnings,
+        "counts": report.counts(),
+        "violations": [v.to_dict() for v in report.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(report: Report) -> str:
+    """Human-readable report grouped by file, with a per-rule summary."""
+    lines: list[str] = []
+    if not report.violations:
+        lines.append(
+            f"reprolint: clean ({report.files_checked} file(s) checked)"
+        )
+        return "\n".join(lines) + "\n"
+
+    lines.append(
+        f"reprolint: {len(report.violations)} finding(s) in "
+        f"{len({v.file for v in report.violations})} of "
+        f"{report.files_checked} file(s)"
+    )
+    current_file: str | None = None
+    width_pos = max(
+        len(f"{v.line}:{v.col}") for v in report.violations
+    )
+    width_rule = max(len(v.rule) for v in report.violations)
+    width_sev = max(len(v.severity) for v in report.violations)
+    for violation in report.violations:
+        if violation.file != current_file:
+            current_file = violation.file
+            lines.append("")
+            lines.append(current_file)
+        position = f"{violation.line}:{violation.col}"
+        lines.append(
+            f"  {position.ljust(width_pos)}  "
+            f"{violation.rule.ljust(width_rule)}  "
+            f"{violation.severity.ljust(width_sev)}  {violation.message}"
+        )
+
+    lines.append("")
+    lines.append("summary")
+    counts = report.counts()
+    width_id = max(len(rule_id) for rule_id in counts)
+    for rule_id, count in counts.items():
+        rule = registry.get_rule(rule_id)
+        name = rule.name if rule is not None else ""
+        lines.append(f"  {rule_id.ljust(width_id)}  {count:>4}  {name}")
+    lines.append("")
+    lines.append(f"{report.errors} error(s), {report.warnings} warning(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_rules() -> str:
+    """The ``--list-rules`` table."""
+    rules = registry.all_rules()
+    width_id = max(len(rule.id) for rule in rules)
+    width_name = max(len(rule.name) for rule in rules)
+    lines = []
+    for rule in rules:
+        lines.append(
+            f"{rule.id.ljust(width_id)}  {rule.name.ljust(width_name)}  "
+            f"{rule.default_severity:<7}  {rule.invariant}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_explanation(rule_id: str) -> str | None:
+    """The ``--explain RULE`` card, or ``None`` for an unknown id."""
+    rule = registry.get_rule(rule_id)
+    if rule is None:
+        return None
+    scope = ", ".join(rule.default_paths)
+    lines = [
+        f"{rule.id} ({rule.name}) -- default severity: {rule.default_severity}",
+        "",
+        f"invariant: {rule.invariant}",
+        f"why:       {rule.rationale}",
+        f"fix:       {rule.fix}",
+        f"scope:     {scope}" + (
+            f" (excluding {', '.join(rule.default_exclude)})"
+            if rule.default_exclude else ""
+        ),
+        "",
+        f"suppress with `# reprolint: disable={rule.id} -- <reason>` on the "
+        "line, def/class header, or `disable-file=` for the module.",
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,27 @@
+"""Rule modules; importing this package registers every rule.
+
+The imports are for side effect (each module's ``@register`` decorator runs
+at import time); :mod:`repro.analysis.registry` triggers this lazily.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import api as _api
+from repro.analysis.rules import determinism as _determinism
+from repro.analysis.rules import errors_rule as _errors_rule
+from repro.analysis.rules import meta as _meta
+from repro.analysis.rules import overhead as _overhead
+from repro.analysis.rules import threadsafety as _threadsafety
+from repro.analysis.rules import units as _units
+from repro.analysis.rules.base import Rule
+
+__all__ = [
+    "Rule",
+    "_api",
+    "_determinism",
+    "_errors_rule",
+    "_meta",
+    "_overhead",
+    "_threadsafety",
+    "_units",
+]

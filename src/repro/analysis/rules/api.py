@@ -1,0 +1,90 @@
+"""API001 -- public functions in the optimizer core carry full annotations.
+
+``mypy --strict`` runs on ``core/`` and ``units.py`` in CI; this rule is the
+fast in-repo subset of that contract (no mypy needed to see a bare public
+signature in review) and extends it to the cuDNN substrate, whose public
+surface is the API boundary the whole package simulates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FUNCTION_NODES, ModuleContext
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+from repro.analysis.violations import Violation
+
+
+@register
+class PublicApiRule(Rule):
+    id = "API001"
+    name = "public-annotations"
+    default_severity = "error"
+    default_paths = ("core/", "cudnn/")
+    invariant = (
+        "public functions and methods (plus __init__) in core/ and cudnn/ "
+        "annotate every parameter and the return type"
+    )
+    rationale = (
+        "cuDNN enforces its contract at the API boundary with typed "
+        "signatures and status codes; the reproduction's boundary is these "
+        "signatures, and mypy strict (CI) can only hold the line when the "
+        "public surface is annotated"
+    )
+    fix = (
+        "annotate the missing parameters/return (use `-> None` for "
+        "procedures and __init__); prefix genuinely internal helpers with _"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, FUNCTION_NODES):
+                continue
+            if not self._is_public_def(module, node):
+                continue
+            missing = self._missing_annotations(module, node)
+            if missing:
+                yield self.violation(
+                    module, node.lineno, node.col_offset,
+                    f"public function `{node.name}` missing annotations: "
+                    f"{', '.join(missing)}",
+                )
+
+    @staticmethod
+    def _is_public_def(
+        module: ModuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        if node.name.startswith("_") and node.name != "__init__":
+            return False
+        parent = module.parent(node)
+        if isinstance(parent, ast.ClassDef):
+            return not parent.name.startswith("_")
+        return isinstance(parent, ast.Module)  # skip nested closures
+
+    @staticmethod
+    def _missing_annotations(
+        module: ModuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[str]:
+        missing: list[str] = []
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        skip_first = isinstance(module.parent(node), ast.ClassDef) and not any(
+            isinstance(d, ast.Name) and d.id == "staticmethod"
+            for d in node.decorator_list
+        )
+        for index, arg in enumerate(positional):
+            if skip_first and index == 0:
+                continue  # self / cls
+            if arg.annotation is None:
+                missing.append(f"parameter `{arg.arg}`")
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(f"parameter `{arg.arg}`")
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None and vararg.annotation is None:
+                missing.append(f"parameter `{vararg.arg}`")
+        if node.returns is None:
+            missing.append("return type")
+        return missing

@@ -1,0 +1,56 @@
+"""Base class every reprolint rule derives from."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.violations import Violation
+
+
+class Rule:
+    """One statically-checkable contract.
+
+    Subclasses set the class attributes and implement :meth:`check`; the
+    engine handles scoping (``paths``/``exclude`` options), severity
+    resolution, and suppressions, so ``check`` only reports raw findings.
+    """
+
+    #: Stable identifier, e.g. ``"DET001"`` (what suppressions name).
+    id: str = ""
+    #: Short kebab-case name for reports, e.g. ``"determinism"``.
+    name: str = ""
+    #: ``"error"`` or ``"warning"`` unless overridden in config.
+    default_severity: str = "error"
+    #: Package-relative path patterns the rule applies to (see config docs).
+    default_paths: tuple[str, ...] = (".",)
+    #: Path patterns exempt even when ``paths`` matches.
+    default_exclude: tuple[str, ...] = ()
+    #: One-line statement of the invariant being enforced.
+    invariant: str = ""
+    #: Why the invariant exists -- shown by ``--explain``.
+    rationale: str = ""
+    #: How to fix or legitimately suppress a finding.
+    fix: str = ""
+    #: True for diagnostics the engine emits itself (no ``check`` body).
+    engine_emitted: bool = False
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        """Yield every finding in one module.  Default: nothing."""
+        return iter(())
+
+    def violation(
+        self, module: ModuleContext, line: int, col: int, message: str
+    ) -> Violation:
+        """Build a finding with this rule's id and *default* severity.
+
+        The engine rewrites the severity from config before reporting.
+        """
+        return Violation(
+            file=module.relpath,
+            line=line,
+            col=col + 1,
+            rule=self.id,
+            severity=self.default_severity,
+            message=message,
+        )

@@ -1,0 +1,125 @@
+"""DET001 -- deterministic modules must not read ambient nondeterminism.
+
+The sweep equality proofs (``tests/test_sweep.py``) and the explain reports
+(DESIGN.md section 8) promise *byte-identical* output for identical inputs.
+That only holds if the optimizer core and the report builder never consult
+wall clocks, process-seeded RNGs, or unordered-collection iteration.  Time
+must come from an injected ``Clock`` (:mod:`repro.telemetry.clock`) and
+randomness from an explicitly seeded generator passed in by the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import LOOP_NODES, ModuleContext
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+from repro.analysis.violations import Violation
+
+#: Fully-qualified callables whose results depend on when/where they run.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "time.process_time_ns", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Ambient randomness: the process-seeded module-level RNG and entropy taps.
+RANDOM_MODULES = frozenset({"random", "numpy.random", "np.random"})
+ENTROPY_CALLS = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+                           "secrets.token_hex", "secrets.randbelow"})
+
+
+@register
+class DeterminismRule(Rule):
+    id = "DET001"
+    name = "determinism"
+    default_severity = "error"
+    default_paths = ("core/", "observability/report.py")
+    invariant = (
+        "deterministic modules take time from injected Clocks and randomness "
+        "from caller-seeded generators; no wall-clock, ambient-RNG, or "
+        "set-iteration order dependence"
+    )
+    rationale = (
+        "the sweep equality proofs and explain reports are byte-deterministic "
+        "contracts (DESIGN.md sections 7-8); a single time.time() or "
+        "unordered set walk silently breaks replay equality"
+    )
+    fix = (
+        "inject a repro.telemetry.clock Clock (WallClock in production, "
+        "ManualClock in tests), thread an explicit numpy Generator, or sort "
+        "the set before iterating; suppress only for diagnostics that never "
+        "reach deterministic output"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                target = module.call_target(node)
+                if target is None:
+                    continue
+                if target in WALL_CLOCK_CALLS:
+                    yield self.violation(
+                        module, node.lineno, node.col_offset,
+                        f"wall-clock call `{target}()` in deterministic module; "
+                        "take time from an injected Clock "
+                        "(repro.telemetry.clock) instead",
+                    )
+                elif target in ENTROPY_CALLS:
+                    yield self.violation(
+                        module, node.lineno, node.col_offset,
+                        f"entropy source `{target}()` in deterministic module; "
+                        "thread an explicitly seeded generator instead",
+                    )
+                elif self._ambient_random(target):
+                    yield self.violation(
+                        module, node.lineno, node.col_offset,
+                        f"ambient RNG call `{target}()` in deterministic "
+                        "module; accept a seeded numpy Generator / "
+                        "random.Random from the caller instead",
+                    )
+            elif isinstance(node, LOOP_NODES):
+                yield from self._check_set_iteration(module, node)
+
+    @staticmethod
+    def _ambient_random(target: str) -> bool:
+        for prefix in RANDOM_MODULES:
+            if target.startswith(prefix + "."):
+                tail = target[len(prefix) + 1:]
+                # default_rng/Generator/Random construction is fine -- the
+                # caller is choosing a seed; module-level draws are not.
+                return tail not in ("default_rng", "Random", "Generator", "SeedSequence")
+        return False
+
+    def _check_set_iteration(
+        self, module: ModuleContext, node: ast.AST
+    ) -> Iterator[Violation]:
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for expr in iters:
+            if _is_set_expression(expr):
+                yield self.violation(
+                    module, expr.lineno, expr.col_offset,
+                    "iteration over a set has no contractual order in "
+                    "deterministic module; iterate `sorted(...)` instead",
+                )
+
+
+def _is_set_expression(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in ("set", "frozenset")
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.BitAnd, ast.BitOr,
+                                                            ast.Sub, ast.BitXor)):
+        # set algebra like `a | b` is only flagged when an operand is
+        # syntactically a set -- names are untyped here.
+        return _is_set_expression(expr.left) or _is_set_expression(expr.right)
+    return False

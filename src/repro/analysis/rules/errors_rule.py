@@ -1,0 +1,193 @@
+"""ERR001 -- exceptions follow the :mod:`repro.errors` taxonomy.
+
+Callers distinguish "the simulated library rejected this call"
+(:class:`~repro.errors.CudnnStatusError`) from "the optimizer was misused"
+(:class:`~repro.errors.UcudnnError`) by exception type, so raising generic
+``RuntimeError``/``Exception`` breaks their handlers.  Broad ``except``
+clauses likewise swallow taxonomy information unless they re-raise.
+
+Allowed raises: the taxonomy classes, a configurable set of precise
+builtins (``ValueError``, ``TypeError``, ``OSError``, ...), and classes
+defined in the checked module whose base-class chain reaches an allowed
+name (local refinement like ``SchemaError(ValueError)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+from repro.analysis.violations import Violation
+
+#: The repro.errors taxonomy (kept in sync by the meta-test on src/).
+TAXONOMY = (
+    "ReproError", "CudnnStatusError", "BadParamError", "NotSupportedError",
+    "AllocFailedError", "ExecutionFailedError", "WorkspaceTooSmallError",
+    "UcudnnError", "OptimizationError", "InfeasibleError", "SolverError",
+    "CacheError", "FrameworkError", "ShapeError",
+)
+
+#: Precise builtins allowed in ordinary code (config key ``allowed``).
+DEFAULT_ALLOWED_BUILTINS = (
+    "ValueError", "TypeError", "KeyError", "IndexError", "AttributeError",
+    "NotImplementedError", "AssertionError", "OSError", "FileNotFoundError",
+    "StopIteration", "SystemExit", "KeyboardInterrupt", "TimeoutError",
+)
+
+#: Builtin exception names recognized as "raisable" at all; anything else
+#: (locals, imported non-taxonomy classes) is resolved structurally.
+KNOWN_BUILTIN_EXCEPTIONS = frozenset({
+    "Exception", "BaseException", "RuntimeError", "ArithmeticError",
+    "ZeroDivisionError", "OverflowError", "FloatingPointError", "EOFError",
+    "LookupError", "MemoryError", "NameError", "ReferenceError",
+    "StopAsyncIteration", "SyntaxError", "SystemError", "UnicodeError",
+    "BufferError", "ImportError", "ModuleNotFoundError", "RecursionError",
+    "ConnectionError", "BrokenPipeError", "InterruptedError", "IsADirectoryError",
+    "NotADirectoryError", "PermissionError", "ProcessLookupError",
+}) | frozenset(DEFAULT_ALLOWED_BUILTINS)
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    id = "ERR001"
+    name = "error-taxonomy"
+    default_severity = "error"
+    default_paths = (".",)
+    default_exclude = ("analysis/",)
+    invariant = (
+        "no bare/broad excepts that swallow (broad is fine when re-raising), "
+        "and raised exceptions come from the repro.errors taxonomy or a "
+        "small allowed-builtin set"
+    )
+    rationale = (
+        "frameworks route on the taxonomy (CudnnStatusError vs UcudnnError, "
+        "see repro/errors.py); a generic RuntimeError escapes every targeted "
+        "handler, and a swallowed broad except hides the status code the "
+        "substrate went to lengths to model"
+    )
+    fix = (
+        "raise the closest taxonomy class (or add one), narrow the except, "
+        "or re-raise inside the broad handler; suppress with a reason at "
+        "genuine process boundaries (e.g. the harness experiment isolation)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        options: Mapping[str, object] = module.rule_options(self.id)
+        allowed = set(TAXONOMY) | set(DEFAULT_ALLOWED_BUILTINS)
+        extra = options.get("allowed", ())
+        if isinstance(extra, (list, tuple)):
+            allowed.update(str(name) for name in extra)
+        local_classes = _local_exception_classes(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node, allowed, local_classes)
+
+    def _check_handler(
+        self, module: ModuleContext, handler: ast.ExceptHandler
+    ) -> Iterator[Violation]:
+        broad = _broad_exception_names(handler.type)
+        if handler.type is None:
+            broad = ["(bare)"]
+        if not broad:
+            return
+        if any(isinstance(sub, ast.Raise) for sub in ast.walk(handler)):
+            return  # broad-catch-and-re-raise cleanup pattern is fine
+        label = "bare `except:`" if broad == ["(bare)"] else (
+            f"broad `except {', '.join(broad)}`"
+        )
+        yield self.violation(
+            module, handler.lineno, handler.col_offset,
+            f"{label} without re-raise swallows taxonomy information; catch "
+            "the specific repro.errors classes or re-raise",
+        )
+
+    def _check_raise(
+        self,
+        module: ModuleContext,
+        node: ast.Raise,
+        allowed: set[str],
+        local_classes: Mapping[str, list[str]],
+    ) -> Iterator[Violation]:
+        name = _raised_name(node.exc)
+        if name is None:
+            return
+        if name in allowed:
+            return
+        if _resolves_to_allowed(name, allowed, local_classes):
+            return
+        imported = module.resolve_import(name)
+        if imported is not None and imported[0] in ("repro.errors",):
+            return  # future taxonomy members imported from the hierarchy
+        if name in KNOWN_BUILTIN_EXCEPTIONS or name in local_classes or (
+            imported is not None
+        ):
+            yield self.violation(
+                module, node.lineno, node.col_offset,
+                f"raise of `{name}` outside the repro.errors taxonomy; use "
+                "the closest taxonomy class (see repro/errors.py) or a "
+                "precise builtin",
+            )
+
+
+def _broad_exception_names(expr: ast.expr | None) -> list[str]:
+    if expr is None:
+        return []
+    names = []
+    candidates = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in (
+            "Exception", "BaseException",
+        ):
+            names.append(candidate.id)
+    return names
+
+
+def _raised_name(exc: ast.expr | None) -> str | None:
+    if exc is None:
+        return None  # bare re-raise
+    node = exc
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        # Lower-case names are almost certainly bound exception *instances*
+        # (`raise err`), which the rule cannot and need not resolve.
+        return node.id if node.id[:1].isupper() else None
+    return None
+
+
+def _local_exception_classes(tree: ast.Module) -> dict[str, list[str]]:
+    """Class name -> base-class names, for classes defined in this module."""
+    classes: dict[str, list[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases = []
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    bases.append(base.attr)
+            classes[node.name] = bases
+    return classes
+
+
+def _resolves_to_allowed(
+    name: str, allowed: set[str], local_classes: Mapping[str, list[str]]
+) -> bool:
+    seen: set[str] = set()
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        if current in allowed:
+            return True
+        frontier.extend(local_classes.get(current, []))
+    return False

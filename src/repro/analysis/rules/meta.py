@@ -1,0 +1,44 @@
+"""Engine-emitted diagnostics: unused suppressions and parse failures.
+
+These are registered like ordinary rules so ``--list-rules``/``--explain``
+document them and config can re-level them, but the engine produces their
+findings itself (suppression bookkeeping and parsing happen outside any
+single rule's view).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    id = "SUP001"
+    name = "unused-suppression"
+    default_severity = "error"
+    engine_emitted = True
+    invariant = (
+        "every `# reprolint: disable=` names an enabled rule that actually "
+        "fires on the suppressed line or block"
+    )
+    rationale = (
+        "stale suppressions are how contracts rot: the violation moves or "
+        "gets fixed, the pragma stays, and the next genuine violation on "
+        "that line ships silently"
+    )
+    fix = "delete the suppression (or fix its rule id)"
+
+
+@register
+class SyntaxFailureRule(Rule):
+    id = "SYN001"
+    name = "unparseable"
+    default_severity = "error"
+    engine_emitted = True
+    invariant = "every checked file parses as Python"
+    rationale = (
+        "a file the AST cannot represent is invisible to every other rule; "
+        "failing loudly keeps 'reprolint passed' meaningful"
+    )
+    fix = "fix the syntax error (python -m py_compile shows the details)"

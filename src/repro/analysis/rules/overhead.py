@@ -1,0 +1,205 @@
+"""ZOV001 -- the telemetry/provenance zero-overhead-when-off contract.
+
+Telemetry (PR 1) and decision provenance (PR 3) promise that disabled
+instrumentation costs one module-global check at most.  Two conventions
+carry that promise, and this rule enforces both:
+
+* **Recorder calls** (``.record`` / ``.begin_pass`` / ``.end_pass``) on a
+  recorder fetched via ``observability.recorder()`` must sit behind an
+  ``if rec:`` truthiness guard -- the :data:`NULL_RECORDER` is falsy for
+  exactly this purpose.  Recorders received as *function parameters* are
+  treated as already checked by the caller (the ``_record_*_provenance``
+  helper pattern).
+* **Telemetry metric calls** (``count``/``event``/``gauge``/``observe``/
+  ``device_span``) inside loop bodies must be hoisted behind one
+  ``if telemetry.enabled():`` per loop -- the helpers are individually
+  cheap when disabled, but per-iteration helper calls plus argument
+  construction are not free.  ``with telemetry.span(...)`` is the
+  sanctioned null-object form and is allowed anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+from repro.analysis.violations import Violation
+
+#: Helpers that record data (guard inside loops).
+METRIC_HELPERS = frozenset({"count", "event", "gauge", "observe", "device_span"})
+#: Helpers that *return* a null object when disabled (allowed anywhere).
+NULL_OBJECT_HELPERS = frozenset({"span", "capture"})
+#: Provenance recorder methods that must be truthiness-guarded.
+RECORDER_METHODS = frozenset({"record", "begin_pass", "end_pass"})
+
+#: Modules whose attributes count as "the telemetry module".
+TELEMETRY_MODULES = frozenset({"repro.telemetry", "telemetry"})
+
+
+@register
+class ZeroOverheadRule(Rule):
+    id = "ZOV001"
+    name = "zero-overhead"
+    default_severity = "error"
+    default_paths = (".",)
+    default_exclude = ("telemetry/", "observability/", "analysis/")
+    invariant = (
+        "disabled instrumentation costs one global check: recorder calls sit "
+        "behind `if rec:`, and telemetry metric calls inside loops sit behind "
+        "`if telemetry.enabled():`"
+    )
+    rationale = (
+        "the telemetry and provenance subsystems advertise zero overhead "
+        "when off (DESIGN.md sections 7-8, tested by the zero-overhead spy); "
+        "one unguarded per-iteration call in a hot loop silently re-adds the "
+        "cost the null objects exist to remove"
+    )
+    fix = (
+        "wrap the block in `if telemetry.enabled():` / `if rec:`, pass the "
+        "recorder in as a parameter after a caller-side guard, or use the "
+        "`with telemetry.span(...)` null-object form"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        telemetry_aliases = self._telemetry_aliases(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in telemetry_aliases
+                and func.attr in METRIC_HELPERS
+            ):
+                yield from self._check_metric_call(module, node, func)
+            elif func.attr in RECORDER_METHODS:
+                yield from self._check_recorder_call(module, node, func)
+
+    @staticmethod
+    def _telemetry_aliases(module: ModuleContext) -> set[str]:
+        aliases: set[str] = set()
+        for name in TELEMETRY_MODULES:
+            short = name.split(".")[-1]
+            if module.resolve_module(short) in TELEMETRY_MODULES:
+                aliases.add(short)
+        imported = module.resolve_import("telemetry")
+        if imported is not None and imported[0].startswith("repro"):
+            aliases.add("telemetry")
+        # `import repro.telemetry as X` for arbitrary X:
+        for local in list(aliases) + ["telemetry"]:
+            if module.resolve_module(local) in TELEMETRY_MODULES:
+                aliases.add(local)
+        return aliases
+
+    def _check_metric_call(
+        self, module: ModuleContext, node: ast.Call, func: ast.Attribute
+    ) -> Iterator[Violation]:
+        if not module.in_loop(node):
+            return
+        alias = func.value.id if isinstance(func.value, ast.Name) else "telemetry"
+
+        def is_enabled_check(expr: ast.expr) -> bool:
+            return (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "enabled"
+                and isinstance(expr.func.value, ast.Name)
+                and expr.func.value.id == alias
+            )
+
+        if module.guarded_by(node, is_enabled_check):
+            return
+        yield self.violation(
+            module, node.lineno, node.col_offset,
+            f"telemetry call `{alias}.{func.attr}(...)` inside a loop without "
+            f"an `if {alias}.enabled():` guard (zero-overhead contract)",
+        )
+
+    def _check_recorder_call(
+        self, module: ModuleContext, node: ast.Call, func: ast.Attribute
+    ) -> Iterator[Violation]:
+        receiver = func.value
+        if isinstance(receiver, ast.Call):
+            # Chained `observability.recorder().record(...)`: structurally
+            # unguardable, flag only when it is really a recorder fetch.
+            target = module.call_target(receiver)
+            attr_name = (
+                receiver.func.attr if isinstance(receiver.func, ast.Attribute)
+                else receiver.func.id if isinstance(receiver.func, ast.Name)
+                else ""
+            )
+            if (target or "").endswith("recorder") or attr_name == "recorder":
+                yield self.violation(
+                    module, node.lineno, node.col_offset,
+                    f"chained recorder call `...recorder().{func.attr}(...)` "
+                    "can never be guarded; bind the recorder and guard with "
+                    "`if rec:`",
+                )
+            return
+        if not isinstance(receiver, ast.Name):
+            return  # attribute receivers are out of scope for this rule
+        name = receiver.id
+        if not self._is_recorder_binding(module, node, name):
+            return
+        enclosing = module.enclosing_function(node)
+        if enclosing is not None and name in _parameter_names(enclosing):
+            return  # caller-guarded helper pattern
+
+        def names_receiver(expr: ast.expr) -> bool:
+            return isinstance(expr, ast.Name) and expr.id == name
+
+        if module.guarded_by(node, names_receiver):
+            return
+        yield self.violation(
+            module, node.lineno, node.col_offset,
+            f"recorder call `{name}.{func.attr}(...)` without an "
+            f"`if {name}:` guard (NULL_RECORDER is falsy for exactly this)",
+        )
+
+    @staticmethod
+    def _is_recorder_binding(
+        module: ModuleContext, node: ast.AST, name: str
+    ) -> bool:
+        """Whether ``name`` is bound from ``observability.recorder()`` in the
+        enclosing function (or module), so `.record` is not a false positive
+        on some unrelated object."""
+        scope: ast.AST | None = module.enclosing_function(node)
+        if scope is None:
+            scope = module.tree
+        for sub in ast.walk(scope):
+            if not isinstance(sub, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == name for t in sub.targets
+            ):
+                continue
+            value = sub.value
+            if isinstance(value, ast.Call):
+                target = module.call_target(value)
+                attr_name = (
+                    value.func.attr if isinstance(value.func, ast.Attribute)
+                    else value.func.id if isinstance(value.func, ast.Name)
+                    else ""
+                )
+                if (target or "").endswith("recorder") or attr_name == "recorder":
+                    return True
+        enclosing = module.enclosing_function(node)
+        if enclosing is not None and name in _parameter_names(enclosing):
+            # Parameters named like recorders participate (rec, recorder).
+            return name in ("rec", "recorder") or "recorder" in name
+        return False
+
+
+def _parameter_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = func.args
+    names = {a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names

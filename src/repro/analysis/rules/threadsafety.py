@@ -1,0 +1,258 @@
+"""THR001 -- shared mutable state in threaded modules mutates under its lock.
+
+The parallel evaluator runs benchmark units on a ``ThreadPoolExecutor``, a
+``BenchmarkCache`` is shared across policies/workers, and the telemetry
+tracer/metrics registries accept writes from every worker thread.  Modules
+on that list are *declared threaded* (the rule's ``paths`` option), and in
+them this rule checks two things:
+
+* Inside a class that owns a lock (an attribute whose name contains
+  ``lock`` assigned ``threading.Lock()``/``RLock()`` in ``__init__`` or at
+  class level), any method other than ``__init__``/``__post_init__`` that
+  mutates ``self`` state (``self.x = ...``, ``self.x[k] = ...``,
+  ``self.x.append(...)``, ``del self.x[...]``) must do so inside a
+  ``with <lock>:`` block.
+* A class (or module global under ``global``) in a threaded module that
+  mutates shared state but declares **no** lock at all is flagged at the
+  mutation site -- that is precisely how a "works on my laptop" race ships.
+
+The check is lexical: one level of ``self.<attr>`` only, and any ``with``
+whose context expression names something containing ``lock`` counts.
+Thread-confined state (e.g. span objects owned by their opening thread)
+is suppressed at the class with a reason comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FUNCTION_NODES, ModuleContext
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+from repro.analysis.violations import Violation
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "clear", "pop", "popitem",
+    "remove", "discard", "setdefault", "sort", "reverse", "appendleft",
+})
+
+#: Methods exempt from the lock requirement (construction is single-threaded).
+CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__new__",
+                                  "__set_name__"})
+
+
+@register
+class ThreadSafetyRule(Rule):
+    id = "THR001"
+    name = "thread-safety"
+    default_severity = "error"
+    default_paths = ("parallel/", "core/cache.py", "telemetry/")
+    invariant = (
+        "in threaded modules, shared mutable class/module state is only "
+        "mutated inside a `with <lock>:` block on the owning lock"
+    )
+    rationale = (
+        "the evaluator is genuinely concurrent (ThreadPoolExecutor) and the "
+        "BenchmarkCache and telemetry registries are shared across its "
+        "workers; an unlocked `self.hits += 1` is a read-modify-write race "
+        "that loses updates only under load"
+    )
+    fix = (
+        "guard the mutation with the class's lock (add one if the class has "
+        "none), move the state into thread-local storage, or suppress on the "
+        "class with a reason when the state is thread-confined by design"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        module_locks = _module_level_locks(module.tree)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+            elif isinstance(node, FUNCTION_NODES):
+                yield from self._check_globals(module, node, module_locks)
+
+    # -- classes ---------------------------------------------------------------
+
+    def _check_class(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Violation]:
+        locks = _class_locks(cls)
+        for item in cls.body:
+            if not isinstance(item, FUNCTION_NODES):
+                continue
+            if item.name in CONSTRUCTION_METHODS:
+                continue
+            self_name = _self_parameter(item)
+            if self_name is None:
+                continue
+            for mutation, described in _self_mutations(item, self_name):
+                if _under_lock(module, mutation):
+                    continue
+                if locks:
+                    lock_names = ", ".join(sorted(locks))
+                    yield self.violation(
+                        module, mutation.lineno, mutation.col_offset,
+                        f"mutation of `{described}` in threaded module outside "
+                        f"`with self.{lock_names}:` "
+                        f"(class {cls.name} owns that lock)",
+                    )
+                else:
+                    yield self.violation(
+                        module, mutation.lineno, mutation.col_offset,
+                        f"class {cls.name} mutates shared state "
+                        f"(`{described}`) in a threaded module but declares "
+                        "no lock",
+                    )
+
+    # -- module globals --------------------------------------------------------
+
+    def _check_globals(
+        self,
+        module: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        module_locks: set[str],
+    ) -> Iterator[Violation]:
+        declared: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+        if not declared:
+            return
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                for name_node in _flatten_targets(target):
+                    if (
+                        isinstance(name_node, ast.Name)
+                        and name_node.id in declared
+                        and not _under_lock(module, node)
+                    ):
+                        where = (
+                            f"`with {', '.join(sorted(module_locks))}:`"
+                            if module_locks else "a module-level lock"
+                        )
+                        yield self.violation(
+                            module, node.lineno, node.col_offset,
+                            f"assignment to module global `{name_node.id}` in "
+                            f"threaded module outside {where}",
+                        )
+
+
+def _module_level_locks(tree: ast.Module) -> set[str]:
+    locks: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    locks.add(target.id)
+    return locks
+
+
+def _class_locks(cls: ast.ClassDef) -> set[str]:
+    """Names of lock attributes the class owns (``self.<name>`` or class var)."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not _is_lock_ctor(node.value):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) and "lock" in target.attr.lower():
+                locks.add(target.attr)
+            elif isinstance(target, ast.Name) and "lock" in target.id.lower():
+                locks.add(target.id)
+    return locks
+
+
+def _is_lock_ctor(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return name in ("Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore")
+
+
+def _self_parameter(func: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    for decorator in func.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id in (
+            "staticmethod", "classmethod",
+        ):
+            return None
+    if func.args.posonlyargs:
+        return func.args.posonlyargs[0].arg
+    if func.args.args:
+        return func.args.args[0].arg
+    return None
+
+
+def _is_self_attr(expr: ast.expr, self_name: str) -> str | None:
+    """``attr`` when the expression is exactly ``self.<attr>``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == self_name
+    ):
+        return expr.attr
+    return None
+
+
+def _self_mutations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, self_name: str
+) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, description)`` for each direct mutation of self state."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for leaf in _flatten_targets(target):
+                    attr = _mutated_self_attr(leaf, self_name)
+                    if attr is not None:
+                        yield node, f"self.{attr}"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _mutated_self_attr(target, self_name)
+                if attr is not None:
+                    yield node, f"self.{attr}"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr not in MUTATOR_METHODS:
+                continue
+            receiver = node.func.value
+            attr = _is_self_attr(receiver, self_name)
+            if attr is None and isinstance(receiver, ast.Subscript):
+                attr = _is_self_attr(receiver.value, self_name)
+            if attr is not None:
+                yield node, f"self.{attr}.{node.func.attr}(...)"
+
+
+def _mutated_self_attr(target: ast.expr, self_name: str) -> str | None:
+    attr = _is_self_attr(target, self_name)
+    if attr is not None and "lock" not in attr.lower():
+        return attr
+    if isinstance(target, ast.Subscript):
+        return _is_self_attr(target.value, self_name)
+    return None
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    else:
+        yield target
+
+
+def _under_lock(module: ModuleContext, node: ast.AST) -> bool:
+    def is_lock_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Attribute):
+            return "lock" in expr.attr.lower()
+        if isinstance(expr, ast.Name):
+            return "lock" in expr.id.lower()
+        return False
+
+    return module.within_with(node, is_lock_expr)

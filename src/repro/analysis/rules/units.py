@@ -1,0 +1,95 @@
+"""UNI001 -- byte counts are built with :mod:`repro.units`, never spelled raw.
+
+The whole reproduction turns on exact byte accounting: a workspace limit
+off by one byte flips a kernel onto cuDNN's slow fallback path (Fig. 1).
+The package convention is that all internal accounting is plain integer
+bytes built at the edges from the ``units.py`` helpers (``mib(8)``,
+``64 * MIB``), so a reviewer can always tell a MiB from a byte.  A raw
+``1048576``-style literal hides the unit and invites MiB/byte mixing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+from repro.analysis.violations import Violation
+from repro.units import KIB, MIB
+
+
+@register
+class UnitsRule(Rule):
+    id = "UNI001"
+    name = "units"
+    default_severity = "error"
+    default_paths = (".",)
+    default_exclude = ("units.py", "analysis/")
+    invariant = (
+        "byte counts are expressed through repro.units helpers/constants; no "
+        "raw KiB-multiple integer literals of a mebibyte or more"
+    )
+    rationale = (
+        "workspace limits are compared exactly -- one byte decides whether "
+        "cuDNN falls back to a much slower algorithm -- so every size must "
+        "be readable as the unit it means; 1048576 could be bytes, KiB, or "
+        "a miscopied MiB"
+    )
+    fix = (
+        "replace the literal with units.mib(n)/kib(n) or n * units.MIB; for "
+        "a number that genuinely is not a byte count, suppress with a reason"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        options: Mapping[str, object] = module.rule_options(self.id)
+        min_bytes = int(options.get("min-bytes", MIB))  # type: ignore[call-overload]
+        reported: set[int] = set()
+        for node in ast.walk(module.tree):
+            value = _fold_literal_int(node)
+            if value is None or value < min_bytes or value % KIB != 0:
+                continue
+            # Report the outermost folded expression once, not its operands.
+            if id(node) in reported:
+                continue
+            parent = module.parent(node)
+            if parent is not None and _fold_literal_int(parent) is not None:
+                continue
+            for sub in ast.walk(node):
+                reported.add(id(sub))
+            yield self.violation(
+                module, node.lineno, node.col_offset,
+                f"raw byte-count literal {value} ({value // MIB} MiB if bytes)"
+                " -- build sizes with repro.units helpers (mib/kib or * MIB) "
+                "so the unit is explicit",
+            )
+
+
+def _fold_literal_int(node: ast.AST) -> int | None:
+    """Value of an all-literal integer expression, else ``None``.
+
+    Folds the arithmetic people actually write for sizes: ``8 * 1024 * 1024``,
+    ``1 << 20``, ``2 ** 30``, sums and differences thereof.
+    """
+    if isinstance(node, ast.Constant):
+        return node.value if type(node.value) is int else None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _fold_literal_int(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.BinOp):
+        left = _fold_literal_int(node.left)
+        right = _fold_literal_int(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.LShift) and 0 <= right < 64:
+            return left << right
+        if isinstance(node.op, ast.Pow) and 0 <= right < 64:
+            return left ** right
+    return None

@@ -1,0 +1,110 @@
+"""Inline suppression comments and their bookkeeping.
+
+Grammar (one comment per line, reason optional but encouraged)::
+
+    x = 1048576  # reprolint: disable=UNI001 -- historical constant, not bytes
+    def hot():   # reprolint: disable=ZOV001,DET001 -- whole-function scope
+    # reprolint: disable-file=THR001 -- single-threaded by construction
+
+A suppression on a ``def``/``class`` header line covers that whole block; a
+``disable-file`` comment anywhere covers the file; anything else covers its
+own line.  Suppressions that never match a finding of an *enabled* rule are
+themselves reported as ``SUP001`` -- stale pragmas are contract rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.context import FUNCTION_NODES
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*="
+    r"\s*(?P<rules>[A-Za-z0-9_, ]+?)\s*(?:--(?P<reason>.*))?$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# reprolint: disable`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    file_level: bool
+    reason: str
+    #: Inclusive line range the suppression covers (file level: whole file).
+    start: int = 0
+    end: int = 0
+    #: Rule ids that actually matched a finding (for SUP001).
+    used: set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        if rule_id not in self.rules:
+            return False
+        if self.file_level:
+            return True
+        return self.start <= line <= self.end
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every suppression comment (tolerates tokenize failures)."""
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not rules:
+            continue
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                rules=rules,
+                file_level=match.group("kind") == "disable-file",
+                reason=(match.group("reason") or "").strip(),
+            )
+        )
+    return suppressions
+
+
+def resolve_ranges(suppressions: list[Suppression], tree: ast.Module) -> None:
+    """Assign each suppression its covered line range (see module docstring).
+
+    A comment on the header of a ``def``/``class`` (anywhere from the first
+    decorator through the line before the body starts) covers the whole
+    definition; other line comments cover only their own line.
+    """
+    blocks: list[tuple[int, int, int]] = []  # (header_start, header_end, end)
+    for node in ast.walk(tree):
+        if isinstance(node, (*FUNCTION_NODES, ast.ClassDef)):
+            header_start = min(
+                [node.lineno] + [d.lineno for d in node.decorator_list]
+            )
+            body_start = node.body[0].lineno if node.body else node.lineno
+            end = node.end_lineno if node.end_lineno is not None else node.lineno
+            blocks.append((header_start, max(body_start - 1, node.lineno), end))
+    for suppression in suppressions:
+        if suppression.file_level:
+            continue
+        suppression.start = suppression.end = suppression.line
+        best: tuple[int, int, int] | None = None
+        for header_start, header_end, end in blocks:
+            if header_start <= suppression.line <= header_end:
+                # Innermost matching block wins (largest header_start).
+                if best is None or header_start > best[0]:
+                    best = (header_start, header_end, end)
+        if best is not None:
+            suppression.start = best[0]
+            suppression.end = best[2]

@@ -1,0 +1,41 @@
+"""The diagnostic record every rule emits and the severity scale.
+
+A :class:`Violation` is deliberately flat and stringly-typed: the JSON
+reporter serializes it verbatim, and byte-determinism of reports (the same
+contract as :mod:`repro.observability.report`) is easiest to guarantee when
+the record is already plain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severity levels, weakest to strongest.  ``"off"`` disables a rule
+#: entirely; ``"warning"`` reports without affecting the exit code;
+#: ``"error"`` reports and fails the run.
+SEVERITIES: tuple[str, str, str] = ("off", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, how severe, and what is wrong."""
+
+    file: str  # path relative to the scanned root, posix separators
+    line: int  # 1-based
+    col: int  # 1-based (ast col_offset + 1)
+    rule: str  # rule id, e.g. "DET001"
+    severity: str  # "error" or "warning" (never "off")
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.file, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }

@@ -14,15 +14,19 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 import repro.telemetry as telemetry
 from repro.core.config import MicroConfig
 from repro.core.policies import BatchSizePolicy, candidate_sizes
 from repro.cudnn.api import find_algorithms, find_algorithms_batched
-from repro.cudnn.enums import is_deterministic
+from repro.cudnn.enums import AlgoFamily, is_deterministic
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.handle import CudnnHandle
 from repro.cudnn.perfmodel import PerfResult
+
+if TYPE_CHECKING:
+    from repro.core.cache import BenchmarkCache
 
 
 @dataclass
@@ -90,7 +94,9 @@ class KernelBenchmark:
             return None
         return bisect.bisect_right(self.workspace_steps(micro_batch), workspace_limit)
 
-    def micro_options(self, micro_batch: int, workspace_limit: int | None = None):
+    def micro_options(
+        self, micro_batch: int, workspace_limit: int | None = None
+    ) -> list[MicroConfig]:
         """Pareto-undominated micro-configurations at one size.
 
         Among algorithms at a fixed micro-batch size, any algorithm that is
@@ -128,7 +134,7 @@ class KernelBenchmark:
             )
         return options
 
-    def restricted(self, families) -> "KernelBenchmark":
+    def restricted(self, families: Iterable[AlgoFamily]) -> "KernelBenchmark":
         """Copy of this table keeping only the given algorithm families.
 
         Used by the related-work comparisons: ZNNi's micro-batching applies
@@ -201,7 +207,7 @@ def benchmark_kernel(
     handle: CudnnHandle,
     geometry: ConvGeometry,
     policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
-    cache=None,
+    cache: "BenchmarkCache | None" = None,
     samples: int = 1,
     deterministic_only: bool = False,
 ) -> KernelBenchmark:
@@ -269,17 +275,18 @@ def benchmark_kernel(
                 bench.benchmark_time += unit_time
                 unit.set("algorithms", len(found))
                 unit.set("device_seconds", unit_time)
-            telemetry.count(
-                "benchmark.units", help="cudnnFind benchmark units evaluated"
-            )
-            telemetry.count(
-                "benchmark.device_seconds", unit_time,
-                help="simulated device seconds spent benchmarking",
-            )
-            telemetry.observe(
-                "benchmark.unit_seconds", unit_time,
-                help="simulated device seconds per benchmark unit",
-            )
+            if telemetry.enabled():
+                telemetry.count(
+                    "benchmark.units", help="cudnnFind benchmark units evaluated"
+                )
+                telemetry.count(
+                    "benchmark.device_seconds", unit_time,
+                    help="simulated device seconds spent benchmarking",
+                )
+                telemetry.observe(
+                    "benchmark.unit_seconds", unit_time,
+                    help="simulated device seconds per benchmark unit",
+                )
             if cache is not None:
                 cache.put_benchmark(gpu_name, g, found)
             found_map[size] = found

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 import repro.telemetry as telemetry
@@ -48,8 +49,11 @@ class BenchmarkCache:
         safe: entries are deterministic for a given GPU model).
     """
 
-    def __init__(self, path: str | os.PathLike | None = None):
+    def __init__(self, path: "str | os.PathLike[str] | None" = None) -> None:
         self.path = Path(path) if path is not None else None
+        #: Owning lock for all mutable state below: the cache is shared by
+        #: the parallel evaluator's worker threads and across policies.
+        self._lock = threading.RLock()
         self._bench: dict[str, list[PerfResult]] = {}
         self._configs: dict[str, dict] = {}
         #: Hit/miss counters, split by what was looked up: benchmark tables
@@ -80,28 +84,35 @@ class BenchmarkCache:
 
     # -- benchmark results ----------------------------------------------------
 
-    def get_benchmark(self, gpu_name: str, geometry: ConvGeometry):
-        entry = self._bench.get(_bench_key(gpu_name, geometry))
+    def get_benchmark(
+        self, gpu_name: str, geometry: ConvGeometry
+    ) -> list[PerfResult] | None:
+        with self._lock:
+            entry = self._bench.get(_bench_key(gpu_name, geometry))
+            if entry is None:
+                self.bench_misses += 1
+            else:
+                self.bench_hits += 1
+                entry = list(entry)
         if entry is None:
-            self.bench_misses += 1
             if telemetry.enabled():
                 telemetry.count("cache.misses", help="benchmark/config cache misses")
                 telemetry.count("cache.bench.misses",
                                 help="benchmark-table cache misses")
                 telemetry.event("cache.miss", key=_bench_key(gpu_name, geometry))
             return None
-        self.bench_hits += 1
         if telemetry.enabled():
             telemetry.count("cache.hits", help="benchmark/config cache hits")
             telemetry.count("cache.bench.hits", help="benchmark-table cache hits")
             telemetry.event("cache.hit", key=_bench_key(gpu_name, geometry))
-        return list(entry)
+        return entry
 
     def put_benchmark(
         self, gpu_name: str, geometry: ConvGeometry, results: list[PerfResult]
     ) -> None:
-        self._bench[_bench_key(gpu_name, geometry)] = list(results)
-        self._dirty = True
+        with self._lock:
+            self._bench[_bench_key(gpu_name, geometry)] = list(results)
+            self._dirty = True
 
     # -- optimized configurations ----------------------------------------------
 
@@ -116,16 +127,19 @@ class BenchmarkCache:
         return f"{gpu_name}|{geometry.cache_key()}|{policy}|{workspace_limit}|{scheme}"
 
     def get_configuration(self, key: str) -> Configuration | None:
-        data = self._configs.get(key)
+        with self._lock:
+            data = self._configs.get(key)
+            if data is None:
+                self.config_misses += 1
+            else:
+                self.config_hits += 1
         if data is None:
-            self.config_misses += 1
             if telemetry.enabled():
                 telemetry.count("cache.misses", help="benchmark/config cache misses")
                 telemetry.count("cache.config.misses",
                                 help="optimized-configuration cache misses")
                 telemetry.event("cache.miss", key=key)
             return None
-        self.config_hits += 1
         if telemetry.enabled():
             telemetry.count("cache.hits", help="benchmark/config cache hits")
             telemetry.count("cache.config.hits",
@@ -136,8 +150,9 @@ class BenchmarkCache:
     def put_configuration(
         self, key: str, conv_type: ConvType, configuration: Configuration
     ) -> None:
-        self._configs[key] = configuration.to_dict(conv_type)
-        self._dirty = True
+        with self._lock:
+            self._configs[key] = configuration.to_dict(conv_type)
+            self._dirty = True
 
     # -- persistence ------------------------------------------------------------
 
@@ -151,13 +166,14 @@ class BenchmarkCache:
         """
         if self.path is None:
             return
-        if not self._dirty and self.path.exists():
-            telemetry.count("cache.saves_skipped",
-                            help="persist calls skipped because nothing changed")
-            return
-        with telemetry.span("cache.save", path=str(self.path), entries=len(self)):
-            self._save()
-        self._dirty = False
+        with self._lock:
+            if not self._dirty and self.path.exists():
+                telemetry.count("cache.saves_skipped",
+                                help="persist calls skipped because nothing changed")
+                return
+            with telemetry.span("cache.save", path=str(self.path), entries=len(self)):
+                self._save()
+            self._dirty = False
         telemetry.count("cache.saves", help="benchmark DB persist operations")
 
     def _save(self) -> None:
@@ -219,9 +235,10 @@ class BenchmarkCache:
                 )
                 for r in rows
             ]
-        self._bench = bench
-        self._configs = dict(payload.get("configurations", {}))
-        self._dirty = False
+        with self._lock:
+            self._bench = bench
+            self._configs = dict(payload.get("configurations", {}))
+            self._dirty = False
         telemetry.event("cache.load", path=str(self.path), entries=len(self))
 
     def __len__(self) -> int:

@@ -26,7 +26,9 @@ the plain cuDNN API run unmodified on a ``UcudnnHandle``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
+import numpy as np
 
 import repro.telemetry as telemetry
 from repro.core import convolution as uconv
@@ -38,9 +40,14 @@ from repro.core.pareto import desirable_set
 from repro.core.wd import WDKernel, WDResult, solve_from_kernels
 from repro.core.wr import optimize_from_benchmark
 from repro.cudnn import api
-from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.descriptors import (
+    ConvGeometry,
+    ConvolutionDescriptor,
+    FilterDescriptor,
+    TensorDescriptor,
+)
 from repro.cudnn.device import Gpu
-from repro.cudnn.enums import ConvType
+from repro.cudnn.enums import Algo, ConvType
 from repro.cudnn.handle import CudnnHandle, ExecMode
 from repro.cudnn.perfmodel import PerfResult
 from repro.cudnn.status import Status
@@ -80,7 +87,7 @@ class UcudnnHandle:
         cache: BenchmarkCache | None = None,
         jitter: float = 0.0,
         transient_workspace: bool = False,
-    ):
+    ) -> None:
         self.inner = CudnnHandle(gpu=gpu, mode=mode, jitter=jitter)
         #: Caffe keeps one persistent workspace per layer (False); TF-style
         #: scratch allocation acquires/releases around every kernel (True).
@@ -106,12 +113,17 @@ class UcudnnHandle:
 
     # -- the cast operator: delegate everything else to the inner handle ------
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self.inner, name)
 
     # -- interposed cuDNN API ---------------------------------------------------
 
-    def get_algorithm(self, g: ConvGeometry, preference=None, memory_limit=None):
+    def get_algorithm(
+        self,
+        g: ConvGeometry,
+        preference: api.AlgoPreference | None = None,
+        memory_limit: int | None = None,
+    ) -> VirtualAlgo:
         """Interposed ``cudnnGetConvolution*Algorithm``.
 
         Registers the kernel and returns a virtual algorithm; after
@@ -134,7 +146,7 @@ class UcudnnHandle:
         self.get_algorithm(g)
         return [PerfResult(VirtualAlgo(g.conv_type), Status.SUCCESS, 0.0, 0)]
 
-    def get_workspace_size(self, g: ConvGeometry, algo) -> int:
+    def get_workspace_size(self, g: ConvGeometry, algo: Algo | VirtualAlgo) -> int:
         """Interposed ``cudnnGetConvolution*WorkspaceSize``: zero for virtual
         algorithms (mu-cuDNN owns the workspace), passthrough otherwise."""
         if isinstance(algo, VirtualAlgo):
@@ -239,7 +251,9 @@ class UcudnnHandle:
                             help="workspace bytes allocated")
         return config.workspace
 
-    def _run_with_workspace(self, config: Configuration, fn):
+    def _run_with_workspace(
+        self, config: Configuration, fn: Callable[[], np.ndarray | None]
+    ) -> np.ndarray | None:
         """Run ``fn`` with a transient workspace allocation when enabled."""
         if not self.transient_workspace:
             return fn()
@@ -262,9 +276,19 @@ class UcudnnHandle:
     # -- interposed execution -----------------------------------------------------
 
     def convolution_forward(
-        self, x_desc, x, w_desc, w, conv_desc, algo, workspace,
-        y_desc, y=None, alpha=1.0, beta=0.0,
-    ):
+        self,
+        x_desc: TensorDescriptor,
+        x: np.ndarray | None,
+        w_desc: FilterDescriptor,
+        w: np.ndarray | None,
+        conv_desc: ConvolutionDescriptor,
+        algo: Algo | VirtualAlgo,
+        workspace: int,
+        y_desc: TensorDescriptor,
+        y: np.ndarray | None = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> np.ndarray | None:
         g = api.make_geometry(ConvType.FORWARD, x_desc, w_desc, conv_desc, y_desc)
         config = self.configuration_for(g)
         ws = self._workspace_for(g, config)
@@ -274,9 +298,19 @@ class UcudnnHandle:
         ))
 
     def convolution_backward_data(
-        self, w_desc, w, dy_desc, dy, conv_desc, algo, workspace,
-        dx_desc, dx=None, alpha=1.0, beta=0.0,
-    ):
+        self,
+        w_desc: FilterDescriptor,
+        w: np.ndarray | None,
+        dy_desc: TensorDescriptor,
+        dy: np.ndarray | None,
+        conv_desc: ConvolutionDescriptor,
+        algo: Algo | VirtualAlgo,
+        workspace: int,
+        dx_desc: TensorDescriptor,
+        dx: np.ndarray | None = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> np.ndarray | None:
         g = api.make_geometry(ConvType.BACKWARD_DATA, dx_desc, w_desc, conv_desc, dy_desc)
         config = self.configuration_for(g)
         ws = self._workspace_for(g, config)
@@ -286,9 +320,19 @@ class UcudnnHandle:
         ))
 
     def convolution_backward_filter(
-        self, x_desc, x, dy_desc, dy, conv_desc, algo, workspace,
-        dw_desc, dw=None, alpha=1.0, beta=0.0,
-    ):
+        self,
+        x_desc: TensorDescriptor,
+        x: np.ndarray | None,
+        dy_desc: TensorDescriptor,
+        dy: np.ndarray | None,
+        conv_desc: ConvolutionDescriptor,
+        algo: Algo | VirtualAlgo,
+        workspace: int,
+        dw_desc: FilterDescriptor,
+        dw: np.ndarray | None = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> np.ndarray | None:
         g = api.make_geometry(ConvType.BACKWARD_FILTER, x_desc, dw_desc, conv_desc, dy_desc)
         config = self.configuration_for(g)
         ws = self._workspace_for(g, config)
@@ -316,7 +360,7 @@ class UcudnnHandle:
         )
 
 
-def raise_if_virtual(algo) -> None:
+def raise_if_virtual(algo: object) -> None:
     """Guard for code paths that must never see a virtual algorithm."""
     if isinstance(algo, VirtualAlgo):
         raise UcudnnError(

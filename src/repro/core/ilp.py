@@ -38,7 +38,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +46,11 @@ from scipy.optimize import linprog
 import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.errors import SolverError
+from repro.telemetry.clock import Clock, WallClock
+
+#: Injected time source for ``solve_time`` diagnostics (never in results);
+#: swap for a ManualClock to make solver reports byte-reproducible.
+_CLOCK: Clock = WallClock()
 
 #: Integrality tolerance: LP values this close to 0/1 count as integral.
 _INT_TOL = 1e-6
@@ -545,7 +549,7 @@ def _solve_bnb_mckp(problem: ZeroOneProblem, shape: _MckpShape,
                 optimal=True,
                 nodes_explored=0,
                 lp_calls=lp_calls,
-                solve_time=_time.perf_counter() - start,
+                solve_time=_CLOCK.now() - start,
                 num_variables=problem.num_variables,
                 fixed_variables=fixed_vars,
             )
@@ -588,7 +592,7 @@ def _solve_bnb_mckp(problem: ZeroOneProblem, shape: _MckpShape,
         optimal=True,
         nodes_explored=nodes,
         lp_calls=lp_calls,
-        solve_time=_time.perf_counter() - start,
+        solve_time=_CLOCK.now() - start,
         num_variables=problem.num_variables,
         fixed_variables=fixed_vars,
     )
@@ -659,7 +663,7 @@ def _solve_bnb_generic(problem: ZeroOneProblem, max_nodes: int,
         optimal=True,
         nodes_explored=nodes,
         lp_calls=lp_calls,
-        solve_time=_time.perf_counter() - start,
+        solve_time=_CLOCK.now() - start,
         num_variables=n,
     )
 
@@ -682,7 +686,7 @@ def solve_branch_and_bound(
     MCKP-shaped instances (see :func:`_reduced_cost_fix`), which is how
     limit sweeps (:mod:`repro.core.sweep`) shrink the tree itself.
     """
-    start = _time.perf_counter()
+    start = _CLOCK.now()
     shape = _detect_mckp(problem)
     with telemetry.span(
         "ilp.solve",
@@ -726,7 +730,7 @@ def solve_branch_and_bound(
 
 def solve_exhaustive(problem: ZeroOneProblem) -> ILPSolution:
     """Enumerate all 2^n assignments (testing aid; n <= ~20)."""
-    start = _time.perf_counter()
+    start = _CLOCK.now()
     n = problem.num_variables
     if n > 24:
         raise SolverError(f"exhaustive solve refused for n={n} > 24")
@@ -745,6 +749,6 @@ def solve_exhaustive(problem: ZeroOneProblem) -> ILPSolution:
         x=best_x,
         objective=best_obj,
         optimal=True,
-        solve_time=_time.perf_counter() - start,
+        solve_time=_CLOCK.now() - start,
         num_variables=n,
     )

@@ -21,12 +21,16 @@ Pareto pruning real networks stay small (hundreds of points for ResNet-50).
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass
 
 import repro.observability as observability
 import repro.telemetry as telemetry
 from repro.errors import SolverError
+from repro.telemetry.clock import Clock, WallClock
+
+#: Injected time source for ``solve_time`` diagnostics (never in results);
+#: swap for a ManualClock to make solver reports byte-reproducible.
+_CLOCK: Clock = WallClock()
 
 
 @dataclass(frozen=True)
@@ -92,7 +96,7 @@ def _solve_mckp(
     capacity: int,
     max_front: int,
 ) -> MCKPSolution:
-    start = _time.perf_counter()
+    start = _CLOCK.now()
     if not groups:
         raise SolverError("MCKP needs at least one group")
     for gi, group in enumerate(groups):
@@ -126,6 +130,6 @@ def _solve_mckp(
         selection=list(best[2]),
         cost=best[0],
         weight=best[1],
-        solve_time=_time.perf_counter() - start,
+        solve_time=_CLOCK.now() - start,
         front_peak=peak,
     )

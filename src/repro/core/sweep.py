@@ -49,8 +49,8 @@ from __future__ import annotations
 
 import bisect
 import math
-import time as _time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -68,7 +68,15 @@ from repro.core.wr import optimize_from_benchmark
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.handle import CudnnHandle
 from repro.errors import InfeasibleError, OptimizationError, SolverError
+from repro.telemetry.clock import Clock, WallClock
 from repro.units import MIB
+
+if TYPE_CHECKING:
+    from repro.core.cache import BenchmarkCache
+
+#: Injected time source for ``solve_time`` diagnostics (never in results);
+#: swap for a ManualClock to make solver reports byte-reproducible.
+_CLOCK: Clock = WallClock()
 
 
 # ---------------------------------------------------------------------------
@@ -117,7 +125,7 @@ class WRSweep:
         return self.configurations[limit]
 
 
-def sweep_wr(benchmark: KernelBenchmark, limits) -> WRSweep:
+def sweep_wr(benchmark: KernelBenchmark, limits: Iterable[int]) -> WRSweep:
     """WR-optimize one kernel under every limit in ``limits``.
 
     Bit-identical to calling :func:`~repro.core.wr.optimize_from_benchmark`
@@ -210,9 +218,9 @@ class WRNetworkSweep:
 def sweep_network_wr(
     handle: CudnnHandle,
     geometries: dict[str, ConvGeometry],
-    limits,
+    limits: Iterable[int],
     policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
-    cache=None,
+    cache: BenchmarkCache | None = None,
 ) -> WRNetworkSweep:
     """Per-limit :func:`~repro.core.optimizer.optimize_network_wr`, swept.
 
@@ -278,7 +286,7 @@ def prepare_wd_kernels(
     handle: CudnnHandle,
     geometries: dict[str, ConvGeometry],
     policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
-    cache=None,
+    cache: BenchmarkCache | None = None,
 ) -> list[WDKernel]:
     """Benchmark kernels and compute their *full* (limit-free) fronts.
 
@@ -463,7 +471,7 @@ class WDSweep:
 
 def sweep_wd(
     kernels: list[WDKernel],
-    limits,
+    limits: Iterable[int],
     solver: str = "ilp",
 ) -> WDSweep:
     """WD-solve prepared kernels under every pooled limit in ``limits``.
@@ -504,7 +512,7 @@ def sweep_wd(
     ) as tspan:
         prev_choice = None
         for limit in sorted(set(limits)):
-            start = _time.perf_counter()
+            start = _CLOCK.now()
             cuts = [bisect.bisect_right(ws, limit) for ws in class_workspaces]
             if any(cut == 0 for cut in cuts):
                 try:
@@ -537,8 +545,9 @@ def sweep_wd(
                 sweep.errors[limit] = exc
                 prev_choice = None
                 continue
-            telemetry.count("sweep.wd.solves",
-                            help="per-limit WD solves performed by sweeps")
+            if telemetry.enabled():
+                telemetry.count("sweep.wd.solves",
+                                help="per-limit WD solves performed by sweeps")
             if rec:
                 rec.record(
                     "sweep.warm_start", limit=limit, warm_start=warm_used,
@@ -569,7 +578,7 @@ def sweep_wd(
                 ],
                 num_variables=num_variables,
                 solver=solver,
-                solve_time=_time.perf_counter() - start,
+                solve_time=_CLOCK.now() - start,
                 ilp=solution,
                 benchmark_time=benchmark_time,
             )
@@ -608,10 +617,10 @@ def sweep_wd(
 def sweep_network_wd(
     handle: CudnnHandle,
     geometries: dict[str, ConvGeometry],
-    limits,
+    limits: Iterable[int],
     policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
     solver: str = "ilp",
-    cache=None,
+    cache: BenchmarkCache | None = None,
 ) -> tuple[WDSweep, dict[int, NetworkPlan]]:
     """Per-limit :func:`~repro.core.optimizer.optimize_network_wd`, swept.
 

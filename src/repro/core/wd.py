@@ -20,8 +20,8 @@ Two independent exact solvers are offered: the branch-and-bound ILP
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,7 +36,15 @@ from repro.core.policies import BatchSizePolicy
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.handle import CudnnHandle
 from repro.errors import InfeasibleError, SolverError
+from repro.telemetry.clock import Clock, WallClock
 from repro.units import MIB
+
+if TYPE_CHECKING:
+    from repro.core.cache import BenchmarkCache
+
+#: Injected time source for ``solve_time`` diagnostics (never in results);
+#: swap for a ManualClock to make solver reports byte-reproducible.
+_CLOCK: Clock = WallClock()
 
 
 @dataclass
@@ -228,7 +236,7 @@ def _solve_from_kernels(
     solver: str = "ilp",
     warm_start: dict[str, Configuration] | None = None,
 ) -> WDResult:
-    start = _time.perf_counter()
+    start = _CLOCK.now()
     if solver == "ilp":
         problem, owner, configs = _build_problem(kernels, total_workspace)
         x0 = None
@@ -269,7 +277,7 @@ def _solve_from_kernels(
         kernels=kernels,
         num_variables=num_vars,
         solver=solver,
-        solve_time=_time.perf_counter() - start,
+        solve_time=_CLOCK.now() - start,
         ilp=ilp,
         benchmark_time=sum(k.benchmark.benchmark_time for k in kernels),
     )
@@ -289,7 +297,7 @@ def optimize(
     total_workspace: int,
     policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
     solver: str = "ilp",
-    cache=None,
+    cache: BenchmarkCache | None = None,
     max_front: int | None = None,
 ) -> WDResult:
     """Benchmark, prune and solve WD for a whole network.

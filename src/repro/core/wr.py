@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import repro.observability as observability
 import repro.telemetry as telemetry
@@ -33,6 +34,9 @@ from repro.core.policies import BatchSizePolicy
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.handle import CudnnHandle
 from repro.errors import OptimizationError
+
+if TYPE_CHECKING:
+    from repro.core.cache import BenchmarkCache
 
 
 @dataclass
@@ -234,7 +238,7 @@ def optimize_kernel(
     geometry: ConvGeometry,
     workspace_limit: int,
     policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
-    cache=None,
+    cache: BenchmarkCache | None = None,
 ) -> WRResult:
     """Benchmark + WR-optimize one convolution kernel."""
     benchmark = benchmark_kernel(handle, geometry, policy, cache=cache)

@@ -139,7 +139,7 @@ class DeviceMemory:
     breakdowns of Fig. 12 can be produced per category.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise BadParamError(Status.BAD_PARAM, "memory capacity must be positive")
         self.capacity = int(capacity)
@@ -233,7 +233,7 @@ class Node:
     homogeneous GPUs".
     """
 
-    def __init__(self, gpu_name: str = "p100-sxm2", num_gpus: int = 4):
+    def __init__(self, gpu_name: str = "p100-sxm2", num_gpus: int = 4) -> None:
         if num_gpus <= 0:
             raise BadParamError(Status.BAD_PARAM, "need at least one GPU")
         self.gpus = [Gpu.create(gpu_name) for _ in range(num_gpus)]

@@ -18,10 +18,15 @@ that frameworks cast down to a plain ``cudnnHandle_t`` -- is mirrored in
 from __future__ import annotations
 
 import enum
+from typing import TYPE_CHECKING
 
 import repro.telemetry as telemetry
 from repro.cudnn.device import Gpu
 from repro.cudnn.perfmodel import PerfModel
+
+if TYPE_CHECKING:
+    from repro.cudnn.descriptors import ConvGeometry
+    from repro.cudnn.enums import Algo
 
 
 class ExecMode(enum.Enum):
@@ -50,7 +55,7 @@ class CudnnHandle:
         gpu: Gpu | None = None,
         mode: ExecMode = ExecMode.NUMERIC,
         jitter: float = 0.0,
-    ):
+    ) -> None:
         self.gpu = gpu if gpu is not None else Gpu.create("p100-sxm2")
         self.mode = mode
         self.perf = PerfModel(self.gpu.spec, jitter=jitter)
@@ -62,7 +67,7 @@ class CudnnHandle:
         self._sample_counter += 1
         return self._sample_counter
 
-    def execute_kernel(self, g, algo, duration: float) -> None:
+    def execute_kernel(self, g: ConvGeometry, algo: Algo, duration: float) -> None:
         """Advance the device clock by one kernel launch, with telemetry.
 
         When telemetry is enabled, every launch becomes a span on this

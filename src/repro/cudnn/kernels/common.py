@@ -32,19 +32,25 @@ def check_array(name: str, arr: np.ndarray, shape: tuple[int, ...]) -> np.ndarra
     return np.ascontiguousarray(arr, dtype=DTYPE)
 
 
-def check_forward_operands(g: ConvGeometry, x: np.ndarray, w: np.ndarray):
+def check_forward_operands(
+    g: ConvGeometry, x: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     x = check_array("x", x, g.x_desc.shape)
     w = check_array("w", w, g.w_desc.shape)
     return x, w
 
 
-def check_backward_data_operands(g: ConvGeometry, dy: np.ndarray, w: np.ndarray):
+def check_backward_data_operands(
+    g: ConvGeometry, dy: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     dy = check_array("dy", dy, g.y_desc.shape)
     w = check_array("w", w, g.w_desc.shape)
     return dy, w
 
 
-def check_backward_filter_operands(g: ConvGeometry, x: np.ndarray, dy: np.ndarray):
+def check_backward_filter_operands(
+    g: ConvGeometry, x: np.ndarray, dy: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     x = check_array("x", x, g.x_desc.shape)
     dy = check_array("dy", dy, g.y_desc.shape)
     return x, dy

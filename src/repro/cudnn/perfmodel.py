@@ -129,7 +129,7 @@ class PerfModel:
         robustness tests use small positive values.
     """
 
-    def __init__(self, spec: GpuSpec, jitter: float = 0.0):
+    def __init__(self, spec: GpuSpec, jitter: float = 0.0) -> None:
         if jitter < 0:
             raise ValueError("jitter must be non-negative")
         self.spec = spec
@@ -189,7 +189,10 @@ class PerfModel:
         query and must go through :meth:`find_all`.
         """
         if self.jitter != 0.0:
-            raise RuntimeError("find_all_batched requires a jitter-free model")
+            raise NotSupportedError(
+                Status.NOT_SUPPORTED,
+                "find_all_batched requires a jitter-free model",
+            )
         with telemetry.span(
             "perfmodel.batched_find", kernel=g.cache_key(), sizes=len(sizes)
         ) as tspan:

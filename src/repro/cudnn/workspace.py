@@ -30,6 +30,7 @@ stride/dilation, and ``DIRECT`` is enumerated but never supported
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
@@ -210,7 +211,9 @@ def _ws_winograd_nonfused(g: ConvGeometry) -> int:
     return plane * (g.c * g.k + g.n * tiles * (g.c + g.k)) // TRANSFORM_CHUNKS
 
 
-def workspace_size_batch(g: ConvGeometry, ns, algo: Algo) -> np.ndarray:
+def workspace_size_batch(
+    g: ConvGeometry, ns: "Sequence[int] | np.ndarray", algo: Algo
+) -> np.ndarray:
     """Vectorized :func:`workspace_size` over many batch sizes at once.
 
     ``ns`` is a sequence of batch sizes; returns an int64 array such that

@@ -177,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
                         explain_result = result
                     else:
                         result = fn()
-                except Exception:
+                except Exception:  # reprolint: disable=ERR001 -- isolation boundary: report the failing experiment, run the rest
                     # Keep going: report the failure, run the rest, and let
                     # the exit status carry the bad news.
                     print(f"[{key}: FAILED]", file=sys.stderr)

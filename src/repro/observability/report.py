@@ -24,6 +24,7 @@ from __future__ import annotations
 import html
 import json
 
+from repro.units import MIB
 from repro.observability.provenance import (
     PROVENANCE_SCHEMA_VERSION,
     ProvenanceRecorder,
@@ -137,7 +138,7 @@ def _fmt_ms(value) -> str:
 
 def _fmt_mib(value) -> str:
     v = _finite(value)
-    return f"{v / (1 << 20):.2f}" if v is not None else "-"
+    return f"{v / MIB:.2f}" if v is not None else "-"
 
 
 def _division(chosen) -> str:

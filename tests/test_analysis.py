@@ -1,0 +1,455 @@
+"""reprolint tests: golden reports, suppressions, config, CLI, meta-check.
+
+The fixture tree seeds exactly one violation per checkable rule (two for
+ERR001/ZOV001, which have two distinct shapes) plus an unparseable file for
+``SYN001``; the golden text and JSON reports pin the exact rendering, so any
+change to a rule's message, position, severity resolution, sort order, or
+the reporters themselves shows up as a diff here.  The meta-test at the
+bottom runs the real linter with the real ``pyproject.toml`` config over the
+real ``src/`` tree -- the repo must hold its own contracts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    Report,
+    check_source,
+    lint_paths,
+    load_config,
+    render_json,
+    render_text,
+)
+from repro.analysis.cli import main as cli_main
+from repro.analysis.config import ConfigError, find_pyproject, path_matches
+from repro.analysis.registry import all_rules, get_rule, rule_ids
+from repro.analysis.report import render_explanation, render_rules
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+# ---------------------------------------------------------------------------
+# Fixture tree: one seeded violation per rule
+# ---------------------------------------------------------------------------
+
+FIXTURES: dict[str, str] = {
+    "core/determinism_bad.py": '''\
+"""DET001 fixture: wall-clock and set iteration in a core module."""
+import time
+
+
+def stamp() -> float:
+    return time.time()
+''',
+    "core/overhead_bad.py": '''\
+"""ZOV001 fixture: unguarded telemetry in a loop, chained recorder."""
+import repro.observability as observability
+import repro.telemetry as telemetry
+
+
+def hot(sizes: list) -> None:
+    for size in sizes:
+        telemetry.count("fixture.iterations")
+    observability.recorder().record("fixture", n=len(sizes))
+''',
+    "core/units_bad.py": '''\
+"""UNI001 fixture: raw byte-count literal."""
+DEFAULT_WORKSPACE = 8 * 1024 * 1024
+''',
+    "parallel/threads_bad.py": '''\
+"""THR001 fixture: lock declared, mutation outside it."""
+import threading
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.jobs: list = []
+
+    def add(self, job) -> None:
+        self.jobs.append(job)
+''',
+    "core/errors_bad.py": '''\
+"""ERR001 fixture: bare except and off-taxonomy raise."""
+
+
+def swallow() -> None:
+    try:
+        pass
+    except:
+        pass
+
+
+def explode() -> None:
+    raise RuntimeError("boom")
+''',
+    "core/api_bad.py": '''\
+"""API001 fixture: public function missing annotations."""
+
+
+def optimize(kernel, limit=None):
+    return kernel
+''',
+    "core/syntax_bad.py": "def broken(:\n",
+}
+
+GOLDEN_TEXT = """\
+reprolint: 9 finding(s) in 7 of 7 file(s)
+
+core/api_bad.py
+  4:1   API001  error  public function `optimize` missing annotations: parameter `kernel`, parameter `limit`, return type
+
+core/determinism_bad.py
+  6:12  DET001  error  wall-clock call `time.time()` in deterministic module; take time from an injected Clock (repro.telemetry.clock) instead
+
+core/errors_bad.py
+  7:5   ERR001  error  bare `except:` without re-raise swallows taxonomy information; catch the specific repro.errors classes or re-raise
+  12:5  ERR001  error  raise of `RuntimeError` outside the repro.errors taxonomy; use the closest taxonomy class (see repro/errors.py) or a precise builtin
+
+core/overhead_bad.py
+  8:9   ZOV001  error  telemetry call `telemetry.count(...)` inside a loop without an `if telemetry.enabled():` guard (zero-overhead contract)
+  9:5   ZOV001  error  chained recorder call `...recorder().record(...)` can never be guarded; bind the recorder and guard with `if rec:`
+
+core/syntax_bad.py
+  1:12  SYN001  error  file does not parse: invalid syntax
+
+core/units_bad.py
+  2:21  UNI001  error  raw byte-count literal 8388608 (8 MiB if bytes) -- build sizes with repro.units helpers (mib/kib or * MIB) so the unit is explicit
+
+parallel/threads_bad.py
+  11:9  THR001  error  mutation of `self.jobs.append(...)` in threaded module outside `with self._lock:` (class Pool owns that lock)
+
+summary
+  API001     1  public-annotations
+  DET001     1  determinism
+  ERR001     2  error-taxonomy
+  SYN001     1  unparseable
+  THR001     1  thread-safety
+  UNI001     1  units
+  ZOV001     2  zero-overhead
+
+9 error(s), 0 warning(s)
+"""
+
+GOLDEN_JSON = """\
+{
+  "counts": {
+    "UNI001": 1
+  },
+  "errors": 1,
+  "files_checked": 1,
+  "schema_version": 1,
+  "tool": "reprolint",
+  "violations": [
+    {
+      "col": 21,
+      "file": "core/units_bad.py",
+      "line": 2,
+      "message": "raw byte-count literal 8388608 (8 MiB if bytes) -- build sizes with repro.units helpers (mib/kib or * MIB) so the unit is explicit",
+      "rule": "UNI001",
+      "severity": "error"
+    }
+  ],
+  "warnings": 0
+}
+"""
+
+
+def write_tree(root: pathlib.Path, fixtures: dict[str, str] = FIXTURES) -> pathlib.Path:
+    tree = root / "tree"
+    for relpath, source in fixtures.items():
+        target = tree / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    return tree
+
+
+def lint_fixture_tree(root: pathlib.Path) -> Report:
+    return lint_paths([write_tree(root)], LintConfig())
+
+
+# ---------------------------------------------------------------------------
+# Golden reports
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenReports:
+    def test_text_report_matches_golden(self, tmp_path):
+        assert render_text(lint_fixture_tree(tmp_path)) == GOLDEN_TEXT
+
+    def test_json_report_matches_golden(self, tmp_path):
+        tree = write_tree(
+            tmp_path, {"core/units_bad.py": FIXTURES["core/units_bad.py"]}
+        )
+        assert render_json(lint_paths([tree], LintConfig())) == GOLDEN_JSON
+
+    def test_reports_are_byte_deterministic(self, tmp_path):
+        a = lint_fixture_tree(tmp_path / "a")
+        b = lint_fixture_tree(tmp_path / "b")
+        assert render_text(a) == render_text(b)
+        assert render_json(a) == render_json(b)
+
+    def test_json_parses_and_agrees_with_text(self, tmp_path):
+        report = lint_fixture_tree(tmp_path)
+        payload = json.loads(render_json(report))
+        assert payload["schema_version"] == 1
+        assert payload["errors"] == report.errors == 9
+        assert payload["files_checked"] == 7
+        assert sum(payload["counts"].values()) == len(payload["violations"])
+
+    def test_clean_tree_renders_clean(self, tmp_path):
+        tree = write_tree(tmp_path, {"core/ok.py": "X: int = 1\n"})
+        report = lint_paths([tree], LintConfig())
+        assert report.exit_code == 0
+        assert render_text(report) == "reprolint: clean (1 file(s) checked)\n"
+
+    def test_every_checkable_rule_fires_on_the_fixture_tree(self, tmp_path):
+        fired = set(lint_fixture_tree(tmp_path).counts())
+        expected = {r.id for r in all_rules() if not r.engine_emitted} | {"SYN001"}
+        assert fired == expected
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def check(self, source: str, relpath: str = "core/mod.py") -> list:
+        return check_source(textwrap.dedent(source), relpath, LintConfig())
+
+    def test_line_suppression_silences_and_counts_as_used(self):
+        found = self.check(
+            """\
+            X = 8 * 1024 * 1024  # reprolint: disable=UNI001 -- fixture bytes
+            """
+        )
+        assert found == []
+
+    def test_def_header_suppression_covers_the_whole_block(self):
+        found = self.check(
+            """\
+            import time
+
+
+            def f() -> float:  # reprolint: disable=DET001 -- fixture
+                a = time.time()
+                b = time.time()
+                return a + b
+            """
+        )
+        assert found == []
+
+    def test_file_level_suppression_covers_the_file(self):
+        found = self.check(
+            """\
+            # reprolint: disable-file=DET001 -- fixture module
+            import time
+
+            A = time.time()
+
+
+            def f() -> float:
+                return time.time()
+            """
+        )
+        assert found == []
+
+    def test_unused_suppression_is_reported_as_sup001(self):
+        found = self.check("X: int = 1  # reprolint: disable=UNI001\n")
+        assert [(v.rule, v.line) for v in found] == [("SUP001", 1)]
+        assert "unused suppression" in found[0].message
+
+    def test_unknown_rule_in_suppression_is_reported(self):
+        found = self.check("X: int = 1  # reprolint: disable=NOPE99\n")
+        assert [v.rule for v in found] == ["SUP001"]
+        assert "unknown rule" in found[0].message
+
+    def test_suppressing_a_disabled_rule_is_not_flagged_unused(self):
+        config = LintConfig(severity={"UNI001": "off"})
+        found = check_source(
+            "X: int = 1  # reprolint: disable=UNI001\n", "core/mod.py", config
+        )
+        assert found == []
+
+    def test_suppression_of_one_rule_keeps_the_other(self):
+        found = self.check(
+            """\
+            import time
+
+
+            def f(x):  # reprolint: disable=DET001 -- fixture
+                return time.time()
+            """
+        )
+        assert [v.rule for v in found] == ["API001"]
+
+
+# ---------------------------------------------------------------------------
+# Config
+# ---------------------------------------------------------------------------
+
+
+class TestConfig:
+    def test_round_trip_is_lossless(self):
+        config = LintConfig(
+            select=("DET001", "UNI001"),
+            severity={"UNI001": "warning"},
+            exclude=("fixtures/",),
+            rules={"uni001": {"min-bytes": 1024}},
+        )
+        assert LintConfig.from_mapping(config.to_mapping()) == config
+        assert LintConfig.from_mapping(LintConfig().to_mapping()) == LintConfig()
+
+    def test_load_config_missing_file_yields_defaults(self, tmp_path):
+        assert load_config(tmp_path / "nope.toml") == LintConfig()
+        assert load_config(None) == LintConfig()
+
+    def test_load_config_reads_the_repo_pyproject(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert set(config.select) == rule_ids()
+        assert config.rule_options("UNI001")["min-bytes"] == 1048576
+
+    def test_bad_severity_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            LintConfig.from_mapping({"severity": {"UNI001": "loud"}})
+        with pytest.raises(ConfigError):
+            LintConfig.from_mapping({"select": "DET001"})
+
+    def test_severity_override_downgrades_exit_code(self, tmp_path):
+        tree = write_tree(
+            tmp_path, {"core/units_bad.py": FIXTURES["core/units_bad.py"]}
+        )
+        report = lint_paths([tree], LintConfig(severity={"UNI001": "warning"}))
+        assert report.exit_code == 0 and report.warnings == 1
+
+    def test_select_narrows_the_rule_set(self, tmp_path):
+        report = lint_paths(
+            [write_tree(tmp_path)], LintConfig(select=("UNI001", "ERR001"))
+        )
+        assert set(report.counts()) == {"UNI001", "ERR001"}
+
+    def test_global_exclude_skips_files(self, tmp_path):
+        report = lint_paths(
+            [write_tree(tmp_path)], LintConfig(exclude=("core/",))
+        )
+        assert set(v.file for v in report.violations) == {"parallel/threads_bad.py"}
+
+    def test_path_matches_semantics(self):
+        assert path_matches("core/wr.py", ("core/",))
+        assert path_matches("core/wr.py", ("core/wr.py",))
+        assert path_matches("anything.py", (".",))
+        assert not path_matches("cudnn/api.py", ("core/",))
+
+    def test_find_pyproject_walks_up(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[tool.reprolint]\n")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_exit_one_and_report_on_findings(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        tree = write_tree(tmp_path)
+        assert cli_main([str(tree)]) == 1
+        assert capsys.readouterr().out == GOLDEN_TEXT
+
+    def test_json_format_and_output_file(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path, {"core/units_bad.py": FIXTURES["core/units_bad.py"]}
+        )
+        out = tmp_path / "reports" / "lint.json"
+        assert cli_main(
+            [str(tree), "--format", "json", "--output", str(out)]
+        ) == 1
+        assert capsys.readouterr().out == GOLDEN_JSON
+        assert out.read_text(encoding="utf-8") == GOLDEN_JSON
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, {"core/ok.py": "X: int = 1\n"})
+        assert cli_main([str(tree)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules_covers_every_registered_rule(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+    def test_explain_prints_the_rule_card(self, capsys):
+        assert cli_main(["--explain", "ZOV001"]) == 0
+        card = capsys.readouterr().out
+        assert card == render_explanation("ZOV001")
+        for needle in ("invariant:", "why:", "fix:", "suppress with"):
+            assert needle in card
+
+    def test_explain_unknown_rule_is_a_usage_error(self, capsys):
+        assert cli_main(["--explain", "NOPE99"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        assert cli_main([str(tmp_path / "nowhere")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_config_flag_overrides_discovery(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path, {"core/units_bad.py": FIXTURES["core/units_bad.py"]}
+        )
+        config = tmp_path / "custom.toml"
+        config.write_text('[tool.reprolint]\nselect = ["DET001"]\n')
+        assert cli_main([str(tree), "--config", str(config)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_malformed_config_is_a_config_error(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, {"core/ok.py": "X: int = 1\n"})
+        config = tmp_path / "bad.toml"
+        config.write_text('[tool.reprolint]\nselect = "DET001"\n')
+        assert cli_main([str(tree), "--config", str(config)]) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Rule metadata
+# ---------------------------------------------------------------------------
+
+
+class TestRuleRegistry:
+    def test_rules_carry_complete_explain_cards(self):
+        for rule in all_rules():
+            assert rule.id and rule.name and rule.invariant
+            assert rule.rationale and rule.fix
+            assert rule.default_severity in ("error", "warning")
+            assert render_explanation(rule.id) is not None
+
+    def test_list_rules_rendering_is_aligned(self):
+        lines = render_rules().splitlines()
+        assert len(lines) == len(all_rules())
+
+    def test_engine_emitted_rules_are_not_checkable(self):
+        for rule_id in ("SUP001", "SYN001"):
+            rule = get_rule(rule_id)
+            assert rule is not None and rule.engine_emitted
+
+
+# ---------------------------------------------------------------------------
+# Meta: the repo passes its own linter
+# ---------------------------------------------------------------------------
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes_reprolint_with_repo_config(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        report = lint_paths([REPO_ROOT / "src"], config)
+        assert report.violations == [], render_text(report)
+        assert report.files_checked >= 90

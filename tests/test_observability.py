@@ -301,3 +301,41 @@ class TestRegressionGate:
 
         assert gate_main(["--baseline", str(base_path),
                           "--fresh", str(tmp_path / "missing.json")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read fresh record" in err and "missing.json" in err
+
+        unparseable = tmp_path / "unparseable.json"
+        unparseable.write_text("{not json")
+        assert gate_main(["--baseline", str(base_path),
+                          "--fresh", str(unparseable)]) == 2
+        assert "cannot read fresh record" in capsys.readouterr().err
+
+    def test_cli_schema_mismatch_exit_code(self, baseline, tmp_path, capsys):
+        """A record that parses but carries the wrong shapes must exit 3
+        with a diagnosis, not crash with a traceback (the original bug)."""
+        base_path = REPO_ROOT / "BENCH_sweep.json"
+
+        mangled = copy.deepcopy(baseline)
+        mangled["wd"]["sweep_ilp_nodes"] = "lots"       # string where a number belongs
+        bad_shape = tmp_path / "bad_shape.json"
+        bad_shape.write_text(json.dumps(mangled))
+        assert gate_main(["--baseline", str(base_path),
+                          "--fresh", str(bad_shape)]) == 3
+        err = capsys.readouterr().err
+        assert "schema mismatch in fresh record" in err
+        assert "wd.sweep_ilp_nodes" in err
+
+        not_an_object = tmp_path / "list.json"
+        not_an_object.write_text("[1, 2, 3]")
+        assert gate_main(["--baseline", str(not_an_object),
+                          "--fresh", str(bad_shape)]) == 3
+        assert "schema mismatch in baseline record" in capsys.readouterr().err
+
+    def test_validate_record_accepts_the_committed_baseline(self, baseline):
+        from benchmarks.check_regression import validate_record
+
+        assert validate_record(baseline) == []
+        assert validate_record([]) != []
+        mangled = copy.deepcopy(baseline)
+        mangled["wr"]["config_mismatches"] = True       # bools are not counters
+        assert any("wr.config_mismatches" in p for p in validate_record(mangled))

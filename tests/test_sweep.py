@@ -28,7 +28,7 @@ from repro.core.wr import optimize_from_benchmark
 from repro.cudnn.api import find_algorithms, find_algorithms_batched
 from repro.cudnn.device import Node
 from repro.cudnn.handle import CudnnHandle, ExecMode
-from repro.errors import InfeasibleError, OptimizationError
+from repro.errors import InfeasibleError, NotSupportedError, OptimizationError
 from repro.parallel import benchmark_kernels_parallel
 from repro.units import MIB
 from tests.conftest import make_geometry
@@ -205,7 +205,7 @@ class TestBatchedFind:
         g = make_geometry(n=8)
         sizes = candidate_sizes(BatchSizePolicy.POWER_OF_TWO, g.n)
         noisy = CudnnHandle(mode=ExecMode.TIMING, jitter=0.2)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotSupportedError):
             noisy.perf.find_all_batched(g, sizes)
         rows = find_algorithms_batched(noisy, g, sizes)
         assert len(rows) == len(sizes)
