@@ -27,7 +27,8 @@ TAXONOMY = (
     "ReproError", "CudnnStatusError", "BadParamError", "NotSupportedError",
     "AllocFailedError", "ExecutionFailedError", "WorkspaceTooSmallError",
     "UcudnnError", "OptimizationError", "InfeasibleError", "SolverError",
-    "CacheError", "FrameworkError", "ShapeError",
+    "CacheError", "ServiceError", "ServiceOverloadedError",
+    "DeadlineExceededError", "FrameworkError", "ShapeError",
 )
 
 #: Precise builtins allowed in ordinary code (config key ``allowed``).

@@ -20,6 +20,7 @@ import json
 import os
 import tempfile
 import threading
+from collections import OrderedDict
 from pathlib import Path
 
 import repro.telemetry as telemetry
@@ -47,10 +48,23 @@ class BenchmarkCache:
         eagerly and :meth:`save` persists the merged state.  The same file
         can be shared by many processes/nodes (last writer wins, which is
         safe: entries are deterministic for a given GPU model).
+    capacity:
+        Optional bound on the total number of in-memory entries (benchmark
+        tables plus optimized configurations together).  ``None`` -- the
+        default, and the paper's behavior -- is unlimited.  When bounded,
+        inserting past the limit evicts the least-recently-*used* entry
+        (lookups refresh recency) and increments :attr:`evictions`.
     """
 
-    def __init__(self, path: "str | os.PathLike[str] | None" = None) -> None:
+    def __init__(
+        self,
+        path: "str | os.PathLike[str] | None" = None,
+        capacity: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.path = Path(path) if path is not None else None
+        self.capacity = capacity
         #: Owning lock for all mutable state below: the cache is shared by
         #: the parallel evaluator's worker threads and across policies.
         self._lock = threading.RLock()
@@ -63,6 +77,12 @@ class BenchmarkCache:
         self.bench_misses = 0
         self.config_hits = 0
         self.config_misses = 0
+        #: Entries dropped by the LRU bound (always 0 when unbounded).
+        self.evictions = 0
+        #: Global LRU order across both stores; keys are ("bench"|"config",
+        #: entry key), values unused.  Maintained even when unbounded so
+        #: setting a capacity later via a subclass stays possible.
+        self._recency: "OrderedDict[tuple[str, str], None]" = OrderedDict()
         self._dirty = False
         if self.path is not None and self.path.exists():
             self.load()
@@ -88,11 +108,13 @@ class BenchmarkCache:
         self, gpu_name: str, geometry: ConvGeometry
     ) -> list[PerfResult] | None:
         with self._lock:
-            entry = self._bench.get(_bench_key(gpu_name, geometry))
+            key = _bench_key(gpu_name, geometry)
+            entry = self._bench.get(key)
             if entry is None:
                 self.bench_misses += 1
             else:
                 self.bench_hits += 1
+                self._recency.move_to_end(("bench", key))
                 entry = list(entry)
         if entry is None:
             if telemetry.enabled():
@@ -111,8 +133,15 @@ class BenchmarkCache:
         self, gpu_name: str, geometry: ConvGeometry, results: list[PerfResult]
     ) -> None:
         with self._lock:
-            self._bench[_bench_key(gpu_name, geometry)] = list(results)
+            key = _bench_key(gpu_name, geometry)
+            self._bench[key] = list(results)
+            self._recency[("bench", key)] = None
+            self._recency.move_to_end(("bench", key))
             self._dirty = True
+            evicted = self._evict_over_capacity()
+        if evicted and telemetry.enabled():
+            telemetry.count("cache.evictions", evicted,
+                            help="entries dropped by the LRU capacity bound")
 
     # -- optimized configurations ----------------------------------------------
 
@@ -133,6 +162,7 @@ class BenchmarkCache:
                 self.config_misses += 1
             else:
                 self.config_hits += 1
+                self._recency.move_to_end(("config", key))
         if data is None:
             if telemetry.enabled():
                 telemetry.count("cache.misses", help="benchmark/config cache misses")
@@ -152,7 +182,29 @@ class BenchmarkCache:
     ) -> None:
         with self._lock:
             self._configs[key] = configuration.to_dict(conv_type)
+            self._recency[("config", key)] = None
+            self._recency.move_to_end(("config", key))
             self._dirty = True
+            evicted = self._evict_over_capacity()
+        if evicted and telemetry.enabled():
+            telemetry.count("cache.evictions", evicted,
+                            help="entries dropped by the LRU capacity bound")
+
+    def _evict_over_capacity(self) -> int:
+        """Drop LRU entries past :attr:`capacity` (re-entrant on the lock)."""
+        if self.capacity is None:
+            return 0
+        evicted = 0
+        with self._lock:
+            while len(self._bench) + len(self._configs) > self.capacity:
+                (kind, old_key), _ = self._recency.popitem(last=False)
+                if kind == "bench":
+                    del self._bench[old_key]
+                else:
+                    del self._configs[old_key]
+                self.evictions += 1
+                evicted += 1
+        return evicted
 
     # -- persistence ------------------------------------------------------------
 
@@ -238,7 +290,15 @@ class BenchmarkCache:
         with self._lock:
             self._bench = bench
             self._configs = dict(payload.get("configurations", {}))
+            self._recency = OrderedDict(
+                [(("bench", key), None) for key in self._bench]
+                + [(("config", key), None) for key in self._configs]
+            )
+            evicted = self._evict_over_capacity()
             self._dirty = False
+        if evicted and telemetry.enabled():
+            telemetry.count("cache.evictions", evicted,
+                            help="entries dropped by the LRU capacity bound")
         telemetry.event("cache.load", path=str(self.path), entries=len(self))
 
     def __len__(self) -> int:

@@ -101,6 +101,30 @@ class CacheError(UcudnnError):
     """The benchmark/configuration cache is corrupt or unusable."""
 
 
+class ServiceError(UcudnnError):
+    """Base class for errors raised by the plan-compilation service layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The plan service refused admission: its request queue is full.
+
+    Raised *synchronously* at submission time (admission control, not a
+    deadline): callers see backpressure immediately instead of queueing
+    behind work the service cannot keep up with, and can retry, shed load,
+    or fall back to solving in-process.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A plan request's deadline expired and no fallback plan was possible.
+
+    The service normally degrades a timed-out solve to the ``undivided``
+    policy (plain-cuDNN semantics); this error is raised only when that
+    fallback is disabled or itself infeasible, so callers never silently
+    lose the deadline they asked for.
+    """
+
+
 class FrameworkError(ReproError):
     """Errors raised by the mini deep-learning framework substrate."""
 

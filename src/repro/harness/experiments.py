@@ -13,8 +13,14 @@ paper's primary platform (P100-SXM2 / TSUBAME 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    # Runtime import stays lazy (inside serve_plans): repro.service pulls in
+    # harness.tables, which would close an import cycle through this module.
+    from repro.service import SoakReport
 
 from repro.core import (
     BatchSizePolicy,
@@ -875,3 +881,43 @@ def explain_report(
     for row in rows:
         table.add(*row)
     return ExplainResult(report=report, table=table)
+
+
+# -- plan service ("serve") ----------------------------------------------------
+
+
+@dataclass
+class ServeResult:
+    """One deterministic plan-service soak run (report + rendered table)."""
+
+    report: "SoakReport"
+
+    @property
+    def table(self) -> Table:
+        return self.report.table
+
+
+def serve_plans(soak: bool = False, seed: int = 0) -> ServeResult:
+    """Exercise the plan service under a deterministic client population.
+
+    The default parameterization is a quick demo (16 clients, no faults);
+    ``soak=True`` runs the CI gate's configuration -- 64 clients for 6
+    rounds over AlexNet's kernels with seeded solver faults and stalls plus
+    a 1 s deadline, so every degradation rung (cache hit, coalesce, fresh
+    solve, timeout fallback, fault fallback) is exercised.  Both run on a
+    :class:`~repro.telemetry.clock.ManualClock`: two runs with equal
+    arguments produce byte-identical report JSON.
+    """
+    from repro.service import SoakConfig, run_soak
+
+    if soak:
+        # Rates chosen so the seeded schedule exercises *both* fallback
+        # rungs (timeout and solver_error) within the run's ~30 solves.
+        config = SoakConfig(
+            clients=64, rounds=6, seed=seed, max_pending=64,
+            deadline_s=1.0, fail_rate=0.15, stall_rate=0.12, stall_s=5.0,
+            capacity=48, bench_capacity=64,
+        )
+    else:
+        config = SoakConfig(clients=16, rounds=3, seed=seed, max_pending=64)
+    return ServeResult(report=run_soak(config))

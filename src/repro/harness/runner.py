@@ -10,14 +10,18 @@ benchmark suite asserts on.  Useful for eyeballing a single figure quickly::
     python -m repro.harness.runner explain --explain-json out/run.json \\
         --explain-html out/run.html
     python -m repro.harness.runner explain --diff a.json b.json
+    python -m repro.harness.runner serve --soak --soak-report out/soak.json
 
 ``--profile FILE.json`` writes a Chrome-trace (``chrome://tracing`` /
 Perfetto) profile of the run; ``--metrics`` prints the telemetry counters
 and span aggregates at the end (``--metrics-file`` writes the Prometheus
 exposition text instead).  The ``explain`` experiment renders the decision
 provenance report; ``--diff A.json B.json`` compares two saved reports and
-prints the configuration drift.  Output-path parent directories are created
-on demand.  A failing experiment no longer aborts the whole run: its
+prints the configuration drift.  The ``serve`` experiment drives the plan
+service with a deterministic client population; ``--soak`` scales it to the
+CI gate (64 clients, injected faults) and fails the run on any dropped or
+errored request, and ``--soak-report`` writes the byte-stable report JSON.
+Output-path parent directories are created on demand.  A failing experiment no longer aborts the whole run: its
 traceback goes to stderr, the remaining experiments still run, and the exit
 status is non-zero.
 """
@@ -62,6 +66,8 @@ REGISTRY = {
               "cross-limit sweep cost vs per-limit solvers, ResNet-50"),
     "explain": (E.explain_report,
                 "decision provenance: why each kernel got its configuration"),
+    "serve": (E.serve_plans,
+              "plan service under a deterministic client population"),
 }
 
 
@@ -138,6 +144,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--explain-limit-mib", type=int, default=120,
                         metavar="MIB",
                         help="pooled workspace limit for explain (default 120)")
+    parser.add_argument("--soak", action="store_true",
+                        help="run 'serve' at the CI soak scale (64 clients, "
+                             "injected faults) and fail on any dropped or "
+                             "errored request")
+    parser.add_argument("--soak-report", metavar="FILE.json", default=None,
+                        help="write the serve/soak report as stable JSON")
     args = parser.parse_args(argv)
 
     if args.diff is not None:
@@ -158,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
 
     failed: list[str] = []
     explain_result = None
+    serve_result = None
     with telemetry.capture() as session:
         metrics = session.metrics
         for key in wanted:
@@ -165,7 +178,8 @@ def main(argv: list[str] | None = None) -> int:
             counts0 = {
                 name: metrics.value(name, 0)
                 for name in ("cache.bench.hits", "cache.bench.misses",
-                             "cache.config.hits", "cache.config.misses")
+                             "cache.config.hits", "cache.config.misses",
+                             "cache.evictions")
             }
             start = time.perf_counter()
             with telemetry.span("experiment", id=key, description=desc) as espan:
@@ -175,6 +189,9 @@ def main(argv: list[str] | None = None) -> int:
                             total_workspace_mib=args.explain_limit_mib
                         )
                         explain_result = result
+                    elif key == "serve":
+                        result = fn(soak=args.soak)
+                        serve_result = result
                     else:
                         result = fn()
                 except Exception:  # reprolint: disable=ERR001 -- isolation boundary: report the failing experiment, run the rest
@@ -186,18 +203,22 @@ def main(argv: list[str] | None = None) -> int:
                     espan.set("failed", True)
                     continue
             elapsed = time.perf_counter() - start
-            bh, bm, ch, cm = (
+            bh, bm, ch, cm, ev = (
                 int(metrics.value(name, 0) - counts0[name])
                 for name in ("cache.bench.hits", "cache.bench.misses",
-                             "cache.config.hits", "cache.config.misses")
+                             "cache.config.hits", "cache.config.misses",
+                             "cache.evictions")
             )
             if args.format == "csv":
                 print(result.table.to_csv())
             else:
                 print(result.table.render())
+                # Evictions only appear when an LRU bound actually dropped
+                # entries; the common unbounded runs keep the familiar line.
+                evicted = f", {ev} evicted" if ev else ""
                 print(f"[{key}: {elapsed:.1f}s | "
                       f"cache: {bh + ch} hits, {bm + cm} misses "
-                      f"(bench {bh}/{bm}, config {ch}/{cm})]\n")
+                      f"(bench {bh}/{bm}, config {ch}/{cm}){evicted}]\n")
     ok = True
     if explain_result is not None:
         if args.explain_json:
@@ -209,6 +230,19 @@ def main(argv: list[str] | None = None) -> int:
     elif args.explain_json or args.explain_html:
         print("--explain-json/--explain-html need the 'explain' experiment "
               "to have run", file=sys.stderr)
+        ok = False
+    if serve_result is not None:
+        report = serve_result.report
+        if args.soak_report:
+            ok &= _write_output(args.soak_report, report.to_json(),
+                                "soak report")
+        if not report.healthy:
+            print(f"[serve: UNHEALTHY -- {report.errored} errored, "
+                  f"{report.dropped} dropped]", file=sys.stderr)
+            ok = False
+    elif args.soak or args.soak_report:
+        print("--soak/--soak-report need the 'serve' experiment to have run",
+              file=sys.stderr)
         ok = False
     if args.profile:
         try:

@@ -1,0 +1,100 @@
+"""Deterministic fault injection for the plan service (testing hook).
+
+Degradation paths are only trustworthy if they are *exercised*: a fallback
+ladder that never runs in CI is a fallback ladder that does not work.  The
+:class:`FaultInjector` makes solver failures and stalls first-class,
+deterministic inputs -- a seeded pseudo-random schedule plus optional
+explicit scripting -- so the soak driver and the test suite can force every
+rung of the ladder and still be byte-reproducible run over run.
+
+The injector is consulted once per *solver invocation* (not per request:
+coalesced requests share their solve's fate, as they would in production).
+Decisions depend only on the seed, the rates, and the invocation index, so
+two services built with equal parameters inject identical fault schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+#: Fault actions, in the order the service interprets them.
+ACTION_OK = "ok"
+ACTION_FAIL = "fail"  # the solver raises SolverError
+ACTION_STALL = "stall"  # the solve takes ``stall_s`` longer than normal
+
+ACTIONS = (ACTION_OK, ACTION_FAIL, ACTION_STALL)
+
+
+class FaultInjector:
+    """Seeded schedule of solver faults.
+
+    Parameters
+    ----------
+    seed:
+        Seeds a private :class:`random.Random`; never touches the global RNG.
+    fail_rate / stall_rate:
+        Probability of a solver invocation failing / stalling.  Both 0 by
+        default (an injector with zero rates and no script is a no-op).
+    stall_s:
+        How much extra (simulated or real) time a stalled solve takes;
+        services compare this against request deadlines.
+    script:
+        Explicit overrides: ``{invocation_index: action}``.  Scripted
+        indices bypass the random draw entirely (the draw is still made, so
+        scripting an index never shifts the schedule of later ones).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fail_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_s: float = 1.0,
+        script: dict[int, str] | None = None,
+    ) -> None:
+        for name, rate in (("fail_rate", fail_rate), ("stall_rate", stall_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if fail_rate + stall_rate > 1.0:
+            raise ValueError("fail_rate + stall_rate must not exceed 1")
+        for index, action in (script or {}).items():
+            if action not in ACTIONS:
+                raise ValueError(
+                    f"script[{index}] must be one of {ACTIONS}, got {action!r}"
+                )
+        self.seed = seed
+        self.fail_rate = fail_rate
+        self.stall_rate = stall_rate
+        self.stall_s = stall_s
+        self.script = dict(script or {})
+        #: Owning lock: the injector is consulted from worker threads.
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._invocation = 0
+
+    def next_action(self) -> str:
+        """The fault action for the next solver invocation."""
+        with self._lock:
+            index = self._invocation
+            self._invocation += 1
+            draw = self._rng.random()
+        scripted = self.script.get(index)
+        if scripted is not None:
+            return scripted
+        if draw < self.fail_rate:
+            return ACTION_FAIL
+        if draw < self.fail_rate + self.stall_rate:
+            return ACTION_STALL
+        return ACTION_OK
+
+    @property
+    def invocations(self) -> int:
+        with self._lock:
+            return self._invocation
+
+    def reset(self) -> None:
+        """Rewind to invocation 0 with the original seed (same schedule)."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._invocation = 0

@@ -1,0 +1,600 @@
+"""``PlanService`` -- optimization-as-a-service over the μ-cuDNN solver stack.
+
+μ-cuDNN answers one question per kernel: "what is the best micro-batch
+division under workspace limit ``W``?".  The answer is expensive (a
+``cudnnFind`` benchmarking pass plus a WR solve) and widely shared -- every
+training process on a homogeneous cluster asks it for the same kernels
+(paper section III-D motivates exactly this with the in-memory/file caches).
+This module puts a *service* in front of the solver stack so concurrent
+clients get:
+
+* **request coalescing** -- concurrent requests for the same
+  :class:`~repro.service.requests.PlanKey` share one in-flight solve via a
+  future; N identical questions cost one solver invocation;
+* a **bounded plan store** -- an LRU+TTL cache of served plans
+  (:class:`~repro.service.store.PlanStore`) with hit/miss/eviction counters;
+* **admission control** -- a queue-depth limit past which submission raises
+  :class:`~repro.errors.ServiceOverloadedError` *immediately* (backpressure,
+  not unbounded queueing);
+* **graceful degradation** -- a per-request deadline past which the caller
+  receives the ``undivided`` (plain-cuDNN) configuration instead of blocking
+  on a stalled solve, and the same fallback when the solver faults;
+* **fault injection** -- a deterministic, seeded
+  :class:`~repro.service.faults.FaultInjector` so every degradation rung is
+  testable and soak-testable.
+
+The degradation ladder, best rung first::
+
+    plan store hit  ->  coalesce onto in-flight solve  ->  fresh solve
+        ->  (timeout / solver fault)  undivided fallback
+        ->  (fallback disabled or infeasible)  DeadlineExceededError
+
+Two front-ends share all of the machinery above:
+
+* the **threaded** path (:meth:`PlanService.submit` / :meth:`request`): a
+  real worker pool; used by concurrent in-process clients;
+* the **wave** path (:meth:`PlanService.wave`): deterministic batch serving
+  of simultaneously-arriving requests on the simulated clock, used by the
+  soak driver (:mod:`repro.service.soak`) for byte-reproducible load tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable
+
+import repro.observability as observability
+import repro.telemetry as telemetry
+from repro.core.benchmarker import benchmark_kernel
+from repro.core.cache import BenchmarkCache
+from repro.core.config import Configuration
+from repro.core.policies import BatchSizePolicy
+from repro.core.wr import optimize_from_benchmark
+from repro.cudnn.device import Gpu
+from repro.cudnn.handle import CudnnHandle, ExecMode
+from repro.errors import DeadlineExceededError, ServiceOverloadedError, SolverError
+from repro.service.faults import ACTION_FAIL, ACTION_STALL, FaultInjector
+from repro.service.requests import PlanKey, PlanRequest, PlanResponse, ServiceStats
+from repro.service.store import PlanStore
+from repro.telemetry.clock import Clock, WallClock
+
+#: A solver: request in, ``(configuration, simulated solve seconds)`` out.
+SolveFn = Callable[[PlanRequest], "tuple[Configuration, float]"]
+
+
+@dataclass
+class PlanTicket:
+    """Handle for one admitted request (returned by :meth:`PlanService.submit`).
+
+    ``response`` is pre-filled for plan-store hits; otherwise ``future``
+    resolves to ``(configuration, solve_seconds)`` and ``source`` records
+    whether this ticket initiated the solve (``fresh``) or attached to one
+    (``coalesced``).  Every ticket must be passed to
+    :meth:`PlanService.wait` exactly once.
+    """
+
+    request: PlanRequest
+    key: PlanKey
+    source: str
+    submitted_at: float
+    future: "Future[tuple[Configuration, float]] | None" = None
+    response: PlanResponse | None = None
+
+
+class PlanService:
+    """Concurrent plan-compilation service fronting the WR optimizer.
+
+    Parameters
+    ----------
+    gpu:
+        GPU model served (one service per homogeneous device class, as the
+        paper's shared benchmark DB assumes).
+    capacity / ttl_s:
+        Plan-store bounds (see :class:`~repro.service.store.PlanStore`).
+    max_pending:
+        Admission limit: maximum simultaneously outstanding requests; the
+        next submission raises :class:`~repro.errors.ServiceOverloadedError`.
+    workers:
+        Worker-pool size for the threaded path.
+    fallback:
+        Whether timeouts/solver faults degrade to the ``undivided`` plan;
+        when ``False`` they raise instead.
+    clock:
+        Injectable clock for latency accounting and the wave path (a
+        :class:`~repro.telemetry.clock.ManualClock` makes waves
+        byte-deterministic).
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector`.
+    bench_cache:
+        Optional shared :class:`~repro.core.cache.BenchmarkCache` (may be
+        bounded); created unbounded when omitted.
+    solve_fn:
+        Override of the solver (tests inject spies/stalls here).  The
+        default benchmarks under the request's policy and runs the WR DP,
+        serialized on one internal lock -- the simulated device is a single
+        resource, which is exactly why a service layer must exist above it.
+    """
+
+    def __init__(
+        self,
+        gpu: str = "p100-sxm2",
+        *,
+        capacity: int | None = 256,
+        ttl_s: float | None = None,
+        max_pending: int = 64,
+        workers: int = 2,
+        fallback: bool = True,
+        clock: Clock | None = None,
+        faults: FaultInjector | None = None,
+        bench_cache: BenchmarkCache | None = None,
+        solve_fn: SolveFn | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.gpu_name = gpu
+        self.max_pending = max_pending
+        self.fallback_enabled = fallback
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.faults = faults
+        self.store = PlanStore(capacity=capacity, ttl_s=ttl_s, clock=self.clock)
+        self.stats = ServiceStats()
+        self._handle = CudnnHandle(gpu=Gpu.create(gpu), mode=ExecMode.TIMING)
+        self._bench_cache = (
+            bench_cache if bench_cache is not None else BenchmarkCache()
+        )
+        self._solve_fn: SolveFn = (
+            solve_fn if solve_fn is not None else self._default_solve
+        )
+        #: Owning lock for every mutable field below (and for ``stats``):
+        #: submissions, worker completions, and wave serving all cross it.
+        self._lock = threading.Lock()
+        #: Serializes actual solver work on the single simulated device.
+        self._solver_lock = threading.Lock()
+        self._inflight: dict[PlanKey, Future[tuple[Configuration, float]]] = {}
+        self._pending = 0
+        self._closed = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="plan-service"
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the worker pool down."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- solver rungs ----------------------------------------------------------
+
+    def _default_solve(self, request: PlanRequest) -> tuple[Configuration, float]:
+        """Benchmark + WR-optimize one kernel (the exact answer)."""
+        with self._solver_lock:
+            bench = benchmark_kernel(
+                self._handle, request.geometry, request.policy,
+                cache=self._bench_cache,
+            )
+            config = optimize_from_benchmark(
+                bench, request.workspace_limit, kernel=request.kernel
+            )
+        return config, bench.benchmark_time
+
+    def _fallback_solve(
+        self, request: PlanRequest
+    ) -> tuple[Configuration, float] | None:
+        """The ``undivided`` (plain-cuDNN) plan under the request's limit.
+
+        ``None`` when no algorithm fits the limit even undivided -- the one
+        case degradation cannot cover.
+        """
+        with self._solver_lock:
+            bench = benchmark_kernel(
+                self._handle, request.geometry, BatchSizePolicy.UNDIVIDED,
+                cache=self._bench_cache,
+            )
+        micro = bench.fastest_micro(request.geometry.n, request.workspace_limit)
+        if micro is None:
+            return None
+        with self._lock:
+            self.stats.fallback_solves += 1
+        if telemetry.enabled():
+            telemetry.count("service.fallback_solves",
+                            help="undivided fallback plans computed")
+        return Configuration((micro,)), bench.benchmark_time
+
+    def _execute(
+        self, request: PlanRequest, key: PlanKey
+    ) -> tuple[Configuration, float]:
+        """One solver invocation: fault gate, solve, store the plan.
+
+        Runs on a worker thread in the threaded path and inline in the wave
+        path.  Raises :class:`~repro.errors.SolverError` on an injected
+        failure; an injected stall sleeps (real seconds) here -- the wave
+        path handles stalls in simulated time instead and never calls this
+        with a stalling action pending.
+        """
+        action = self.faults.next_action() if self.faults is not None else "ok"
+        with self._lock:
+            self.stats.solver_invocations += 1
+        if telemetry.enabled():
+            telemetry.count("service.solver_invocations",
+                            help="solver invocations (coalescing dedups these)")
+        if action == ACTION_FAIL:
+            raise SolverError(f"injected solver failure for {key}")
+        if action == ACTION_STALL and self.faults is not None:
+            # Real stall: the solve takes stall_s longer than normal, which
+            # is what per-request deadlines exist to bound.
+            threading.Event().wait(self.faults.stall_s)
+        configuration, solve_seconds = self._solve_fn(request)
+        self.store.put(key, configuration)
+        return configuration, solve_seconds
+
+    # -- threaded path ---------------------------------------------------------
+
+    def submit(self, request: PlanRequest) -> PlanTicket:
+        """Admit one request: store hit, coalesce, or start a fresh solve.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when
+        ``max_pending`` requests are already outstanding.  The returned
+        ticket must be passed to :meth:`wait` exactly once (use
+        :meth:`request` for the submit+wait round trip).
+        """
+        key = request.key(self.gpu_name)
+        now = self.clock.now()
+        cached = self.store.get(key)
+        with self._lock:
+            if self._closed:
+                raise ServiceOverloadedError("plan service is closed")
+            if cached is not None:
+                self.stats.requests += 1
+                self.stats.cache_hits += 1
+                ticket = PlanTicket(
+                    request=request, key=key, source="cached", submitted_at=now,
+                    response=PlanResponse(
+                        kernel=request.kernel, key=key, configuration=cached,
+                        source="cached", client=request.client,
+                    ),
+                )
+                self._count_admission("cached")
+                return ticket
+            if self._pending >= self.max_pending:
+                self.stats.overloaded += 1
+                self._count_overload()
+                raise ServiceOverloadedError(
+                    f"plan service at admission limit "
+                    f"({self._pending}/{self.max_pending} pending)"
+                )
+            self.stats.requests += 1
+            self._pending += 1
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.stats.coalesced += 1
+                self._count_admission("coalesced")
+                return PlanTicket(request=request, key=key, source="coalesced",
+                                  submitted_at=now, future=inflight)
+            future: Future[tuple[Configuration, float]] = Future()
+            self._inflight[key] = future
+            self.stats.fresh += 1
+            self._count_admission("fresh")
+        self._executor.submit(self._run, request, key, future)
+        return PlanTicket(request=request, key=key, source="fresh",
+                          submitted_at=now, future=future)
+
+    def _run(
+        self,
+        request: PlanRequest,
+        key: PlanKey,
+        future: "Future[tuple[Configuration, float]]",
+    ) -> None:
+        """Worker body: execute the solve and publish its outcome."""
+        try:
+            outcome = self._execute(request, key)
+        except BaseException as exc:  # reprolint: disable=ERR001 -- thread boundary: the exception is re-raised to every waiter via the future
+            with self._lock:
+                self._inflight.pop(key, None)
+            future.set_exception(exc)
+            return
+        with self._lock:
+            self._inflight.pop(key, None)
+        future.set_result(outcome)
+
+    def wait(self, ticket: PlanTicket) -> PlanResponse:
+        """Resolve a ticket: exact plan, or walk the degradation ladder."""
+        if ticket.response is not None:
+            return ticket.response
+        assert ticket.future is not None
+        request = ticket.request
+        try:
+            configuration, solve_seconds = ticket.future.result(
+                timeout=request.deadline_s
+            )
+        except FutureTimeoutError:
+            return self._degrade(ticket, "timeout")
+        except SolverError:
+            return self._degrade(ticket, "solver_error")
+        finally:
+            with self._lock:
+                self._pending -= 1
+        latency = self.clock.now() - ticket.submitted_at
+        return self._served(ticket, configuration, ticket.source,
+                            solve_seconds, latency)
+
+    def request(self, request: PlanRequest) -> PlanResponse:
+        """Submit and wait: the blocking client call."""
+        with telemetry.span(
+            "service.request", kernel=request.kernel,
+            policy=request.policy.value,
+            workspace_limit=request.workspace_limit,
+        ) as tspan:
+            response = self.wait(self.submit(request))
+            tspan.set("source", response.source)
+        return response
+
+    def _degrade(self, ticket: PlanTicket, reason: str) -> PlanResponse:
+        """Timeout/fault rung: serve the undivided plan or raise."""
+        request = ticket.request
+        if telemetry.enabled():
+            telemetry.count(f"service.degraded.{reason}",
+                            help="requests degraded past the exact solve")
+        if not self.fallback_enabled:
+            with self._lock:
+                self.stats.deadline_errors += 1
+            if reason == "timeout":
+                raise DeadlineExceededError(
+                    f"plan for {ticket.key} missed its "
+                    f"{request.deadline_s} s deadline (fallback disabled)"
+                )
+            raise SolverError(
+                f"solver failed for {ticket.key} (fallback disabled)"
+            )
+        fallback = self._fallback_solve(request)
+        if fallback is None:
+            with self._lock:
+                self.stats.deadline_errors += 1
+            raise DeadlineExceededError(
+                f"plan for {ticket.key} degraded on {reason} and the "
+                f"undivided fallback does not fit "
+                f"{request.workspace_limit} B"
+            )
+        configuration, solve_seconds = fallback
+        with self._lock:
+            if reason == "timeout":
+                self.stats.fallbacks_timeout += 1
+            else:
+                self.stats.fallbacks_error += 1
+        latency = self.clock.now() - ticket.submitted_at
+        return self._served(ticket, configuration, "fallback", solve_seconds,
+                            latency, fallback_reason=reason)
+
+    def _served(
+        self,
+        ticket: PlanTicket,
+        configuration: Configuration,
+        source: str,
+        solve_seconds: float,
+        latency: float,
+        fallback_reason: str = "",
+    ) -> PlanResponse:
+        """Build the response and record its provenance."""
+        response = PlanResponse(
+            kernel=ticket.request.kernel, key=ticket.key,
+            configuration=configuration, source=source,
+            solve_seconds=solve_seconds, latency_s=latency,
+            fallback_reason=fallback_reason, client=ticket.request.client,
+        )
+        rec = observability.recorder()
+        if rec:
+            rec.record(
+                "service.served", kernel=ticket.request.kernel,
+                source=source, fallback_reason=fallback_reason,
+                workspace_limit=ticket.key.workspace_limit,
+                policy=ticket.key.policy, time=configuration.time,
+                workspace=configuration.workspace,
+            )
+        return response
+
+    # -- wave path (deterministic batch serving) -------------------------------
+
+    def wave(self) -> "PlanWave":
+        """A batch of simultaneously-arriving requests (see :class:`PlanWave`)."""
+        return PlanWave(self)
+
+    def _serve_wave(self, requests: list[PlanRequest]) -> list[PlanResponse]:
+        """Serve one admitted wave deterministically on the service clock.
+
+        Requests are processed in arrival order; within the wave, requests
+        sharing a key coalesce onto the first one's solve.  Solve durations
+        (simulated benchmark seconds, plus injected stalls) advance the
+        clock and become the waiters' latencies; a duration past a request's
+        deadline degrades exactly that request to the undivided fallback.
+        """
+        responses: list[PlanResponse | None] = [None] * len(requests)
+        groups: dict[PlanKey, list[int]] = {}
+        for index, request in enumerate(requests):
+            key = request.key(self.gpu_name)
+            cached = self.store.get(key)
+            if cached is not None and key not in groups:
+                with self._lock:
+                    self.stats.cache_hits += 1
+                ticket = PlanTicket(request=request, key=key, source="cached",
+                                    submitted_at=self.clock.now())
+                responses[index] = self._served(ticket, cached, "cached",
+                                                0.0, 0.0)
+            else:
+                groups.setdefault(key, []).append(index)
+        for key, indices in groups.items():
+            leader = requests[indices[0]]
+            action = (self.faults.next_action()
+                      if self.faults is not None else "ok")
+            with self._lock:
+                self.stats.solver_invocations += 1
+                self.stats.fresh += 1
+                self.stats.coalesced += len(indices) - 1
+            if telemetry.enabled():
+                telemetry.count("service.solver_invocations",
+                                help="solver invocations (coalescing dedups "
+                                     "these)")
+            failed = action == ACTION_FAIL
+            configuration: Configuration | None = None
+            duration = 0.0
+            solve_seconds = 0.0
+            if not failed:
+                configuration, solve_seconds = self._solve_fn(leader)
+                duration = solve_seconds
+                if action == ACTION_STALL and self.faults is not None:
+                    duration += self.faults.stall_s
+                self._advance(duration)
+                self.store.put(key, configuration)
+            fallback: tuple[Configuration, float] | None = None
+            for position, index in enumerate(indices):
+                request = requests[index]
+                source = "fresh" if position == 0 else "coalesced"
+                timed_out = (
+                    request.deadline_s is not None
+                    and duration > request.deadline_s
+                )
+                ticket = PlanTicket(request=request, key=key, source=source,
+                                    submitted_at=self.clock.now())
+                if failed or timed_out:
+                    reason = "solver_error" if failed else "timeout"
+                    if fallback is None:
+                        fallback = self._require_fallback(request, key, reason)
+                        self._advance(fallback[1])
+                    with self._lock:
+                        if failed:
+                            self.stats.fallbacks_error += 1
+                        else:
+                            self.stats.fallbacks_timeout += 1
+                    responses[index] = self._served(
+                        ticket, fallback[0], "fallback", fallback[1],
+                        duration + fallback[1], fallback_reason=reason,
+                    )
+                else:
+                    assert configuration is not None
+                    responses[index] = self._served(
+                        ticket, configuration, source, solve_seconds, duration
+                    )
+        return [r for r in responses if r is not None]
+
+    def _require_fallback(
+        self, request: PlanRequest, key: PlanKey, reason: str
+    ) -> tuple[Configuration, float]:
+        """The undivided plan, or the ladder's terminal error."""
+        if telemetry.enabled():
+            telemetry.count(f"service.degraded.{reason}",
+                            help="requests degraded past the exact solve")
+        if not self.fallback_enabled:
+            with self._lock:
+                self.stats.deadline_errors += 1
+            raise DeadlineExceededError(
+                f"plan for {key} degraded on {reason} (fallback disabled)"
+            )
+        fallback = self._fallback_solve(request)
+        if fallback is None:
+            with self._lock:
+                self.stats.deadline_errors += 1
+            raise DeadlineExceededError(
+                f"plan for {key} degraded on {reason} and the undivided "
+                f"fallback does not fit {request.workspace_limit} B"
+            )
+        return fallback
+
+    def _advance(self, seconds: float) -> None:
+        """Advance a manual clock by simulated work (no-op on wall clocks)."""
+        advance = getattr(self.clock, "advance", None)
+        if advance is not None and seconds > 0:
+            advance(seconds)
+
+    # -- accounting ------------------------------------------------------------
+
+    def _count_admission(self, source: str) -> None:
+        # Called under self._lock; telemetry instruments lock themselves.
+        if telemetry.enabled():
+            telemetry.count("service.requests", help="requests admitted")
+            telemetry.count(f"service.admitted.{source}",
+                            help="admissions by initial serving source")
+
+    def _count_overload(self) -> None:
+        if telemetry.enabled():
+            telemetry.count("service.overloaded",
+                            help="submissions refused by admission control")
+
+    @property
+    def pending(self) -> int:
+        """Currently outstanding (admitted, unresolved) requests."""
+        with self._lock:
+            return self._pending
+
+    def metrics_summary(self) -> dict[str, object]:
+        """Service + store counters in one JSON-safe mapping."""
+        with self._lock:
+            stats = self.stats.as_dict()
+        return {
+            "gpu": self.gpu_name,
+            "max_pending": self.max_pending,
+            "service": stats,
+            "store": self.store.snapshot(),
+            "bench_cache": {
+                "hits": self._bench_cache.hits,
+                "misses": self._bench_cache.misses,
+                "evictions": self._bench_cache.evictions,
+            },
+        }
+
+
+class PlanWave:  # reprolint: disable=THR001 -- a wave is thread-confined: built and served by the one client thread that created it
+    """One deterministic batch of simultaneously-arriving requests.
+
+    Usage (what the soak driver does each round)::
+
+        wave = service.wave()
+        for request in arriving:
+            wave.add(request)          # admission control happens here
+        responses = wave.serve()       # coalesced, deterministic serving
+
+    :meth:`add` raises :class:`~repro.errors.ServiceOverloadedError` for
+    every request past the service's ``max_pending`` -- over-limit requests
+    are refused individually, exactly like the threaded path's backpressure.
+    """
+
+    def __init__(self, service: PlanService) -> None:
+        self._service = service
+        self._requests: list[PlanRequest] = []
+        self._served = False
+
+    def add(self, request: PlanRequest) -> None:
+        service = self._service
+        with service._lock:
+            if len(self._requests) >= service.max_pending:
+                service.stats.overloaded += 1
+                service._count_overload()
+                raise ServiceOverloadedError(
+                    f"wave at admission limit "
+                    f"({len(self._requests)}/{service.max_pending})"
+                )
+            service.stats.requests += 1
+            if telemetry.enabled():
+                telemetry.count("service.requests", help="requests admitted")
+        self._requests.append(request)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def serve(self) -> list[PlanResponse]:
+        """Serve every admitted request; one call per wave."""
+        if self._served:
+            raise ServiceOverloadedError("wave already served")
+        self._served = True
+        with telemetry.span("service.wave", requests=len(self._requests)):
+            return self._service._serve_wave(self._requests)

@@ -1,0 +1,295 @@
+"""Deterministic closed-loop soak driver for the plan service.
+
+The driver replays ``clients`` synthetic clients for ``rounds`` rounds
+against one :class:`~repro.service.PlanService` running on a
+:class:`~repro.telemetry.clock.ManualClock`.  Each round every client
+submits one plan request -- kernel and workspace limit drawn from a private
+seeded RNG over a fixed network's convolution geometries -- as a
+:class:`~repro.service.plan_service.PlanWave`, so serving order, coalescing,
+fault schedule, and simulated latencies are all pure functions of the
+configuration.  Two runs of :func:`run_soak` with equal configs produce
+byte-identical :meth:`SoakReport.to_json` output; CI asserts on exactly
+that, plus the service's hard guarantees (no dropped requests, coalescing
+strictly cheaper than one-solve-per-request, fallbacks always valid).
+
+Nothing here touches the wall clock or the global RNG: throughput and
+latency percentiles are computed on the simulated clock, and percentile
+selection uses the deterministic nearest-rank method (no interpolation).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.core.cache import BenchmarkCache
+from repro.core.policies import BatchSizePolicy
+from repro.cudnn.descriptors import ConvGeometry
+from repro.errors import ServiceError, ServiceOverloadedError
+from repro.harness.tables import Table
+from repro.service.faults import FaultInjector
+from repro.service.plan_service import PlanService
+from repro.service.requests import PlanRequest, PlanResponse
+from repro.telemetry.clock import ManualClock
+from repro.units import MIB
+
+#: Percentiles reported by the driver (nearest-rank, deterministic).
+PERCENTILES = (50, 90, 99)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One reproducible soak run, fully specified.
+
+    ``clients`` may exceed ``max_pending``: the excess of every round is
+    *meant* to be refused by admission control and is counted under
+    ``overloaded`` (refusals are part of the contract, not failures).  The
+    ``errored`` count -- any other exception out of the service -- must be
+    zero for a healthy run, and the CI gate fails on it.
+    """
+
+    clients: int = 64
+    rounds: int = 4
+    seed: int = 0
+    gpu: str = "p100-sxm2"
+    network: str = "alexnet"
+    policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO
+    workspace_limits_mib: tuple[int, ...] = (8, 64)
+    deadline_s: float | None = None
+    max_pending: int = 64
+    capacity: int | None = 64
+    ttl_s: float | None = None
+    fail_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 5.0
+    bench_capacity: int | None = None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "clients": self.clients,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "gpu": self.gpu,
+            "network": self.network,
+            "policy": self.policy.value,
+            "workspace_limits_mib": list(self.workspace_limits_mib),
+            "deadline_s": self.deadline_s,
+            "max_pending": self.max_pending,
+            "capacity": -1 if self.capacity is None else self.capacity,
+            "ttl_s": self.ttl_s,
+            "fail_rate": self.fail_rate,
+            "stall_rate": self.stall_rate,
+            "stall_s": self.stall_s,
+        }
+
+
+@dataclass
+class SoakReport:
+    """Aggregate outcome of one soak run (JSON- and table-renderable)."""
+
+    config: dict[str, object]
+    kernels: int = 0
+    submitted: int = 0
+    admitted: int = 0
+    served: int = 0
+    overloaded: int = 0
+    errored: int = 0
+    dropped: int = 0
+    by_source: dict[str, int] = field(default_factory=dict)
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
+    solver_invocations: int = 0
+    latency_percentiles_s: dict[str, float] = field(default_factory=dict)
+    max_latency_s: float = 0.0
+    sim_elapsed_s: float = 0.0
+    throughput_rps: float = 0.0
+    service: dict[str, object] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """The CI gate: nothing errored, nothing silently dropped."""
+        return self.errored == 0 and self.dropped == 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "config": self.config,
+            "kernels": self.kernels,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "served": self.served,
+            "overloaded": self.overloaded,
+            "errored": self.errored,
+            "dropped": self.dropped,
+            "healthy": self.healthy,
+            "by_source": self.by_source,
+            "fallback_reasons": self.fallback_reasons,
+            "solver_invocations": self.solver_invocations,
+            "latency_percentiles_s": self.latency_percentiles_s,
+            "max_latency_s": self.max_latency_s,
+            "sim_elapsed_s": self.sim_elapsed_s,
+            "throughput_rps": self.throughput_rps,
+            "service": self.service,
+            "errors": self.errors,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization (byte-identical across equal runs)."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @property
+    def table(self) -> Table:
+        t = Table(
+            f"Plan-service soak: {self.config['clients']} clients x "
+            f"{self.config['rounds']} rounds on {self.config['network']} "
+            f"({self.kernels} kernels)",
+            ["metric", "value"],
+        )
+        t.add("submitted", self.submitted)
+        t.add("admitted", self.admitted)
+        t.add("served", self.served)
+        t.add("overloaded (refused)", self.overloaded)
+        t.add("errored", self.errored)
+        t.add("dropped", self.dropped)
+        for source in ("cached", "fresh", "coalesced", "fallback"):
+            t.add(f"served {source}", self.by_source.get(source, 0))
+        t.add("solver invocations", self.solver_invocations)
+        for name, value in self.latency_percentiles_s.items():
+            t.add(f"latency {name}", f"{value * 1000:.3f} ms")
+        t.add("max latency", f"{self.max_latency_s * 1000:.3f} ms")
+        t.add("sim elapsed", f"{self.sim_elapsed_s:.3f} s")
+        t.add("throughput", f"{self.throughput_rps:.1f} req/s")
+        return t
+
+
+def nearest_rank(sorted_values: list[float], percentile: int) -> float:
+    """Deterministic nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(percentile / 100 * len(sorted_values))
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank - 1))]
+
+
+def soak_geometries(config: SoakConfig) -> dict[str, ConvGeometry]:
+    """The kernel population the synthetic clients draw from."""
+    # Imported here: harness.experiments imports the model zoo, which the
+    # service layer itself must not depend on.
+    from repro.harness.experiments import (
+        PAPER_BATCHES, build_alexnet, build_densenet40, build_resnet18,
+        conv_geometries_of,
+    )
+
+    builders = {
+        "alexnet": (build_alexnet, PAPER_BATCHES["alexnet"]),
+        "resnet18": (build_resnet18, PAPER_BATCHES["resnet18"]),
+        "densenet40": (build_densenet40, PAPER_BATCHES["densenet40"]),
+    }
+    if config.network not in builders:
+        raise ValueError(
+            f"unknown soak network {config.network!r}; "
+            f"expected one of {sorted(builders)}"
+        )
+    builder, batch = builders[config.network]
+    return conv_geometries_of(builder, batch, config.gpu)
+
+
+def build_service(config: SoakConfig) -> PlanService:
+    """A service wired for deterministic soak (manual clock, seeded faults)."""
+    faults: FaultInjector | None = None
+    if config.fail_rate > 0 or config.stall_rate > 0:
+        faults = FaultInjector(
+            seed=config.seed, fail_rate=config.fail_rate,
+            stall_rate=config.stall_rate, stall_s=config.stall_s,
+        )
+    return PlanService(
+        config.gpu,
+        capacity=config.capacity,
+        ttl_s=config.ttl_s,
+        max_pending=config.max_pending,
+        fallback=True,
+        clock=ManualClock(),
+        faults=faults,
+        bench_cache=BenchmarkCache(capacity=config.bench_capacity),
+    )
+
+
+def run_soak(
+    config: SoakConfig, service: PlanService | None = None
+) -> SoakReport:
+    """Replay the closed-loop client population; aggregate the outcome.
+
+    A caller-provided ``service`` must use a manual clock for the report's
+    latency/throughput figures to be deterministic.
+    """
+    geometries = soak_geometries(config)
+    names = sorted(geometries)
+    owned = service is None
+    if service is None:
+        service = build_service(config)
+    rng = random.Random(config.seed)
+    report = SoakReport(config=dict(config.describe()), kernels=len(names))
+    latencies: list[float] = []
+    start = service.clock.now()
+    try:
+        for _ in range(config.rounds):
+            wave = service.wave()
+            for client in range(config.clients):
+                name = names[rng.randrange(len(names))]
+                limit_mib = config.workspace_limits_mib[
+                    rng.randrange(len(config.workspace_limits_mib))
+                ]
+                request = PlanRequest(
+                    kernel=name,
+                    geometry=geometries[name],
+                    policy=config.policy,
+                    workspace_limit=limit_mib * MIB,
+                    deadline_s=config.deadline_s,
+                    client=f"client-{client}",
+                )
+                report.submitted += 1
+                try:
+                    wave.add(request)
+                    report.admitted += 1
+                except ServiceOverloadedError:
+                    report.overloaded += 1
+            try:
+                responses = wave.serve()
+            except ServiceError as exc:
+                report.errored += len(wave)
+                report.errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            _tally(report, responses, latencies)
+    finally:
+        if owned:
+            service.close()
+    report.dropped = report.admitted - report.served - report.errored
+    report.sim_elapsed_s = service.clock.now() - start
+    if report.sim_elapsed_s > 0:
+        report.throughput_rps = report.served / report.sim_elapsed_s
+    latencies.sort()
+    for percentile in PERCENTILES:
+        report.latency_percentiles_s[f"p{percentile}"] = nearest_rank(
+            latencies, percentile
+        )
+    report.max_latency_s = latencies[-1] if latencies else 0.0
+    report.solver_invocations = service.stats.solver_invocations
+    report.service = service.metrics_summary()
+    return report
+
+
+def _tally(
+    report: SoakReport,
+    responses: list[PlanResponse],
+    latencies: list[float],
+) -> None:
+    for response in responses:
+        report.served += 1
+        report.by_source[response.source] = (
+            report.by_source.get(response.source, 0) + 1
+        )
+        if response.fallback_reason:
+            report.fallback_reasons[response.fallback_reason] = (
+                report.fallback_reasons.get(response.fallback_reason, 0) + 1
+            )
+        latencies.append(response.latency_s)

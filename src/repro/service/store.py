@@ -1,0 +1,126 @@
+"""Bounded LRU plan store with TTL (the service's in-memory answer cache).
+
+The paper caches optimized configurations in memory "to skip unnecessary
+recomputations"; a service fronting many clients additionally needs that
+cache *bounded* (a long-lived process must not grow without limit as clients
+sweep kernels and limits) and *expirable* (a TTL lets operators bound how
+stale a served plan can be, e.g. across driver or clock-model updates).
+
+Eviction is strict LRU over entry count; expiry is lazy -- an expired entry
+is discarded at lookup time and counted as an expiration, not a hit.  All
+reads of the clock happen through an injected
+:class:`~repro.telemetry.clock.Clock`, so TTL behavior is exactly testable
+with a :class:`~repro.telemetry.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import repro.telemetry as telemetry
+from repro.core.config import Configuration
+from repro.service.requests import PlanKey, StoreStats
+from repro.telemetry.clock import Clock, WallClock
+
+
+class PlanStore:
+    """Thread-safe bounded LRU mapping of :class:`PlanKey` to plans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored plans; ``None`` means unbounded.  When a
+        ``put`` would exceed it, the least-recently-*used* entry is evicted
+        (lookups refresh recency).
+    ttl_s:
+        Optional time-to-live in (clock) seconds; entries older than this at
+        lookup time are dropped and counted under ``expirations``.
+    clock:
+        Injectable time source; defaults to the wall clock.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        ttl_s: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0 or None, got {ttl_s}")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.clock: Clock = clock if clock is not None else WallClock()
+        #: Owning lock for all mutable state below; the store is shared by
+        #: the service's worker threads and every submitting client thread.
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[PlanKey, tuple[Configuration, float]]" = (
+            OrderedDict()
+        )
+        self.stats = StoreStats()
+
+    def get(self, key: PlanKey) -> Configuration | None:
+        """The stored plan, refreshing recency; ``None`` on miss/expiry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                result = None
+            else:
+                configuration, stored_at = entry
+                if (
+                    self.ttl_s is not None
+                    and self.clock.now() - stored_at > self.ttl_s
+                ):
+                    del self._entries[key]
+                    self.stats.expirations += 1
+                    self.stats.misses += 1
+                    result = None
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    result = configuration
+        if telemetry.enabled():
+            if result is None:
+                telemetry.count("service.store.misses",
+                                help="plan-store lookup misses (incl. expiry)")
+            else:
+                telemetry.count("service.store.hits", help="plan-store hits")
+        return result
+
+    def put(self, key: PlanKey, configuration: Configuration) -> None:
+        """Insert/refresh a plan, evicting the LRU entry when over capacity."""
+        evicted = 0
+        with self._lock:
+            self._entries[key] = (configuration, self.clock.now())
+            self._entries.move_to_end(key)
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                    evicted += 1
+        if evicted and telemetry.enabled():
+            telemetry.count("service.store.evictions", evicted,
+                            help="plans evicted from the bounded store")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters plus current size (for reports/metrics summaries)."""
+        with self._lock:
+            out = self.stats.as_dict()
+            out["size"] = len(self._entries)
+            out["capacity"] = -1 if self.capacity is None else self.capacity
+        return out

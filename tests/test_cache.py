@@ -174,3 +174,52 @@ class TestFileDB:
         key = cache.config_key("k80", make_geometry(), "all", 1, "wr")
         cache.put_configuration(key, ConvType.FORWARD, sample_config())
         assert len(cache) == 2
+
+
+class TestCapacity:
+    """Optional LRU bound on the in-memory cache (default: unlimited)."""
+
+    def test_unbounded_by_default(self):
+        cache = BenchmarkCache()
+        for n in range(1, 20):
+            cache.put_benchmark("k80", make_geometry(n=n), sample_results())
+        assert len(cache) == 19
+        assert cache.evictions == 0
+
+    def test_lru_eviction_across_both_stores(self):
+        cache = BenchmarkCache(capacity=2)
+        cache.put_benchmark("k80", make_geometry(n=2), sample_results())
+        key = cache.config_key("k80", make_geometry(), "all", 1, "wr")
+        cache.put_configuration(key, ConvType.FORWARD, sample_config())
+        # Touch the benchmark entry so the configuration is the LRU one.
+        assert cache.get_benchmark("k80", make_geometry(n=2)) is not None
+        cache.put_benchmark("k80", make_geometry(n=4), sample_results())
+        assert cache.evictions == 1
+        assert cache.get_configuration(key) is None  # evicted
+        assert cache.get_benchmark("k80", make_geometry(n=2)) is not None
+        assert cache.get_benchmark("k80", make_geometry(n=4)) is not None
+        assert len(cache) == 2
+
+    def test_lookups_refresh_recency(self):
+        cache = BenchmarkCache(capacity=2)
+        cache.put_benchmark("k80", make_geometry(n=2), sample_results())
+        cache.put_benchmark("k80", make_geometry(n=4), sample_results())
+        assert cache.get_benchmark("k80", make_geometry(n=2)) is not None
+        cache.put_benchmark("k80", make_geometry(n=8), sample_results())
+        # n=4 was least recently used; n=2 survived its refresh.
+        assert cache.get_benchmark("k80", make_geometry(n=4)) is None
+        assert cache.get_benchmark("k80", make_geometry(n=2)) is not None
+
+    def test_capacity_applies_on_load(self, tmp_path):
+        path = tmp_path / "bench.json"
+        full = BenchmarkCache(path)
+        for n in (2, 4, 8):
+            full.put_benchmark("k80", make_geometry(n=n), sample_results())
+        full.save()
+        bounded = BenchmarkCache(path, capacity=2)
+        assert len(bounded) == 2
+        assert bounded.evictions == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkCache(capacity=0)

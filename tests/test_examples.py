@@ -2,7 +2,7 @@
 
 The two numerics-heavy examples (quickstart, train_microbatched) are
 excluded here -- they multiply real tensors for tens of seconds and their
-logic is covered by the semantics tests; these five run the simulated
+logic is covered by the semantics tests; the rest run the simulated
 clock only and finish in about a second each.
 """
 
@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
      ["--policies", "undivided,powerOfTwo", "--workspaces", "64",
       "--iterations", "1"],
      "Summary"),
+    ("serve_plans.py", [], "clients never waited on a stalled solve"),
 ]
 
 

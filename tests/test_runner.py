@@ -38,7 +38,7 @@ class TestRunner:
     def test_registry_covers_every_paper_artifact(self):
         assert set(REGISTRY) == {
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "opt-cost", "ilp-stats", "sweep", "explain",
+            "fig14", "opt-cost", "ilp-stats", "sweep", "explain", "serve",
         }
 
     def test_summary_line_reports_cache_hits_and_misses(self, capsys):
@@ -141,6 +141,56 @@ class TestExplain:
         a.write_text("{}")
         assert main(["--diff", str(a), str(tmp_path / "missing.json")]) == 2
         assert "cannot read report" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_runs_and_prints_table(self, capsys):
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert "Plan-service soak" in out
+        assert "solver invocations" in out
+        assert "[serve" in out
+
+    def test_soak_writes_byte_deterministic_report(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["serve", "--soak", "--soak-report", str(a)]) == 0
+        assert main(["serve", "--soak", "--soak-report", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+        report = json.loads(a.read_text())
+        assert report["healthy"] is True
+        assert report["errored"] == 0 and report["dropped"] == 0
+        # Coalescing + the plan store: strictly fewer solves than requests.
+        assert 0 < report["solver_invocations"] < report["submitted"]
+        # The seeded fault schedule exercised both fallback rungs.
+        assert report["fallback_reasons"].get("timeout", 0) > 0
+        assert report["fallback_reasons"].get("solver_error", 0) > 0
+
+    def test_soak_summary_line_reports_evictions(self, capsys):
+        # The soak parameterization bounds its BenchmarkCache, so this is
+        # the runner path where the eviction count becomes visible.
+        assert main(["serve", "--soak"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted]" in out
+
+    def test_soak_flags_without_serve_experiment_fail(self, capsys, tmp_path):
+        assert main(["fig9", "--soak"]) == 1
+        assert "need the 'serve' experiment" in capsys.readouterr().err
+
+    def test_unhealthy_soak_exits_nonzero(self, capsys, monkeypatch):
+        from repro.harness import experiments as E
+
+        def unhealthy(soak=False, seed=0):
+            result = E.serve_plans(soak=soak, seed=seed)
+            result.report.errored = 1
+            result.report.errors.append("SolverError: injected")
+            return result
+
+        registry = dict(REGISTRY)
+        registry["serve"] = (unhealthy, registry["serve"][1])
+        monkeypatch.setattr("repro.harness.runner.REGISTRY", registry)
+        assert main(["serve"]) == 1
+        assert "[serve: UNHEALTHY" in capsys.readouterr().err
 
 
 class TestRunnerFailures:
