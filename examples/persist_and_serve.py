@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Persistence + wire: snapshot, warm-start, merge, and out-of-process plans.
+
+The paper keeps its benchmark results "in memory and in an optional file
+DB" so autotuning is paid once per cluster.  This demo walks the full
+production form of that idea on the simulated clock:
+
+1. a service solves plans for AlexNet kernels and snapshots its state to a
+   schema-versioned, byte-deterministic JSON file,
+2. a *fresh* service warm-starts from the snapshot and answers the same
+   questions with **zero** solver invocations,
+3. a snapshot from a second machine (different workspace limits) is merged
+   in under the ``keep-local`` conflict policy, with a merge report,
+4. a threaded socket server exposes the warm service to an out-of-process
+   client, which gets plans identical to the in-process answers.
+
+Run:  python examples/persist_and_serve.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.harness.experiments import (
+    PAPER_BATCHES,
+    build_alexnet,
+    conv_geometries_of,
+)
+from repro.persistence import (
+    load_snapshot,
+    merge_snapshots,
+    save_snapshot,
+    snapshot_service,
+    warm_start,
+)
+from repro.service import PlanRequest, PlanService
+from repro.telemetry.clock import ManualClock
+from repro.units import MIB
+from repro.wire import PlanClient, PlanServer
+
+GPU = "p100-sxm2"
+
+
+def solve_all(service, geoms, names, limit):
+    return [
+        service.request(PlanRequest(kernel=n, geometry=geoms[n],
+                                    workspace_limit=limit))
+        for n in names
+    ]
+
+
+def main() -> None:
+    geoms = conv_geometries_of(build_alexnet, PAPER_BATCHES["alexnet"], GPU)
+    names = sorted(geoms)[:4]
+    workdir = Path(tempfile.mkdtemp(prefix="repro-persist-"))
+    snapshot_path = workdir / "plans.json"
+
+    # 1. Solve cold, snapshot.
+    with PlanService(GPU, clock=ManualClock()) as service:
+        cold = solve_all(service, geoms, names, 64 * MIB)
+        print(f"cold service: {service.stats.solver_invocations} solves "
+              f"for {len(cold)} requests")
+        save_snapshot(snapshot_path, snapshot_service(service))
+    print(f"snapshot saved to {snapshot_path} "
+          f"({snapshot_path.stat().st_size} bytes)")
+
+    # 2. Warm-start a fresh service; same questions, no solver work.
+    with PlanService(GPU, clock=ManualClock()) as warm:
+        restored = warm_start(warm, load_snapshot(snapshot_path))
+        warm_answers = solve_all(warm, geoms, names, 64 * MIB)
+        same = all(a.configuration == b.configuration
+                   for a, b in zip(cold, warm_answers))
+        print(f"warm service: restored {restored} plans, answered "
+              f"{len(warm_answers)} requests with "
+              f"{warm.stats.solver_invocations} solver invocations "
+              f"(plans identical: {same})")
+
+        # 3. Merge a snapshot from a "second machine" (other limits).
+        with PlanService(GPU, clock=ManualClock()) as other:
+            solve_all(other, geoms, names, 8 * MIB)
+            other_doc = snapshot_service(other)
+        merged, report = merge_snapshots(
+            load_snapshot(snapshot_path), other_doc, policy="keep-local"
+        )
+        save_snapshot(snapshot_path, merged)
+        print(f"merge: +{report.plans_added} plans from the other machine, "
+              f"{len(report.conflicts)} conflicts "
+              f"({report.policy} policy)")
+
+        # 4. Serve the warm service over a localhost socket.
+        with PlanServer(warm) as server:
+            with PlanClient(server.host, server.port,
+                            timeout_s=30.0) as client:
+                info = client.ping()
+                response = client.plan(PlanRequest(
+                    kernel=names[0], geometry=geoms[names[0]],
+                    workspace_limit=64 * MIB, client="example"))
+                print(f"wire: server on {server.address} serves "
+                      f"{info['gpu']}; {names[0]} -> {response.source}, "
+                      f"plan identical to in-process: "
+                      f"{response.configuration == cold[0].configuration}")
+
+
+if __name__ == "__main__":
+    main()

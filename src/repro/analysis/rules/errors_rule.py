@@ -27,8 +27,10 @@ TAXONOMY = (
     "ReproError", "CudnnStatusError", "BadParamError", "NotSupportedError",
     "AllocFailedError", "ExecutionFailedError", "WorkspaceTooSmallError",
     "UcudnnError", "OptimizationError", "InfeasibleError", "SolverError",
-    "CacheError", "ServiceError", "ServiceOverloadedError",
-    "DeadlineExceededError", "FrameworkError", "ShapeError",
+    "CacheError", "PersistenceError", "SnapshotCorruptError",
+    "SnapshotVersionError", "MergeConflictError", "ServiceError",
+    "ServiceOverloadedError", "DeadlineExceededError", "WireError",
+    "WireProtocolError", "RemoteError", "FrameworkError", "ShapeError",
 )
 
 #: Precise builtins allowed in ordinary code (config key ``allowed``).

@@ -38,6 +38,65 @@ def _bench_key(gpu_name: str, geometry: ConvGeometry) -> str:
     return f"{gpu_name}|{geometry.cache_key()}"
 
 
+def _parse_bench_section(section: object, where: str) -> dict[str, list[PerfResult]]:
+    """Validate + decode the ``benchmarks`` section of a payload.
+
+    Malformed structure (wrong container types, rows missing fields,
+    unknown algorithm/conv-type codes) raises
+    :class:`~repro.errors.CacheError` naming the damaged key, instead of
+    leaking ``KeyError``/``TypeError``/``ValueError`` from half-parsed data.
+    """
+    if not isinstance(section, dict):
+        raise CacheError(
+            f"{where}: 'benchmarks' must be an object, "
+            f"got {type(section).__name__}"
+        )
+    bench: dict[str, list[PerfResult]] = {}
+    for key, rows in section.items():
+        try:
+            conv_type = ConvType(rows[0]["conv_type"]) if rows else ConvType.FORWARD
+            algo_enum = ALGOS_FOR[conv_type]
+            bench[key] = [
+                PerfResult(
+                    algo=algo_enum(r["algo"]),
+                    status=Status.SUCCESS,
+                    time=float(r["time"]),
+                    workspace=int(r["workspace"]),
+                )
+                for r in rows
+            ]
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise CacheError(
+                f"{where}: corrupt benchmark entry {key!r}: {exc}"
+            ) from exc
+    return bench
+
+
+def _parse_config_section(section: object, where: str) -> dict[str, dict]:
+    """Validate + copy the ``configurations`` section of a payload.
+
+    Each entry must round-trip through
+    :meth:`~repro.core.config.Configuration.from_dict` now, so a damaged
+    entry fails at load time with a :class:`~repro.errors.CacheError`
+    rather than at some later lookup deep inside an optimizer pass.
+    """
+    if not isinstance(section, dict):
+        raise CacheError(
+            f"{where}: 'configurations' must be an object, "
+            f"got {type(section).__name__}"
+        )
+    configs: dict[str, dict] = {}
+    for key, data in section.items():
+        try:
+            Configuration.from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CacheError(
+                f"{where}: corrupt configuration entry {key!r}: {exc}"
+            ) from exc
+        configs[key] = dict(data)
+    return configs
+
+
 class BenchmarkCache:
     """In-memory benchmark-result cache with optional file persistence.
 
@@ -228,23 +287,35 @@ class BenchmarkCache:
             self._dirty = False
         telemetry.count("cache.saves", help="benchmark DB persist operations")
 
+    def export_payload(self) -> dict:
+        """The persistable sections (a deep-enough copy, safe to serialize).
+
+        This is the schema the file DB and the plan-snapshot backend
+        (:mod:`repro.persistence`) share: ``benchmarks`` maps cache keys to
+        benchmark rows, ``configurations`` maps config keys to serialized
+        :class:`~repro.core.config.Configuration` dicts.
+        """
+        with self._lock:
+            return {
+                "benchmarks": {
+                    key: [
+                        {
+                            "conv_type": key.split("|", 1)[1].split(":", 1)[0],
+                            "algo": int(r.algo),
+                            "time": r.time,
+                            "workspace": r.workspace,
+                        }
+                        for r in results
+                    ]
+                    for key, results in self._bench.items()
+                },
+                "configurations": {
+                    key: dict(value) for key, value in self._configs.items()
+                },
+            }
+
     def _save(self) -> None:
-        payload = {
-            "version": _FORMAT_VERSION,
-            "benchmarks": {
-                key: [
-                    {
-                        "conv_type": key.split("|", 1)[1].split(":", 1)[0],
-                        "algo": int(r.algo),
-                        "time": r.time,
-                        "workspace": r.workspace,
-                    }
-                    for r in results
-                ]
-                for key, results in self._bench.items()
-            },
-            "configurations": self._configs,
-        }
+        payload = {"version": _FORMAT_VERSION, **self.export_payload()}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
@@ -261,35 +332,49 @@ class BenchmarkCache:
             raise
 
     def load(self) -> None:
-        """Load (replacing in-memory state) from :attr:`path`."""
+        """Load (replacing in-memory state) from :attr:`path`.
+
+        A file that cannot be read or parsed -- missing, empty, truncated
+        mid-document, or structurally malformed (sections of the wrong
+        type, benchmark rows missing fields) -- raises
+        :class:`~repro.errors.CacheError` with the offending path, never a
+        raw ``KeyError``/``TypeError`` traceback: a shared benchmark DB on
+        a network filesystem *will* eventually be half-written or damaged,
+        and the caller needs "the DB is corrupt" as a routable condition.
+        """
         if self.path is None:
             raise CacheError("cache has no backing file")
         try:
             with open(self.path) as fh:
-                payload = json.load(fh)
-        except (OSError, json.JSONDecodeError) as exc:
+                text = fh.read()
+        except OSError as exc:
             raise CacheError(f"cannot read benchmark DB {self.path}: {exc}") from exc
+        if not text.strip():
+            raise CacheError(f"benchmark DB {self.path} is empty")
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CacheError(
+                f"benchmark DB {self.path} is not valid JSON "
+                f"(truncated or corrupt?): {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CacheError(
+                f"benchmark DB {self.path} must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
         if payload.get("version") != _FORMAT_VERSION:
             raise CacheError(
                 f"benchmark DB {self.path} has version {payload.get('version')}, "
                 f"expected {_FORMAT_VERSION}"
             )
-        bench: dict[str, list[PerfResult]] = {}
-        for key, rows in payload.get("benchmarks", {}).items():
-            conv_type = ConvType(rows[0]["conv_type"]) if rows else ConvType.FORWARD
-            algo_enum = ALGOS_FOR[conv_type]
-            bench[key] = [
-                PerfResult(
-                    algo=algo_enum(r["algo"]),
-                    status=Status.SUCCESS,
-                    time=float(r["time"]),
-                    workspace=int(r["workspace"]),
-                )
-                for r in rows
-            ]
+        bench = _parse_bench_section(payload.get("benchmarks", {}), str(self.path))
+        configs = _parse_config_section(
+            payload.get("configurations", {}), str(self.path)
+        )
         with self._lock:
             self._bench = bench
-            self._configs = dict(payload.get("configurations", {}))
+            self._configs = configs
             self._recency = OrderedDict(
                 [(("bench", key), None) for key in self._bench]
                 + [(("config", key), None) for key in self._configs]
@@ -300,6 +385,48 @@ class BenchmarkCache:
             telemetry.count("cache.evictions", evicted,
                             help="entries dropped by the LRU capacity bound")
         telemetry.event("cache.load", path=str(self.path), entries=len(self))
+
+    def import_payload(
+        self, payload: dict, *, only_gpu: str | None = None
+    ) -> int:
+        """Merge a :meth:`export_payload`-shaped payload into this cache.
+
+        Existing entries always win (keep-local): benchmark rows are
+        deterministic per GPU model, so a key already measured locally needs
+        no replacement.  ``only_gpu`` restricts the import to entries whose
+        key's GPU prefix matches -- the isolation rule for snapshots merged
+        across heterogeneous fleets.  Returns the number of entries added;
+        malformed payloads raise :class:`~repro.errors.CacheError`.
+        """
+        bench = _parse_bench_section(payload.get("benchmarks", {}), "import")
+        configs = _parse_config_section(
+            payload.get("configurations", {}), "import"
+        )
+        added = 0
+        with self._lock:
+            for key, results in bench.items():
+                if only_gpu is not None and key.split("|", 1)[0] != only_gpu:
+                    continue
+                if key in self._bench:
+                    continue
+                self._bench[key] = results
+                self._recency[("bench", key)] = None
+                added += 1
+            for key, data in configs.items():
+                if only_gpu is not None and key.split("|", 1)[0] != only_gpu:
+                    continue
+                if key in self._configs:
+                    continue
+                self._configs[key] = data
+                self._recency[("config", key)] = None
+                added += 1
+            if added:
+                self._dirty = True
+            evicted = self._evict_over_capacity()
+        if evicted and telemetry.enabled():
+            telemetry.count("cache.evictions", evicted,
+                            help="entries dropped by the LRU capacity bound")
+        return added
 
     def __len__(self) -> int:
         return len(self._bench) + len(self._configs)

@@ -101,6 +101,36 @@ class CacheError(UcudnnError):
     """The benchmark/configuration cache is corrupt or unusable."""
 
 
+class PersistenceError(UcudnnError):
+    """Base class for errors in the persistent plan/benchmark store layer."""
+
+
+class SnapshotCorruptError(PersistenceError):
+    """A snapshot file is unreadable, truncated, or structurally invalid.
+
+    Raised instead of the raw ``KeyError``/``TypeError``/``JSONDecodeError``
+    a malformed document would otherwise produce, so operators can tell "the
+    snapshot is damaged" from "the loader has a bug".
+    """
+
+
+class SnapshotVersionError(PersistenceError):
+    """A snapshot's schema version is not the one this build reads.
+
+    Version rejection is explicit and loud: silently loading a future (or
+    ancient) schema could resurrect plans whose meaning has drifted.
+    """
+
+
+class MergeConflictError(PersistenceError):
+    """Snapshot merge found same-key-different-plan under policy ``error``.
+
+    The other policies (``keep-local``/``keep-newer``) resolve conflicts and
+    report them; ``error`` is for fleets that treat divergent plans for one
+    ``(gpu, kernel, policy, limit)`` key as a deployment bug.
+    """
+
+
 class ServiceError(UcudnnError):
     """Base class for errors raised by the plan-compilation service layer."""
 
@@ -122,6 +152,29 @@ class DeadlineExceededError(ServiceError):
     policy (plain-cuDNN semantics); this error is raised only when that
     fallback is disabled or itself infeasible, so callers never silently
     lose the deadline they asked for.
+    """
+
+
+class WireError(ServiceError):
+    """Base class for errors in the wire-protocol (out-of-process) layer."""
+
+
+class WireProtocolError(WireError):
+    """A frame or envelope violated the wire protocol.
+
+    Covers truncated frames, oversized length prefixes, undecodable JSON,
+    envelope version mismatches, and unknown request types -- everything
+    that means "the bytes on the socket are not a conversation this
+    protocol version can have".
+    """
+
+
+class RemoteError(WireError):
+    """A server-side failure whose type has no local wire mapping.
+
+    The wire protocol maps taxonomy errors back to their real classes; any
+    remaining server exception arrives as this type, carrying the remote
+    class name and message so nothing is silently swallowed.
     """
 
 

@@ -891,13 +891,19 @@ class ServeResult:
     """One deterministic plan-service soak run (report + rendered table)."""
 
     report: "SoakReport"
+    #: Plans restored from ``store_path`` before the run (0 = cold start).
+    warm_restored: int = 0
+    #: Snapshot file the run saved to ("" when persistence was off).
+    store_path: str = ""
 
     @property
     def table(self) -> Table:
         return self.report.table
 
 
-def serve_plans(soak: bool = False, seed: int = 0) -> ServeResult:
+def serve_plans(
+    soak: bool = False, seed: int = 0, store_path: str | None = None
+) -> ServeResult:
     """Exercise the plan service under a deterministic client population.
 
     The default parameterization is a quick demo (16 clients, no faults);
@@ -907,8 +913,19 @@ def serve_plans(soak: bool = False, seed: int = 0) -> ServeResult:
     solve, timeout fallback, fault fallback) is exercised.  Both run on a
     :class:`~repro.telemetry.clock.ManualClock`: two runs with equal
     arguments produce byte-identical report JSON.
+
+    ``store_path`` turns on persistence: an existing snapshot there
+    warm-starts the service before the run (a rerun of the same
+    configuration then needs **zero** solver invocations -- the CI
+    ``--expect-warm`` gate), and the final state is saved back atomically.
+    Because the snapshot schema is byte-deterministic and the run is
+    clock-deterministic, save -> warm-start -> re-save reproduces the file
+    byte for byte.
     """
-    from repro.service import SoakConfig, run_soak
+    from repro.persistence import (
+        load_snapshot, save_snapshot, snapshot_service, warm_start,
+    )
+    from repro.service import SoakConfig, build_service, run_soak
 
     if soak:
         # Rates chosen so the seeded schedule exercises *both* fallback
@@ -920,4 +937,82 @@ def serve_plans(soak: bool = False, seed: int = 0) -> ServeResult:
         )
     else:
         config = SoakConfig(clients=16, rounds=3, seed=seed, max_pending=64)
-    return ServeResult(report=run_soak(config))
+    if store_path is None:
+        return ServeResult(report=run_soak(config))
+    import os
+
+    service = build_service(config)
+    try:
+        restored = 0
+        if os.path.exists(store_path):
+            restored = warm_start(service, load_snapshot(store_path))
+        report = run_soak(config, service=service)
+        save_snapshot(store_path, snapshot_service(service))
+    finally:
+        service.close()
+    return ServeResult(
+        report=report, warm_restored=restored, store_path=store_path
+    )
+
+
+# -- wire client ("client") ----------------------------------------------------
+
+
+@dataclass
+class ClientResult:
+    """One out-of-process client session against a running plan server."""
+
+    server: dict
+    responses: list = field(default_factory=list)
+    wire: dict = field(default_factory=dict)
+
+    @property
+    def table(self) -> Table:
+        t = Table(
+            f"Wire client vs plan server (gpu {self.server.get('gpu', '?')}, "
+            f"wire v{self.server.get('v', '?')})",
+            ["kernel", "limit", "source", "micro-batches"],
+        )
+        for response in self.responses:
+            t.add(
+                response.kernel,
+                format_bytes(response.key.workspace_limit),
+                response.source,
+                "+".join(str(m.micro_batch)
+                         for m in response.configuration.micros),
+            )
+        return t
+
+
+def client_plans(connect: str, count: int = 8) -> ClientResult:
+    """Solve AlexNet plan requests against an out-of-process plan server.
+
+    Connects to ``connect`` (``HOST:PORT``, e.g. from
+    ``python -m repro.harness.runner serve --listen ...``), asks the server
+    which GPU it serves, and requests plans for the first ``count`` AlexNet
+    kernels (workspace limits alternating over the paper's 8/64 MiB) --
+    deterministic, so CI can compare the answers against an in-process
+    solve of the same requests.
+    """
+    from repro.service.requests import PlanRequest
+    from repro.wire import PlanClient, parse_address
+
+    host, port = parse_address(connect)
+    with PlanClient(host, port, timeout_s=60.0) as client:
+        server = client.ping()
+        geometries = conv_geometries_of(
+            build_alexnet, PAPER_BATCHES["alexnet"], str(server["gpu"])
+        )
+        names = sorted(geometries)[:count]
+        responses = [
+            client.plan(PlanRequest(
+                kernel=name,
+                geometry=geometries[name],
+                policy=BatchSizePolicy.POWER_OF_TWO,
+                workspace_limit=PAPER_WORKSPACES_MIB[index % 2] * MIB,
+                client="runner-client",
+            ))
+            for index, name in enumerate(names)
+        ]
+        wire = client.stats().get("wire", {})
+    return ClientResult(server=server, responses=responses, wire=wire)

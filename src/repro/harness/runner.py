@@ -11,6 +11,10 @@ benchmark suite asserts on.  Useful for eyeballing a single figure quickly::
         --explain-html out/run.html
     python -m repro.harness.runner explain --diff a.json b.json
     python -m repro.harness.runner serve --soak --soak-report out/soak.json
+    python -m repro.harness.runner serve --store out/plans.json --expect-warm
+    python -m repro.harness.runner serve --listen 127.0.0.1:7070 \\
+        --store out/plans.json
+    python -m repro.harness.runner client --connect 127.0.0.1:7070
 
 ``--profile FILE.json`` writes a Chrome-trace (``chrome://tracing`` /
 Perfetto) profile of the run; ``--metrics`` prints the telemetry counters
@@ -21,6 +25,12 @@ prints the configuration drift.  The ``serve`` experiment drives the plan
 service with a deterministic client population; ``--soak`` scales it to the
 CI gate (64 clients, injected faults) and fails the run on any dropped or
 errored request, and ``--soak-report`` writes the byte-stable report JSON.
+``--store FILE.json`` makes ``serve`` persistent: warm-start from the
+snapshot when it exists, save back to it at the end (``--expect-warm``
+fails the run unless the warm store answered everything with zero solver
+invocations).  ``serve --listen HOST:PORT`` serves the plan service to
+out-of-process clients over the wire protocol until SIGINT/SIGTERM; the
+``client`` experiment (``--connect HOST:PORT``) is its counterpart.
 Output-path parent directories are created on demand.  A failing experiment no longer aborts the whole run: its
 traceback goes to stderr, the remaining experiments still run, and the exit
 status is non-zero.
@@ -68,7 +78,16 @@ REGISTRY = {
                 "decision provenance: why each kernel got its configuration"),
     "serve": (E.serve_plans,
               "plan service under a deterministic client population"),
+    "client": (E.client_plans,
+               "wire client against a running plan server (--connect)"),
 }
+
+#: Persistence/wire counters surfaced in the per-experiment summary line.
+PERSISTENCE_METRICS = (
+    "persistence.snapshot.saves", "persistence.snapshot.loads",
+    "persistence.warm.keys", "persistence.warm.hits",
+    "persistence.merge.keys", "persistence.merge.conflicts",
+)
 
 
 def _prepare_output(path: str) -> str:
@@ -117,6 +136,63 @@ def _run_diff(path_a: str, path_b: str) -> int:
     return 0
 
 
+def _run_server(args: argparse.Namespace) -> int:
+    """``serve --listen HOST:PORT``: serve plans to wire clients until killed.
+
+    SIGINT/SIGTERM stop the server cleanly: the store is flushed to its
+    snapshot file (when ``--store`` is set) and the exit status is 0, so
+    process supervisors and the CI job can ``kill`` it without losing state.
+    """
+    import signal
+    import threading
+
+    from repro.core.cache import BenchmarkCache
+    from repro.errors import ReproError
+    from repro.persistence import PersistentPlanStore
+    from repro.service import PlanService
+    from repro.wire import PlanServer, parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except ReproError as exc:
+        print(f"bad --listen address: {exc}", file=sys.stderr)
+        return 2
+    bench = BenchmarkCache()
+    store = None
+    if args.store:
+        try:
+            _prepare_output(args.store)
+            store = PersistentPlanStore(args.store, gpu=args.gpu,
+                                        bench_cache=bench)
+        except (OSError, ReproError) as exc:
+            print(f"cannot open plan store {args.store}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if store.loaded_plans:
+            print(f"[warm-started {store.loaded_plans} plans "
+                  f"(+{store.loaded_bench_rows} bench rows) from {args.store}]")
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda _sig, _frame: stop.set())
+    service = PlanService(args.gpu, store=store, bench_cache=bench)
+    try:
+        with PlanServer(service, host, port,
+                        snapshot_path=args.store) as server:
+            print(f"[serving {args.gpu} plans on {server.address}; "
+                  "SIGINT/SIGTERM to stop]", flush=True)
+            stop.wait()
+            if store is not None:
+                store.save()
+                print(f"[plan store saved to {args.store}]")
+            stats = server.stats.as_dict()
+    finally:
+        service.close()
+    print(f"[server stopped: {stats['requests']} requests over "
+          f"{stats['connections']} connections, {stats['errors']} errors, "
+          f"{stats['bytes_in']}B in / {stats['bytes_out']}B out]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness.runner", description=__doc__,
@@ -150,10 +226,32 @@ def main(argv: list[str] | None = None) -> int:
                              "errored request")
     parser.add_argument("--soak-report", metavar="FILE.json", default=None,
                         help="write the serve/soak report as stable JSON")
+    parser.add_argument("--store", metavar="FILE.json", default=None,
+                        help="snapshot file for 'serve': warm-start from it "
+                             "when present, save back to it at the end")
+    parser.add_argument("--expect-warm", action="store_true",
+                        help="fail unless 'serve' answered everything from "
+                             "the warm-started store (0 solver invocations)")
+    parser.add_argument("--listen", metavar="HOST:PORT", default=None,
+                        help="with 'serve': expose the service to wire "
+                             "clients instead of running the soak driver "
+                             "(port 0 picks a free port)")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="plan server address for the 'client' experiment")
+    parser.add_argument("--gpu", default="p100-sxm2",
+                        help="GPU model served by --listen (default p100-sxm2)")
     args = parser.parse_args(argv)
 
     if args.diff is not None:
         return _run_diff(*args.diff)
+
+    if args.listen is not None:
+        if args.experiments != ["serve"]:
+            print("--listen runs the 'serve' experiment as a server; invoke "
+                  "as: serve --listen HOST:PORT [--store FILE.json]",
+                  file=sys.stderr)
+            return 2
+        return _run_server(args)
 
     if args.list or not args.experiments:
         width = max(len(k) for k in REGISTRY)
@@ -168,6 +266,11 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    if "client" in wanted and args.connect is None:
+        print("the 'client' experiment needs --connect HOST:PORT",
+              file=sys.stderr)
+        return 2
+
     failed: list[str] = []
     explain_result = None
     serve_result = None
@@ -179,7 +282,7 @@ def main(argv: list[str] | None = None) -> int:
                 name: metrics.value(name, 0)
                 for name in ("cache.bench.hits", "cache.bench.misses",
                              "cache.config.hits", "cache.config.misses",
-                             "cache.evictions")
+                             "cache.evictions") + PERSISTENCE_METRICS
             }
             start = time.perf_counter()
             with telemetry.span("experiment", id=key, description=desc) as espan:
@@ -190,8 +293,10 @@ def main(argv: list[str] | None = None) -> int:
                         )
                         explain_result = result
                     elif key == "serve":
-                        result = fn(soak=args.soak)
+                        result = fn(soak=args.soak, store_path=args.store)
                         serve_result = result
+                    elif key == "client":
+                        result = fn(connect=args.connect)
                     else:
                         result = fn()
                 except Exception:  # reprolint: disable=ERR001 -- isolation boundary: report the failing experiment, run the rest
@@ -218,7 +323,18 @@ def main(argv: list[str] | None = None) -> int:
                 evicted = f", {ev} evicted" if ev else ""
                 print(f"[{key}: {elapsed:.1f}s | "
                       f"cache: {bh + ch} hits, {bm + cm} misses "
-                      f"(bench {bh}/{bm}, config {ch}/{cm}){evicted}]\n")
+                      f"(bench {bh}/{bm}, config {ch}/{cm}){evicted}]")
+                saves, loads, wkeys, whits, mkeys, mconf = (
+                    int(metrics.value(name, 0) - counts0[name])
+                    for name in PERSISTENCE_METRICS
+                )
+                # Persistence is opt-in (--store / merges); the line only
+                # appears when the experiment actually touched a snapshot.
+                if saves or loads or wkeys or whits or mkeys or mconf:
+                    print(f"[{key} persistence: {saves} saved, {loads} "
+                          f"loaded, {wkeys} warm keys, {whits} warm hits, "
+                          f"{mkeys} merged, {mconf} conflicts]")
+                print()
     ok = True
     if explain_result is not None:
         if args.explain_json:
@@ -240,9 +356,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[serve: UNHEALTHY -- {report.errored} errored, "
                   f"{report.dropped} dropped]", file=sys.stderr)
             ok = False
-    elif args.soak or args.soak_report:
-        print("--soak/--soak-report need the 'serve' experiment to have run",
-              file=sys.stderr)
+        if args.expect_warm:
+            if report.solver_invocations == 0 and serve_result.warm_restored:
+                print(f"[serve: fully warm -- {serve_result.warm_restored} "
+                      "restored plans, 0 solver invocations]")
+            else:
+                print(f"[serve: NOT WARM -- {report.solver_invocations} "
+                      f"solver invocations after restoring "
+                      f"{serve_result.warm_restored} plans]", file=sys.stderr)
+                ok = False
+    elif args.soak or args.soak_report or args.expect_warm:
+        print("--soak/--soak-report/--expect-warm need the 'serve' "
+              "experiment to have run", file=sys.stderr)
         ok = False
     if args.profile:
         try:

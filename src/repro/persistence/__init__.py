@@ -1,0 +1,55 @@
+"""Persistent plan store: snapshots, merging, and warm-start.
+
+The paper's benchmark DB makes autotuning a once-per-cluster cost; this
+package makes the plan service's answers a once-per-*fleet* cost:
+
+* :mod:`~repro.persistence.snapshot` -- schema-versioned, byte-deterministic
+  snapshot documents with atomic file save/load,
+* :mod:`~repro.persistence.merge` -- combining snapshots from different
+  machines under an explicit conflict policy, with a merge report,
+* :func:`warm_start` -- restoring a snapshot into a fresh
+  :class:`~repro.service.PlanService` (GPU-filtered),
+* :class:`PersistentPlanStore` -- a write-through store that keeps its
+  snapshot file current as plans are solved.
+
+See also :mod:`repro.wire`, which serves a (persistently backed) service to
+out-of-process clients.
+"""
+
+from repro.persistence.merge import (
+    MERGE_POLICIES,
+    MergeReport,
+    merge_snapshots,
+)
+from repro.persistence.snapshot import (
+    SNAPSHOT_KIND,
+    SNAPSHOT_SCHEMA_VERSION,
+    canonical_gpu,
+    load_snapshot,
+    plans_of,
+    save_snapshot,
+    snapshot_service,
+    snapshot_store,
+    to_json,
+    validate_snapshot,
+)
+from repro.persistence.store import PersistentPlanStore
+from repro.persistence.warm import warm_start
+
+__all__ = [
+    "MERGE_POLICIES",
+    "MergeReport",
+    "PersistentPlanStore",
+    "SNAPSHOT_KIND",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "canonical_gpu",
+    "load_snapshot",
+    "merge_snapshots",
+    "plans_of",
+    "save_snapshot",
+    "snapshot_service",
+    "snapshot_store",
+    "to_json",
+    "validate_snapshot",
+    "warm_start",
+]

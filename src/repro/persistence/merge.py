@@ -1,0 +1,159 @@
+"""Merging plan snapshots from different machines with explicit policy.
+
+The paper's benchmark DB pays the autotuning cost "once per cluster": many
+hosts solve, one combined store serves.  Combining is where disagreement
+surfaces -- two machines can legitimately answer the same :class:`PlanKey`
+differently (different driver/clock-model revisions, a fault-degraded run,
+skew between library builds).  This module refuses to pick silently: the
+caller names a :class:`MergePolicy` and gets back a :class:`MergeReport`
+enumerating every decision the merge made.
+
+Conflict = same plan key, different configuration payload.  Policies:
+
+``keep-local``
+    The local document's plan wins every conflict.  The safe default for
+    importing a foreign snapshot into a serving store.
+``keep-newer``
+    The entry with the larger ``stored_at`` wins; ties keep local.  Use
+    when both documents come from the same (logical) clock domain.
+``error``
+    Any conflict raises :class:`~repro.errors.MergeConflictError` naming
+    the first conflicting key.  Use in CI to assert two runs agree.
+
+Benchmark sections carry no timestamps, so under every non-``error`` policy
+a bench conflict keeps the local row (and is still counted in the report).
+Keys present only in the incoming document are always imported -- merging
+is how a fleet's coverage becomes the union of its members'.
+
+GPU isolation note: plan keys and bench keys are already GPU-qualified, so
+merging a snapshot from a different :class:`GpuSpec` adds entries that can
+never answer this machine's requests; warm-start filtering (see
+:func:`repro.persistence.warm_start`) keeps them out of a live service.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+
+import repro.telemetry as telemetry
+from repro.errors import MergeConflictError
+from repro.persistence.snapshot import validate_snapshot
+
+#: The recognised conflict policies, in documentation order.
+MERGE_POLICIES = ("keep-local", "keep-newer", "error")
+
+
+@dataclass
+class MergeReport:
+    """Every decision one merge made, suitable for logs and tests."""
+
+    policy: str
+    plans_added: int = 0
+    plans_kept_local: int = 0
+    plans_replaced: int = 0
+    #: Plan keys that conflicted (same key, different configuration),
+    #: sorted; present regardless of which side won.
+    conflicts: list[str] = field(default_factory=list)
+    bench_added: int = 0
+    bench_conflicts: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "plans_added": self.plans_added,
+            "plans_kept_local": self.plans_kept_local,
+            "plans_replaced": self.plans_replaced,
+            "conflicts": list(self.conflicts),
+            "bench_added": self.bench_added,
+            "bench_conflicts": self.bench_conflicts,
+        }
+
+
+def _same_payload(a: object, b: object) -> bool:
+    """Structural equality via canonical JSON (dict order must not matter)."""
+    return (
+        json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    )
+
+
+def merge_snapshots(
+    local: dict, incoming: dict, policy: str = "keep-local"
+) -> tuple[dict, MergeReport]:
+    """Merge ``incoming`` into ``local``; returns ``(document, report)``.
+
+    Neither input is mutated.  The result keeps the local document's
+    ``gpu`` and ``meta`` (it remains *this* machine's snapshot, now with
+    imported coverage) and is itself a valid snapshot document.
+    """
+    if policy not in MERGE_POLICIES:
+        raise MergeConflictError(
+            f"unknown merge policy {policy!r}; expected one of "
+            f"{', '.join(MERGE_POLICIES)}"
+        )
+    validate_snapshot(local, "merge: local")
+    validate_snapshot(incoming, "merge: incoming")
+
+    report = MergeReport(policy=policy)
+    merged = copy.deepcopy(local)
+    plans = merged["plans"]
+
+    incoming_plans = incoming["plans"]
+    for name in sorted(incoming_plans):
+        theirs = incoming_plans[name]
+        ours = plans.get(name)
+        if ours is None:
+            plans[name] = copy.deepcopy(theirs)
+            report.plans_added += 1
+            continue
+        if _same_payload(ours["configuration"], theirs["configuration"]):
+            # Agreement is not a conflict; local entry (and its age) stays.
+            report.plans_kept_local += 1
+            continue
+        report.conflicts.append(name)
+        if policy == "error":
+            raise MergeConflictError(
+                f"merge conflict on plan key {name!r}: local and incoming "
+                "configurations differ (policy 'error')"
+            )
+        if policy == "keep-newer" and theirs["stored_at"] > ours["stored_at"]:
+            plans[name] = copy.deepcopy(theirs)
+            report.plans_replaced += 1
+        else:
+            report.plans_kept_local += 1
+
+    for section in ("benchmarks", "configurations"):
+        ours_section = merged["bench"][section]
+        theirs_section = incoming["bench"][section]
+        for name in sorted(theirs_section):
+            if name not in ours_section:
+                ours_section[name] = copy.deepcopy(theirs_section[name])
+                report.bench_added += 1
+            elif not _same_payload(ours_section[name], theirs_section[name]):
+                report.bench_conflicts += 1
+                if policy == "error":
+                    raise MergeConflictError(
+                        f"merge conflict on bench {section} key {name!r}: "
+                        "local and incoming rows differ (policy 'error')"
+                    )
+                # Bench rows carry no timestamp to arbitrate with; local
+                # stays under both keep-local and keep-newer.
+
+    if report.plans_added or report.bench_added:
+        telemetry.count(
+            "persistence.merge.keys",
+            report.plans_added + report.bench_added,
+            help="snapshot entries imported by merges",
+        )
+    if report.conflicts or report.bench_conflicts:
+        telemetry.count(
+            "persistence.merge.conflicts",
+            len(report.conflicts) + report.bench_conflicts,
+            help="same-key-different-payload collisions seen by merges",
+        )
+    telemetry.event(
+        "persistence.merge", policy=policy,
+        added=report.plans_added, conflicts=len(report.conflicts),
+    )
+    return merged, report

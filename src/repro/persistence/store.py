@@ -1,0 +1,135 @@
+"""A plan store that writes through to a snapshot file on disk.
+
+:class:`PersistentPlanStore` is a drop-in :class:`~repro.service.PlanStore`
+(inject it into :class:`~repro.service.PlanService` via its ``store``
+parameter) that additionally
+
+* **warm-loads** from its snapshot file at construction, when one exists
+  (GPU-filtered, so a merged multi-machine snapshot is safe to point at),
+  and
+* **writes through**: every ``sync_every``-th :meth:`put` re-saves the
+  snapshot atomically, so a crash loses at most ``sync_every - 1`` solves.
+
+The file write happens under a dedicated sync lock, *outside* the store's
+entry lock -- lookups and inserts from other service threads never block
+behind the disk.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+import repro.telemetry as telemetry
+from repro.core.cache import BenchmarkCache
+from repro.core.config import Configuration
+from repro.persistence.snapshot import (
+    canonical_gpu,
+    load_snapshot,
+    plans_of,
+    save_snapshot,
+    snapshot_store,
+)
+from repro.service.requests import PlanKey
+from repro.service.store import PlanStore
+from repro.telemetry.clock import Clock
+
+
+class PersistentPlanStore(PlanStore):
+    """A bounded LRU plan store backed by a snapshot file.
+
+    Parameters
+    ----------
+    path:
+        Snapshot file location.  Loaded at construction when present
+        (corrupt or wrong-version files raise the usual taxonomy errors --
+        refusing to serve from damage beats serving silently cold).
+    gpu:
+        This store's GPU model name; snapshot entries keyed to any other
+        model are skipped on load and the saved document is stamped with
+        this value.
+    bench_cache:
+        Optional benchmark cache snapshotted alongside the plans (and
+        warm-loaded from the file's ``bench`` section).
+    sync_every:
+        Save after every N-th ``put`` (default 1 = every insert).  Raise
+        it when insert rates make per-put saves too expensive; call
+        :meth:`save` at shutdown to flush the remainder.
+    capacity / ttl_s / clock:
+        As for :class:`~repro.service.PlanStore`.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        gpu: str,
+        capacity: int | None = None,
+        ttl_s: float | None = None,
+        clock: Clock | None = None,
+        bench_cache: BenchmarkCache | None = None,
+        sync_every: int = 1,
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1, got {sync_every}")
+        super().__init__(capacity=capacity, ttl_s=ttl_s, clock=clock)
+        self.path = Path(path)
+        self.gpu = gpu
+        self.bench_cache = bench_cache
+        self.sync_every = sync_every
+        self._meta = {str(k): v for k, v in sorted((meta or {}).items())}
+        #: Owning lock for the write-through counter and all file writes.
+        self._sync_lock = threading.Lock()
+        self._unsynced = 0
+        #: Plans warm-loaded from ``path`` at construction (0 if no file).
+        self.loaded_plans = 0
+        self.loaded_bench_rows = 0
+        if self.path.exists():
+            document = load_snapshot(self.path)
+            restored = 0
+            for key, configuration, stored_at in plans_of(document):
+                if key.gpu != gpu:
+                    continue
+                self.restore(key, configuration, stored_at)
+                restored += 1
+            self.loaded_plans = restored
+            if bench_cache is not None:
+                self.loaded_bench_rows = bench_cache.import_payload(
+                    document["bench"], only_gpu=canonical_gpu(gpu)
+                )
+            if restored:
+                telemetry.count(
+                    "persistence.warm.keys", restored,
+                    help="plans restored into stores from snapshots",
+                )
+
+    def put(self, key: PlanKey, configuration: Configuration) -> None:
+        """Insert a plan, then write through per the ``sync_every`` cadence."""
+        super().put(key, configuration)
+        with self._sync_lock:
+            self._unsynced += 1
+            due = self._unsynced >= self.sync_every
+            if due:
+                self._save_locked()
+                self._unsynced = 0
+
+    def restore(
+        self, key: PlanKey, configuration: Configuration, stored_at: float
+    ) -> None:
+        # Restores come *from* the file; re-saving for each would rewrite
+        # the snapshot N times during warm-load for no new information.
+        super().restore(key, configuration, stored_at)
+
+    def save(self) -> Path:
+        """Force a snapshot write now (shutdown flush, pre-copy barrier)."""
+        with self._sync_lock:
+            self._unsynced = 0
+            return self._save_locked()
+
+    def _save_locked(self) -> Path:
+        """Write the snapshot; caller holds ``_sync_lock`` (single writer)."""
+        document = snapshot_store(
+            self, self.gpu, bench_cache=self.bench_cache, meta=self._meta
+        )
+        return save_snapshot(self.path, document)

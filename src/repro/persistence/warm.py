@@ -1,0 +1,50 @@
+"""Warm-starting a fresh plan service from a snapshot document.
+
+A warm-started service answers every previously-seen plan question from
+the restored store -- zero solver invocations, the paper's "reuse the
+benchmark DB" property carried across process restarts.  Restoration is
+GPU-filtered: entries keyed to a different :class:`GpuSpec` are skipped
+(their plans were optimized against a different device model and must
+never be served here), which is what makes it safe to warm-start from a
+merged multi-machine snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import repro.telemetry as telemetry
+from repro.persistence.snapshot import canonical_gpu, plans_of, validate_snapshot
+
+if TYPE_CHECKING:
+    from repro.service.plan_service import PlanService
+
+
+def warm_start(service: "PlanService", document: dict) -> int:
+    """Restore a snapshot into a service; returns the number of plans kept.
+
+    Only plans (and benchmark rows) keyed to the service's own GPU model
+    are restored; restored plans keep their original ``stored_at`` so the
+    store's TTL policy sees their true age.  Returns the count of restored
+    *plans* -- the number the CI zero-cold-solve gate divides by.
+    """
+    validate_snapshot(document, "warm-start")
+    restored = 0
+    skipped = 0
+    for key, configuration, stored_at in plans_of(document):
+        if key.gpu != service.gpu_name:
+            skipped += 1
+            continue
+        service.store.restore(key, configuration, stored_at)
+        restored += 1
+    bench_rows = service.bench_cache.import_payload(
+        document["bench"], only_gpu=canonical_gpu(service.gpu_name)
+    )
+    if restored:
+        telemetry.count("persistence.warm.keys", restored,
+                        help="plans restored into stores from snapshots")
+    telemetry.event(
+        "persistence.warm_start", gpu=service.gpu_name,
+        restored=restored, skipped=skipped, bench_rows=bench_rows,
+    )
+    return restored

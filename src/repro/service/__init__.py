@@ -36,7 +36,7 @@ from repro.service.requests import (
     ServiceStats,
     StoreStats,
 )
-from repro.service.soak import SoakConfig, SoakReport, run_soak
+from repro.service.soak import SoakConfig, SoakReport, build_service, run_soak
 from repro.service.store import PlanStore
 
 __all__ = [
@@ -57,5 +57,6 @@ __all__ = [
     "SoakConfig",
     "SoakReport",
     "StoreStats",
+    "build_service",
     "run_soak",
 ]

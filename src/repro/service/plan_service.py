@@ -111,6 +111,10 @@ class PlanService:
     bench_cache:
         Optional shared :class:`~repro.core.cache.BenchmarkCache` (may be
         bounded); created unbounded when omitted.
+    store:
+        Optional pre-built plan store (e.g. a write-through
+        :class:`~repro.persistence.PersistentPlanStore`); when given,
+        ``capacity``/``ttl_s`` are ignored in favor of the store's own.
     solve_fn:
         Override of the solver (tests inject spies/stalls here).  The
         default benchmarks under the request's policy and runs the WR DP,
@@ -131,6 +135,7 @@ class PlanService:
         faults: FaultInjector | None = None,
         bench_cache: BenchmarkCache | None = None,
         solve_fn: SolveFn | None = None,
+        store: PlanStore | None = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -141,7 +146,14 @@ class PlanService:
         self.fallback_enabled = fallback
         self.clock: Clock = clock if clock is not None else WallClock()
         self.faults = faults
-        self.store = PlanStore(capacity=capacity, ttl_s=ttl_s, clock=self.clock)
+        #: Injectable plan store: pass a persistence-backed store
+        #: (:class:`~repro.persistence.PersistentPlanStore`) for
+        #: write-through durability; ``capacity``/``ttl_s`` are ignored then.
+        self.store = (
+            store
+            if store is not None
+            else PlanStore(capacity=capacity, ttl_s=ttl_s, clock=self.clock)
+        )
         self.stats = ServiceStats()
         self._handle = CudnnHandle(gpu=Gpu.create(gpu), mode=ExecMode.TIMING)
         self._bench_cache = (
@@ -529,6 +541,11 @@ class PlanService:
         if telemetry.enabled():
             telemetry.count("service.overloaded",
                             help="submissions refused by admission control")
+
+    @property
+    def bench_cache(self) -> BenchmarkCache:
+        """The shared benchmark cache (snapshotted by :mod:`repro.persistence`)."""
+        return self._bench_cache
 
     @property
     def pending(self) -> int:

@@ -141,12 +141,18 @@ class ServiceStats:
 
 @dataclass
 class StoreStats:
-    """Hit/miss/eviction accounting of a :class:`~repro.service.PlanStore`."""
+    """Hit/miss/eviction accounting of a :class:`~repro.service.PlanStore`.
+
+    ``warm_hits`` counts hits served from entries restored out of a
+    persistence snapshot (:mod:`repro.persistence`) rather than solved in
+    this process -- the number a cache-warm fleet rollout is measured by.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     expirations: int = 0
+    warm_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -154,6 +160,7 @@ class StoreStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "warm_hits": self.warm_hits,
         }
 
 

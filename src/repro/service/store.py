@@ -59,10 +59,14 @@ class PlanStore:
         self._entries: "OrderedDict[PlanKey, tuple[Configuration, float]]" = (
             OrderedDict()
         )
+        #: Keys restored from a persistence snapshot (still present or not);
+        #: hits on them count as ``warm_hits``.
+        self._warm_keys: set[PlanKey] = set()
         self.stats = StoreStats()
 
     def get(self, key: PlanKey) -> Configuration | None:
         """The stored plan, refreshing recency; ``None`` on miss/expiry."""
+        warm = False
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -81,7 +85,14 @@ class PlanStore:
                 else:
                     self._entries.move_to_end(key)
                     self.stats.hits += 1
+                    if key in self._warm_keys:
+                        self.stats.warm_hits += 1
+                        warm = True
                     result = configuration
+        if warm and telemetry.enabled():
+            telemetry.count("persistence.warm.hits",
+                            help="plan-store hits served from snapshot-"
+                                 "restored entries")
         if telemetry.enabled():
             if result is None:
                 telemetry.count("service.store.misses",
@@ -104,6 +115,39 @@ class PlanStore:
         if evicted and telemetry.enabled():
             telemetry.count("service.store.evictions", evicted,
                             help="plans evicted from the bounded store")
+
+    def restore(
+        self, key: PlanKey, configuration: Configuration, stored_at: float
+    ) -> None:
+        """Insert a snapshot-restored plan, preserving its original age.
+
+        Unlike :meth:`put` this neither counts as cache activity nor
+        triggers eviction bookkeeping beyond the capacity bound; the entry
+        keeps the ``stored_at`` it was solved at (so TTL policy applies to
+        the plan's real age, not its restore time), and future hits on the
+        key are counted under ``warm_hits``.
+        """
+        with self._lock:
+            self._entries[key] = (configuration, stored_at)
+            self._entries.move_to_end(key)
+            self._warm_keys.add(key)
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+
+    def entries(self) -> list[tuple[PlanKey, Configuration, float]]:
+        """Point-in-time copy of the contents, sorted by key string.
+
+        The sort (not insertion/recency order) is what makes snapshots of
+        equal stores byte-identical regardless of access history.
+        """
+        with self._lock:
+            items = [
+                (key, configuration, stored_at)
+                for key, (configuration, stored_at) in self._entries.items()
+            ]
+        return sorted(items, key=lambda item: str(item[0]))
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,139 @@
+"""Blocking client for the plan-serving wire protocol.
+
+One connection, strictly request/response: the client assigns monotonically
+increasing request ids, sends one frame, and blocks for the matching reply.
+Replies are verified three ways before anything is returned -- envelope
+version, echoed id, and echoed type -- so a desynchronized or misbehaving
+server surfaces as :class:`~repro.errors.WireProtocolError` instead of a
+wrong answer.  ``error`` envelopes are raised as their mapped taxonomy
+class (see :data:`repro.wire.protocol.WIRE_ERRORS`): a remote
+:class:`~repro.errors.ServiceOverloadedError` is catchable exactly like a
+local one, which is the whole point of typed error transport.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import WireProtocolError
+from repro.service.requests import PlanRequest, PlanResponse
+from repro.wire.protocol import (
+    decode_envelope,
+    encode_envelope,
+    error_from_wire,
+    read_frame,
+    request_to_wire,
+    response_from_wire,
+    write_frame,
+)
+
+
+class PlanClient:
+    """Connect to a :class:`~repro.wire.PlanServer` at ``host:port``.
+
+    ``timeout_s`` bounds each socket operation (connect/send/receive); it is
+    transport protection, not a plan deadline -- put the plan deadline in
+    :attr:`PlanRequest.deadline_s`, where the server's degradation ladder
+    enforces it.  Thread-safe: concurrent calls serialize on the connection.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout_s: float | None = None
+    ) -> None:
+        self.host = host
+        self.port = port
+        #: Owning lock: one request/response exchange at a time on the wire.
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._closed = False
+        try:
+            self._sock = socket.create_connection((host, port), timeout_s)
+        except OSError as exc:
+            raise WireProtocolError(
+                f"cannot connect to plan server at {host}:{port}: {exc}"
+            ) from exc
+        if timeout_s is not None:
+            self._sock.settimeout(timeout_s)
+
+    # -- request primitives ------------------------------------------------
+
+    def _call(self, msg_type: str, body: object) -> object:
+        with self._lock:
+            if self._closed:
+                raise WireProtocolError("client is closed")
+            msg_id = self._next_id
+            self._next_id += 1
+            try:
+                write_frame(self._sock, encode_envelope(msg_type, body, msg_id))
+                payload = read_frame(self._sock)
+            except OSError as exc:
+                raise WireProtocolError(
+                    f"transport failure talking to {self.host}:{self.port}: "
+                    f"{exc}"
+                ) from exc
+        if payload is None:
+            raise WireProtocolError(
+                f"server {self.host}:{self.port} closed the connection "
+                f"instead of answering request {msg_id}"
+            )
+        reply_type, reply_id, reply_body = decode_envelope(payload)
+        if reply_id != msg_id:
+            raise WireProtocolError(
+                f"reply id {reply_id} does not match request id {msg_id} "
+                "(connection desynchronized)"
+            )
+        if reply_type == "error":
+            raise error_from_wire(reply_body)
+        if reply_type != msg_type:
+            raise WireProtocolError(
+                f"reply type {reply_type!r} does not match request type "
+                f"{msg_type!r}"
+            )
+        return reply_body
+
+    # -- the protocol's verbs ----------------------------------------------
+
+    def plan(self, request: PlanRequest) -> PlanResponse:
+        """Solve one plan request on the server; blocks for the answer."""
+        return response_from_wire(self._call("plan", request_to_wire(request)))
+
+    def ping(self) -> dict:
+        """Liveness probe; returns the server's GPU model and wire version."""
+        body = self._call("ping", {})
+        if not isinstance(body, dict):
+            raise WireProtocolError("ping reply body must be an object")
+        return body
+
+    def stats(self) -> dict:
+        """The server's metrics summary (service + store + wire counters)."""
+        body = self._call("stats", {})
+        if not isinstance(body, dict):
+            raise WireProtocolError("stats reply body must be an object")
+        return body
+
+    def save(self) -> str:
+        """Ask the server to snapshot its store; returns the saved path."""
+        body = self._call("save", {})
+        if not isinstance(body, dict) or not isinstance(body.get("path"), str):
+            raise WireProtocolError("save reply body must carry a 'path'")
+        return body["path"]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sock = self._sock
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "PlanClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,353 @@
+"""Length-prefixed JSON wire protocol for out-of-process plan serving.
+
+Framing: every message is a 4-byte big-endian payload length followed by
+that many bytes of UTF-8 JSON.  The JSON is a versioned *envelope*::
+
+    {"body": <message body>, "id": <request id>, "type": <str>, "v": 1}
+
+serialized canonically (sorted keys, compact separators), so identical
+messages are identical bytes -- the golden-bytes tests in
+``tests/test_wire.py`` pin the frames down to the byte.
+
+Request types (client -> server): ``plan`` (a serialized
+:class:`~repro.service.PlanRequest`), ``ping``, ``stats``, ``save``
+(snapshot the server's store to its configured path).  The server replies
+with an envelope of the *same* ``type`` and ``id`` on success, or one of
+type ``error`` whose body is ``{"error": <class name>, "message": <str>}``.
+Error bodies map back onto the :mod:`repro.errors` taxonomy on the client
+(:data:`WIRE_ERRORS`); unmapped classes surface as
+:class:`~repro.errors.RemoteError`, never silently.
+
+Deadlines travel *inside* the plan body (``deadline_s``), so a client's
+latency budget is enforced by the server's own degradation ladder --
+the wire adds transport, not new timeout semantics.
+
+Anything that violates this grammar -- truncated frame, oversized length
+prefix, undecodable JSON, wrong envelope version, non-object body --
+raises :class:`~repro.errors.WireProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.core.config import Configuration
+from repro.core.policies import BatchSizePolicy
+from repro.cudnn.descriptors import ConvGeometry
+from repro.cudnn.enums import ConvType, ConvolutionMode
+from repro.errors import (
+    CacheError,
+    DeadlineExceededError,
+    InfeasibleError,
+    MergeConflictError,
+    OptimizationError,
+    PersistenceError,
+    RemoteError,
+    ServiceError,
+    ServiceOverloadedError,
+    SnapshotCorruptError,
+    SnapshotVersionError,
+    SolverError,
+    UcudnnError,
+    WireProtocolError,
+)
+from repro.persistence.snapshot import conv_type_of
+from repro.service.requests import PlanKey, PlanRequest, PlanResponse
+from repro.units import MIB
+
+#: Envelope version; bumped on any incompatible change to the grammar above.
+WIRE_VERSION = 1
+
+#: Upper bound on one frame's payload; a length prefix above this is
+#: rejected before any allocation (a garbage prefix must not OOM the peer).
+MAX_FRAME_BYTES = 16 * MIB
+
+#: Request types the server dispatches.
+REQUEST_TYPES = ("plan", "ping", "stats", "save")
+
+#: Error-body class names -> local taxonomy classes (all constructible from
+#: a bare message).  Anything else maps to :class:`RemoteError`.
+WIRE_ERRORS: dict[str, type[Exception]] = {
+    cls.__name__: cls
+    for cls in (
+        UcudnnError,
+        OptimizationError,
+        InfeasibleError,
+        SolverError,
+        CacheError,
+        PersistenceError,
+        SnapshotCorruptError,
+        SnapshotVersionError,
+        MergeConflictError,
+        ServiceError,
+        ServiceOverloadedError,
+        DeadlineExceededError,
+        WireProtocolError,
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# Envelopes and frames (pure bytes <-> values; golden-testable)
+# ---------------------------------------------------------------------------
+
+
+def encode_envelope(msg_type: str, body: object, msg_id: int) -> bytes:
+    """Canonical JSON payload bytes for one envelope (no length prefix)."""
+    payload = json.dumps(
+        {"body": body, "id": msg_id, "type": msg_type, "v": WIRE_VERSION},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"outgoing {msg_type!r} payload is {len(payload)} bytes, "
+            f"over the {MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return payload
+
+
+def encode_frame(msg_type: str, body: object, msg_id: int) -> bytes:
+    """One complete frame: length prefix + envelope payload."""
+    payload = encode_envelope(msg_type, body, msg_id)
+    return struct.pack(">I", len(payload)) + payload
+
+
+def decode_envelope(payload: bytes) -> tuple[str, int, object]:
+    """``(type, id, body)`` of one envelope payload; validates the grammar."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireProtocolError(f"undecodable envelope: {exc}") from exc
+    if not isinstance(document, dict):
+        raise WireProtocolError(
+            f"envelope must be a JSON object, got {type(document).__name__}"
+        )
+    version = document.get("v")
+    if version != WIRE_VERSION:
+        raise WireProtocolError(
+            f"envelope version {version!r} is not speakable by this build "
+            f"(expected {WIRE_VERSION})"
+        )
+    msg_type = document.get("type")
+    if not isinstance(msg_type, str):
+        raise WireProtocolError("envelope 'type' must be a string")
+    msg_id = document.get("id")
+    if not isinstance(msg_id, int) or isinstance(msg_id, bool):
+        raise WireProtocolError("envelope 'id' must be an integer")
+    return msg_type, msg_id, document.get("body")
+
+
+# ---------------------------------------------------------------------------
+# Socket framing
+# ---------------------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, count: int, what: str) -> bytes | None:
+    """Exactly ``count`` bytes, ``None`` on clean EOF before the first byte.
+
+    EOF *after* the first byte is a truncated ``what`` and raises
+    :class:`WireProtocolError` -- a peer vanishing mid-message is protocol
+    damage, not a polite goodbye.
+    """
+    chunks: list[bytes] = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(count - received)
+        if not chunk:
+            if received == 0:
+                return None
+            raise WireProtocolError(
+                f"connection closed mid-{what}: got {received} of "
+                f"{count} bytes"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes | None:
+    """The next frame's payload bytes; ``None`` on clean EOF between frames."""
+    header = _recv_exact(sock, 4, "length prefix")
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"incoming frame claims {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupt or hostile prefix?)"
+        )
+    payload = _recv_exact(sock, length, "frame payload")
+    if payload is None and length > 0:
+        raise WireProtocolError(
+            f"connection closed before any of the {length} payload bytes"
+        )
+    return payload if payload is not None else b""
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> int:
+    """Send one frame; returns bytes written (prefix included)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    frame = struct.pack(">I", len(payload)) + payload
+    sock.sendall(frame)
+    return len(frame)
+
+
+# ---------------------------------------------------------------------------
+# Message bodies
+# ---------------------------------------------------------------------------
+
+
+def geometry_to_wire(geometry: ConvGeometry) -> dict:
+    return {
+        "conv_type": geometry.conv_type.value,
+        "n": geometry.n, "c": geometry.c, "h": geometry.h, "w": geometry.w,
+        "k": geometry.k, "r": geometry.r, "s": geometry.s,
+        "pad_h": geometry.pad_h, "pad_w": geometry.pad_w,
+        "stride_h": geometry.stride_h, "stride_w": geometry.stride_w,
+        "dilation_h": geometry.dilation_h, "dilation_w": geometry.dilation_w,
+        "mode": geometry.mode.value,
+        "groups": geometry.groups,
+    }
+
+
+def geometry_from_wire(data: object) -> ConvGeometry:
+    if not isinstance(data, dict):
+        raise WireProtocolError("plan body 'geometry' must be an object")
+    try:
+        return ConvGeometry(
+            conv_type=ConvType(data["conv_type"]),
+            n=data["n"], c=data["c"], h=data["h"], w=data["w"],
+            k=data["k"], r=data["r"], s=data["s"],
+            pad_h=data["pad_h"], pad_w=data["pad_w"],
+            stride_h=data["stride_h"], stride_w=data["stride_w"],
+            dilation_h=data["dilation_h"], dilation_w=data["dilation_w"],
+            mode=ConvolutionMode(data["mode"]),
+            groups=data["groups"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireProtocolError(f"corrupt wire geometry: {exc}") from exc
+
+
+def request_to_wire(request: PlanRequest) -> dict:
+    return {
+        "kernel": request.kernel,
+        "geometry": geometry_to_wire(request.geometry),
+        "policy": request.policy.value,
+        "workspace_limit": request.workspace_limit,
+        "deadline_s": request.deadline_s,
+        "client": request.client,
+    }
+
+
+def request_from_wire(data: object) -> PlanRequest:
+    if not isinstance(data, dict):
+        raise WireProtocolError("plan body must be an object")
+    deadline = data.get("deadline_s")
+    if deadline is not None and (
+        not isinstance(deadline, (int, float)) or isinstance(deadline, bool)
+    ):
+        raise WireProtocolError("plan body 'deadline_s' must be null or a number")
+    try:
+        return PlanRequest(
+            kernel=str(data["kernel"]),
+            geometry=geometry_from_wire(data["geometry"]),
+            policy=BatchSizePolicy(data["policy"]),
+            workspace_limit=int(data["workspace_limit"]),
+            deadline_s=None if deadline is None else float(deadline),
+            client=str(data.get("client", "")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireProtocolError(f"corrupt wire plan request: {exc}") from exc
+
+
+def response_to_wire(response: PlanResponse) -> dict:
+    key = response.key
+    return {
+        "kernel": response.kernel,
+        "key": {
+            "gpu": key.gpu,
+            "kernel": key.kernel,
+            "policy": key.policy,
+            "workspace_limit": key.workspace_limit,
+            "scheme": key.scheme,
+        },
+        "configuration": response.configuration.to_dict(
+            conv_type_of(response.configuration, key.kernel)
+        ),
+        "source": response.source,
+        "solve_seconds": response.solve_seconds,
+        "latency_s": response.latency_s,
+        "fallback_reason": response.fallback_reason,
+        "client": response.client,
+    }
+
+
+def response_from_wire(data: object) -> PlanResponse:
+    if not isinstance(data, dict):
+        raise WireProtocolError("plan response body must be an object")
+    try:
+        key_fields = data["key"]
+        return PlanResponse(
+            kernel=str(data["kernel"]),
+            key=PlanKey(
+                gpu=str(key_fields["gpu"]),
+                kernel=str(key_fields["kernel"]),
+                policy=str(key_fields["policy"]),
+                workspace_limit=int(key_fields["workspace_limit"]),
+                scheme=str(key_fields["scheme"]),
+            ),
+            configuration=Configuration.from_dict(data["configuration"]),
+            source=str(data["source"]),
+            solve_seconds=float(data["solve_seconds"]),
+            latency_s=float(data["latency_s"]),
+            fallback_reason=str(data["fallback_reason"]),
+            client=str(data["client"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireProtocolError(f"corrupt wire plan response: {exc}") from exc
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``(host, port)`` from a ``HOST:PORT`` string (runner flag syntax)."""
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise WireProtocolError(
+            f"address {address!r} is not HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise WireProtocolError(
+            f"address {address!r} has a non-numeric port"
+        ) from exc
+    if not 0 <= port <= 65535:
+        raise WireProtocolError(f"port {port} out of range in {address!r}")
+    return host, port
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """The error body a server sends for one failed request."""
+    return {"error": type(exc).__name__, "message": str(exc)}
+
+
+def error_from_wire(data: object) -> Exception:
+    """The local exception to raise for one received error body."""
+    if not isinstance(data, dict):
+        return WireProtocolError("error body must be an object")
+    name = data.get("error")
+    message = data.get("message")
+    if not isinstance(name, str) or not isinstance(message, str):
+        return WireProtocolError(
+            f"error body must carry string 'error' and 'message', got {data!r}"
+        )
+    mapped = WIRE_ERRORS.get(name)
+    if mapped is not None:
+        return mapped(message)
+    return RemoteError(f"{name}: {message}")

@@ -176,6 +176,108 @@ class TestFileDB:
         assert len(cache) == 2
 
 
+class TestFileDBCorruption:
+    """Damaged cache files raise CacheError, never raw tracebacks.
+
+    A shared file DB (the paper's NFS deployment) sees torn writes,
+    truncation, and stale copies; each must surface as "the cache is
+    damaged" rather than a KeyError/IndexError from half-parsed data.
+    """
+
+    def test_empty_file_raises_cache_error(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("")
+        with pytest.raises(CacheError, match="empty"):
+            BenchmarkCache(path)
+
+    def test_truncated_file_raises_cache_error(self, tmp_path):
+        path = tmp_path / "bench.json"
+        cache = BenchmarkCache(path)
+        cache.put_benchmark("k80", make_geometry(), sample_results())
+        cache.save()
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        with pytest.raises(CacheError, match="truncated or corrupt"):
+            BenchmarkCache(path)
+
+    def test_non_object_payload_raises_cache_error(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(CacheError):
+            BenchmarkCache(path)
+
+    def test_structurally_damaged_rows_name_the_key(self, tmp_path):
+        # Valid JSON, right version, but a benchmark row missing fields.
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "benchmarks": {"k80|Forward:n1": [{"algo": 0}]},
+            "configurations": {},
+        }))
+        with pytest.raises(CacheError, match="k80"):
+            BenchmarkCache(path)
+
+    def test_damaged_configuration_section_raises(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "benchmarks": {},
+            "configurations": {"k80|Forward:n1|all|10|wr": {"micros": "no"}},
+        }))
+        with pytest.raises(CacheError):
+            BenchmarkCache(path)
+
+    def test_wrong_container_types_raise(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "version": 1, "benchmarks": [], "configurations": {},
+        }))
+        with pytest.raises(CacheError):
+            BenchmarkCache(path)
+
+
+class TestPayloadImportExport:
+    """export_payload/import_payload back the persistence snapshots."""
+
+    def filled(self):
+        cache = BenchmarkCache()
+        cache.put_benchmark("k80", make_geometry(), sample_results())
+        key = cache.config_key("k80", make_geometry(), "all", 10, "wr")
+        cache.put_configuration(key, ConvType.FORWARD, sample_config())
+        return cache, key
+
+    def test_roundtrip(self):
+        cache, key = self.filled()
+        payload = cache.export_payload()
+        fresh = BenchmarkCache()
+        assert fresh.import_payload(payload) == 2
+        assert fresh.get_configuration(key) == sample_config()
+        got = fresh.get_benchmark("k80", make_geometry())
+        assert [r.algo for r in got] == [r.algo for r in sample_results()]
+
+    def test_import_keeps_local_entries(self):
+        cache, key = self.filled()
+        payload = cache.export_payload()
+        # The local cache already has a *different* configuration under the
+        # same key; import must not replace it (keep-local).
+        local = BenchmarkCache()
+        mine = Configuration((MicroConfig(64, FwdAlgo.GEMM, 0.1, 0),))
+        local.put_configuration(key, ConvType.FORWARD, mine)
+        assert local.import_payload(payload) == 1  # only the bench row
+        assert local.get_configuration(key) == mine
+
+    def test_import_filters_by_gpu(self):
+        cache, _ = self.filled()
+        payload = cache.export_payload()
+        fresh = BenchmarkCache()
+        assert fresh.import_payload(payload, only_gpu="v100-sxm2") == 0
+        assert fresh.import_payload(payload, only_gpu="k80") == 2
+
+    def test_import_rejects_malformed_payload(self):
+        with pytest.raises(CacheError):
+            BenchmarkCache().import_payload({"benchmarks": "nope"})
+
+
 class TestCapacity:
     """Optional LRU bound on the in-memory cache (default: unlimited)."""
 

@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
       "--iterations", "1"],
      "Summary"),
     ("serve_plans.py", [], "clients never waited on a stalled solve"),
+    ("persist_and_serve.py", [], "0 solver invocations (plans identical: True)"),
 ]
 
 

@@ -39,6 +39,7 @@ class TestRunner:
         assert set(REGISTRY) == {
             "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
             "fig14", "opt-cost", "ilp-stats", "sweep", "explain", "serve",
+            "client",
         }
 
     def test_summary_line_reports_cache_hits_and_misses(self, capsys):
@@ -180,8 +181,8 @@ class TestServe:
     def test_unhealthy_soak_exits_nonzero(self, capsys, monkeypatch):
         from repro.harness import experiments as E
 
-        def unhealthy(soak=False, seed=0):
-            result = E.serve_plans(soak=soak, seed=seed)
+        def unhealthy(soak=False, seed=0, store_path=None):
+            result = E.serve_plans(soak=soak, seed=seed, store_path=store_path)
             result.report.errored = 1
             result.report.errors.append("SolverError: injected")
             return result

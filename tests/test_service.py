@@ -341,7 +341,8 @@ class TestPlanStore:
         store.get(make_key(2))
         snap = store.snapshot()
         assert snap == {"hits": 1, "misses": 1, "evictions": 0,
-                        "expirations": 0, "size": 1, "capacity": 4}
+                        "expirations": 0, "warm_hits": 0,
+                        "size": 1, "capacity": 4}
 
     def test_validation(self):
         with pytest.raises(ValueError):
