@@ -1,29 +1,41 @@
 #!/usr/bin/env python
-"""CI perf-regression gate over ``BENCH_sweep.json``.
+"""CI perf-regression gate over the ``BENCH_*.json`` benchmark records.
 
-Compares a freshly produced sweep benchmark record (written by
-``benchmarks/test_perf_sweep.py``) against the committed baseline with
-explicit per-metric tolerances, printing a human-readable delta table and
-exiting non-zero when any gated metric regresses::
+Compares freshly produced benchmark records (written by
+``benchmarks/test_perf_sweep.py`` and ``benchmarks/test_perf_tensor.py``)
+against their committed baselines with explicit per-metric tolerances,
+printing a human-readable delta table per record and exiting non-zero when
+any gated metric regresses.  ``--baseline``/``--fresh`` repeat pairwise, so
+one invocation gates every record::
 
     PYTHONPATH=src python benchmarks/check_regression.py \\
-        --baseline BENCH_sweep.json --fresh /tmp/BENCH_sweep.json
+        --baseline BENCH_sweep.json  --fresh /tmp/BENCH_sweep.json \\
+        --baseline BENCH_tensor.json --fresh /tmp/BENCH_tensor.json
+
+Each record names its gate set in its ``"bench"`` field (``"sweep"`` when
+absent, for pre-field baselines); the sets live in :data:`GATE_SETS`.
 
 Gate policy (documented in DESIGN.md "Observability"):
 
-* **Exactness metrics** (``config_mismatches``, ``assignment_mismatches``)
-  must be zero, and ``solved_limits`` must match the baseline exactly --
-  any deviation means the sweep solvers stopped agreeing with the per-limit
-  solvers, which is a correctness bug, not noise.
-* **Work counters** (DP solves, branch-and-bound nodes) are deterministic
-  on a fixed seed, but small drift is allowed (they legitimately move when
-  the optimizer's tie-breaking or pruning improves); each has a relative
-  tolerance.
-* **Work ratios** (how much the sweep saves over per-limit) must not fall
-  below baseline by more than the tolerance -- this is the headline claim
-  the sweep subsystem exists for.
-* **Wall-clock keys** are reported for context but never gated: CI machines
-  are far too noisy for sub-second timings.
+* **Exactness metrics** (``config_mismatches``, ``assignment_mismatches``,
+  ``resolve_mismatches``) must be zero, and ``solved_limits`` must match
+  the baseline exactly -- any deviation means a fast path stopped agreeing
+  with its reference solver, which is a correctness bug, not noise.
+* **Work counters** (DP solves, branch-and-bound nodes, tensor passes) are
+  deterministic on a fixed seed, but small drift is allowed (they
+  legitimately move when the optimizer's tie-breaking or pruning
+  improves); each has a relative tolerance.
+* **Work/speed ratios** must not fall below baseline by more than the
+  tolerance (``not_below``), or -- for the acceptance-criteria floors like
+  the tensor backend's >= 5x speedup -- below an *absolute* floor
+  (``at_least``), baseline-independent so the gate cannot ratchet itself
+  loose over time.
+* **Wall-clock keys** are reported for context but never gated: CI
+  machines are far too noisy for sub-second timings.  (The ``at_least``
+  speedup ratio divides two walls from the *same* run on the *same*
+  machine, which cancels machine noise to first order.)
+* With several pairs, every pair is evaluated and reported; the **worst
+  exit code wins** so a missing record cannot mask a regression.
 
 Exit codes are distinct so CI logs diagnose themselves: 0 all gates passed,
 1 a gated metric regressed, 2 a record file is missing or unreadable, 3 a
@@ -46,6 +58,7 @@ from dataclasses import dataclass
 #:   exact_match -- fresh must equal baseline
 #:   not_above   -- fresh <= baseline * (1 + tol)   (work counters)
 #:   not_below   -- fresh >= baseline * (1 - tol)   (savings ratios)
+#:   at_least    -- fresh >= tol, absolute           (acceptance floors)
 #:   info        -- reported, never gated            (wall-clock)
 GATES: tuple[tuple[str, str, float], ...] = (
     ("wr.config_mismatches", "exact_zero", 0.0),
@@ -61,6 +74,29 @@ GATES: tuple[tuple[str, str, float], ...] = (
     ("wd.sweep_wall_s", "info", 0.0),
     ("wd.per_limit_wall_s", "info", 0.0),
 )
+
+#: Gates for ``BENCH_tensor.json`` (``benchmarks/test_perf_tensor.py``):
+#: the tensorized network solve must stay bit-identical to the serial path
+#: and at least 5x faster on the ResNet-50 sweep, and a single-kernel
+#: benchmark mutation must be repaired with zero full network solves.
+GATES_TENSOR: tuple[tuple[str, str, float], ...] = (
+    ("wr.config_mismatches", "exact_zero", 0.0),
+    ("delta.resolve_mismatches", "exact_zero", 0.0),
+    ("delta.full_network_solves", "exact_zero", 0.0),
+    ("wr.tensor_speedup", "at_least", 5.0),
+    ("wr.tensor_passes", "not_above", 0.10),
+    ("delta.kernels_resolved", "exact_match", 0.0),
+    ("wr.serial_wall_s", "info", 0.0),
+    ("wr.tensor_wall_s", "info", 0.0),
+    ("delta.mutation_wall_s", "info", 0.0),
+)
+
+#: Gate set per record ``"bench"`` field; absent field means ``"sweep"``
+#: (the pre-multi-record baselines carry no field).
+GATE_SETS: dict[str, tuple[tuple[str, str, float], ...]] = {
+    "sweep": GATES,
+    "tensor": GATES_TENSOR,
+}
 
 
 @dataclass
@@ -88,6 +124,12 @@ def _lookup(record: dict, dotted: str):
 def _check(mode: str, tol: float, baseline, fresh) -> tuple[bool, str]:
     if mode == "info":
         return True, "informational"
+    if mode == "at_least":
+        # Absolute floor: baseline-independent by design, so a slowly
+        # degrading baseline can never loosen the acceptance criterion.
+        if fresh is None:
+            return False, "missing key"
+        return (fresh >= tol), f"must be >= {tol:g} (absolute)"
     if baseline is None or fresh is None:
         return False, "missing key"
     if mode == "exact_zero":
@@ -103,7 +145,13 @@ def _check(mode: str, tol: float, baseline, fresh) -> tuple[bool, str]:
     raise ValueError(f"unknown gate mode {mode!r}")
 
 
-def validate_record(record: object) -> list[str]:
+def gate_set_of(record: object) -> tuple[tuple[str, str, float], ...]:
+    """The gate set a record's ``"bench"`` field selects (default sweep)."""
+    name = record.get("bench", "sweep") if isinstance(record, dict) else "sweep"
+    return GATE_SETS.get(name, GATES) if isinstance(name, str) else GATES
+
+
+def validate_record(record: object, gates=None) -> list[str]:
     """Schema problems that would make :func:`compare`/:func:`render` lie.
 
     A record must be a JSON object, and every gated key that is present must
@@ -111,12 +159,15 @@ def validate_record(record: object) -> list[str]:
     surface as a ``TypeError`` traceback deep inside the delta table instead
     of a diagnosis.  Missing keys are *not* schema errors: gated modes report
     them as failures with a "missing key" note, which is the right signal
-    when a metric is dropped from the benchmark.
+    when a metric is dropped from the benchmark.  ``gates`` defaults to the
+    set the record's ``"bench"`` field selects.
     """
     if not isinstance(record, dict):
         return [f"record must be a JSON object, got {type(record).__name__}"]
+    if gates is None:
+        gates = gate_set_of(record)
     problems: list[str] = []
-    for key, _mode, _tol in GATES:
+    for key, _mode, _tol in gates:
         value = _lookup(record, key)
         if value is None:
             continue
@@ -126,16 +177,22 @@ def validate_record(record: object) -> list[str]:
 
 
 def compare(
-    baseline: dict, fresh: dict, tolerance_scale: float = 1.0
+    baseline: dict, fresh: dict, tolerance_scale: float = 1.0, gates=None
 ) -> tuple[list[GateRow], list[GateRow]]:
     """Evaluate every gate; returns ``(all rows, failing rows)``.
 
     ``tolerance_scale`` multiplies every relative tolerance (a CI escape
-    hatch for known-noisy runners; 1.0 in normal use).
+    hatch for known-noisy runners; 1.0 in normal use) -- absolute
+    ``at_least`` floors are deliberately *not* scaled, they are acceptance
+    criteria.  ``gates`` defaults to the set the fresh record's ``"bench"``
+    field selects.
     """
+    if gates is None:
+        gates = gate_set_of(fresh)
     rows: list[GateRow] = []
-    for key, mode, tol in GATES:
-        tol = tol * tolerance_scale
+    for key, mode, tol in gates:
+        if mode not in ("at_least",):
+            tol = tol * tolerance_scale
         base_v = _lookup(baseline, key)
         fresh_v = _lookup(fresh, key)
         ok, note = _check(mode, tol, base_v, fresh_v)
@@ -160,8 +217,12 @@ def render(rows: list[GateRow]) -> str:
             delta = f"{(r.fresh - r.baseline) / r.baseline:+.1%}"
         else:
             delta = "-"
-        gate = r.mode if r.mode in ("exact_zero", "exact_match", "info") \
-            else f"{r.mode} {r.tolerance:.0%}"
+        if r.mode in ("exact_zero", "exact_match", "info"):
+            gate = r.mode
+        elif r.mode == "at_least":
+            gate = f"at_least {r.tolerance:g}"
+        else:
+            gate = f"{r.mode} {r.tolerance:.0%}"
         body.append([
             r.key, _fmt(r.baseline), _fmt(r.fresh), delta, gate,
             "ok" if r.ok else "REGRESSED",
@@ -178,38 +239,69 @@ def render(rows: list[GateRow]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
-    parser.add_argument("--baseline", default="BENCH_sweep.json",
-                        help="committed baseline record")
-    parser.add_argument("--fresh", required=True,
-                        help="freshly produced record to check")
-    parser.add_argument("--tolerance-scale", type=float, default=1.0,
-                        help="multiply every relative tolerance (default 1.0)")
-    args = parser.parse_args(argv)
-
+def _check_pair(baseline_path: str, fresh_path: str,
+                tolerance_scale: float) -> int:
+    """Gate one baseline/fresh pair; returns its exit code."""
     records = []
-    for role, path in (("baseline", args.baseline), ("fresh", args.fresh)):
+    for role, path in (("baseline", baseline_path), ("fresh", fresh_path)):
         try:
             with open(path) as fh:
                 records.append(json.load(fh))
         except (OSError, ValueError) as exc:
             print(f"cannot read {role} record {path}: {exc}", file=sys.stderr)
             return 2
-        problems = validate_record(records[-1])
+    gates = gate_set_of(records[1])
+    schema_bad = False
+    for role, path, record in (("baseline", baseline_path, records[0]),
+                               ("fresh", fresh_path, records[1])):
+        problems = validate_record(record, gates)
         if problems:
             print(f"schema mismatch in {role} record {path}:", file=sys.stderr)
             for problem in problems:
                 print(f"  - {problem}", file=sys.stderr)
-            return 3
-    rows, failures = compare(records[0], records[1], args.tolerance_scale)
+            schema_bad = True
+    if schema_bad:
+        return 3
+    rows, failures = compare(records[0], records[1], tolerance_scale, gates)
     print(render(rows))
     if failures:
-        print(f"\nPERF REGRESSION: {len(failures)} gated metric(s) failed: "
-              f"{', '.join(r.key for r in failures)}", file=sys.stderr)
+        print(f"\n[{fresh_path}] PERF REGRESSION: {len(failures)} gated "
+              f"metric(s) failed: {', '.join(r.key for r in failures)}",
+              file=sys.stderr)
         return 1
-    print("\nall perf gates passed")
+    print(f"\n[{fresh_path}] all perf gates passed")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--baseline", action="append", default=None,
+                        help="committed baseline record (repeat to gate "
+                             "several records pairwise with --fresh)")
+    parser.add_argument("--fresh", action="append", required=True,
+                        help="freshly produced record to check (repeatable)")
+    parser.add_argument("--tolerance-scale", type=float, default=1.0,
+                        help="multiply every relative tolerance (default "
+                             "1.0; absolute at_least floors never scale)")
+    args = parser.parse_args(argv)
+
+    baselines = args.baseline if args.baseline else ["BENCH_sweep.json"]
+    if len(baselines) != len(args.fresh):
+        print(f"need one --baseline per --fresh, got {len(baselines)} "
+              f"baseline(s) for {len(args.fresh)} fresh record(s)",
+              file=sys.stderr)
+        return 2
+
+    # Every pair is evaluated (a broken record must not mask a regression
+    # in a later pair); the worst exit code wins.
+    worst = 0
+    for index, (baseline, fresh) in enumerate(zip(baselines, args.fresh)):
+        if index:
+            print()
+        print(f"=== {fresh} vs {baseline} ===")
+        worst = max(worst, _check_pair(baseline, fresh,
+                                       args.tolerance_scale))
+    return worst
 
 
 if __name__ == "__main__":

@@ -110,6 +110,7 @@ def test_sweep_beats_per_limit_baselines():
     assert baseline_nodes >= 2 * wd.ilp_nodes  # acceptance floor
 
     record = {
+        "bench": "sweep",
         "model": "resnet50",
         "batch": PAPER_BATCHES["resnet50_wd"],
         "gpu": GPU,

@@ -20,6 +20,14 @@ from repro.core.optimizer import (
 from repro.core.options import Options
 from repro.core.pareto import configuration_front, desirable_set, pareto_front
 from repro.core.policies import BatchSizePolicy, candidate_sizes
+from repro.core.tensor_solve import (
+    DeltaSolver,
+    DeltaStats,
+    bench_fingerprint,
+    geometry_family,
+    solve_network_wr,
+    solve_network_wr_outcomes,
+)
 from repro.core.sweep import (
     WDSweep,
     WRNetworkSweep,
@@ -38,6 +46,8 @@ __all__ = [
     "BatchSizePolicy",
     "BenchmarkCache",
     "Configuration",
+    "DeltaSolver",
+    "DeltaStats",
     "EMPTY",
     "KernelBenchmark",
     "KernelPlan",
@@ -53,15 +63,19 @@ __all__ = [
     "WRNetworkSweep",
     "WRResult",
     "WRSweep",
+    "bench_fingerprint",
     "benchmark_kernel",
     "candidate_sizes",
     "configuration_front",
     "desirable_set",
+    "geometry_family",
     "optimize_kernel",
     "optimize_network_wd",
     "optimize_network_wr",
     "pareto_front",
     "prepare_wd_kernels",
+    "solve_network_wr",
+    "solve_network_wr_outcomes",
     "sweep_network_wd",
     "sweep_network_wr",
     "sweep_wd",

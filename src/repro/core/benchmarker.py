@@ -82,6 +82,35 @@ class KernelBenchmark:
             self._query_cache[key] = steps
         return steps
 
+    def workspace_step_union(self) -> list[int]:
+        """Union of :meth:`workspace_steps` over all measured sizes, ascending.
+
+        These are the WR breakpoints: two limits between consecutive union
+        steps admit the same result rows at *every* size, hence identical
+        ``T1`` tables and identical WR answers (:mod:`repro.core.sweep`
+        buckets limits by exactly this grid).
+        """
+        key = ("step_union",)
+        union = self._query_cache.get(key)
+        if union is None:
+            points: set[int] = set()
+            for size in self.sizes:
+                points.update(self.workspace_steps(size))
+            union = sorted(points)
+            self._query_cache[key] = union
+        return union
+
+    def t1_bucket(self, workspace_limit: int | None) -> int | None:
+        """Memoization bucket of a limit for whole-table (``T1``) queries.
+
+        Like :meth:`limit_bucket` but over the union of every size's steps:
+        limits in the same bucket produce identical ``T1`` tables.  ``None``
+        (no limit) is its own bucket.
+        """
+        if workspace_limit is None:
+            return None
+        return bisect.bisect_right(self.workspace_step_union(), workspace_limit)
+
     def limit_bucket(self, micro_batch: int, workspace_limit: int | None) -> int | None:
         """Memoization bucket of a limit at one size.
 

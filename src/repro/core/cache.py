@@ -22,6 +22,7 @@ import tempfile
 import threading
 from collections import OrderedDict
 from pathlib import Path
+from typing import Callable
 
 import repro.telemetry as telemetry
 from repro.core.config import Configuration
@@ -142,6 +143,10 @@ class BenchmarkCache:
         #: entry key), values unused.  Maintained even when unbounded so
         #: setting a capacity later via a subclass stays possible.
         self._recency: "OrderedDict[tuple[str, str], None]" = OrderedDict()
+        #: Callbacks fired (outside the lock) when :meth:`put_benchmark`
+        #: overwrites existing rows with different values -- the signal that
+        #: plans derived from the old rows are stale.
+        self._listeners: list[Callable[[str, ConvGeometry], None]] = []
         self._dirty = False
         if self.path is not None and self.path.exists():
             self.load()
@@ -191,16 +196,48 @@ class BenchmarkCache:
     def put_benchmark(
         self, gpu_name: str, geometry: ConvGeometry, results: list[PerfResult]
     ) -> None:
+        """Insert or refresh benchmark rows for one kernel geometry.
+
+        Overwriting an existing key with *different* rows notifies every
+        registered invalidation listener (outside the lock) so dependent
+        caches -- plan stores, delta solvers -- can drop stale derivations.
+        First-time inserts and byte-identical rewrites stay silent, which
+        keeps the solver's miss-then-put path listener-free.  Callers that
+        can change rows must not hold locks a listener may take.
+        """
         with self._lock:
             key = _bench_key(gpu_name, geometry)
+            old = self._bench.get(key)
+            changed = old is not None and old != list(results)
             self._bench[key] = list(results)
             self._recency[("bench", key)] = None
             self._recency.move_to_end(("bench", key))
             self._dirty = True
             evicted = self._evict_over_capacity()
+            listeners = list(self._listeners) if changed else []
         if evicted and telemetry.enabled():
             telemetry.count("cache.evictions", evicted,
                             help="entries dropped by the LRU capacity bound")
+        if listeners and telemetry.enabled():
+            telemetry.count("cache.bench.refreshes",
+                            help="benchmark rows overwritten with new values")
+        for listener in listeners:
+            listener(gpu_name, geometry)
+
+    def add_invalidation_listener(
+        self, listener: Callable[[str, ConvGeometry], None]
+    ) -> None:
+        """Register ``listener(gpu_name, geometry)`` for row refreshes."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_invalidation_listener(
+        self, listener: Callable[[str, ConvGeometry], None]
+    ) -> None:
+        """Unregister a listener; unknown listeners are ignored."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     # -- optimized configurations ----------------------------------------------
 

@@ -69,12 +69,32 @@ def solve_mckp(
     groups: list[list[MCKPItem]],
     capacity: int,
     max_front: int = 2_000_000,
+    backend: str = "auto",
 ) -> MCKPSolution:
-    """Pick one item per group minimizing cost with total weight <= capacity."""
+    """Pick one item per group minimizing cost with total weight <= capacity.
+
+    ``backend`` selects the merge implementation: ``"serial"`` is the
+    Python reference loop below, ``"tensor"`` the vectorized pass of
+    :mod:`repro.core.tensor_solve`, and ``"auto"`` (default) the tensor
+    pass.  The two are bit-identical -- same selections, costs, weights,
+    ``front_peak``, and error messages -- so the choice is purely a speed
+    knob (property-tested in :mod:`tests.test_tensor_solve`).
+    """
+    if backend not in ("auto", "tensor", "serial"):
+        raise SolverError(
+            f"unknown MCKP backend {backend!r}; use 'auto', 'tensor', or "
+            f"'serial'"
+        )
     with telemetry.span(
-        "mckp.solve", groups=len(groups), capacity=capacity
+        "mckp.solve", groups=len(groups), capacity=capacity, backend=backend
     ) as tspan:
-        solution = _solve_mckp(groups, capacity, max_front)
+        if backend == "serial":
+            solution = _solve_mckp(groups, capacity, max_front)
+        else:
+            # Local import: tensor_solve imports this module's types.
+            from repro.core.tensor_solve import solve_mckp_tensor
+
+            solution = solve_mckp_tensor(groups, capacity, max_front, _CLOCK)
         tspan.set("front_peak", solution.front_peak)
         tspan.set("cost", solution.cost)
     rec = observability.recorder()

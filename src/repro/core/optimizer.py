@@ -19,10 +19,12 @@ from repro.core.cache import BenchmarkCache
 from repro.core.config import Configuration
 from repro.core.pareto import desirable_set
 from repro.core.policies import BatchSizePolicy
+from repro.core.tensor_solve import solve_network_wr
 from repro.core.wd import WDKernel, WDResult, solve_from_kernels
 from repro.core.wr import optimize_from_benchmark
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.handle import CudnnHandle
+from repro.errors import SolverError
 
 
 @dataclass
@@ -78,8 +80,21 @@ def optimize_network_wr(
     workspace_limit: int,
     policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
     cache: BenchmarkCache | None = None,
+    backend: str = "serial",
 ) -> NetworkPlan:
-    """WR: each kernel gets its own ``workspace_limit``-byte slot."""
+    """WR: each kernel gets its own ``workspace_limit``-byte slot.
+
+    ``backend="serial"`` (default) runs one Python DP per kernel;
+    ``"tensor"`` solves every kernel in one vectorized pass
+    (:func:`~repro.core.tensor_solve.solve_network_wr`).  Plans are
+    bit-identical; on failure both raise the same error for the first
+    failing kernel in input order (the tensor path benchmarks every kernel
+    before raising, the serial path stops at the failure).
+    """
+    if backend not in ("serial", "tensor"):
+        raise SolverError(
+            f"unknown WR backend {backend!r}; use 'serial' or 'tensor'"
+        )
     plan = NetworkPlan(scheme="wr", policy=policy)
     rec = observability.recorder()
     pid = -1
@@ -92,19 +107,45 @@ def optimize_network_wr(
         "optimize.network", scheme="wr", kernels=len(geometries),
         policy=policy.value, workspace_limit=workspace_limit,
     ) as tspan:
-        for name, g in geometries.items():
-            bench = benchmark_kernel(handle, g, policy, cache=cache)
-            plan.benchmark_time += bench.benchmark_time
-            config = optimize_from_benchmark(bench, workspace_limit, kernel=name)
-            undivided = bench.fastest_micro(g.n, workspace_limit)
-            plan.kernels.append(
-                KernelPlan(
-                    name=name,
-                    geometry=g,
-                    configuration=config,
-                    undivided_time=undivided.time if undivided else math.inf,
-                )
+        if backend == "tensor":
+            benches = {
+                name: benchmark_kernel(handle, g, policy, cache=cache)
+                for name, g in geometries.items()
+            }
+            plan.benchmark_time = sum(
+                b.benchmark_time for b in benches.values()
             )
+            configs = solve_network_wr(benches, workspace_limit)
+            for name, g in geometries.items():
+                undivided = benches[name].fastest_micro(g.n, workspace_limit)
+                plan.kernels.append(
+                    KernelPlan(
+                        name=name,
+                        geometry=g,
+                        configuration=configs[name],
+                        undivided_time=(
+                            undivided.time if undivided else math.inf
+                        ),
+                    )
+                )
+        else:
+            for name, g in geometries.items():
+                bench = benchmark_kernel(handle, g, policy, cache=cache)
+                plan.benchmark_time += bench.benchmark_time
+                config = optimize_from_benchmark(
+                    bench, workspace_limit, kernel=name
+                )
+                undivided = bench.fastest_micro(g.n, workspace_limit)
+                plan.kernels.append(
+                    KernelPlan(
+                        name=name,
+                        geometry=g,
+                        configuration=config,
+                        undivided_time=(
+                            undivided.time if undivided else math.inf
+                        ),
+                    )
+                )
         tspan.set("benchmark_seconds", plan.benchmark_time)
         tspan.set("total_time", plan.total_time)
     if rec:

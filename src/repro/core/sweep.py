@@ -63,6 +63,7 @@ from repro.core.mckp import MCKPItem, solve_mckp
 from repro.core.optimizer import KernelPlan, NetworkPlan
 from repro.core.pareto import desirable_set
 from repro.core.policies import BatchSizePolicy
+from repro.core.tensor_solve import solve_network_wr_outcomes
 from repro.core.wd import WDKernel, WDResult, symmetry_class_key
 from repro.core.wr import optimize_from_benchmark
 from repro.cudnn.descriptors import ConvGeometry
@@ -215,12 +216,82 @@ class WRNetworkSweep:
         return self.plans[limit]
 
 
+def _tensor_shared_sweeps(
+    benches: "dict[str, KernelBenchmark]", limits: "tuple[int, ...]"
+) -> "dict[str, WRSweep]":
+    """Network-wide tensor sweeps, one per distinct geometry.
+
+    Instead of one Python DP per (kernel, occupied interval), limits are
+    bucketed on the *network union* of every kernel's breakpoints (a
+    superset of each kernel's own grid, so every per-kernel answer is still
+    constant within a bucket) and each occupied bucket is answered by one
+    tensorized network solve (:func:`~repro.core.tensor_solve.
+    solve_network_wr_outcomes`).  Configurations and error types equal the
+    serial sweep's; infeasible-limit messages quote the *network* bucket's
+    representative limit (same caveat the serial sweep documents for its
+    per-kernel representatives).  ``dp_solves`` of the returned sweeps
+    counts the tensor passes covering the kernel.
+    """
+    distinct: dict[str, KernelBenchmark] = {}
+    for bench in benches.values():
+        distinct.setdefault(bench.geometry.cache_key(), bench)
+    union: set[int] = set()
+    for bench in distinct.values():
+        union.update(bench.workspace_step_union())
+    points = sorted(union)
+    buckets: dict[int, list[int]] = {}
+    for limit in limits:
+        buckets.setdefault(bisect.bisect_right(points, limit), []).append(limit)
+    configurations: dict[str, dict[int, Configuration]] = {
+        key: {} for key in distinct
+    }
+    errors: dict[str, dict[int, OptimizationError]] = {
+        key: {} for key in distinct
+    }
+    with telemetry.span(
+        "sweep.wr.tensor", kernels=len(distinct), limits=len(limits),
+        buckets=len(buckets),
+    ):
+        for bucket_limits in buckets.values():
+            configs, errs = solve_network_wr_outcomes(
+                distinct, bucket_limits[0]
+            )
+            for key in distinct:
+                if key in errs:
+                    for limit in bucket_limits:
+                        errors[key][limit] = errs[key]
+                else:
+                    for limit in bucket_limits:
+                        configurations[key][limit] = configs[key]
+        if telemetry.enabled():
+            telemetry.count("sweep.intervals_solved", len(buckets),
+                            help="occupied breakpoint intervals actually "
+                                 "solved")
+            telemetry.count(
+                "sweep.dp_solves_saved",
+                len(distinct) * (len(set(limits)) - len(buckets)),
+                help="per-limit WR DP executions avoided by interval "
+                     "bucketing")
+    return {
+        key: WRSweep(
+            benchmark=bench,
+            limits=limits,
+            configurations=configurations[key],
+            errors=errors[key],
+            breakpoints=wr_breakpoints(bench),
+            dp_solves=len(buckets),
+        )
+        for key, bench in distinct.items()
+    }
+
+
 def sweep_network_wr(
     handle: CudnnHandle,
     geometries: dict[str, ConvGeometry],
     limits: Iterable[int],
     policy: BatchSizePolicy = BatchSizePolicy.POWER_OF_TWO,
     cache: BenchmarkCache | None = None,
+    backend: str = "serial",
 ) -> WRNetworkSweep:
     """Per-limit :func:`~repro.core.optimizer.optimize_network_wr`, swept.
 
@@ -230,7 +301,17 @@ def sweep_network_wr(
     sweep -- the same deduplication the paper's benchmark cache performs one
     layer down.  A limit where any kernel is infeasible lands in ``errors``
     (the per-limit path would raise on its first infeasible kernel).
+
+    ``backend="serial"`` (default, the BENCH_sweep baseline) runs one
+    Python DP per occupied interval per distinct kernel; ``"tensor"``
+    answers each occupied *network-union* interval with one tensorized
+    network solve (see :func:`_tensor_shared_sweeps`) -- identical plans
+    and error types, and what BENCH_tensor measures.
     """
+    if backend not in ("serial", "tensor"):
+        raise SolverError(
+            f"unknown WR sweep backend {backend!r}; use 'serial' or 'tensor'"
+        )
     limits = tuple(int(m) for m in limits)
     benches = {
         name: benchmark_kernel(handle, g, policy, cache=cache)
@@ -238,14 +319,23 @@ def sweep_network_wr(
     }
     shared: dict[str, WRSweep] = {}
     sweeps: dict[str, WRSweep] = {}
-    for name, bench in benches.items():
-        dedup_key = bench.geometry.cache_key()
-        if dedup_key not in shared:
-            shared[dedup_key] = sweep_wr(bench, limits)
-        sweeps[name] = shared[dedup_key]
+    if backend == "tensor":
+        shared = _tensor_shared_sweeps(benches, limits)
+        for name, bench in benches.items():
+            sweeps[name] = shared[bench.geometry.cache_key()]
+    else:
+        for name, bench in benches.items():
+            dedup_key = bench.geometry.cache_key()
+            if dedup_key not in shared:
+                shared[dedup_key] = sweep_wr(bench, limits)
+            sweeps[name] = shared[dedup_key]
     plans: dict[int, NetworkPlan] = {}
     errors: dict[int, OptimizationError] = {}
     benchmark_time = sum(b.benchmark_time for b in benches.values())
+    #: Replicated geometries have identical benchmark tables, so their
+    #: undivided baseline at a limit is identical too -- look it up once
+    #: per (distinct kernel, limit) instead of once per copy.
+    undivided_times: dict[tuple[str, int], float] = {}
     for limit in limits:
         plan = NetworkPlan(scheme="wr", policy=policy,
                            benchmark_time=benchmark_time)
@@ -254,13 +344,18 @@ def sweep_network_wr(
             if limit in sweep.errors:
                 errors[limit] = sweep.errors[limit]
                 break
-            undivided = benches[name].fastest_micro(g.n, limit)
+            undivided_key = (g.cache_key(), limit)
+            undivided_time = undivided_times.get(undivided_key)
+            if undivided_time is None:
+                undivided = benches[name].fastest_micro(g.n, limit)
+                undivided_time = undivided.time if undivided else math.inf
+                undivided_times[undivided_key] = undivided_time
             plan.kernels.append(
                 KernelPlan(
                     name=name,
                     geometry=g,
                     configuration=sweep.configurations[limit],
-                    undivided_time=undivided.time if undivided else math.inf,
+                    undivided_time=undivided_time,
                 )
             )
         else:

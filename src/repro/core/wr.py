@@ -64,17 +64,41 @@ def t1_table(
 
     Raises :class:`OptimizationError` when no measured size has any algorithm
     fitting the limit.
+
+    Memoized per ``(benchmark identity, limit bucket)`` through the
+    benchmark's query cache: two limits between consecutive union workspace
+    steps admit the same rows at every size and share one table, so repeated
+    per-limit and trace calls stop rebuilding the same dict.  The returned
+    dict is shared -- treat it as immutable.  Infeasible buckets cache (and
+    re-raise) the same :class:`OptimizationError`, which therefore quotes
+    the bucket's first-seen limit (the sweep solvers already document this
+    for interval representatives).  Mutating ``benchmark.results`` requires
+    :meth:`~repro.core.benchmarker.KernelBenchmark.invalidate_query_cache`,
+    which drops this memo too.
     """
+    memo = benchmark._query_cache
+    key = ("t1", benchmark.t1_bucket(workspace_limit))
+    cached = memo.get(key)
+    if cached is not None:
+        if telemetry.enabled():
+            telemetry.count("wr.t1_memo_hits",
+                            help="T1 tables served from the per-benchmark memo")
+        if isinstance(cached, OptimizationError):
+            raise cached
+        return cached
     t1: dict[int, MicroConfig] = {}
     for size in benchmark.sizes:
         micro = benchmark.fastest_micro(size, workspace_limit)
         if micro is not None:
             t1[size] = micro
     if not t1:
-        raise OptimizationError(
+        error = OptimizationError(
             f"no algorithm fits workspace limit {workspace_limit} for "
             f"{benchmark.geometry}"
         )
+        memo[key] = error
+        raise error
+    memo[key] = t1
     return t1
 
 

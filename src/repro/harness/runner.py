@@ -89,6 +89,13 @@ PERSISTENCE_METRICS = (
     "persistence.merge.keys", "persistence.merge.conflicts",
 )
 
+#: Solver-acceleration counters surfaced in the per-experiment summary line
+#: (tensor passes, incremental re-solves, and the memo hits behind them).
+SOLVER_METRICS = (
+    "solver.tensor_passes", "solver.delta_solves",
+    "solver.full_solves_avoided", "wr.t1_memo_hits",
+)
+
 
 def _prepare_output(path: str) -> str:
     """Create an output path's parent directory; returns the path.
@@ -282,7 +289,8 @@ def main(argv: list[str] | None = None) -> int:
                 name: metrics.value(name, 0)
                 for name in ("cache.bench.hits", "cache.bench.misses",
                              "cache.config.hits", "cache.config.misses",
-                             "cache.evictions") + PERSISTENCE_METRICS
+                             "cache.evictions")
+                + PERSISTENCE_METRICS + SOLVER_METRICS
             }
             start = time.perf_counter()
             with telemetry.span("experiment", id=key, description=desc) as espan:
@@ -334,6 +342,16 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"[{key} persistence: {saves} saved, {loads} "
                           f"loaded, {wkeys} warm keys, {whits} warm hits, "
                           f"{mkeys} merged, {mconf} conflicts]")
+                passes, dsolves, avoided, memo = (
+                    int(metrics.value(name, 0) - counts0[name])
+                    for name in SOLVER_METRICS
+                )
+                # Solver acceleration is also opt-in (tensor backend or the
+                # delta solver); the line only appears when it did work.
+                if passes or dsolves or avoided or memo:
+                    print(f"[{key} solver: {passes} tensor passes, "
+                          f"{dsolves} delta solves, {avoided} full solves "
+                          f"avoided, {memo} t1-memo hits]")
                 print()
     ok = True
     if explain_result is not None:

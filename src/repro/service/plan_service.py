@@ -52,10 +52,18 @@ from repro.core.benchmarker import benchmark_kernel
 from repro.core.cache import BenchmarkCache
 from repro.core.config import Configuration
 from repro.core.policies import BatchSizePolicy
+from repro.core.tensor_solve import DeltaSolver, geometry_family
 from repro.core.wr import optimize_from_benchmark
+from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.device import Gpu
+from repro.cudnn.perfmodel import PerfResult
 from repro.cudnn.handle import CudnnHandle, ExecMode
-from repro.errors import DeadlineExceededError, ServiceOverloadedError, SolverError
+from repro.errors import (
+    DeadlineExceededError,
+    OptimizationError,
+    ServiceOverloadedError,
+    SolverError,
+)
 from repro.service.faults import ACTION_FAIL, ACTION_STALL, FaultInjector
 from repro.service.requests import PlanKey, PlanRequest, PlanResponse, ServiceStats
 from repro.service.store import PlanStore
@@ -170,9 +178,19 @@ class PlanService:
         self._inflight: dict[PlanKey, Future[tuple[Configuration, float]]] = {}
         self._pending = 0
         self._closed = False
+        #: Incremental re-optimizer: re-solves invalidated plans from its
+        #: per-kernel caches instead of paying a full network solve.
+        self._delta = DeltaSolver(gpu)
+        #: ``cache_key() -> geometry`` for every kernel ever requested, so a
+        #: benchmark refresh can rebuild the affected plans without a client.
+        self._kernel_geometries: dict[str, ConvGeometry] = {}
+        #: Per-family invalidation epochs; a solve whose family epoch moved
+        #: while it ran was computed from stale rows and must not be stored.
+        self._invalidation_epochs: dict[str, int] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="plan-service"
         )
+        self._bench_cache.add_invalidation_listener(self._on_bench_refresh)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -180,6 +198,7 @@ class PlanService:
         """Stop accepting work and shut the worker pool down."""
         with self._lock:
             self._closed = True
+        self._bench_cache.remove_invalidation_listener(self._on_bench_refresh)
         self._executor.shutdown(wait=wait, cancel_futures=True)
 
     def __enter__(self) -> "PlanService":
@@ -235,10 +254,18 @@ class PlanService:
         failure; an injected stall sleeps (real seconds) here -- the wave
         path handles stalls in simulated time instead and never calls this
         with a stalling action pending.
+
+        The family invalidation epoch is snapshotted before the solve and
+        re-checked before storing: a benchmark refresh that lands mid-solve
+        means the answer was computed from superseded rows, so it is
+        returned to the waiting client (still the best answer it can get
+        without re-queueing) but never cached.
         """
         action = self.faults.next_action() if self.faults is not None else "ok"
+        family = geometry_family(key.kernel)
         with self._lock:
             self.stats.solver_invocations += 1
+            epoch = self._invalidation_epochs.get(family, 0)
         if telemetry.enabled():
             telemetry.count("service.solver_invocations",
                             help="solver invocations (coalescing dedups these)")
@@ -249,7 +276,15 @@ class PlanService:
             # is what per-request deadlines exist to bound.
             threading.Event().wait(self.faults.stall_s)
         configuration, solve_seconds = self._solve_fn(request)
-        self.store.put(key, configuration)
+        with self._lock:
+            stale = self._invalidation_epochs.get(family, 0) != epoch
+        if stale:
+            if telemetry.enabled():
+                telemetry.count("service.stale_plans_dropped",
+                                help="solved plans not stored because their "
+                                     "benchmark rows were refreshed mid-solve")
+        else:
+            self.store.put(key, configuration)
         return configuration, solve_seconds
 
     # -- threaded path ---------------------------------------------------------
@@ -268,6 +303,7 @@ class PlanService:
         with self._lock:
             if self._closed:
                 raise ServiceOverloadedError("plan service is closed")
+            self._kernel_geometries[key.kernel] = request.geometry
             if cached is not None:
                 self.stats.requests += 1
                 self.stats.cache_hits += 1
@@ -433,6 +469,11 @@ class PlanService:
         """
         responses: list[PlanResponse | None] = [None] * len(requests)
         groups: dict[PlanKey, list[int]] = {}
+        with self._lock:
+            for request in requests:
+                self._kernel_geometries[request.geometry.cache_key()] = (
+                    request.geometry
+                )
         for index, request in enumerate(requests):
             key = request.key(self.gpu_name)
             cached = self.store.get(key)
@@ -462,12 +503,20 @@ class PlanService:
             duration = 0.0
             solve_seconds = 0.0
             if not failed:
+                family = geometry_family(key.kernel)
+                with self._lock:
+                    epoch = self._invalidation_epochs.get(family, 0)
                 configuration, solve_seconds = self._solve_fn(leader)
                 duration = solve_seconds
                 if action == ACTION_STALL and self.faults is not None:
                     duration += self.faults.stall_s
                 self._advance(duration)
-                self.store.put(key, configuration)
+                with self._lock:
+                    stale = (
+                        self._invalidation_epochs.get(family, 0) != epoch
+                    )
+                if not stale:
+                    self.store.put(key, configuration)
             fallback: tuple[Configuration, float] | None = None
             for position, index in enumerate(indices):
                 request = requests[index]
@@ -528,6 +577,91 @@ class PlanService:
         if advance is not None and seconds > 0:
             advance(seconds)
 
+    # -- incremental re-optimization -------------------------------------------
+
+    def refresh_benchmark(
+        self, geometry: ConvGeometry, results: list[PerfResult]
+    ) -> int:
+        """Publish fresh benchmark rows and repair every plan built on them.
+
+        This is the operator entry point for "the device got re-measured"
+        (driver update, clock-model fix, thermals): the rows are written to
+        the shared benchmark cache, which -- when they actually differ --
+        fires the invalidation listener.  That listener drops the affected
+        kernel family from the delta solver's caches and from the plan
+        store, then re-solves each dropped plan incrementally so the next
+        client hit is warm again.  Returns the number of stored plans the
+        refresh invalidated (0 when the rows were identical or nothing was
+        derived from them).
+        """
+        before = self.store.stats.invalidations
+        self._bench_cache.put_benchmark(self.gpu_name, geometry, results)
+        return self.store.stats.invalidations - before
+
+    def _on_bench_refresh(self, gpu_name: str, geometry: ConvGeometry) -> None:
+        """Benchmark-cache listener: invalidate + delta-re-solve plans.
+
+        Runs on the thread that overwrote the rows (never a solver worker:
+        the solver path only writes the cache on a miss, so it cannot
+        overwrite and cannot re-enter ``_solver_lock`` from here).  Order
+        matters: the epoch bump first (so mid-flight solves self-discard),
+        then the delta-solver and plan-store drops, then the re-solves.
+        """
+        if gpu_name != self.gpu_name:
+            return
+        family = geometry_family(geometry.cache_key())
+        with self._lock:
+            self._invalidation_epochs[family] = (
+                self._invalidation_epochs.get(family, 0) + 1
+            )
+        self._delta.invalidate_family(family)
+        removed = self.store.invalidate_matching(
+            lambda key: key.gpu == self.gpu_name
+            and geometry_family(key.kernel) == family
+        )
+        with self._lock:
+            self.stats.invalidated_plans += len(removed)
+        if removed and telemetry.enabled():
+            telemetry.count("service.invalidated_plans", len(removed),
+                            help="stored plans dropped by benchmark refresh")
+        resolved = 0
+        for key in removed:
+            if self._resolve_invalidated(key):
+                resolved += 1
+        with self._lock:
+            self.stats.delta_resolves += resolved
+        if resolved and telemetry.enabled():
+            telemetry.count("service.delta_resolves", resolved,
+                            help="invalidated plans re-solved incrementally")
+
+    def _resolve_invalidated(self, key: PlanKey) -> bool:
+        """Re-solve one invalidated plan through the delta solver.
+
+        ``False`` when the kernel's geometry was never seen (nothing to
+        re-benchmark from), the service is closed, or the fresh rows make
+        the plan infeasible -- the key then simply stays evicted and the
+        next client request solves it on demand.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            geometry = self._kernel_geometries.get(key.kernel)
+        if geometry is None:
+            return False
+        policy = BatchSizePolicy(key.policy)
+        with self._solver_lock:
+            bench = benchmark_kernel(
+                self._handle, geometry, policy, cache=self._bench_cache
+            )
+            try:
+                configs = self._delta.solve_network(
+                    {key.kernel: bench}, key.workspace_limit
+                )
+            except (OptimizationError, SolverError):
+                return False
+        self.store.put(key, configs[key.kernel])
+        return True
+
     # -- accounting ------------------------------------------------------------
 
     def _count_admission(self, source: str) -> None:
@@ -562,6 +696,7 @@ class PlanService:
             "max_pending": self.max_pending,
             "service": stats,
             "store": self.store.snapshot(),
+            "delta": self._delta.stats.as_dict(),
             "bench_cache": {
                 "hits": self._bench_cache.hits,
                 "misses": self._bench_cache.misses,

@@ -123,6 +123,12 @@ class ServiceStats:
     deadline_errors: int = 0
     solver_invocations: int = 0
     fallback_solves: int = 0
+    #: Plans dropped from the store because fresh benchmark rows arrived
+    #: for their kernel family (see ``PlanService.refresh_benchmark``).
+    invalidated_plans: int = 0
+    #: Invalidated plans re-solved in place by the incremental delta solver
+    #: (without a client having to re-request them).
+    delta_resolves: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -136,6 +142,8 @@ class ServiceStats:
             "deadline_errors": self.deadline_errors,
             "solver_invocations": self.solver_invocations,
             "fallback_solves": self.fallback_solves,
+            "invalidated_plans": self.invalidated_plans,
+            "delta_resolves": self.delta_resolves,
         }
 
 
@@ -153,6 +161,9 @@ class StoreStats:
     evictions: int = 0
     expirations: int = 0
     warm_hits: int = 0
+    #: Entries dropped by ``PlanStore.invalidate_matching`` (explicit
+    #: benchmark-refresh invalidation, not LRU pressure or TTL age).
+    invalidations: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -161,6 +172,7 @@ class StoreStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "warm_hits": self.warm_hits,
+            "invalidations": self.invalidations,
         }
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Callable
 
 import repro.telemetry as telemetry
 from repro.core.config import Configuration
@@ -79,6 +80,7 @@ class PlanStore:
                     and self.clock.now() - stored_at > self.ttl_s
                 ):
                     del self._entries[key]
+                    self._warm_keys.discard(key)
                     self.stats.expirations += 1
                     self.stats.misses += 1
                     result = None
@@ -102,14 +104,21 @@ class PlanStore:
         return result
 
     def put(self, key: PlanKey, configuration: Configuration) -> None:
-        """Insert/refresh a plan, evicting the LRU entry when over capacity."""
+        """Insert/refresh a plan, evicting the LRU entry when over capacity.
+
+        A refresh clears the key's warm marker: the entry now holds a plan
+        solved in this process, so later hits are ordinary hits, not
+        ``warm_hits``.
+        """
         evicted = 0
         with self._lock:
             self._entries[key] = (configuration, self.clock.now())
             self._entries.move_to_end(key)
+            self._warm_keys.discard(key)
             if self.capacity is not None:
                 while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                    old_key, _ = self._entries.popitem(last=False)
+                    self._warm_keys.discard(old_key)
                     self.stats.evictions += 1
                     evicted += 1
         if evicted and telemetry.enabled():
@@ -133,8 +142,33 @@ class PlanStore:
             self._warm_keys.add(key)
             if self.capacity is not None:
                 while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                    old_key, _ = self._entries.popitem(last=False)
+                    self._warm_keys.discard(old_key)
                     self.stats.evictions += 1
+
+    def invalidate_matching(
+        self, predicate: Callable[[PlanKey], bool]
+    ) -> list[PlanKey]:
+        """Drop every entry whose key satisfies ``predicate``; return them.
+
+        Used by the plan service when fresh benchmark rows land for a kernel
+        family: the matching plans were derived from the old rows and must
+        not be served again.  Removal, warm-marker cleanup, and the
+        ``invalidations`` counter all update under the store lock, so a
+        concurrent ``get`` either sees the old plan (pre-removal) or a miss
+        -- never a half-invalidated state; this is the same single-lock
+        discipline that keeps TTL expiry race-free.
+        """
+        with self._lock:
+            removed = [key for key in self._entries if predicate(key)]
+            for key in removed:
+                del self._entries[key]
+                self._warm_keys.discard(key)
+                self.stats.invalidations += 1
+        if removed and telemetry.enabled():
+            telemetry.count("service.store.invalidations", len(removed),
+                            help="plans dropped by explicit invalidation")
+        return removed
 
     def entries(self) -> list[tuple[PlanKey, Configuration, float]]:
         """Point-in-time copy of the contents, sorted by key string.

@@ -342,13 +342,57 @@ class TestPlanStore:
         snap = store.snapshot()
         assert snap == {"hits": 1, "misses": 1, "evictions": 0,
                         "expirations": 0, "warm_hits": 0,
-                        "size": 1, "capacity": 4}
+                        "invalidations": 0, "size": 1, "capacity": 4}
 
     def test_validation(self):
         with pytest.raises(ValueError):
             PlanStore(capacity=0)
         with pytest.raises(ValueError):
             PlanStore(ttl_s=0)
+
+    def test_invalidate_matching_drops_and_counts(self):
+        store = PlanStore()
+        for i in range(4):
+            store.put(make_key(i), fake_config())
+        removed = store.invalidate_matching(lambda k: k.kernel in ("k1", "k3"))
+        assert sorted(k.kernel for k in removed) == ["k1", "k3"]
+        assert store.stats.invalidations == 2
+        assert make_key(1) not in store
+        assert make_key(2) in store
+        # Nothing left to match: a second pass is a no-op.
+        assert store.invalidate_matching(lambda k: k.kernel == "k1") == []
+        assert store.stats.invalidations == 2
+
+    def test_warm_marker_cleared_on_expiry_and_overwrite(self):
+        """THR001-audit regression: warm markers must die with their entry.
+
+        A key restored from a snapshot, then expired (or overwritten by a
+        local solve), must not count later hits as ``warm_hits`` -- the
+        served plan no longer comes from the snapshot.
+        """
+        clock = ManualClock()
+        store = PlanStore(ttl_s=10.0, clock=clock)
+        store.restore(make_key(1), fake_config(), stored_at=clock.now())
+        clock.advance(11.0)
+        assert store.get(make_key(1)) is None  # expired
+        store.put(make_key(1), fake_config())
+        assert store.get(make_key(1)) is not None
+        assert store.stats.warm_hits == 0
+        # Overwrite path: a restored key re-solved locally loses the marker.
+        store.restore(make_key(2), fake_config(), stored_at=clock.now())
+        store.put(make_key(2), fake_config())
+        assert store.get(make_key(2)) is not None
+        assert store.stats.warm_hits == 0
+
+    def test_warm_marker_cleared_on_eviction(self):
+        """The warm-key set must not leak entries past their eviction."""
+        store = PlanStore(capacity=1)
+        store.restore(make_key(1), fake_config(), stored_at=0.0)
+        store.put(make_key(2), fake_config())  # evicts the restored key
+        assert make_key(1) not in store._warm_keys
+        store.restore(make_key(1), fake_config(), stored_at=0.0)
+        assert store.get(make_key(1)) is not None
+        assert store.stats.warm_hits == 1  # re-restored: warm again
 
 
 class TestFaultInjector:
@@ -451,5 +495,76 @@ class TestServiceValidation:
             assert set(summary["bench_cache"]) == {
                 "hits", "misses", "evictions",
             }
+        finally:
+            svc.close()
+
+
+class TestBenchmarkRefresh:
+    """A benchmark refresh invalidates exactly the derived plans and the
+    delta solver repairs them without any full network solve."""
+
+    @staticmethod
+    def _serve(svc, geometries, limit=64 * MIB):
+        requests = [
+            PlanRequest(kernel=name, geometry=g, workspace_limit=limit)
+            for name, g in geometries.items()
+        ]
+        return {r.kernel: svc.request(r) for r in requests}
+
+    def test_refresh_invalidates_and_delta_resolves(self):
+        geometries = {
+            "a": make_geometry(c=3, n=4),
+            "b": make_geometry(c=8, n=4),
+        }
+        svc = PlanService()
+        try:
+            served = self._serve(svc, geometries)
+            target = geometries["a"]
+            rows = svc.bench_cache.get_benchmark(svc.gpu_name, target)
+            assert rows
+            import dataclasses
+            mutated = [dataclasses.replace(r, time=r.time * 2.0)
+                       for r in rows]
+            assert svc.refresh_benchmark(target, mutated) == 1
+            assert svc.stats.invalidated_plans == 1
+            assert svc.stats.delta_resolves == 1
+            assert svc.store.stats.invalidations == 1
+            # The untouched kernel's plan survived; the refreshed one was
+            # re-solved in place, so the next request is a store hit.
+            before = svc.stats.solver_invocations
+            reserved = self._serve(svc, geometries)
+            assert {r.source for r in reserved.values()} == {"cached"}
+            assert svc.stats.solver_invocations == before
+            assert reserved["b"].configuration == served["b"].configuration
+        finally:
+            svc.close()
+
+    def test_identical_rows_are_a_noop(self):
+        g = make_geometry(c=3, n=4)
+        svc = PlanService()
+        try:
+            self._serve(svc, {"a": g})
+            rows = svc.bench_cache.get_benchmark(svc.gpu_name, g)
+            assert svc.refresh_benchmark(g, list(rows)) == 0
+            assert svc.stats.invalidated_plans == 0
+            assert svc.stats.delta_resolves == 0
+        finally:
+            svc.close()
+
+    def test_other_gpu_refresh_is_ignored(self):
+        g = make_geometry(c=3, n=4)
+        svc = PlanService()
+        try:
+            self._serve(svc, {"a": g})
+            rows = svc.bench_cache.get_benchmark(svc.gpu_name, g)
+            import dataclasses
+            mutated = [dataclasses.replace(r, time=r.time * 2.0)
+                       for r in rows]
+            # Same shared cache, different GPU name: first put inserts
+            # (no listener), second changes rows but targets another GPU.
+            svc.bench_cache.put_benchmark("other-gpu", g, list(rows))
+            svc.bench_cache.put_benchmark("other-gpu", g, mutated)
+            assert svc.stats.invalidated_plans == 0
+            assert len(svc.store) == 1
         finally:
             svc.close()
