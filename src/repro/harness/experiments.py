@@ -925,7 +925,7 @@ def serve_plans(
     from repro.persistence import (
         load_snapshot, save_snapshot, snapshot_service, warm_start,
     )
-    from repro.service import SoakConfig, build_service, run_soak
+    from repro.service import RequestLog, SoakConfig, build_service, run_soak
 
     if soak:
         # Rates chosen so the seeded schedule exercises *both* fallback
@@ -941,7 +941,10 @@ def serve_plans(
         return ServeResult(report=run_soak(config))
     import os
 
-    service = build_service(config)
+    service = build_service(
+        config,
+        request_log=RequestLog(capacity=max(1, config.clients * config.rounds)),
+    )
     try:
         restored = 0
         if os.path.exists(store_path):

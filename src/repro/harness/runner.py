@@ -156,14 +156,29 @@ def _run_server(args: argparse.Namespace) -> int:
     from repro.core.cache import BenchmarkCache
     from repro.errors import ReproError
     from repro.persistence import PersistentPlanStore
-    from repro.service import PlanService
-    from repro.wire import PlanServer, parse_address
+    from repro.service import PlanService, RequestLog
+    from repro.telemetry import ManualClock
+    from repro.wire import AdminServer, PlanServer, parse_address
 
     try:
         host, port = parse_address(args.listen)
     except ReproError as exc:
         print(f"bad --listen address: {exc}", file=sys.stderr)
         return 2
+    admin_addr = None
+    if args.admin:
+        try:
+            admin_addr = parse_address(args.admin)
+        except ReproError as exc:
+            print(f"bad --admin address: {exc}", file=sys.stderr)
+            return 2
+    # --sim-clock pins the service (and tracer) to a manual clock, so
+    # latencies, stage breakdowns, and trace timestamps are pure functions
+    # of the request sequence: two identical runs scrape byte-identical
+    # /requestz rings, which CI compares with cmp.
+    clock = ManualClock() if args.sim_clock else None
+    if args.trace:
+        telemetry.enable(clock=clock)
     bench = BenchmarkCache()
     store = None
     if args.store:
@@ -181,10 +196,21 @@ def _run_server(args: argparse.Namespace) -> int:
     stop = threading.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda _sig, _frame: stop.set())
-    service = PlanService(args.gpu, store=store, bench_cache=bench)
+    request_log = RequestLog() if admin_addr is not None else None
+    service = PlanService(args.gpu, store=store, bench_cache=bench,
+                          clock=clock, request_log=request_log,
+                          slow_request_s=args.slow_request_s)
+    admin = None
     try:
         with PlanServer(service, host, port,
                         snapshot_path=args.store) as server:
+            if admin_addr is not None:
+                admin = AdminServer(
+                    service, wire_stats=server.stats.as_dict,
+                    host=admin_addr[0], port=admin_addr[1],
+                ).start()
+                print(f"[admin endpoints on http://{admin.address} "
+                      "(/metrics /healthz /readyz /requestz)]", flush=True)
             print(f"[serving {args.gpu} plans on {server.address}; "
                   "SIGINT/SIGTERM to stop]", flush=True)
             stop.wait()
@@ -193,9 +219,15 @@ def _run_server(args: argparse.Namespace) -> int:
                 print(f"[plan store saved to {args.store}]")
             stats = server.stats.as_dict()
     finally:
+        if admin is not None:
+            admin.close()
         service.close()
+        if args.trace:
+            telemetry.disable()
     print(f"[server stopped: {stats['requests']} requests over "
           f"{stats['connections']} connections, {stats['errors']} errors, "
+          f"{stats['protocol_errors']} protocol errors, "
+          f"{stats['frames_in']}/{stats['frames_out']} frames in/out, "
           f"{stats['bytes_in']}B in / {stats['bytes_out']}B out]")
     return 0
 
@@ -247,6 +279,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="plan server address for the 'client' experiment")
     parser.add_argument("--gpu", default="p100-sxm2",
                         help="GPU model served by --listen (default p100-sxm2)")
+    parser.add_argument("--admin", metavar="HOST:PORT", default=None,
+                        help="with --listen: also serve the HTTP admin "
+                             "endpoints (/metrics /healthz /readyz /requestz) "
+                             "and attach a request-record ring")
+    parser.add_argument("--sim-clock", action="store_true",
+                        help="with --listen: run the service on a manual "
+                             "clock (deterministic /requestz and traces)")
+    parser.add_argument("--trace", action="store_true",
+                        help="with --listen: enable telemetry on the server "
+                             "so plan requests carry distributed traces")
+    parser.add_argument("--slow-request-s", type=float, default=None,
+                        metavar="S",
+                        help="with --listen: log a structured JSON line for "
+                             "every request slower than S seconds")
     args = parser.parse_args(argv)
 
     if args.diff is not None:

@@ -27,6 +27,7 @@ from repro.service.faults import (
     ACTIONS,
     FaultInjector,
 )
+from repro.service.introspection import RequestLog, RequestRecord
 from repro.service.plan_service import PlanService, PlanTicket, PlanWave
 from repro.service.requests import (
     SOURCES,
@@ -53,6 +54,8 @@ __all__ = [
     "PlanStore",
     "PlanTicket",
     "PlanWave",
+    "RequestLog",
+    "RequestRecord",
     "ServiceStats",
     "SoakConfig",
     "SoakReport",

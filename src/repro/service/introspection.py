@@ -1,0 +1,159 @@
+"""Live serving introspection: the bounded per-request record ring.
+
+Every served (or terminally failed) request leaves one
+:class:`RequestRecord` -- trace id, plan key, serving source, per-stage
+latency breakdown, outcome -- in a bounded, lock-guarded
+:class:`RequestLog` ring buffer.  The admin endpoint ``/requestz``
+(:mod:`repro.wire.admin`) renders the ring as canonical JSON; under a
+:class:`~repro.telemetry.clock.ManualClock` and deterministic trace ids the
+rendering is byte-identical across identical runs, which CI asserts with a
+plain ``cmp``.
+
+The log is **opt-in and zero-overhead when absent**: a
+:class:`~repro.service.PlanService` built without one allocates no record
+objects at all (pinned by the zero-overhead spy test in
+``tests/test_tracing.py``), honoring the same ZOV001 contract as the
+telemetry null objects.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+#: Default ring capacity (last N requests kept).
+DEFAULT_REQUEST_LOG_CAPACITY = 256
+
+#: Stage names every record carries (queue wait, solver work, response
+#: serialization -- the serialize stage is amended by the wire server and
+#: stays 0.0 for in-process serving).
+STAGES = ("queue", "solve", "serialize")
+
+
+@dataclass
+class RequestRecord:
+    """One request's timeline summary as kept by the ring buffer."""
+
+    seq: int
+    trace_id: str
+    key: str
+    client: str
+    source: str
+    outcome: str
+    latency_s: float
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "trace_id": self.trace_id,
+            "key": self.key,
+            "client": self.client,
+            "source": self.source,
+            "outcome": self.outcome,
+            "latency_s": self.latency_s,
+            "stages": {name: self.stages.get(name, 0.0) for name in STAGES},
+        }
+
+
+class RequestLog:
+    """Lock-guarded ring buffer of the last ``capacity`` request records.
+
+    Appends past capacity overwrite the oldest record (counted under
+    ``dropped``); reads snapshot under the same lock, so concurrent writers
+    can never expose a half-written ring (pinned by the thread-safety test
+    in ``tests/test_tracing.py``).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_REQUEST_LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: Owning lock for the ring, sequence counter, and dropped count.
+        self._lock = threading.Lock()
+        self._ring: list[RequestRecord | None] = [None] * capacity
+        self._next_seq = 0
+        self._dropped = 0
+
+    def record(
+        self,
+        trace_id: str,
+        key: str,
+        client: str,
+        source: str,
+        outcome: str,
+        latency_s: float,
+        stages: "dict[str, float] | None" = None,
+    ) -> RequestRecord:
+        """Append one record, evicting the oldest past capacity."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            slot = seq % self.capacity
+            if self._ring[slot] is not None:
+                self._dropped += 1
+            record = RequestRecord(
+                seq=seq, trace_id=trace_id, key=key, client=client,
+                source=source, outcome=outcome, latency_s=latency_s,
+                stages=dict(stages) if stages else {},
+            )
+            self._ring[slot] = record
+            return record
+
+    def amend_stage(self, trace_id: str, stage: str, seconds: float) -> bool:
+        """Add a stage duration to the newest record with ``trace_id``.
+
+        The wire server uses this to attribute response-serialization time
+        after the service has already recorded the request.  ``False`` when
+        the record has rotated out of the ring (or never existed).
+        """
+        with self._lock:
+            newest: RequestRecord | None = None
+            for record in self._ring:
+                if (record is not None and record.trace_id == trace_id
+                        and (newest is None or record.seq > newest.seq)):
+                    newest = record
+            if newest is None:
+                return False
+            newest.stages[stage] = newest.stages.get(stage, 0.0) + seconds
+            return True
+
+    def records(self) -> list[RequestRecord]:
+        """Point-in-time copy, oldest first."""
+        with self._lock:
+            kept = [r for r in self._ring if r is not None]
+        return sorted(kept, key=lambda r: r.seq)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._ring if r is not None)
+
+    @property
+    def dropped(self) -> int:
+        """Records overwritten by ring rotation (not an error)."""
+        with self._lock:
+            return self._dropped
+
+    def as_dict(self) -> dict[str, object]:
+        with self._lock:
+            kept = [r for r in self._ring if r is not None]
+            dropped = self._dropped
+        return {
+            "capacity": self.capacity,
+            "dropped": dropped,
+            "records": [r.as_dict()
+                        for r in sorted(kept, key=lambda r: r.seq)],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization (byte-identical for identical rings)."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+
+__all__ = [
+    "DEFAULT_REQUEST_LOG_CAPACITY",
+    "STAGES",
+    "RequestLog",
+    "RequestRecord",
+]

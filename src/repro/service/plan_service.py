@@ -40,6 +40,8 @@ Two front-ends share all of the machinery above:
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -65,6 +67,7 @@ from repro.errors import (
     SolverError,
 )
 from repro.service.faults import ACTION_FAIL, ACTION_STALL, FaultInjector
+from repro.service.introspection import RequestLog
 from repro.service.requests import PlanKey, PlanRequest, PlanResponse, ServiceStats
 from repro.service.store import PlanStore
 from repro.telemetry.clock import Clock, WallClock
@@ -72,23 +75,28 @@ from repro.telemetry.clock import Clock, WallClock
 #: A solver: request in, ``(configuration, simulated solve seconds)`` out.
 SolveFn = Callable[[PlanRequest], "tuple[Configuration, float]"]
 
+#: A sink for the slow-request structured log (one JSON line per call).
+SlowLogFn = Callable[[str], None]
+
 
 @dataclass
 class PlanTicket:
     """Handle for one admitted request (returned by :meth:`PlanService.submit`).
 
     ``response`` is pre-filled for plan-store hits; otherwise ``future``
-    resolves to ``(configuration, solve_seconds)`` and ``source`` records
-    whether this ticket initiated the solve (``fresh``) or attached to one
-    (``coalesced``).  Every ticket must be passed to
-    :meth:`PlanService.wait` exactly once.
+    resolves to ``(configuration, solve_seconds, solve_started_at)`` --
+    the third element is the service-clock instant the solver actually
+    started, which is what turns into the ``queue`` stage of the request's
+    latency breakdown -- and ``source`` records whether this ticket
+    initiated the solve (``fresh``) or attached to one (``coalesced``).
+    Every ticket must be passed to :meth:`PlanService.wait` exactly once.
     """
 
     request: PlanRequest
     key: PlanKey
     source: str
     submitted_at: float
-    future: "Future[tuple[Configuration, float]] | None" = None
+    future: "Future[tuple[Configuration, float, float]] | None" = None
     response: PlanResponse | None = None
 
 
@@ -123,6 +131,18 @@ class PlanService:
         Optional pre-built plan store (e.g. a write-through
         :class:`~repro.persistence.PersistentPlanStore`); when given,
         ``capacity``/``ttl_s`` are ignored in favor of the store's own.
+    request_log:
+        Optional :class:`~repro.service.introspection.RequestLog`; when
+        given, every served (or terminally failed) request leaves one
+        bounded-ring record with its trace id and stage breakdown.  ``None``
+        (the default) records nothing and allocates nothing.
+    slow_request_s:
+        Optional threshold (service-clock seconds): a request whose latency
+        exceeds it emits one structured JSON line -- trace id, key, stage
+        breakdown, and an ``explain`` command pointer -- to ``slow_log``.
+    slow_log:
+        Sink for slow-request lines (defaults to ``print``); injectable so
+        tests and servers capture them.
     solve_fn:
         Override of the solver (tests inject spies/stalls here).  The
         default benchmarks under the request's policy and runs the WR DP,
@@ -144,6 +164,9 @@ class PlanService:
         bench_cache: BenchmarkCache | None = None,
         solve_fn: SolveFn | None = None,
         store: PlanStore | None = None,
+        request_log: RequestLog | None = None,
+        slow_request_s: float | None = None,
+        slow_log: SlowLogFn | None = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -163,6 +186,10 @@ class PlanService:
             else PlanStore(capacity=capacity, ttl_s=ttl_s, clock=self.clock)
         )
         self.stats = ServiceStats()
+        #: Live-introspection ring (``/requestz``); ``None`` records nothing.
+        self.request_log = request_log
+        self._slow_request_s = slow_request_s
+        self._slow_log: SlowLogFn = slow_log if slow_log is not None else print
         self._handle = CudnnHandle(gpu=Gpu.create(gpu), mode=ExecMode.TIMING)
         self._bench_cache = (
             bench_cache if bench_cache is not None else BenchmarkCache()
@@ -175,7 +202,14 @@ class PlanService:
         self._lock = threading.Lock()
         #: Serializes actual solver work on the single simulated device.
         self._solver_lock = threading.Lock()
-        self._inflight: dict[PlanKey, Future[tuple[Configuration, float]]] = {}
+        self._inflight: dict[
+            PlanKey, Future[tuple[Configuration, float, float]]
+        ] = {}
+        #: Trace ids of requests that coalesced onto each in-flight solve;
+        #: drained when the solve finishes and attached to its span as links
+        #: (only populated while telemetry is enabled and requests are
+        #: traced, so the untraced path never touches it).
+        self._coalesced_traces: dict[PlanKey, list[str]] = {}
         self._pending = 0
         self._closed = False
         #: Incremental re-optimizer: re-solves invalidated plans from its
@@ -244,9 +278,24 @@ class PlanService:
                             help="undivided fallback plans computed")
         return Configuration((micro,)), bench.benchmark_time
 
+    def _trace_span(self, span: object, request: PlanRequest) -> None:
+        """Stamp a live span with the request's distributed-trace identity.
+
+        Only called with ``telemetry.enabled()`` true and a real
+        :class:`~repro.telemetry.spans.Span` (never the inert null span,
+        whose ``__slots__`` reject attribute writes -- that is the
+        zero-overhead contract, not an accident).
+        """
+        if not request.trace_id:
+            return
+        span.trace_id = request.trace_id  # type: ignore[attr-defined]
+        span.span_id = telemetry.get_tracer().new_span_id()  # type: ignore[attr-defined]
+        if request.parent_span_id:
+            span.parent_span_id = request.parent_span_id  # type: ignore[attr-defined]
+
     def _execute(
         self, request: PlanRequest, key: PlanKey
-    ) -> tuple[Configuration, float]:
+    ) -> tuple[Configuration, float, float]:
         """One solver invocation: fault gate, solve, store the plan.
 
         Runs on a worker thread in the threaded path and inline in the wave
@@ -260,32 +309,53 @@ class PlanService:
         means the answer was computed from superseded rows, so it is
         returned to the waiting client (still the best answer it can get
         without re-queueing) but never cached.
+
+        Returns ``(configuration, solve_seconds, started_at)``; the last is
+        the service-clock instant this call began, which the waiter turns
+        into the request's ``queue`` stage.
         """
-        action = self.faults.next_action() if self.faults is not None else "ok"
-        family = geometry_family(key.kernel)
-        with self._lock:
-            self.stats.solver_invocations += 1
-            epoch = self._invalidation_epochs.get(family, 0)
-        if telemetry.enabled():
-            telemetry.count("service.solver_invocations",
-                            help="solver invocations (coalescing dedups these)")
-        if action == ACTION_FAIL:
-            raise SolverError(f"injected solver failure for {key}")
-        if action == ACTION_STALL and self.faults is not None:
-            # Real stall: the solve takes stall_s longer than normal, which
-            # is what per-request deadlines exist to bound.
-            threading.Event().wait(self.faults.stall_s)
-        configuration, solve_seconds = self._solve_fn(request)
-        with self._lock:
-            stale = self._invalidation_epochs.get(family, 0) != epoch
-        if stale:
-            if telemetry.enabled():
-                telemetry.count("service.stale_plans_dropped",
-                                help="solved plans not stored because their "
-                                     "benchmark rows were refreshed mid-solve")
-        else:
-            self.store.put(key, configuration)
-        return configuration, solve_seconds
+        started_at = self.clock.now()
+        with telemetry.span("service.solve", key=str(key)) as sspan:
+            traced = telemetry.enabled()
+            if traced:
+                self._trace_span(sspan, request)
+            action = (self.faults.next_action()
+                      if self.faults is not None else "ok")
+            family = geometry_family(key.kernel)
+            with self._lock:
+                self.stats.solver_invocations += 1
+                epoch = self._invalidation_epochs.get(family, 0)
+            if traced:
+                telemetry.count("service.solver_invocations",
+                                help="solver invocations (coalescing dedups "
+                                     "these)")
+            if action == ACTION_FAIL:
+                raise SolverError(f"injected solver failure for {key}")
+            if action == ACTION_STALL and self.faults is not None:
+                # Real stall: the solve takes stall_s longer than normal,
+                # which is what per-request deadlines exist to bound.
+                threading.Event().wait(self.faults.stall_s)
+            configuration, solve_seconds = self._solve_fn(request)
+            with self._lock:
+                stale = self._invalidation_epochs.get(family, 0) != epoch
+                joined = (self._coalesced_traces.pop(key, [])
+                          if traced else [])
+            if traced:
+                # Every requester that coalesced onto this solve is linked
+                # from the solve span, so one exported trace shows who
+                # shared the work (late joiners cannot exist: coalescing
+                # requires the in-flight future, which is gone by now).
+                for trace_id in joined:
+                    sspan.links.append({"trace_id": trace_id})  # type: ignore[attr-defined]
+            if stale:
+                if traced:
+                    telemetry.count(
+                        "service.stale_plans_dropped",
+                        help="solved plans not stored because their "
+                             "benchmark rows were refreshed mid-solve")
+            else:
+                self.store.put(key, configuration)
+        return configuration, solve_seconds, started_at
 
     # -- threaded path ---------------------------------------------------------
 
@@ -328,10 +398,14 @@ class PlanService:
             inflight = self._inflight.get(key)
             if inflight is not None:
                 self.stats.coalesced += 1
+                if request.trace_id and telemetry.enabled():
+                    self._coalesced_traces.setdefault(key, []).append(
+                        request.trace_id
+                    )
                 self._count_admission("coalesced")
                 return PlanTicket(request=request, key=key, source="coalesced",
                                   submitted_at=now, future=inflight)
-            future: Future[tuple[Configuration, float]] = Future()
+            future: Future[tuple[Configuration, float, float]] = Future()
             self._inflight[key] = future
             self.stats.fresh += 1
             self._count_admission("fresh")
@@ -343,7 +417,7 @@ class PlanService:
         self,
         request: PlanRequest,
         key: PlanKey,
-        future: "Future[tuple[Configuration, float]]",
+        future: "Future[tuple[Configuration, float, float]]",
     ) -> None:
         """Worker body: execute the solve and publish its outcome."""
         try:
@@ -351,20 +425,30 @@ class PlanService:
         except BaseException as exc:  # reprolint: disable=ERR001 -- thread boundary: the exception is re-raised to every waiter via the future
             with self._lock:
                 self._inflight.pop(key, None)
+                self._coalesced_traces.pop(key, None)
             future.set_exception(exc)
             return
         with self._lock:
             self._inflight.pop(key, None)
+            # Joiners that slipped in between the solve's link drain and
+            # this removal lose their link (they still get the result);
+            # dropping the leftovers keeps them off the *next* solve's span.
+            self._coalesced_traces.pop(key, None)
         future.set_result(outcome)
 
     def wait(self, ticket: PlanTicket) -> PlanResponse:
         """Resolve a ticket: exact plan, or walk the degradation ladder."""
         if ticket.response is not None:
-            return ticket.response
+            # Store hit: re-route through _served so cache hits land in the
+            # request ring and latency histogram like every other outcome.
+            return self._served(
+                ticket, ticket.response.configuration, ticket.source, 0.0,
+                max(0.0, self.clock.now() - ticket.submitted_at),
+            )
         assert ticket.future is not None
         request = ticket.request
         try:
-            configuration, solve_seconds = ticket.future.result(
+            configuration, solve_seconds, started_at = ticket.future.result(
                 timeout=request.deadline_s
             )
         except FutureTimeoutError:
@@ -374,17 +458,33 @@ class PlanService:
         finally:
             with self._lock:
                 self._pending -= 1
-        latency = self.clock.now() - ticket.submitted_at
+        now = self.clock.now()
+        latency = now - ticket.submitted_at
+        stages = {
+            "queue": max(0.0, started_at - ticket.submitted_at),
+            "solve": max(0.0, now - started_at),
+        }
         return self._served(ticket, configuration, ticket.source,
-                            solve_seconds, latency)
+                            solve_seconds, latency, stages=stages)
 
     def request(self, request: PlanRequest) -> PlanResponse:
-        """Submit and wait: the blocking client call."""
+        """Submit and wait: the blocking client call.
+
+        A traced request (non-empty ``trace_id``) continues the caller's
+        distributed trace: the ``service.request`` span adopts the incoming
+        trace context, and its span id becomes the parent of the solve span
+        (plumbed through the request object so worker threads see it).
+        """
         with telemetry.span(
             "service.request", kernel=request.kernel,
             policy=request.policy.value,
             workspace_limit=request.workspace_limit,
         ) as tspan:
+            if telemetry.enabled() and request.trace_id:
+                self._trace_span(tspan, request)
+                request = dataclasses.replace(
+                    request, parent_span_id=tspan.span_id  # type: ignore[attr-defined]
+                )
             response = self.wait(self.submit(request))
             tspan.set("source", response.source)
         return response
@@ -398,6 +498,7 @@ class PlanService:
         if not self.fallback_enabled:
             with self._lock:
                 self.stats.deadline_errors += 1
+            self._record_error(ticket, reason)
             if reason == "timeout":
                 raise DeadlineExceededError(
                     f"plan for {ticket.key} missed its "
@@ -410,6 +511,7 @@ class PlanService:
         if fallback is None:
             with self._lock:
                 self.stats.deadline_errors += 1
+            self._record_error(ticket, reason)
             raise DeadlineExceededError(
                 f"plan for {ticket.key} degraded on {reason} and the "
                 f"undivided fallback does not fit "
@@ -425,6 +527,17 @@ class PlanService:
         return self._served(ticket, configuration, "fallback", solve_seconds,
                             latency, fallback_reason=reason)
 
+    def _record_error(self, ticket: PlanTicket, reason: str) -> None:
+        """Ring-record a request that is about to raise (terminal rung)."""
+        if self.request_log is None:
+            return
+        self.request_log.record(
+            trace_id=ticket.request.trace_id, key=str(ticket.key),
+            client=ticket.request.client, source=ticket.source,
+            outcome=f"error:{reason}",
+            latency_s=self.clock.now() - ticket.submitted_at,
+        )
+
     def _served(
         self,
         ticket: PlanTicket,
@@ -433,24 +546,82 @@ class PlanService:
         solve_seconds: float,
         latency: float,
         fallback_reason: str = "",
+        stages: "dict[str, float] | None" = None,
     ) -> PlanResponse:
-        """Build the response and record its provenance."""
+        """Build the response and record its provenance.
+
+        ``stages`` is the queue/solve latency breakdown (the wire server
+        later amends ``serialize`` onto the same ring record); store hits
+        pass ``None`` -- they queued for nothing and solved nothing.
+        """
+        request = ticket.request
         response = PlanResponse(
-            kernel=ticket.request.kernel, key=ticket.key,
+            kernel=request.kernel, key=ticket.key,
             configuration=configuration, source=source,
             solve_seconds=solve_seconds, latency_s=latency,
-            fallback_reason=fallback_reason, client=ticket.request.client,
+            fallback_reason=fallback_reason, client=request.client,
         )
+        if self.request_log is not None:
+            self.request_log.record(
+                trace_id=request.trace_id, key=str(ticket.key),
+                client=request.client, source=source, outcome="ok",
+                latency_s=latency, stages=stages,
+            )
+        if telemetry.enabled():
+            telemetry.observe(
+                "service.request_latency_seconds", latency,
+                help="end-to-end plan-request latency",
+                labels={"deadline_class":
+                        telemetry.deadline_class(request.deadline_s)},
+                exemplar=request.trace_id or None,
+            )
+            for stage, seconds in (stages or {}).items():
+                telemetry.observe(
+                    "service.stage_seconds", seconds,
+                    help="request latency by pipeline stage",
+                    labels={"stage": stage},
+                )
+        if (self._slow_request_s is not None
+                and latency > self._slow_request_s):
+            self._log_slow(ticket, response, stages)
         rec = observability.recorder()
         if rec:
             rec.record(
-                "service.served", kernel=ticket.request.kernel,
+                "service.served", kernel=request.kernel,
                 source=source, fallback_reason=fallback_reason,
                 workspace_limit=ticket.key.workspace_limit,
                 policy=ticket.key.policy, time=configuration.time,
                 workspace=configuration.workspace,
             )
         return response
+
+    def _log_slow(
+        self,
+        ticket: PlanTicket,
+        response: PlanResponse,
+        stages: "dict[str, float] | None",
+    ) -> None:
+        """Emit one structured slow-request line to the configured sink.
+
+        The line carries the trace id (grep it in the Chrome trace or
+        ``/requestz``) and a ready-to-run ``explain`` command for the
+        kernel, so a slow request points straight at its diagnosis.
+        """
+        request = ticket.request
+        line = json.dumps({
+            "deadline_s": request.deadline_s,
+            "event": "slow_request",
+            "explain": (f"python -m repro.harness.runner explain "
+                        f"--explain-kernel {request.kernel}"),
+            "key": str(ticket.key),
+            "kernel": request.kernel,
+            "latency_s": response.latency_s,
+            "source": response.source,
+            "stages": dict(stages or {}),
+            "threshold_s": self._slow_request_s,
+            "trace_id": request.trace_id,
+        }, sort_keys=True, separators=(",", ":"))
+        self._slow_log(line)
 
     # -- wave path (deterministic batch serving) -------------------------------
 
@@ -469,6 +640,7 @@ class PlanService:
         """
         responses: list[PlanResponse | None] = [None] * len(requests)
         groups: dict[PlanKey, list[int]] = {}
+        wave_start = self.clock.now()
         with self._lock:
             for request in requests:
                 self._kernel_geometries[request.geometry.cache_key()] = (
@@ -494,29 +666,43 @@ class PlanService:
                 self.stats.solver_invocations += 1
                 self.stats.fresh += 1
                 self.stats.coalesced += len(indices) - 1
+            traced = telemetry.enabled()
             if telemetry.enabled():
                 telemetry.count("service.solver_invocations",
                                 help="solver invocations (coalescing dedups "
                                      "these)")
             failed = action == ACTION_FAIL
             configuration: Configuration | None = None
+            # Wave stage accounting: the clock only advances by solve
+            # durations, so time accrued serving *earlier* groups is
+            # exactly this group's queue wait.
+            queue_s = max(0.0, self.clock.now() - wave_start)
             duration = 0.0
             solve_seconds = 0.0
-            if not failed:
-                family = geometry_family(key.kernel)
-                with self._lock:
-                    epoch = self._invalidation_epochs.get(family, 0)
-                configuration, solve_seconds = self._solve_fn(leader)
-                duration = solve_seconds
-                if action == ACTION_STALL and self.faults is not None:
-                    duration += self.faults.stall_s
-                self._advance(duration)
-                with self._lock:
-                    stale = (
-                        self._invalidation_epochs.get(family, 0) != epoch
-                    )
-                if not stale:
-                    self.store.put(key, configuration)
+            with telemetry.span("service.solve", key=str(key)) as sspan:
+                if traced:
+                    self._trace_span(sspan, leader)
+                    for position in indices[1:]:
+                        joiner = requests[position]
+                        if joiner.trace_id:
+                            sspan.links.append(  # type: ignore[attr-defined]
+                                {"trace_id": joiner.trace_id}
+                            )
+                if not failed:
+                    family = geometry_family(key.kernel)
+                    with self._lock:
+                        epoch = self._invalidation_epochs.get(family, 0)
+                    configuration, solve_seconds = self._solve_fn(leader)
+                    duration = solve_seconds
+                    if action == ACTION_STALL and self.faults is not None:
+                        duration += self.faults.stall_s
+                    self._advance(duration)
+                    with self._lock:
+                        stale = (
+                            self._invalidation_epochs.get(family, 0) != epoch
+                        )
+                    if not stale:
+                        self.store.put(key, configuration)
             fallback: tuple[Configuration, float] | None = None
             for position, index in enumerate(indices):
                 request = requests[index]
@@ -530,7 +716,9 @@ class PlanService:
                 if failed or timed_out:
                     reason = "solver_error" if failed else "timeout"
                     if fallback is None:
-                        fallback = self._require_fallback(request, key, reason)
+                        fallback = self._require_fallback(
+                            request, key, reason, ticket=ticket
+                        )
                         self._advance(fallback[1])
                     with self._lock:
                         if failed:
@@ -540,16 +728,24 @@ class PlanService:
                     responses[index] = self._served(
                         ticket, fallback[0], "fallback", fallback[1],
                         duration + fallback[1], fallback_reason=reason,
+                        stages={"queue": queue_s,
+                                "solve": duration + fallback[1]},
                     )
                 else:
                     assert configuration is not None
                     responses[index] = self._served(
-                        ticket, configuration, source, solve_seconds, duration
+                        ticket, configuration, source, solve_seconds,
+                        duration,
+                        stages={"queue": queue_s, "solve": duration},
                     )
         return [r for r in responses if r is not None]
 
     def _require_fallback(
-        self, request: PlanRequest, key: PlanKey, reason: str
+        self,
+        request: PlanRequest,
+        key: PlanKey,
+        reason: str,
+        ticket: PlanTicket | None = None,
     ) -> tuple[Configuration, float]:
         """The undivided plan, or the ladder's terminal error."""
         if telemetry.enabled():
@@ -558,6 +754,8 @@ class PlanService:
         if not self.fallback_enabled:
             with self._lock:
                 self.stats.deadline_errors += 1
+            if ticket is not None:
+                self._record_error(ticket, reason)
             raise DeadlineExceededError(
                 f"plan for {key} degraded on {reason} (fallback disabled)"
             )
@@ -565,6 +763,8 @@ class PlanService:
         if fallback is None:
             with self._lock:
                 self.stats.deadline_errors += 1
+            if ticket is not None:
+                self._record_error(ticket, reason)
             raise DeadlineExceededError(
                 f"plan for {key} degraded on {reason} and the undivided "
                 f"fallback does not fit {request.workspace_limit} B"
@@ -686,6 +886,12 @@ class PlanService:
         """Currently outstanding (admitted, unresolved) requests."""
         with self._lock:
             return self._pending
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (readiness probes use this)."""
+        with self._lock:
+            return self._closed
 
     def metrics_summary(self) -> dict[str, object]:
         """Service + store counters in one JSON-safe mapping."""

@@ -69,6 +69,12 @@ class PlanRequest:
     workspace_limit: int = 64 * MIB
     deadline_s: float | None = None
     client: str = ""
+    #: Distributed-trace context (W3C-style, carried over the wire): the
+    #: request's trace id and the caller's span id.  Empty strings mean "not
+    #: traced" -- the service then records/propagates nothing, keeping the
+    #: untraced path allocation-free (ZOV001).
+    trace_id: str = ""
+    parent_span_id: str = ""
 
     def key(self, gpu: str) -> PlanKey:
         return PlanKey(

@@ -30,9 +30,11 @@ from repro.cudnn.descriptors import ConvGeometry
 from repro.errors import ServiceError, ServiceOverloadedError
 from repro.harness.tables import Table
 from repro.service.faults import FaultInjector
+from repro.service.introspection import STAGES, RequestLog
 from repro.service.plan_service import PlanService
 from repro.service.requests import PlanRequest, PlanResponse
 from repro.telemetry.clock import ManualClock
+from repro.telemetry.trace import TraceIdSource
 from repro.units import MIB
 
 #: Percentiles reported by the driver (nearest-rank, deterministic).
@@ -101,6 +103,11 @@ class SoakReport:
     fallback_reasons: dict[str, int] = field(default_factory=dict)
     solver_invocations: int = 0
     latency_percentiles_s: dict[str, float] = field(default_factory=dict)
+    #: Per-stage (queue/solve/serialize) latency percentiles, computed from
+    #: the service's request-log trace records; empty when no log attached.
+    stage_percentiles_s: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
     max_latency_s: float = 0.0
     sim_elapsed_s: float = 0.0
     throughput_rps: float = 0.0
@@ -127,6 +134,7 @@ class SoakReport:
             "fallback_reasons": self.fallback_reasons,
             "solver_invocations": self.solver_invocations,
             "latency_percentiles_s": self.latency_percentiles_s,
+            "stage_percentiles_s": self.stage_percentiles_s,
             "max_latency_s": self.max_latency_s,
             "sim_elapsed_s": self.sim_elapsed_s,
             "throughput_rps": self.throughput_rps,
@@ -157,6 +165,9 @@ class SoakReport:
         t.add("solver invocations", self.solver_invocations)
         for name, value in self.latency_percentiles_s.items():
             t.add(f"latency {name}", f"{value * 1000:.3f} ms")
+        for stage in STAGES:
+            for name, value in self.stage_percentiles_s.get(stage, {}).items():
+                t.add(f"{stage} {name}", f"{value * 1000:.3f} ms")
         t.add("max latency", f"{self.max_latency_s * 1000:.3f} ms")
         t.add("sim elapsed", f"{self.sim_elapsed_s:.3f} s")
         t.add("throughput", f"{self.throughput_rps:.1f} req/s")
@@ -194,7 +205,9 @@ def soak_geometries(config: SoakConfig) -> dict[str, ConvGeometry]:
     return conv_geometries_of(builder, batch, config.gpu)
 
 
-def build_service(config: SoakConfig) -> PlanService:
+def build_service(
+    config: SoakConfig, request_log: RequestLog | None = None
+) -> PlanService:
     """A service wired for deterministic soak (manual clock, seeded faults)."""
     faults: FaultInjector | None = None
     if config.fail_rate > 0 or config.stall_rate > 0:
@@ -211,6 +224,7 @@ def build_service(config: SoakConfig) -> PlanService:
         clock=ManualClock(),
         faults=faults,
         bench_cache=BenchmarkCache(capacity=config.bench_capacity),
+        request_log=request_log,
     )
 
 
@@ -226,7 +240,15 @@ def run_soak(
     names = sorted(geometries)
     owned = service is None
     if service is None:
-        service = build_service(config)
+        # Ring sized to the whole run so no record rotates out before the
+        # stage percentiles are computed from it.
+        service = build_service(
+            config,
+            request_log=RequestLog(
+                capacity=max(1, config.clients * config.rounds)
+            ),
+        )
+    trace_ids = TraceIdSource("soak")
     rng = random.Random(config.seed)
     report = SoakReport(config=dict(config.describe()), kernels=len(names))
     latencies: list[float] = []
@@ -246,6 +268,7 @@ def run_soak(
                     workspace_limit=limit_mib * MIB,
                     deadline_s=config.deadline_s,
                     client=f"client-{client}",
+                    trace_id=trace_ids.next(),
                 )
                 report.submitted += 1
                 try:
@@ -275,7 +298,27 @@ def run_soak(
     report.max_latency_s = latencies[-1] if latencies else 0.0
     report.solver_invocations = service.stats.solver_invocations
     report.service = service.metrics_summary()
+    if service.request_log is not None:
+        report.stage_percentiles_s = _stage_percentiles(service.request_log)
     return report
+
+
+def _stage_percentiles(log: RequestLog) -> dict[str, dict[str, float]]:
+    """Nearest-rank percentiles per pipeline stage over the ring's records."""
+    values: dict[str, list[float]] = {name: [] for name in STAGES}
+    for record in log.records():
+        if record.outcome != "ok":
+            continue
+        for name in STAGES:
+            values[name].append(record.stages.get(name, 0.0))
+    out: dict[str, dict[str, float]] = {}
+    for name in STAGES:
+        ascending = sorted(values[name])
+        out[name] = {
+            f"p{percentile}": nearest_rank(ascending, percentile)
+            for percentile in PERCENTILES
+        }
+    return out
 
 
 def _tally(

@@ -39,6 +39,11 @@ from dataclasses import dataclass
 
 from repro.telemetry import exporters
 from repro.telemetry.clock import ManualClock, WallClock
+from repro.telemetry.trace import (
+    TraceContext,
+    TraceIdSource,
+    deadline_class,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -58,8 +63,11 @@ __all__ = [
     "NullSpan",
     "Span",
     "TelemetrySession",
+    "TraceContext",
+    "TraceIdSource",
     "Tracer",
     "WallClock",
+    "deadline_class",
     "capture",
     "count",
     "device_span",
@@ -190,12 +198,24 @@ def gauge(name: str, value: float, help: str = "") -> None:
         s.metrics.gauge(name, help=help).set(value)
 
 
-def observe(name: str, value: float, help: str = "", buckets=None) -> None:
+def observe(
+    name: str,
+    value: float,
+    help: str = "",
+    buckets=None,
+    labels=None,
+    exemplar: str | None = None,
+) -> None:
     """Record a histogram observation (no-op when disabled).
 
     ``buckets`` only takes effect on the observation that creates the
     histogram; pass the same bounds at every site (or none after the first).
+    ``labels`` selects one series of a labelled family; ``exemplar`` (a
+    trace id) is remembered per bucket and rendered OpenMetrics-style by the
+    Prometheus exporter.
     """
     s = _session
     if s is not None:
-        s.metrics.histogram(name, help=help, buckets=buckets).observe(value)
+        s.metrics.histogram(
+            name, help=help, buckets=buckets, labels=labels
+        ).observe(value, exemplar=exemplar)

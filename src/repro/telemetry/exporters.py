@@ -19,9 +19,12 @@ import json
 from repro.telemetry.metrics import Counter, Gauge, Histogram, Metrics
 from repro.telemetry.spans import Span, Tracer
 
-#: Trace-event process ids: host wall time vs simulated device time.
+#: Trace-event process ids: host wall time, simulated device time, and
+#: spans adopted from a remote peer (e.g. the plan server's half of one
+#: distributed request timeline).
 _PID_WALL = 0
 _PID_DEVICE = 1
+_PID_REMOTE = 2
 
 
 def _us(seconds: float) -> float:
@@ -30,37 +33,83 @@ def _us(seconds: float) -> float:
 
 
 def _args(span: Span) -> dict:
-    """JSON-safe copy of a span's attributes."""
+    """JSON-safe copy of a span's attributes (plus trace identity)."""
     out = {}
     for key, value in span.attributes.items():
         if isinstance(value, (bool, int, float, str)) or value is None:
             out[key] = value
         else:
             out[key] = str(value)
+    if span.trace_id is not None:
+        out["trace_id"] = span.trace_id
+    if span.span_id is not None:
+        out["span_id"] = span.span_id
+    if span.parent_span_id is not None:
+        out["parent_span_id"] = span.parent_span_id
+    if span.links:
+        out["links"] = ";".join(
+            str(link.get("trace_id", link.get("span_id", "")))
+            for link in span.links
+        )
     return out
 
 
 def chrome_trace(tracer: Tracer) -> dict:
-    """The tracer's spans as a Chrome ``trace_event`` JSON object."""
+    """The tracer's spans as a Chrome ``trace_event`` JSON object.
+
+    Spans carrying distributed-trace identity additionally produce flow
+    events (``ph: "s"``/``"f"``) from each parent span to its children, so
+    Perfetto draws the cross-process request timeline as connected arrows
+    even when parent and child live on different threads or peers.
+    """
     events = [
         {"ph": "M", "pid": _PID_WALL, "tid": 0, "name": "process_name",
          "args": {"name": "repro (wall time)"}},
     ]
+    located: dict[str, tuple[Span, int]] = {}
+    spans: list[tuple[Span, int]] = []
+    any_remote = False
     for root in tracer.roots():
         for span in root.walk():
-            event = {
-                "name": span.name,
-                "ph": "X" if span.duration > 0 or span.children else "i",
-                "ts": _us(span.start),
-                "pid": _PID_WALL,
-                "tid": span.thread,
-                "args": _args(span),
-            }
-            if event["ph"] == "X":
-                event["dur"] = _us(span.duration)
-            else:
-                event["s"] = "t"
-            events.append(event)
+            pid = _PID_REMOTE if span.origin else _PID_WALL
+            any_remote = any_remote or pid == _PID_REMOTE
+            spans.append((span, pid))
+            if span.span_id is not None:
+                located[span.span_id] = (span, pid)
+    if any_remote:
+        events.append(
+            {"ph": "M", "pid": _PID_REMOTE, "tid": 0, "name": "process_name",
+             "args": {"name": "repro (remote peer)"}}
+        )
+    for span, pid in spans:
+        event = {
+            "name": span.name,
+            "ph": "X" if span.duration > 0 or span.children else "i",
+            "ts": _us(span.start),
+            "pid": pid,
+            "tid": span.thread,
+            "args": _args(span),
+        }
+        if event["ph"] == "X":
+            event["dur"] = _us(span.duration)
+        else:
+            event["s"] = "t"
+        events.append(event)
+    flow = 0
+    for span, pid in spans:
+        if span.parent_span_id is None or span.span_id is None:
+            continue
+        parent = located.get(span.parent_span_id)
+        if parent is None:
+            continue
+        flow += 1
+        parent_span, parent_pid = parent
+        events.append({"ph": "s", "id": flow, "cat": "trace",
+                       "name": "trace", "ts": _us(parent_span.start),
+                       "pid": parent_pid, "tid": parent_span.thread})
+        events.append({"ph": "f", "bp": "e", "id": flow, "cat": "trace",
+                       "name": "trace", "ts": _us(span.start),
+                       "pid": pid, "tid": span.thread})
 
     device = tracer.device_spans()
     if device:
@@ -157,26 +206,61 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
+def _histogram_labels(inst: Histogram, extra: str) -> str:
+    """``{a="b",le="0.1"}``-style label block for one histogram sample."""
+    parts = [
+        f'{_ascii_sanitize(k)}="{prometheus_escape(v)}"'
+        for k, v in inst.labels
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
 def prometheus_text(metrics: Metrics) -> str:
-    """The registry in the Prometheus text exposition format."""
+    """The registry in the Prometheus text exposition format.
+
+    Labelled histogram series render one ``_bucket``/``_sum``/``_count``
+    group per label set under a single ``# TYPE`` header; buckets whose
+    latest observation carried an exemplar trace id append it
+    OpenMetrics-style (``... # {trace_id="..."} value``), which is how a
+    latency bucket points back at one concrete distributed trace.
+    """
     lines: list[str] = []
+    headered: set[str] = set()
     for inst in metrics.instruments():
         name = _prom_name(inst.name)
-        if inst.help:
-            lines.append(f"# HELP {name} {inst.help}")
+        if name not in headered:
+            headered.add(name)
+            if inst.help:
+                lines.append(f"# HELP {name} {inst.help}")
+            if isinstance(inst, Counter):
+                lines.append(f"# TYPE {name} counter")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+            elif isinstance(inst, Histogram):
+                lines.append(f"# TYPE {name} histogram")
         if isinstance(inst, Counter):
-            lines.append(f"# TYPE {name} counter")
             lines.append(f"{name}_total {_prom_value(inst.value)}")
         elif isinstance(inst, Gauge):
-            lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {_prom_value(inst.value)}")
         elif isinstance(inst, Histogram):
-            lines.append(f"# TYPE {name} histogram")
-            for bound, cum in zip(inst.buckets, inst.cumulative()):
-                lines.append(f'{name}_bucket{{le="{_prom_value(bound)}"}} {cum}')
-            lines.append(f'{name}_bucket{{le="+Inf"}} {inst.count}')
-            lines.append(f"{name}_sum {_prom_value(inst.sum)}")
-            lines.append(f"{name}_count {inst.count}")
+            for index, (bound, cum) in enumerate(
+                zip(inst.buckets, inst.cumulative())
+            ):
+                labels = _histogram_labels(inst, f'le="{_prom_value(bound)}"')
+                line = f"{name}_bucket{labels} {cum}"
+                exemplar = inst.exemplars[index]
+                if exemplar is not None:
+                    value, trace_id = exemplar
+                    line += (f' # {{trace_id="{prometheus_escape(trace_id)}"}}'
+                             f" {_prom_value(value)}")
+                lines.append(line)
+            inf_labels = _histogram_labels(inst, 'le="+Inf"')
+            lines.append(f"{name}_bucket{inf_labels} {inst.count}")
+            plain = _histogram_labels(inst, "")
+            lines.append(f"{name}_sum{plain} {_prom_value(inst.sum)}")
+            lines.append(f"{name}_count{plain} {inst.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -196,11 +280,12 @@ def summary(tracer: Tracer | None = None, metrics: Metrics | None = None) -> str
     lines = ["== telemetry summary =="]
     if metrics is not None and len(metrics):
         lines.append("-- metrics --")
-        width = max(len(i.name) for i in metrics.instruments())
+        width = max(len(getattr(i, "key", i.name))
+                    for i in metrics.instruments())
         for inst in metrics.instruments():
             if isinstance(inst, Histogram):
                 lines.append(
-                    f"{inst.name:<{width}}  count {inst.count}  "
+                    f"{inst.key:<{width}}  count {inst.count}  "
                     f"sum {_fmt(inst.sum)}  mean {_fmt(inst.mean)}"
                 )
             else:

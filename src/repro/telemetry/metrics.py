@@ -64,7 +64,15 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Cumulative-bucket histogram (Prometheus semantics)."""
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``labels`` is a sorted tuple of ``(name, value)`` pairs identifying one
+    series of a labelled family (e.g. ``(("deadline_class", "strict"),)`` on
+    the request-latency histogram); unlabelled histograms keep ``()``.
+    ``exemplars`` holds, per bucket, the most recent ``(value, trace_id)``
+    observation that carried an exemplar -- the OpenMetrics hook that lets a
+    latency bucket point at one concrete distributed trace.
+    """
 
     name: str
     help: str = ""
@@ -72,19 +80,33 @@ class Histogram:
     counts: list[int] = field(default_factory=list)
     sum: float = 0.0
     count: int = 0
+    labels: tuple = ()
+    exemplars: list = field(default_factory=list)
 
     def __post_init__(self):
         self.buckets = tuple(sorted(self.buckets))
         if not self.counts:
             self.counts = [0] * len(self.buckets)
+        if not self.exemplars:
+            self.exemplars = [None] * len(self.buckets)
 
-    def observe(self, value: float) -> None:
+    @property
+    def key(self) -> str:
+        """Registry/exporter identity: name plus rendered labels."""
+        if not self.labels:
+            return self.name
+        rendered = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return f"{self.name}{{{rendered}}}"
+
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         with _VALUES_LOCK:
             self.sum += value
             self.count += 1
             idx = bisect.bisect_left(self.buckets, value)
             if idx < len(self.buckets):
                 self.counts[idx] += 1
+                if exemplar is not None:
+                    self.exemplars[idx] = (value, exemplar)
 
     @property
     def mean(self) -> float:
@@ -106,14 +128,15 @@ class Metrics:
         self._lock = threading.Lock()
         self._instruments: dict[str, object] = {}
 
-    def _get_or_create(self, name: str, kind, **kwargs):
+    def _get_or_create(self, name: str, kind, key: str | None = None, **kwargs):
+        key = key if key is not None else name
         with self._lock:
-            inst = self._instruments.get(name)
+            inst = self._instruments.get(key)
             if inst is None:
-                inst = self._instruments[name] = kind(name=name, **kwargs)
+                inst = self._instruments[key] = kind(name=name, **kwargs)
             elif not isinstance(inst, kind):
                 raise TypeError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(inst).__name__}, not {kind.__name__}"
                 )
             return inst
@@ -124,11 +147,26 @@ class Metrics:
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get_or_create(name, Gauge, help=help)
 
-    def histogram(self, name: str, help: str = "", buckets=None) -> Histogram:
+    def histogram(
+        self, name: str, help: str = "", buckets=None, labels=None
+    ) -> Histogram:
+        """Get/create one histogram series.
+
+        ``labels`` (a mapping) selects one series of a labelled family; all
+        series of a family share the metric name but are registered (and
+        exported) separately per label set.
+        """
         kwargs = {"help": help}
         if buckets is not None:
             kwargs["buckets"] = tuple(buckets)
-        return self._get_or_create(name, Histogram, **kwargs)
+        key = name
+        if labels:
+            label_items = tuple(sorted((str(k), str(v))
+                                       for k, v in labels.items()))
+            kwargs["labels"] = label_items
+            rendered = ",".join(f'{k}="{v}"' for k, v in label_items)
+            key = f"{name}{{{rendered}}}"
+        return self._get_or_create(name, Histogram, key=key, **kwargs)
 
     def get(self, name: str):
         """The instrument registered under ``name``, or ``None``."""
@@ -148,8 +186,13 @@ class Metrics:
             return [self._instruments[k] for k in sorted(self._instruments)]
 
     def snapshot(self) -> dict[str, float]:
-        """``name -> scalar`` view (histograms contribute their sum)."""
-        return {i.name: (i.sum if isinstance(i, Histogram) else i.value)
+        """``name -> scalar`` view (histograms contribute their sum).
+
+        Labelled histogram series appear under their full key
+        (``name{label="value"}``) so no two series collide.
+        """
+        return {getattr(i, "key", i.name):
+                (i.sum if isinstance(i, Histogram) else i.value)
                 for i in self.instruments()}
 
     def reset(self) -> None:
@@ -175,7 +218,7 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         pass
 
 
@@ -193,7 +236,9 @@ class NullMetrics:
     def gauge(self, name: str, help: str = "") -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str, help: str = "", buckets=None) -> _NullInstrument:
+    def histogram(
+        self, name: str, help: str = "", buckets=None, labels=None
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def value(self, name: str, default: float = 0.0) -> float:

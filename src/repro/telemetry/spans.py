@@ -38,6 +38,20 @@ class Span:
     #: Small sequential id of the opening thread (0 for the first thread).
     thread: int = 0
     children: list["Span"] = field(default_factory=list)
+    #: Distributed-trace identity (see :mod:`repro.telemetry.trace`):
+    #: ``None`` for ordinary local spans, set when the span participates in
+    #: a cross-process request timeline.
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_span_id: str | None = None
+    #: Span links: related-but-not-parented spans, e.g. every coalesced
+    #: requester's trace id on the one shared solve span.  Each link is a
+    #: ``{"trace_id": ..., "span_id": ...}``-shaped dict.
+    links: list = field(default_factory=list)
+    #: ``""`` for spans opened in this process; a peer name (e.g.
+    #: ``"server"``) for spans adopted from a remote tracer via
+    #: :meth:`Tracer.adopt_remote`.
+    origin: str = ""
 
     @property
     def duration(self) -> float:
@@ -64,6 +78,16 @@ class Span:
         out = {"name": self.name, "start": self.start, "end": self.end}
         if self.attributes:
             out["attributes"] = dict(self.attributes)
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_span_id is not None:
+            out["parent_span_id"] = self.parent_span_id
+        if self.links:
+            out["links"] = [dict(link) for link in self.links]
+        if self.origin:
+            out["origin"] = self.origin
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
@@ -137,6 +161,7 @@ class Tracer:
         self._roots: list[Span] = []
         self._device: list[Span] = []
         self._thread_ids: dict[int, int] = {}
+        self._next_span_id = 0
 
     # -- internal stack plumbing ---------------------------------------------
 
@@ -209,6 +234,50 @@ class Tracer:
         """The innermost open span on the calling thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def new_span_id(self) -> str:
+        """Mint a process-unique, deterministic span id (``s1``, ``s2``, ...).
+
+        Deterministic given deterministic span-opening order, which is what
+        lets golden tests pin cross-process trace exports byte-for-byte.
+        """
+        with self._lock:
+            self._next_span_id += 1
+            return f"s{self._next_span_id}"
+
+    def adopt_remote(
+        self, root: Span, origin: str = "server", anchor: Span | None = None
+    ) -> Span:
+        """Attach a span tree deserialized from a remote tracer.
+
+        The remote clock's origin differs from ours, so every timestamp in
+        the adopted tree is shifted to centre the remote root inside
+        ``anchor`` (the local span covering the round trip, defaulting to
+        the calling thread's innermost open span): the unaccounted network
+        time is split evenly before and after, the classic symmetric
+        clock-alignment estimate.  Under a shared :class:`ManualClock`
+        (tests) the shift is exactly zero, so adopted trees stay
+        byte-deterministic.  The adopted spans are tagged with ``origin``
+        and rendered as their own process by the Chrome exporter.
+        """
+        if anchor is None:
+            anchor = self.current()
+        offset = 0.0
+        if anchor is not None:
+            now = self.clock.now()
+            slack = max(0.0, (now - anchor.start) - root.duration)
+            offset = (anchor.start + slack / 2.0) - root.start
+        for span in root.walk():
+            span.origin = origin
+            span.start += offset
+            if span.end is not None:
+                span.end += offset
+        if anchor is not None:
+            anchor.children.append(root)
+        else:
+            with self._lock:
+                self._roots.append(root)
+        return root
 
     def roots(self) -> list[Span]:
         """Finished-or-open top-level wall spans, in creation order."""

@@ -1,0 +1,82 @@
+"""Distributed trace context: ids that survive process boundaries.
+
+A *trace* is one client request's whole journey -- client call, wire hop,
+server handling, queue wait, (possibly coalesced) solve, fallback, store --
+stitched together by a shared ``trace_id``.  Each participant opens spans
+carrying that id plus its own fresh ``span_id`` and the ``parent_span_id``
+it was handed, so a single Chrome-trace export renders the cross-process
+timeline as one connected tree (DESIGN.md section 13).
+
+Ids here are **deterministic**: a :class:`TraceIdSource` is a plain counter
+under a lock, so two identical runs mint identical ids -- the property the
+``/requestz`` byte-determinism gate in CI depends on.  Nothing in this
+module reads a wall clock or ambient RNG.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+#: Deadline classes used to label the request-latency histogram.  The split
+#: mirrors the degradation ladder: ``none`` waits forever, ``strict`` is a
+#: sub-second budget where the undivided fallback is likely, ``relaxed``
+#: usually completes the exact solve.
+DEADLINE_CLASSES = ("none", "strict", "relaxed")
+
+#: Budgets at or under this many seconds are classed ``strict``.
+STRICT_DEADLINE_S = 1.0
+
+
+def deadline_class(deadline_s: float | None) -> str:
+    """The histogram label for one request's deadline budget."""
+    if deadline_s is None:
+        return "none"
+    if deadline_s <= STRICT_DEADLINE_S:
+        return "strict"
+    return "relaxed"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's view of a trace: the shared id plus the parent span.
+
+    ``span_id`` is the id of the span the *next* hop should parent under --
+    i.e. the current hop's own span, not its parent's.
+    """
+
+    trace_id: str
+    span_id: str = ""
+
+    def __bool__(self) -> bool:
+        return bool(self.trace_id)
+
+
+class TraceIdSource:
+    """Deterministic trace-id mint: ``<prefix>-000001``, ``-000002``, ...
+
+    Thread-safe; two sources constructed with equal prefixes mint equal id
+    sequences, which is what makes server-side request records comparable
+    byte-for-byte across identical runs.
+    """
+
+    def __init__(self, prefix: str = "trace") -> None:
+        self.prefix = prefix
+        #: Owning lock for the counter below (clients may share a source).
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def next(self) -> str:
+        """Mint the next trace id."""
+        with self._lock:
+            self._next += 1
+            return f"{self.prefix}-{self._next:06d}"
+
+
+__all__ = [
+    "DEADLINE_CLASSES",
+    "STRICT_DEADLINE_S",
+    "TraceContext",
+    "TraceIdSource",
+    "deadline_class",
+]

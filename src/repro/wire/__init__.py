@@ -12,6 +12,7 @@ network in between.
 See :mod:`repro.wire.protocol` for the byte-level grammar.
 """
 
+from repro.wire.admin import AdminServer
 from repro.wire.client import PlanClient
 from repro.wire.protocol import (
     MAX_FRAME_BYTES,
@@ -29,11 +30,14 @@ from repro.wire.protocol import (
     request_to_wire,
     response_from_wire,
     response_to_wire,
+    span_from_wire,
+    span_to_wire,
     write_frame,
 )
 from repro.wire.server import PlanServer, WireStats
 
 __all__ = [
+    "AdminServer",
     "MAX_FRAME_BYTES",
     "PlanClient",
     "PlanServer",
@@ -52,5 +56,7 @@ __all__ = [
     "request_to_wire",
     "response_from_wire",
     "response_to_wire",
+    "span_from_wire",
+    "span_to_wire",
     "write_frame",
 ]

@@ -1,0 +1,209 @@
+"""Threaded HTTP admin listener: live introspection of one plan server.
+
+Four read-only endpoints, designed to be ``curl``-able while the wire
+server is under load:
+
+``/metrics``
+    Prometheus text exposition: the service/store/wire counters (always),
+    plus the full telemetry registry -- labelled latency histograms with
+    trace-id exemplars included -- when telemetry is enabled.
+``/healthz``
+    Process liveness; always ``200`` while the listener answers at all.
+``/readyz``
+    Serving readiness: ``200`` with store occupancy and warm-start status
+    while the service accepts work, ``503`` once it is closed.
+``/requestz``
+    The bounded ring of recent request records
+    (:class:`~repro.service.introspection.RequestLog`) as canonical JSON --
+    byte-identical across identical runs under a manual clock, which CI
+    verifies with a plain ``cmp`` of two scrapes.
+
+Everything here *reads* lock-guarded state maintained elsewhere; the
+listener holds no mutable state of its own beyond the socket, so it adds
+introspection without new coherence hazards.  Unknown paths return ``404``;
+non-GET methods get the stdlib handler's ``501``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+import repro.telemetry as telemetry
+from repro.service.plan_service import PlanService
+from repro.telemetry.exporters import prometheus_sample, prometheus_text
+
+#: ``(status, content_type, body)`` produced by one endpoint handler.
+_Reply = "tuple[int, str, bytes]"
+
+
+def _json_reply(status: int, document: object) -> tuple[int, str, bytes]:
+    body = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    return status, "application/json", body.encode("utf-8")
+
+
+class AdminServer:
+    """Serve the admin endpoints for one :class:`PlanService`.
+
+    Parameters
+    ----------
+    service:
+        The service to introspect (its ``metrics_summary``, ``request_log``,
+        store snapshot, and closed flag feed the endpoints).
+    wire_stats:
+        Optional callable returning the fronting wire server's counter dict
+        (:meth:`~repro.wire.server.WireStats.as_dict`); merged into
+        ``/metrics`` when given.
+    host / port:
+        Bind address; port 0 picks an ephemeral port, readable from
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: PlanService,
+        wire_stats: "Callable[[], dict[str, int]] | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.wire_stats = wire_stats
+        self.host = host
+        self.port = port
+        #: Owning lock for the listener lifecycle state below (start/close
+        #: may race with each other and with handler threads reading port).
+        self._lock = threading.Lock()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "AdminServer":
+        admin = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:
+                status, content_type, body = admin._route(self.path)
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # scrapes are routine; stderr noise helps nobody
+
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        thread = threading.Thread(
+            target=httpd.serve_forever, name="plan-admin", daemon=True
+        )
+        with self._lock:
+            self._httpd = httpd
+            self._thread = thread
+            self.port = httpd.server_address[1]
+        thread.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def close(self) -> None:
+        with self._lock:
+            httpd, self._httpd = self._httpd, None
+            thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "AdminServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _route(self, path: str) -> tuple[int, str, bytes]:
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return self._metrics()
+        if path == "/healthz":
+            return _json_reply(200, {"status": "ok"})
+        if path == "/readyz":
+            return self._readyz()
+        if path == "/requestz":
+            return self._requestz()
+        return _json_reply(
+            404,
+            {"error": f"unknown path {path!r}",
+             "paths": ["/healthz", "/metrics", "/readyz", "/requestz"]},
+        )
+
+    def _metrics(self) -> tuple[int, str, bytes]:
+        """Service/store/wire counters (always) + telemetry registry (if on)."""
+        lines: list[str] = []
+        summary = self.service.metrics_summary()
+        service_counts = summary.get("service", {})
+        if isinstance(service_counts, dict):
+            for name in sorted(service_counts):
+                lines.append(prometheus_sample(
+                    f"service.{name}", {}, service_counts[name]
+                ))
+        store = summary.get("store", {})
+        if isinstance(store, dict):
+            for name in sorted(store):
+                lines.append(prometheus_sample(
+                    f"store.{name}", {}, store[name]
+                ))
+        if self.wire_stats is not None:
+            wire = self.wire_stats()
+            for name in sorted(wire):
+                lines.append(prometheus_sample(f"wire.{name}", {}, wire[name]))
+        log = self.service.request_log
+        if log is not None:
+            lines.append(prometheus_sample(
+                "requestz.records", {}, len(log)
+            ))
+            lines.append(prometheus_sample(
+                "requestz.dropped", {}, log.dropped
+            ))
+        text = "\n".join(lines) + ("\n" if lines else "")
+        session = telemetry.session()
+        if session is not None:
+            text += prometheus_text(session.metrics)
+        return 200, "text/plain; version=0.0.4", text.encode("utf-8")
+
+    def _readyz(self) -> tuple[int, str, bytes]:
+        """Readiness: the store's occupancy/warm state, 503 once closed."""
+        snapshot = self.service.store.snapshot()
+        ready = not self.service.closed
+        warm_hits = 0
+        if isinstance(snapshot, dict):
+            raw = snapshot.get("warm_hits", 0)
+            if isinstance(raw, int):
+                warm_hits = raw
+        document = {
+            "gpu": self.service.gpu_name,
+            "ready": ready,
+            "store": snapshot,
+            "warm": warm_hits > 0,
+        }
+        return _json_reply(200 if ready else 503, document)
+
+    def _requestz(self) -> tuple[int, str, bytes]:
+        """The recent-request ring; an empty ring shape when none attached."""
+        log = self.service.request_log
+        if log is None:
+            return _json_reply(
+                200, {"capacity": 0, "dropped": 0, "records": []}
+            )
+        return 200, "application/json", log.to_json().encode("utf-8")
+
+
+__all__ = ["AdminServer"]

@@ -13,11 +13,14 @@ local one, which is the whole point of typed error transport.
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import threading
 
-from repro.errors import WireProtocolError
+import repro.telemetry as telemetry
+from repro.errors import DeadlineExceededError, WireProtocolError
 from repro.service.requests import PlanRequest, PlanResponse
+from repro.telemetry.trace import TraceIdSource
 from repro.wire.protocol import (
     decode_envelope,
     encode_envelope,
@@ -25,6 +28,7 @@ from repro.wire.protocol import (
     read_frame,
     request_to_wire,
     response_from_wire,
+    span_from_wire,
     write_frame,
 )
 
@@ -47,8 +51,19 @@ class PlanClient:
         self._lock = threading.Lock()
         self._next_id = 1
         self._closed = False
+        #: Deterministic trace-id mint for traced ``plan`` calls
+        #: (``req-000001``, ...); only consulted while telemetry is enabled.
+        self._trace_ids = TraceIdSource("req")
         try:
             self._sock = socket.create_connection((host, port), timeout_s)
+        except TimeoutError as exc:
+            # socket.timeout is a TimeoutError subclass of OSError; it must
+            # map to the taxonomy's deadline class, not a protocol error --
+            # a slow peer is a budget miss, not grammar damage (ERR001).
+            raise DeadlineExceededError(
+                f"timed out after {timeout_s} s connecting to plan server "
+                f"at {host}:{port}"
+            ) from exc
         except OSError as exc:
             raise WireProtocolError(
                 f"cannot connect to plan server at {host}:{port}: {exc}"
@@ -67,6 +82,14 @@ class PlanClient:
             try:
                 write_frame(self._sock, encode_envelope(msg_type, body, msg_id))
                 payload = read_frame(self._sock)
+            except TimeoutError as exc:
+                # A silent server is a missed budget, not protocol damage:
+                # surface the taxonomy's deadline error so callers handle
+                # local and remote deadline misses identically (ERR001).
+                raise DeadlineExceededError(
+                    f"no reply from plan server {self.host}:{self.port} "
+                    f"within the socket timeout for request {msg_id}"
+                ) from exc
             except OSError as exc:
                 raise WireProtocolError(
                     f"transport failure talking to {self.host}:{self.port}: "
@@ -95,8 +118,44 @@ class PlanClient:
     # -- the protocol's verbs ----------------------------------------------
 
     def plan(self, request: PlanRequest) -> PlanResponse:
-        """Solve one plan request on the server; blocks for the answer."""
-        return response_from_wire(self._call("plan", request_to_wire(request)))
+        """Solve one plan request on the server; blocks for the answer.
+
+        With telemetry enabled, the call opens a ``wire.client.request``
+        span, mints a trace id (unless the request already carries one),
+        sends the trace context in the plan body, and -- when the server
+        replies with its own span trees under the body's ``trace`` key --
+        adopts them into the local tracer, so one Chrome-trace export
+        renders the whole cross-process request timeline.  With telemetry
+        off this method allocates no trace state at all.
+        """
+        if not telemetry.enabled():
+            return response_from_wire(
+                self._call("plan", request_to_wire(request))
+            )
+        with telemetry.span(
+            "wire.client.request", kernel=request.kernel,
+            server=f"{self.host}:{self.port}",
+        ) as cspan:
+            if not request.trace_id:
+                request = dataclasses.replace(
+                    request, trace_id=self._trace_ids.next()
+                )
+            tracer = telemetry.get_tracer()
+            cspan.trace_id = request.trace_id  # type: ignore[attr-defined]
+            cspan.span_id = tracer.new_span_id()  # type: ignore[attr-defined]
+            request = dataclasses.replace(
+                request, parent_span_id=cspan.span_id  # type: ignore[attr-defined]
+            )
+            body = self._call("plan", request_to_wire(request))
+            response = response_from_wire(body)
+            cspan.set("source", response.source)
+            remote = body.get("trace") if isinstance(body, dict) else None
+            if isinstance(remote, list):
+                for tree in remote:
+                    tracer.adopt_remote(
+                        span_from_wire(tree), origin="server", anchor=cspan
+                    )
+            return response
 
     def ping(self) -> dict:
         """Liveness probe; returns the server's GPU model and wire version."""

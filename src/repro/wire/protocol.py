@@ -55,6 +55,7 @@ from repro.errors import (
 )
 from repro.persistence.snapshot import conv_type_of
 from repro.service.requests import PlanKey, PlanRequest, PlanResponse
+from repro.telemetry.spans import Span
 from repro.units import MIB
 
 #: Envelope version; bumped on any incompatible change to the grammar above.
@@ -236,7 +237,7 @@ def geometry_from_wire(data: object) -> ConvGeometry:
 
 
 def request_to_wire(request: PlanRequest) -> dict:
-    return {
+    out = {
         "kernel": request.kernel,
         "geometry": geometry_to_wire(request.geometry),
         "policy": request.policy.value,
@@ -244,6 +245,15 @@ def request_to_wire(request: PlanRequest) -> dict:
         "deadline_s": request.deadline_s,
         "client": request.client,
     }
+    # The trace-context key is *omitted* for untraced requests, so frames
+    # from tracing-off builds are byte-identical to pre-tracing builds and
+    # old peers (which ignore unknown keys) interoperate either way.
+    if request.trace_id:
+        out["trace"] = {
+            "parent_span_id": request.parent_span_id,
+            "trace_id": request.trace_id,
+        }
+    return out
 
 
 def request_from_wire(data: object) -> PlanRequest:
@@ -254,6 +264,18 @@ def request_from_wire(data: object) -> PlanRequest:
         not isinstance(deadline, (int, float)) or isinstance(deadline, bool)
     ):
         raise WireProtocolError("plan body 'deadline_s' must be null or a number")
+    trace = data.get("trace")
+    trace_id = ""
+    parent_span_id = ""
+    if trace is not None:
+        if not isinstance(trace, dict):
+            raise WireProtocolError("plan body 'trace' must be an object")
+        trace_id = trace.get("trace_id", "")
+        parent_span_id = trace.get("parent_span_id", "")
+        if not isinstance(trace_id, str) or not isinstance(parent_span_id, str):
+            raise WireProtocolError(
+                "plan body 'trace' fields must be strings"
+            )
     try:
         return PlanRequest(
             kernel=str(data["kernel"]),
@@ -262,6 +284,8 @@ def request_from_wire(data: object) -> PlanRequest:
             workspace_limit=int(data["workspace_limit"]),
             deadline_s=None if deadline is None else float(deadline),
             client=str(data.get("client", "")),
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireProtocolError(f"corrupt wire plan request: {exc}") from exc
@@ -312,6 +336,88 @@ def response_from_wire(data: object) -> PlanResponse:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireProtocolError(f"corrupt wire plan response: {exc}") from exc
+
+
+def span_to_wire(span: Span) -> dict:
+    """One finished span tree as canonical JSON-safe nested dicts.
+
+    Shipped inside a plan response's (unpinned) ``trace`` key so the client
+    can adopt the server's half of the request timeline; attributes are
+    stringified when not JSON-scalar, keys sorted for byte determinism.
+    """
+    attributes = {}
+    for key in sorted(span.attributes):
+        value = span.attributes[key]
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            attributes[key] = value
+        else:
+            attributes[key] = str(value)
+    out: dict = {
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "attributes": attributes,
+        "children": [span_to_wire(child) for child in span.children],
+    }
+    if span.trace_id is not None:
+        out["trace_id"] = span.trace_id
+    if span.span_id is not None:
+        out["span_id"] = span.span_id
+    if span.parent_span_id is not None:
+        out["parent_span_id"] = span.parent_span_id
+    if span.links:
+        out["links"] = [dict(link) for link in span.links]
+    return out
+
+
+def span_from_wire(data: object) -> Span:
+    """Rebuild one span tree; grammar violations raise ``WireProtocolError``."""
+    if not isinstance(data, dict):
+        raise WireProtocolError("wire span must be an object")
+    name = data.get("name")
+    if not isinstance(name, str):
+        raise WireProtocolError("wire span 'name' must be a string")
+    start = data.get("start")
+    end = data.get("end")
+    if not isinstance(start, (int, float)) or isinstance(start, bool):
+        raise WireProtocolError("wire span 'start' must be a number")
+    if end is not None and (
+        not isinstance(end, (int, float)) or isinstance(end, bool)
+    ):
+        raise WireProtocolError("wire span 'end' must be null or a number")
+    attributes = data.get("attributes", {})
+    if not isinstance(attributes, dict):
+        raise WireProtocolError("wire span 'attributes' must be an object")
+    children = data.get("children", [])
+    if not isinstance(children, list):
+        raise WireProtocolError("wire span 'children' must be an array")
+    for field_name in ("trace_id", "span_id", "parent_span_id"):
+        value = data.get(field_name)
+        if value is not None and not isinstance(value, str):
+            raise WireProtocolError(
+                f"wire span {field_name!r} must be a string"
+            )
+    links = data.get("links", [])
+    if not isinstance(links, list) or any(
+        not isinstance(link, dict) for link in links
+    ):
+        raise WireProtocolError("wire span 'links' must be an array of objects")
+    for link in links:
+        if any(not isinstance(value, str) for value in link.values()):
+            raise WireProtocolError(
+                "wire span link values must be strings"
+            )
+    return Span(
+        name=name,
+        attributes=dict(attributes),
+        start=float(start),
+        end=None if end is None else float(end),
+        children=[span_from_wire(child) for child in children],
+        trace_id=data.get("trace_id"),
+        span_id=data.get("span_id"),
+        parent_span_id=data.get("parent_span_id"),
+        links=[dict(link) for link in links],
+    )
 
 
 def parse_address(address: str) -> tuple[str, int]:

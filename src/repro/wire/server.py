@@ -26,6 +26,7 @@ way to know where the next message starts.
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import threading
 from dataclasses import dataclass
@@ -43,6 +44,7 @@ from repro.wire.protocol import (
     read_frame,
     request_from_wire,
     response_to_wire,
+    span_to_wire,
     write_frame,
 )
 
@@ -57,6 +59,8 @@ class WireStats:
     protocol_errors: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    frames_in: int = 0
+    frames_out: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -66,6 +70,8 @@ class WireStats:
             "protocol_errors": self.protocol_errors,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
         }
 
 
@@ -189,6 +195,7 @@ class PlanServer:
                     return  # clean goodbye
                 with self._lock:
                     self.stats.bytes_in += len(payload) + 4
+                    self.stats.frames_in += 1
                 try:
                     msg_type, msg_id, body = decode_envelope(payload)
                 except WireProtocolError as exc:
@@ -228,9 +235,7 @@ class PlanServer:
         if msg_type == "ping":
             return {"gpu": self.service.gpu_name, "v": WIRE_VERSION}
         if msg_type == "plan":
-            request = request_from_wire(body)
-            response = self.service.request(request)
-            return response_to_wire(response)
+            return self._dispatch_plan(body)
         if msg_type == "stats":
             with self._lock:
                 wire = self.stats.as_dict()
@@ -240,6 +245,60 @@ class PlanServer:
         if msg_type == "save":
             return {"path": str(self._save_snapshot())}
         raise WireProtocolError(f"unknown request type {msg_type!r}")
+
+    def _dispatch_plan(self, body: object) -> dict:
+        """Serve one plan request, continuing its distributed trace.
+
+        A traced request's ``wire.server.request`` span adopts the client's
+        trace context and parents everything the service does for it (the
+        ``service.request`` span opens on this same thread, the solve span
+        links back via span ids).  After serving, every finished span tree
+        belonging to this trace id is serialized into the response body's
+        ``trace`` key so the client can stitch the two processes into one
+        timeline.  Response-serialization time is attributed to the
+        request's ``serialize`` stage on the service's request log.
+        """
+        request = request_from_wire(body)
+        traced = telemetry.enabled() and bool(request.trace_id)
+        with telemetry.span(
+            "wire.server.request", kernel=request.kernel,
+            client=request.client,
+        ) as sspan:
+            if traced:
+                sspan.trace_id = request.trace_id  # type: ignore[attr-defined]
+                sspan.span_id = (  # type: ignore[attr-defined]
+                    telemetry.get_tracer().new_span_id()
+                )
+                if request.parent_span_id:
+                    sspan.parent_span_id = (  # type: ignore[attr-defined]
+                        request.parent_span_id
+                    )
+                request = dataclasses.replace(
+                    request, parent_span_id=sspan.span_id  # type: ignore[attr-defined]
+                )
+            response = self.service.request(request)
+            sspan.set("source", response.source)
+        clock = self.service.clock
+        serialize_start = clock.now()
+        out = response_to_wire(response)
+        if traced:
+            out["trace"] = [
+                span_to_wire(root)
+                for root in telemetry.get_tracer().roots()
+                if root.trace_id == request.trace_id and root.end is not None
+            ]
+        serialize_s = max(0.0, clock.now() - serialize_start)
+        if request.trace_id and self.service.request_log is not None:
+            self.service.request_log.amend_stage(
+                request.trace_id, "serialize", serialize_s
+            )
+        if telemetry.enabled():
+            telemetry.observe(
+                "service.stage_seconds", serialize_s,
+                help="request latency by pipeline stage",
+                labels={"stage": "serialize"},
+            )
+        return out
 
     def _save_snapshot(self) -> str:
         store = self.service.store
@@ -259,6 +318,7 @@ class PlanServer:
         sent = write_frame(conn, payload)
         with self._lock:
             self.stats.bytes_out += sent
+            self.stats.frames_out += 1
 
     def _reply_protocol_error(
         self, conn: socket.socket, exc: WireProtocolError
