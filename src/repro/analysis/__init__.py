@@ -30,9 +30,24 @@ ERR001   error-taxonomy      no swallowing broad excepts; raises stay inside
                              the ``repro.errors`` taxonomy
 API001   public-annotations  public ``core/``/``cudnn/`` signatures are fully
                              annotated
+CONC001  lock-order-cycle    whole-tree: the may-hold-while-acquiring lock
+                             graph is acyclic (both witness paths reported)
+CONC002  blocking-under-lock whole-tree: no sleeps/socket/file I/O under a
+                             lock unless its level is blocking-allowed
+CONC003  callback-under-lock whole-tree: no arbitrary callbacks invoked
+                             while holding a lock
+CONC004  split-acquire       whole-tree: ``acquire()`` pairs with
+                             ``release()`` in the same function
 SUP001   unused-suppression  every ``# reprolint: disable=`` still fires
 SYN001   unparseable         every checked file parses
 =======  ==================  ==================================================
+
+The CONC rules are one interprocedural pass (:mod:`repro.analysis.
+concurrency`) that resolves every lock to a stable identity and level,
+and doubles as the static half of the runtime lock sanitizer
+(:mod:`repro.telemetry.locks`): ``--lock-graph`` dumps the static graph,
+``--check-lock-graph`` gates a dynamic dump against it (DESIGN.md
+section 14).
 
 Configuration lives in ``[tool.reprolint]`` in ``pyproject.toml``
 (:mod:`repro.analysis.config`); suppressions are inline
@@ -42,14 +57,21 @@ detection (:mod:`repro.analysis.suppressions`).
 
 from __future__ import annotations
 
+from repro.analysis.concurrency import ConcurrencyModel, compare_graphs
 from repro.analysis.config import ConfigError, LintConfig, load_config
-from repro.analysis.engine import Report, check_source, lint_paths
+from repro.analysis.engine import (
+    Report,
+    build_lock_model,
+    check_source,
+    lint_paths,
+)
 from repro.analysis.registry import all_rules, get_rule
 from repro.analysis.report import (
     REPORT_SCHEMA_VERSION,
     render_explanation,
     render_json,
     render_rules,
+    render_sarif,
     render_text,
 )
 from repro.analysis.rules.base import Rule
@@ -58,18 +80,22 @@ from repro.analysis.violations import SEVERITIES, Violation
 __all__ = [
     "REPORT_SCHEMA_VERSION",
     "SEVERITIES",
+    "ConcurrencyModel",
     "ConfigError",
     "LintConfig",
     "Report",
     "Rule",
     "Violation",
     "all_rules",
+    "build_lock_model",
     "check_source",
+    "compare_graphs",
     "get_rule",
     "lint_paths",
     "load_config",
     "render_explanation",
     "render_json",
     "render_rules",
+    "render_sarif",
     "render_text",
 ]

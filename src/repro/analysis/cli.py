@@ -7,15 +7,18 @@ finding, 2 usage or configuration problems.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.analysis.concurrency import compare_graphs
 from repro.analysis.config import ConfigError, find_pyproject, load_config
-from repro.analysis.engine import lint_paths
+from repro.analysis.engine import build_lock_model, lint_paths
 from repro.analysis.report import (
     render_explanation,
     render_json,
     render_rules,
+    render_sarif,
     render_text,
 )
 
@@ -34,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to check (default: src/ if present, else .)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -52,6 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--explain", metavar="RULE", default=None,
         help="print one rule's invariant/rationale/fix card and exit",
+    )
+    parser.add_argument(
+        "--lock-graph", metavar="FILE", default=None,
+        help="write the static lock graph (canonical JSON) to FILE and exit",
+    )
+    parser.add_argument(
+        "--check-lock-graph", metavar="DYNAMIC_JSON", default=None,
+        help="check that the dynamic lock graph dumped by --sanitize-locks "
+             "is a subgraph of the static one; exit 1 on any edge or level "
+             "the static analysis did not predict",
     )
     return parser
 
@@ -87,8 +100,45 @@ def main(argv: list[str] | None = None) -> int:
         sys.stderr.write(f"configuration error: {exc}\n")
         return 2
 
+    if args.lock_graph is not None or args.check_lock_graph is not None:
+        model = build_lock_model(paths, config)
+        if args.lock_graph is not None:
+            out = Path(args.lock_graph)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(model.dump_graph(), encoding="utf-8")
+            sys.stdout.write(
+                f"wrote static lock graph "
+                f"({len(model.graph()['edges'])} edge(s)) to {out}\n"
+            )
+        if args.check_lock_graph is not None:
+            dynamic_path = Path(args.check_lock_graph)
+            if not dynamic_path.exists():
+                sys.stderr.write(f"no such file: {dynamic_path}\n")
+                return 2
+            try:
+                dynamic = json.loads(
+                    dynamic_path.read_text(encoding="utf-8")
+                )
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                sys.stderr.write(f"cannot parse {dynamic_path}: {exc}\n")
+                return 2
+            problems = compare_graphs(model.graph(), dynamic)
+            if problems:
+                for problem in problems:
+                    sys.stderr.write(f"lock-graph mismatch: {problem}\n")
+                return 1
+            sys.stdout.write(
+                "dynamic lock graph is a subgraph of the static one\n"
+            )
+        return 0
+
     report = lint_paths(paths, config)
-    rendered = render_json(report) if args.format == "json" else render_text(report)
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report)
+    else:
+        rendered = render_text(report)
     if args.output is not None:
         out = Path(args.output)
         out.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,1313 @@
+"""Interprocedural lock analysis: the model behind the CONC rules.
+
+The serving stack's concurrency contract is a *lock hierarchy*: every lock
+has a level name (``"service"``, ``"store"``, ``"metrics.values"``, ...),
+the may-hold-while-acquiring relation over levels must be acyclic, and
+blocking work (solver calls, socket I/O, snapshot writes) may only happen
+under levels explicitly sanctioned in ``[tool.reprolint.locks]``.  This
+module checks those facts statically over the whole tree:
+
+1. **Lock identification.**  Every ``threading.Lock()``/``RLock()``/
+   :func:`repro.telemetry.locks.new_lock` assigned to a module global or a
+   ``self.<attr>`` gets a stable identity (``"core/cache.py::
+   BenchmarkCache._lock"``).  Its *level* is the first argument of
+   ``new_lock``, a ``[tool.reprolint.locks.levels]`` alias, or (for
+   undeclared plain locks) the identity itself.
+2. **A type oracle** resolves receivers through parameter/return/attribute
+   annotations, constructor assignments, and dataclass fields -- enough to
+   follow ``telemetry.count`` into ``session.metrics.counter(...).inc()``
+   without the false aliasing a name-based call graph would invent.
+3. **Held-set propagation.**  Each function is walked with the stack of
+   ``with <lock>:`` blocks; call edges propagate *may-acquire* and
+   *may-block* summaries to a fixpoint, each fact carrying a witness chain
+   for reporting.
+4. **Findings** feed the CONC rules: lock-order cycles (CONC001, with
+   both acquisition paths), blocking under a disallowed lock (CONC002),
+   callbacks invoked under a lock (CONC003), and acquire/release split
+   across functions (CONC004).
+
+The may-hold-while-acquiring edges also render as a canonical-JSON **lock
+graph** with the same schema as the runtime sanitizer's dynamic graph
+(:mod:`repro.telemetry.locks`), so CI can assert the dynamic graph is a
+subgraph of this one -- evidence the static analysis is sound on the
+traffic the soak driver actually generates.
+
+Everything here is deterministic: modules, functions, and facts are
+visited in sorted order, and witness chains record the first derivation
+found under that order.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.analysis.context import FUNCTION_NODES, ModuleContext, TreeContext
+from repro.telemetry.locks import LOCK_GRAPH_SCHEMA_VERSION
+
+#: Fully-resolved dotted calls that block the calling thread.
+BLOCKING_DOTTED = frozenset({
+    "open",
+    "os.fdopen",
+    "os.fsync",
+    "os.rename",
+    "os.replace",
+    "select.select",
+    "shutil.copy",
+    "shutil.move",
+    "socket.create_connection",
+    "subprocess.check_call",
+    "subprocess.run",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.mkstemp",
+    "time.sleep",
+})
+
+#: Methods on a typed receiver that block: ``(builtin type, method)``.
+BUILTIN_BLOCKING = frozenset({
+    ("Condition", "wait"),
+    ("Condition", "wait_for"),
+    ("Event", "wait"),
+    ("Future", "exception"),
+    ("Future", "result"),
+    ("Queue", "get"),
+    ("Queue", "join"),
+    ("Queue", "put"),
+    ("Thread", "join"),
+    ("socket", "accept"),
+    ("socket", "close"),
+    ("socket", "connect"),
+    ("socket", "makefile"),
+    ("socket", "recv"),
+    ("socket", "recv_into"),
+    ("socket", "send"),
+    ("socket", "sendall"),
+    ("socket", "sendto"),
+    ("socket", "shutdown"),
+})
+
+#: Solver entry points: intrinsically long-running whatever their body does.
+SOLVER_ENTRIES = frozenset({
+    "benchmark_kernel",
+    "optimize_from_benchmark",
+    "optimize_network",
+    "solve_network",
+})
+
+#: ``from X import Y`` pairs that resolve to blocking-relevant builtins.
+_BUILTIN_IMPORTS = {
+    ("concurrent.futures", "Future"): "Future",
+    ("queue", "Queue"): "Queue",
+    ("socket", "socket"): "socket",
+    ("threading", "Condition"): "Condition",
+    ("threading", "Event"): "Event",
+    ("threading", "Thread"): "Thread",
+}
+
+#: Dotted annotations/constructor calls for the same builtins.
+_BUILTIN_DOTTED = {
+    "concurrent.futures.Future": "Future",
+    "queue.Queue": "Queue",
+    "socket.create_connection": "socket",
+    "socket.socket": "socket",
+    "threading.Condition": "Condition",
+    "threading.Event": "Event",
+    "threading.Thread": "Thread",
+}
+
+#: Container/function names that look like user-callback registries.
+_CALLBACK_RE = re.compile(r"listener|callback|hook", re.IGNORECASE)
+
+#: Methods whose whole job is lock delegation (CONC004 exempt).
+_DELEGATION_METHODS = frozenset({
+    "__enter__", "__exit__", "acquire", "release", "locked",
+})
+
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One statically-identified lock object."""
+
+    identity: str   #: e.g. ``"service/store.py::PlanStore._lock"``
+    level: str      #: hierarchy level name (identity when undeclared)
+    reentrant: bool
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One raw CONC finding (the rules wrap these as Violations)."""
+
+    rule: str
+    file: str
+    line: int
+    message: str
+
+
+# -- type oracle values -------------------------------------------------------
+# ("class", "relpath::Name") | ("builtin", "socket") | ("callable", "")
+_Type = tuple[str, str]
+
+
+@dataclass
+class _ClassInfo:
+    relpath: str
+    name: str
+    key: str
+    node: ast.ClassDef
+    base_keys: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    attr_types: dict[str, _Type] = field(default_factory=dict)
+    locks: dict[str, LockDecl] = field(default_factory=dict)
+
+
+@dataclass
+class _ModuleInfo:
+    ctx: ModuleContext
+    relpath: str
+    classes: dict[str, _ClassInfo] = field(default_factory=dict)
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    module_locks: dict[str, LockDecl] = field(default_factory=dict)
+    global_types: dict[str, _Type] = field(default_factory=dict)
+    callable_aliases: set[str] = field(default_factory=set)
+
+
+_Held = tuple[tuple[LockDecl, int], ...]
+
+
+@dataclass
+class _FuncInfo:
+    fid: str
+    qual: str
+    file: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    minfo: _ModuleInfo
+    cls: _ClassInfo | None
+    #: ``(lock, line, held-before)`` for every ``with <lock>:`` entered.
+    direct_acquires: list[tuple[LockDecl, int, _Held]] = field(
+        default_factory=list
+    )
+    #: ``(callee fid, line, held)`` for every resolved repro call.
+    calls: list[tuple[str, int, _Held]] = field(default_factory=list)
+    #: ``(reason, line, held)`` for directly-blocking call sites.
+    blocking_sites: list[tuple[str, int, _Held]] = field(default_factory=list)
+    #: ``(description, line, held)`` for callback invocations.
+    callback_sites: list[tuple[str, int, _Held]] = field(default_factory=list)
+    #: identity -> lines of bare ``.acquire()`` calls.
+    acquire_lines: dict[str, list[int]] = field(default_factory=dict)
+    #: identity -> lines of bare ``.release()`` calls.
+    release_lines: dict[str, list[int]] = field(default_factory=dict)
+
+
+class ConcurrencyModel:
+    """The whole-tree lock model; build once, query from every CONC rule."""
+
+    def __init__(
+        self,
+        modules: list[ModuleContext],
+        level_aliases: Mapping[str, str] | None = None,
+        blocking_allowed: tuple[str, ...] = (),
+    ) -> None:
+        self._level_aliases = dict(level_aliases or {})
+        self._blocking_allowed = frozenset(blocking_allowed)
+        self._mods: dict[str, _ModuleInfo] = {}
+        self._class_index: dict[str, _ClassInfo] = {}
+        self._class_by_node: dict[int, _ClassInfo] = {}
+        self._funcs: dict[str, _FuncInfo] = {}
+        #: (level, level) -> (file, line, witness text), first derivation.
+        self.edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+        self.findings: list[Finding] = []
+
+        for ctx in sorted(modules, key=lambda m: m.relpath):
+            self._mods[ctx.relpath] = _ModuleInfo(ctx=ctx, relpath=ctx.relpath)
+        for minfo in self._mods.values():
+            self._index_module(minfo)
+        for minfo in self._mods.values():
+            self._type_module_globals(minfo)
+        for minfo in self._mods.values():
+            self._type_class_attrs(minfo)
+        for minfo in self._mods.values():
+            self._collect_functions(minfo)
+        self._may_acquire = self._propagate_acquires()
+        self._may_block = self._propagate_blocking()
+        self._build_edges()
+        self._find_cycles()
+        self._find_blocking()
+        self._find_callbacks()
+        self._find_split_acquire_release()
+        self.findings.sort(key=lambda f: (f.file, f.line, f.rule, f.message))
+
+    # -- indexing -----------------------------------------------------------
+
+    def _module_relpath(self, dotted: str) -> str | None:
+        """The tree-relative path a dotted module name refers to, if any."""
+        if dotted == "repro":
+            dotted = ""
+        elif dotted.startswith("repro."):
+            dotted = dotted[len("repro."):]
+        stem = dotted.replace(".", "/")
+        candidates = (
+            ("__init__.py",) if not stem
+            else (f"{stem}.py", f"{stem}/__init__.py")
+        )
+        for candidate in candidates:
+            if candidate in self._mods:
+                return candidate
+        return None
+
+    def _index_module(self, minfo: _ModuleInfo) -> None:
+        ctx = minfo.ctx
+        for node in ctx.tree.body:
+            if isinstance(node, FUNCTION_NODES):
+                minfo.functions[node.name] = node
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    self._index_global(minfo, target.id, node.value, node)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                # Annotation typing happens in _type_module_globals, after
+                # every module's classes are registered.
+                if node.value is not None:
+                    decl = self._lock_ctor(minfo, node.target.id, node.value,
+                                           owner=None)
+                    if decl is not None:
+                        minfo.module_locks[node.target.id] = decl
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                info = _ClassInfo(
+                    relpath=minfo.relpath, name=node.name,
+                    key=f"{minfo.relpath}::{node.name}", node=node,
+                )
+                self._class_by_node[id(node)] = info
+                if node.name not in minfo.classes:
+                    minfo.classes[node.name] = info
+                    self._class_index[info.key] = info
+                for item in node.body:
+                    if isinstance(item, FUNCTION_NODES):
+                        info.methods[item.name] = item
+
+    def _type_module_globals(self, minfo: _ModuleInfo) -> None:
+        """Type annotated module globals (``_session: Session | None``).
+
+        Runs after every module's classes are indexed so the annotations can
+        name classes defined later in the same file or in other modules.
+        """
+        for node in minfo.ctx.tree.body:
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                typ = self._resolve_annotation(minfo, node.annotation)
+                if typ is not None:
+                    minfo.global_types[node.target.id] = typ
+
+    def _index_global(
+        self, minfo: _ModuleInfo, name: str, value: ast.expr, node: ast.stmt
+    ) -> None:
+        decl = self._lock_ctor(minfo, name, value, owner=None)
+        if decl is not None:
+            minfo.module_locks[name] = decl
+            return
+        if isinstance(value, ast.Subscript) or isinstance(value, ast.Name):
+            # ``SlowLogFn = Callable[[str], None]`` style type aliases.
+            if self._resolve_annotation(minfo, value) == ("callable", ""):
+                minfo.callable_aliases.add(name)
+
+    def _lock_ctor(
+        self, minfo: _ModuleInfo, attr: str, value: ast.expr,
+        owner: _ClassInfo | None,
+    ) -> LockDecl | None:
+        """A :class:`LockDecl` if ``value`` constructs a lock, else None."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        ctor: str | None = None
+        if isinstance(func, ast.Name):
+            imported = minfo.ctx.resolve_import(func.id)
+            if imported is not None:
+                if imported[0] == "threading" and imported[1] in _LOCK_CTORS:
+                    ctor = imported[1]
+                elif imported[1] == "new_lock" and imported[0].startswith(
+                    "repro"
+                ):
+                    ctor = "new_lock"
+            elif func.id in _LOCK_CTORS:
+                ctor = None  # bare Lock() without an import: not resolvable
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            head = minfo.ctx.resolve_module(func.value.id)
+            imported = minfo.ctx.resolve_import(func.value.id)
+            if head == "threading" and func.attr in _LOCK_CTORS:
+                ctor = func.attr
+            elif func.attr == "new_lock" and (
+                (head or "").startswith("repro")
+                or (imported is not None and imported[0].startswith("repro"))
+            ):
+                ctor = "new_lock"
+        if ctor is None:
+            return None
+        if owner is None:
+            identity = f"{minfo.relpath}::{attr}"
+        else:
+            identity = f"{minfo.relpath}::{owner.name}.{attr}"
+        reentrant = ctor == "RLock"
+        level = self._level_aliases.get(identity, identity)
+        if ctor == "new_lock":
+            if value.args and isinstance(value.args[0], ast.Constant) and \
+                    isinstance(value.args[0].value, str):
+                level = value.args[0].value
+            for kw in value.keywords:
+                if kw.arg == "reentrant" and isinstance(kw.value, ast.Constant):
+                    reentrant = bool(kw.value.value)
+        return LockDecl(
+            identity=identity, level=level, reentrant=reentrant,
+            file=minfo.relpath, line=value.lineno,
+        )
+
+    # -- class attribute typing ---------------------------------------------
+
+    def _type_class_attrs(self, minfo: _ModuleInfo) -> None:
+        for cls in minfo.classes.values():
+            for base in cls.node.bases:
+                key = self._annotation_class_key(minfo, base)
+                if key is not None:
+                    cls.base_keys.append(key)
+            for item in cls.node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    typ = self._resolve_annotation(minfo, item.annotation)
+                    if typ is not None:
+                        cls.attr_types[item.target.id] = typ
+            for method in cls.methods.values():
+                params = self._param_types(minfo, method)
+                for node in ast.walk(method):
+                    if not (isinstance(node, ast.Assign)
+                            and len(node.targets) == 1):
+                        continue
+                    target = node.targets[0]
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    decl = self._lock_ctor(
+                        minfo, target.attr, node.value, owner=cls
+                    )
+                    if decl is not None:
+                        cls.locks.setdefault(target.attr, decl)
+                        continue
+                    typ = self._value_type(minfo, params, node.value)
+                    if typ is not None:
+                        cls.attr_types.setdefault(target.attr, typ)
+
+    def _param_types(
+        self, minfo: _ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> dict[str, _Type]:
+        out: dict[str, _Type] = {}
+        args = func.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is not None:
+                typ = self._resolve_annotation(minfo, arg.annotation)
+                if typ is not None:
+                    out[arg.arg] = typ
+        return out
+
+    def _value_type(
+        self, minfo: _ModuleInfo, env: dict[str, _Type], value: ast.expr
+    ) -> _Type | None:
+        """Shallow value typing for ``self.x = <value>`` assignments."""
+        if isinstance(value, ast.Name):
+            if value.id in env:
+                return env[value.id]
+            return minfo.global_types.get(value.id)
+        if isinstance(value, ast.IfExp):
+            return (self._value_type(minfo, env, value.body)
+                    or self._value_type(minfo, env, value.orelse))
+        if isinstance(value, ast.Call):
+            return self._call_result_type(minfo, env, None, value)
+        return None
+
+    # -- annotations ---------------------------------------------------------
+
+    def _resolve_annotation(
+        self, minfo: _ModuleInfo, node: ast.expr
+    ) -> _Type | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+            return self._resolve_annotation(minfo, parsed)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return (self._resolve_annotation(minfo, node.left)
+                    or self._resolve_annotation(minfo, node.right))
+        if isinstance(node, ast.Subscript):
+            base = self._resolve_annotation(minfo, node.value)
+            if base == ("callable", ""):
+                return base
+            if base is not None and base[0] != "callable":
+                return base
+            # ``Optional[X]`` / ``list[X]``: prefer the inner type only for
+            # Optional; bare containers stay untyped.
+            if isinstance(node.value, ast.Name) and node.value.id == "Optional":
+                return self._resolve_annotation(minfo, node.slice)
+            return None
+        if isinstance(node, ast.Name):
+            return self._named_type(minfo, node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is None:
+                return None
+            return self._dotted_type(minfo, dotted)
+        return None
+
+    def _named_type(self, minfo: _ModuleInfo, name: str) -> _Type | None:
+        if name in ("None", "object", "Any"):
+            return None
+        if name == "Callable" or name in minfo.callable_aliases:
+            imported = minfo.ctx.resolve_import(name)
+            if name in minfo.callable_aliases or (
+                imported is not None
+                and imported[0] in ("typing", "collections.abc")
+            ):
+                return ("callable", "")
+        key = self._class_key_for_name(minfo, name)
+        if key is not None:
+            return ("class", key)
+        imported = minfo.ctx.resolve_import(name)
+        if imported is not None and imported in _BUILTIN_IMPORTS:
+            return ("builtin", _BUILTIN_IMPORTS[imported])
+        return None
+
+    def _dotted_type(self, minfo: _ModuleInfo, dotted: str) -> _Type | None:
+        head, _, rest = dotted.partition(".")
+        module = minfo.ctx.resolve_module(head)
+        if module is not None:
+            full = f"{module}.{rest}" if rest else module
+            if full in _BUILTIN_DOTTED:
+                return ("builtin", _BUILTIN_DOTTED[full])
+            if full == "typing.Callable" or full == "collections.abc.Callable":
+                return ("callable", "")
+            rel = self._module_relpath(module)
+            if rel is not None and rest and "." not in rest:
+                owner = self._mods[rel]
+                if rest in owner.classes:
+                    return ("class", owner.classes[rest].key)
+            return None
+        imported = minfo.ctx.resolve_import(head)
+        if imported is not None and rest and "." not in rest:
+            rel = self._module_relpath(f"{imported[0]}.{imported[1]}")
+            if rel is not None:
+                owner = self._mods[rel]
+                if rest in owner.classes:
+                    return ("class", owner.classes[rest].key)
+        return None
+
+    def _class_key_for_name(
+        self, minfo: _ModuleInfo, name: str
+    ) -> str | None:
+        if name in minfo.classes:
+            return minfo.classes[name].key
+        imported = minfo.ctx.resolve_import(name)
+        if imported is not None:
+            rel = self._module_relpath(imported[0])
+            if rel is not None and imported[1] in self._mods[rel].classes:
+                return self._mods[rel].classes[imported[1]].key
+        return None
+
+    def _annotation_class_key(
+        self, minfo: _ModuleInfo, node: ast.expr
+    ) -> str | None:
+        typ = self._resolve_annotation(minfo, node)
+        if typ is not None and typ[0] == "class":
+            return typ[1]
+        return None
+
+    # -- MRO lookups ---------------------------------------------------------
+
+    def _mro(self, key: str) -> Iterator[_ClassInfo]:
+        seen: set[str] = set()
+        queue = [key]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self._class_index.get(current)
+            if info is None:
+                continue
+            yield info
+            queue.extend(info.base_keys)
+
+    def _find_attr_type(self, key: str, attr: str) -> _Type | None:
+        for info in self._mro(key):
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+        return None
+
+    def _find_method(
+        self, key: str, name: str
+    ) -> tuple[_ClassInfo, ast.FunctionDef | ast.AsyncFunctionDef] | None:
+        for info in self._mro(key):
+            if name in info.methods:
+                return info, info.methods[name]
+        return None
+
+    def _find_class_lock(self, key: str, attr: str) -> LockDecl | None:
+        for info in self._mro(key):
+            if attr in info.locks:
+                return info.locks[attr]
+        return None
+
+    def _has_callback_attr(self, key: str, attr: str) -> bool:
+        return self._find_attr_type(key, attr) == ("callable", "")
+
+    # -- function collection -------------------------------------------------
+
+    def _collect_functions(self, minfo: _ModuleInfo) -> None:
+        for node in ast.walk(minfo.ctx.tree):
+            if not isinstance(node, FUNCTION_NODES):
+                continue
+            qual_parts = [node.name]
+            cls: _ClassInfo | None = None
+            for ancestor in minfo.ctx.ancestors(node):
+                if isinstance(ancestor, ast.ClassDef):
+                    if cls is None:
+                        cls = self._class_by_node.get(id(ancestor))
+                    qual_parts.append(ancestor.name)
+                elif isinstance(ancestor, FUNCTION_NODES):
+                    qual_parts.append(ancestor.name)
+            qual = ".".join(reversed(qual_parts))
+            fid = f"{minfo.relpath}::{qual}"
+            if fid in self._funcs:
+                continue
+            finfo = _FuncInfo(
+                fid=fid, qual=qual, file=minfo.relpath, node=node,
+                minfo=minfo, cls=cls,
+            )
+            self._funcs[fid] = finfo
+            self._walk_function(finfo)
+
+    def _local_env(self, finfo: _FuncInfo) -> dict[str, _Type]:
+        minfo = finfo.minfo
+        env = self._param_types(minfo, finfo.node)
+        if finfo.cls is not None:
+            args = finfo.node.args
+            positional = (*args.posonlyargs, *args.args)
+            if positional and positional[0].arg in ("self", "cls"):
+                env.setdefault(positional[0].arg, ("class", finfo.cls.key))
+        assigns = [
+            stmt for stmt in ast.walk(finfo.node)
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ]
+        # Two passes so chained locals (``s = _session; m = s.metrics``)
+        # resolve regardless of a single pass's discovery order.
+        for _ in range(2):
+            for stmt in assigns:
+                name = stmt.targets[0].id  # type: ignore[attr-defined]
+                if name in env:
+                    continue
+                typ = self._expr_type(finfo, env, stmt.value)
+                if typ is not None:
+                    env[name] = typ
+        return env
+
+    # -- expression typing ---------------------------------------------------
+
+    def _expr_type(
+        self, finfo: _FuncInfo, env: dict[str, _Type], expr: ast.expr
+    ) -> _Type | None:
+        minfo = finfo.minfo
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            return minfo.global_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base_type = self._expr_type(finfo, env, expr.value)
+            if base_type is not None and base_type[0] == "class":
+                return self._find_attr_type(base_type[1], expr.attr)
+            if isinstance(expr.value, ast.Name):
+                # Module attribute access: ``othermod.SOME_GLOBAL``.
+                module = minfo.ctx.resolve_module(expr.value.id)
+                rel = (self._module_relpath(module)
+                       if module is not None else None)
+                if rel is not None:
+                    return self._mods[rel].global_types.get(expr.attr)
+            return None
+        if isinstance(expr, ast.IfExp):
+            return (self._expr_type(finfo, env, expr.body)
+                    or self._expr_type(finfo, env, expr.orelse))
+        if isinstance(expr, ast.Call):
+            return self._call_result_type(minfo, env, finfo, expr)
+        if isinstance(expr, ast.Await):
+            return self._expr_type(finfo, env, expr.value)
+        return None
+
+    def _call_result_type(
+        self, minfo: _ModuleInfo, env: dict[str, _Type],
+        finfo: "_FuncInfo | None", call: ast.Call,
+    ) -> _Type | None:
+        resolved = self._resolve_call(minfo, env, finfo, call)
+        if resolved is None:
+            return None
+        kind, payload = resolved
+        if kind == "ctor":
+            return ("class", payload)
+        if kind == "func":
+            target = self._funcs.get(payload)
+            pair = ((target.node, target.minfo) if target is not None
+                    else self._func_node_for_fid(payload))
+            if pair is not None and pair[0].returns is not None:
+                return self._resolve_annotation(pair[1], pair[0].returns)
+            return None
+        if kind == "dotted" and payload in _BUILTIN_DOTTED:
+            return ("builtin", _BUILTIN_DOTTED[payload])
+        return None
+
+    def _func_node_for_fid(
+        self, fid: str
+    ) -> "tuple[ast.FunctionDef | ast.AsyncFunctionDef, _ModuleInfo] | None":
+        relpath, _, qual = fid.partition("::")
+        minfo = self._mods.get(relpath)
+        if minfo is None:
+            return None
+        if qual in minfo.functions:
+            return minfo.functions[qual], minfo
+        cls_name, _, meth = qual.partition(".")
+        cls = minfo.classes.get(cls_name)
+        if cls is not None and meth in cls.methods:
+            return cls.methods[meth], minfo
+        return None
+
+    # -- call resolution -----------------------------------------------------
+
+    def _resolve_call(
+        self, minfo: _ModuleInfo, env: dict[str, _Type],
+        finfo: "_FuncInfo | None", call: ast.Call,
+    ) -> tuple[str, str] | None:
+        """``("func", fid)`` | ``("ctor", class key)`` | ``("dotted", name)``
+        | ``("builtin_method", "type.method")`` | ``None``."""
+        func = call.func
+        ctx = minfo.ctx
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in minfo.functions:
+                return ("func", f"{minfo.relpath}::{name}")
+            key = self._class_key_for_name(minfo, name)
+            if key is not None:
+                return ("ctor", key)
+            imported = ctx.resolve_import(name)
+            if imported is not None:
+                rel = self._module_relpath(imported[0])
+                if rel is not None:
+                    owner = self._mods[rel]
+                    if imported[1] in owner.functions:
+                        return ("func", f"{rel}::{imported[1]}")
+                return ("dotted", f"{imported[0]}.{imported[1]}")
+            if name == "open":
+                return ("dotted", "open")
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        attr = func.attr
+        # ``super().method(...)``
+        if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id == "super"):
+            if finfo is not None and finfo.cls is not None:
+                for base_key in finfo.cls.base_keys:
+                    found = self._find_method(base_key, attr)
+                    if found is not None:
+                        return ("func", f"{found[0].relpath}::"
+                                        f"{found[0].name}.{attr}")
+            return None
+        # Module-qualified: ``telemetry.count(...)``, ``time.sleep(...)``.
+        if isinstance(value, ast.Name):
+            module = ctx.resolve_module(value.id)
+            imported = ctx.resolve_import(value.id)
+            if module is None and imported is not None:
+                # ``from repro import telemetry`` imports a submodule.
+                dotted_mod = f"{imported[0]}.{imported[1]}"
+                if self._module_relpath(dotted_mod) is not None:
+                    module = dotted_mod
+            if module is not None:
+                rel = self._module_relpath(module)
+                if rel is not None:
+                    owner = self._mods[rel]
+                    if attr in owner.functions:
+                        return ("func", f"{rel}::{attr}")
+                    if attr in owner.classes:
+                        return ("ctor", owner.classes[attr].key)
+                    return None
+                return ("dotted", f"{module}.{attr}")
+        # Typed receiver: ``self.x.method()``, ``store.get()``, chains.
+        if finfo is not None:
+            receiver = self._expr_type(finfo, env, value)
+        else:
+            receiver = (self._value_type(minfo, env, value)
+                        if isinstance(value, (ast.Name, ast.Call, ast.IfExp))
+                        else None)
+        if receiver is not None:
+            if receiver[0] == "class":
+                found = self._find_method(receiver[1], attr)
+                if found is not None:
+                    return ("func",
+                            f"{found[0].relpath}::{found[0].name}.{attr}")
+                return None
+            if receiver[0] == "builtin":
+                return ("builtin_method", f"{receiver[1]}.{attr}")
+        target = ctx.call_target(call)
+        if target is not None:
+            return ("dotted", target)
+        return None
+
+    # -- lock expression resolution ------------------------------------------
+
+    def _resolve_lock(
+        self, finfo: _FuncInfo, env: dict[str, _Type], expr: ast.expr
+    ) -> LockDecl | None:
+        minfo = finfo.minfo
+        if isinstance(expr, ast.Name):
+            lock = minfo.module_locks.get(expr.id)
+            if lock is not None:
+                return lock
+            imported = minfo.ctx.resolve_import(expr.id)
+            if imported is not None:
+                rel = self._module_relpath(imported[0])
+                if rel is not None:
+                    return self._mods[rel].module_locks.get(imported[1])
+            return None
+        if isinstance(expr, ast.Attribute):
+            value = expr.value
+            if isinstance(value, ast.Name):
+                module = minfo.ctx.resolve_module(value.id)
+                if module is not None:
+                    rel = self._module_relpath(module)
+                    if rel is not None:
+                        return self._mods[rel].module_locks.get(expr.attr)
+            base_type = self._expr_type(finfo, env, value)
+            if base_type is not None and base_type[0] == "class":
+                return self._find_class_lock(base_type[1], expr.attr)
+        return None
+
+    # -- the per-function walk -----------------------------------------------
+
+    def _walk_function(self, finfo: _FuncInfo) -> None:
+        env = self._local_env(finfo)
+        callback_vars: set[str] = set()
+
+        def visit(node: ast.AST, held: _Held) -> None:
+            if isinstance(node, (*FUNCTION_NODES, ast.ClassDef, ast.Lambda)):
+                return  # nested definitions run later, not under these locks
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                new_held = held
+                for item in node.items:
+                    visit(item.context_expr, new_held)
+                    lock = self._resolve_lock(finfo, env, item.context_expr)
+                    if lock is not None:
+                        finfo.direct_acquires.append(
+                            (lock, item.context_expr.lineno, new_held)
+                        )
+                        new_held = (*new_held,
+                                    (lock, item.context_expr.lineno))
+                for child in node.body:
+                    visit(child, new_held)
+                return
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                source = _trailing_name(node.iter)
+                if (source is not None and _CALLBACK_RE.search(source)
+                        and isinstance(node.target, ast.Name)):
+                    callback_vars.add(node.target.id)
+            if isinstance(node, ast.Call):
+                self._record_call(finfo, env, callback_vars, node, held)
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in finfo.node.body:
+            visit(stmt, ())
+
+    def _record_call(
+        self, finfo: _FuncInfo, env: dict[str, _Type],
+        callback_vars: set[str], call: ast.Call, held: _Held,
+    ) -> None:
+        minfo = finfo.minfo
+        func = call.func
+        line = call.lineno
+        # Bare acquire()/release() on a resolvable lock: CONC004 input.
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "acquire", "release"
+        ):
+            lock = self._resolve_lock(finfo, env, func.value)
+            if lock is not None:
+                bucket = (finfo.acquire_lines if func.attr == "acquire"
+                          else finfo.release_lines)
+                bucket.setdefault(lock.identity, []).append(line)
+                return
+        resolved = self._resolve_call(minfo, env, finfo, call)
+        if resolved is not None:
+            kind, payload = resolved
+            if kind == "func":
+                if payload == "telemetry/locks.py::blocking":
+                    reason = "blocking checkpoint"
+                    if call.args and isinstance(call.args[0], ast.Constant):
+                        reason = f"blocking checkpoint '{call.args[0].value}'"
+                    finfo.blocking_sites.append((reason, line, held))
+                else:
+                    name = payload.rsplit(".", 1)[-1].rsplit("::", 1)[-1]
+                    if name in SOLVER_ENTRIES:
+                        finfo.blocking_sites.append(
+                            (f"solver entry point {name}()", line, held)
+                        )
+                    finfo.calls.append((payload, line, held))
+            elif kind == "dotted":
+                if payload in BLOCKING_DOTTED:
+                    finfo.blocking_sites.append((payload, line, held))
+            elif kind == "builtin_method":
+                builtin, _, attr = payload.partition(".")
+                if (builtin, attr) in BUILTIN_BLOCKING:
+                    finfo.blocking_sites.append((payload, line, held))
+        if held:
+            desc = self._callback_desc(finfo, env, callback_vars, call)
+            if desc is not None:
+                finfo.callback_sites.append((desc, line, held))
+
+    def _callback_desc(
+        self, finfo: _FuncInfo, env: dict[str, _Type],
+        callback_vars: set[str], call: ast.Call,
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in callback_vars:
+                return f"`{func.id}(...)` (iterated from a listener container)"
+            if _CALLBACK_RE.search(func.id):
+                return f"`{func.id}(...)`"
+            if env.get(func.id) == ("callable", ""):
+                return f"`{func.id}(...)` (Callable-typed parameter)"
+            return None
+        if isinstance(func, ast.Attribute):
+            if _CALLBACK_RE.search(func.attr):
+                return f"`...{func.attr}(...)`"
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id == "self" and finfo.cls is not None
+                    and self._has_callback_attr(finfo.cls.key, func.attr)):
+                return f"`self.{func.attr}(...)` (Callable-typed attribute)"
+        return None
+
+    # -- summary propagation -------------------------------------------------
+
+    _Chain = tuple[tuple[str, int, str], ...]
+
+    def _propagate_acquires(self) -> dict[str, dict[str, "_Chain"]]:
+        """``fid -> level -> witness chain`` to a deterministic fixpoint."""
+        may: dict[str, dict[str, ConcurrencyModel._Chain]] = {
+            fid: {} for fid in self._funcs
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fid in sorted(self._funcs):
+                finfo = self._funcs[fid]
+                facts = may[fid]
+                for lock, line, _held in finfo.direct_acquires:
+                    if lock.level not in facts:
+                        facts[lock.level] = (
+                            (fid, line, f"acquires '{lock.level}'"),
+                        )
+                        changed = True
+                for callee, line, _held in finfo.calls:
+                    for level, chain in may.get(callee, {}).items():
+                        if level not in facts:
+                            facts[level] = (
+                                (fid, line, f"calls {_short(callee)}"),
+                                *chain,
+                            )
+                            changed = True
+        return may
+
+    def _propagate_blocking(self) -> dict[str, dict[str, "_Chain"]]:
+        """``fid -> blocking reason -> witness chain`` to a fixpoint."""
+        may: dict[str, dict[str, ConcurrencyModel._Chain]] = {
+            fid: {} for fid in self._funcs
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fid in sorted(self._funcs):
+                finfo = self._funcs[fid]
+                facts = may[fid]
+                for reason, line, _held in finfo.blocking_sites:
+                    if reason not in facts:
+                        facts[reason] = ((fid, line, reason),)
+                        changed = True
+                for callee, line, _held in finfo.calls:
+                    for reason, chain in may.get(callee, {}).items():
+                        if reason not in facts:
+                            facts[reason] = (
+                                (fid, line, f"calls {_short(callee)}"),
+                                *chain,
+                            )
+                            changed = True
+        return may
+
+    # -- the lock graph ------------------------------------------------------
+
+    def _add_edge(
+        self, held: LockDecl, acquired_level: str,
+        file: str, line: int, witness: str,
+    ) -> None:
+        if held.level == acquired_level:
+            if held.reentrant:
+                return  # re-entering an RLock's level is not an order fact
+        edge = (held.level, acquired_level)
+        if edge not in self.edges:
+            self.edges[edge] = (file, line, witness)
+
+    def _build_edges(self) -> None:
+        for fid in sorted(self._funcs):
+            finfo = self._funcs[fid]
+            for lock, line, held in finfo.direct_acquires:
+                for held_lock, held_line in held:
+                    self._add_edge(
+                        held_lock, lock.level, finfo.file, line,
+                        f"{_short(fid)} ({finfo.file}:{line}) acquires "
+                        f"'{lock.level}' while holding '{held_lock.level}' "
+                        f"(taken at line {held_line})",
+                    )
+            for callee, line, held in finfo.calls:
+                if not held:
+                    continue
+                for level, chain in sorted(
+                    self._may_acquire.get(callee, {}).items()
+                ):
+                    for held_lock, held_line in held:
+                        self._add_edge(
+                            held_lock, level, finfo.file, line,
+                            f"{_short(fid)} ({finfo.file}:{line}) holds "
+                            f"'{held_lock.level}' (taken at line {held_line}) "
+                            f"and calls {_render_chain(chain)}, which "
+                            f"acquires '{level}'",
+                        )
+
+    # -- findings ------------------------------------------------------------
+
+    def _find_cycles(self) -> None:
+        adjacency: dict[str, list[str]] = {}
+        for a, b in self.edges:
+            adjacency.setdefault(a, []).append(b)
+        for neighbours in adjacency.values():
+            neighbours.sort()
+        for (a, b) in sorted(self.edges):
+            if a == b:
+                file, line, witness = self.edges[(a, b)]
+                self.findings.append(Finding(
+                    rule="CONC001", file=file, line=line,
+                    message=(
+                        f"same-level acquisition: non-reentrant lock level "
+                        f"'{a}' acquired while already held -- {witness}"
+                    ),
+                ))
+        reported: set[tuple[str, ...]] = set()
+        for (a, b) in sorted(self.edges):
+            if a == b:
+                continue
+            path = self._shortest_path(adjacency, b, a)
+            if path is None:
+                continue
+            cycle = (a, *path)
+            canon = _canonical_cycle(cycle)
+            if canon in reported:
+                continue
+            reported.add(canon)
+            file, line, witness_ab = self.edges[(a, b)]
+            back_edges = list(zip(path[:-1], path[1:])) or [(b, a)]
+            witness_back = "; ".join(
+                self.edges[edge][2] for edge in back_edges
+                if edge in self.edges
+            )
+            rendered = " -> ".join(f"'{node}'" for node in cycle)
+            self.findings.append(Finding(
+                rule="CONC001", file=file, line=line,
+                message=(
+                    f"lock-order cycle: {rendered}; "
+                    f"path 1: {witness_ab}; path 2: {witness_back}"
+                ),
+            ))
+
+    @staticmethod
+    def _shortest_path(
+        adjacency: dict[str, list[str]], start: str, goal: str
+    ) -> tuple[str, ...] | None:
+        """Node sequence from ``start`` to ``goal`` (inclusive), BFS order."""
+        if start == goal:
+            return (start,)
+        queue: list[tuple[str, ...]] = [(start,)]
+        seen = {start}
+        while queue:
+            path = queue.pop(0)
+            for nxt in adjacency.get(path[-1], []):
+                if nxt == goal:
+                    return (*path, nxt)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((*path, nxt))
+        return None
+
+    def _find_blocking(self) -> None:
+        for fid in sorted(self._funcs):
+            finfo = self._funcs[fid]
+            reported: set[int] = set()  # one CONC002 per source line
+            for reason, line, held in finfo.blocking_sites:
+                self._report_blocking(
+                    finfo, line, held, reason, chain=None, reported=reported
+                )
+            for callee, line, held in finfo.calls:
+                if not held:
+                    continue
+                reasons = self._may_block.get(callee, {})
+                if not reasons:
+                    continue
+                reason = sorted(reasons)[0]
+                self._report_blocking(
+                    finfo, line, held, reason, chain=reasons[reason],
+                    reported=reported,
+                )
+
+    def _report_blocking(
+        self, finfo: _FuncInfo, line: int, held: _Held,
+        reason: str, chain: "_Chain | None", reported: set[int],
+    ) -> None:
+        if line in reported:
+            return
+        disallowed = [
+            (lock, held_line) for lock, held_line in held
+            if lock.level not in self._blocking_allowed
+        ]
+        if not disallowed:
+            return
+        reported.add(line)
+        levels = ", ".join(
+            f"'{lock.level}' (taken at line {held_line})"
+            for lock, held_line in disallowed
+        )
+        via = f" via {_render_chain(chain)}" if chain else ""
+        self.findings.append(Finding(
+            rule="CONC002", file=finfo.file, line=line,
+            message=(
+                f"blocking call ({reason}) while holding lock {levels}"
+                f"{via}; move the blocking work outside the lock or declare "
+                f"the level in [tool.reprolint.locks] blocking-allowed"
+            ),
+        ))
+
+    def _find_callbacks(self) -> None:
+        for fid in sorted(self._funcs):
+            finfo = self._funcs[fid]
+            for desc, line, held in finfo.callback_sites:
+                levels = ", ".join(
+                    f"'{lock.level}'" for lock, _line in held
+                )
+                self.findings.append(Finding(
+                    rule="CONC003", file=finfo.file, line=line,
+                    message=(
+                        f"user callback {desc} invoked while holding lock "
+                        f"{levels}; collect callbacks under the lock, invoke "
+                        f"them after release"
+                    ),
+                ))
+
+    def _find_split_acquire_release(self) -> None:
+        for fid in sorted(self._funcs):
+            finfo = self._funcs[fid]
+            if finfo.node.name in _DELEGATION_METHODS:
+                continue
+            identities = sorted(
+                set(finfo.acquire_lines) | set(finfo.release_lines)
+            )
+            for identity in identities:
+                acquired = finfo.acquire_lines.get(identity, [])
+                released = finfo.release_lines.get(identity, [])
+                if len(acquired) == len(released):
+                    continue
+                if len(acquired) > len(released):
+                    line = acquired[0]
+                    what = (
+                        f"lock `{identity}` acquired here is not released "
+                        f"in the same function"
+                    )
+                else:
+                    line = released[0]
+                    what = (
+                        f"lock `{identity}` released here was not acquired "
+                        f"in the same function"
+                    )
+                self.findings.append(Finding(
+                    rule="CONC004", file=finfo.file, line=line,
+                    message=(
+                        f"{what}; cross-function acquire/release hides the "
+                        f"critical section -- use `with` in one scope"
+                    ),
+                ))
+
+    # -- graphs --------------------------------------------------------------
+
+    def declared_levels(self) -> list[str]:
+        levels: set[str] = set()
+        for minfo in self._mods.values():
+            for decl in minfo.module_locks.values():
+                levels.add(decl.level)
+            for cls in minfo.classes.values():
+                for decl in cls.locks.values():
+                    levels.add(decl.level)
+        return sorted(levels)
+
+    def graph(self) -> dict[str, object]:
+        """The static lock graph, same canonical schema as the sanitizer's."""
+        return {
+            "schema_version": LOCK_GRAPH_SCHEMA_VERSION,
+            "levels": self.declared_levels(),
+            "edges": [
+                {"from": a, "to": b} for a, b in sorted(self.edges)
+            ],
+        }
+
+    def dump_graph(self) -> str:
+        return json.dumps(self.graph(), indent=2, sort_keys=True) + "\n"
+
+    def findings_for(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _trailing_name(node: ast.expr) -> str | None:
+    """The identifying name of an iteration source (``self._listeners`` ->
+    ``_listeners``; ``list(callbacks)`` -> ``callbacks``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call) and node.args:
+        return _trailing_name(node.args[0])
+    return None
+
+
+def _short(fid: str) -> str:
+    relpath, _, qual = fid.partition("::")
+    return f"{qual} ({relpath})"
+
+
+def _render_chain(chain: "ConcurrencyModel._Chain | None") -> str:
+    if not chain:
+        return ""
+    steps = [
+        f"{_short(fid)}:{line} {text}" for fid, line, text in chain[:4]
+    ]
+    if len(chain) > 4:
+        steps.append("...")
+    return " -> ".join(steps)
+
+
+def _canonical_cycle(cycle: tuple[str, ...]) -> tuple[str, ...]:
+    """Rotation-invariant key for a cycle ``(a, b, ..., a)``."""
+    nodes = cycle[:-1] if len(cycle) > 1 and cycle[0] == cycle[-1] else cycle
+    rotations = [
+        tuple(nodes[i:] + nodes[:i]) for i in range(len(nodes))
+    ]
+    return min(rotations)
+
+
+# -- public entry points ------------------------------------------------------
+
+
+def analyze_modules(
+    modules: list[ModuleContext],
+    level_aliases: Mapping[str, str] | None = None,
+    blocking_allowed: tuple[str, ...] = (),
+) -> ConcurrencyModel:
+    """Build the lock model for a set of parsed modules."""
+    return ConcurrencyModel(
+        modules, level_aliases=level_aliases,
+        blocking_allowed=blocking_allowed,
+    )
+
+
+def analyze_tree(tree: TreeContext) -> ConcurrencyModel:
+    """The (memoized) lock model for one lint run's tree."""
+    cached = tree.cache.get("concurrency")
+    if isinstance(cached, ConcurrencyModel):
+        return cached
+    model = analyze_modules(
+        list(tree.modules),
+        level_aliases=tree.config.lock_levels(),
+        blocking_allowed=tree.config.blocking_allowed(),
+    )
+    tree.cache["concurrency"] = model
+    return model
+
+
+def compare_graphs(
+    static: Mapping[str, object], dynamic: Mapping[str, object]
+) -> list[str]:
+    """Problems that make ``dynamic`` not a subgraph of ``static``."""
+    problems: list[str] = []
+    static_levels = set(static.get("levels", []))  # type: ignore[arg-type]
+    static_edges = {
+        (e["from"], e["to"])  # type: ignore[index]
+        for e in static.get("edges", [])  # type: ignore[union-attr]
+    }
+    for level in dynamic.get("levels", []):  # type: ignore[union-attr]
+        if level not in static_levels:
+            problems.append(
+                f"dynamic lock level '{level}' is unknown to the static "
+                f"analysis (undeclared lock?)"
+            )
+    for e in dynamic.get("edges", []):  # type: ignore[union-attr]
+        edge = (e["from"], e["to"])  # type: ignore[index]
+        if edge not in static_edges:
+            problems.append(
+                f"dynamic edge '{edge[0]}' -> '{edge[1]}' is missing from "
+                f"the static lock graph (unsound analysis or untracked "
+                f"call path)"
+            )
+    return problems
+
+
+__all__ = [
+    "BLOCKING_DOTTED",
+    "BUILTIN_BLOCKING",
+    "ConcurrencyModel",
+    "Finding",
+    "LockDecl",
+    "SOLVER_ENTRIES",
+    "analyze_modules",
+    "analyze_tree",
+    "compare_graphs",
+]
+

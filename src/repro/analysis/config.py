@@ -43,9 +43,27 @@ class LintConfig:
     exclude: tuple[str, ...] = ()
     #: Per-rule option tables, keyed by lower-case rule id.
     rules: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    #: The ``[tool.reprolint.locks]`` table: ``blocking-allowed`` (levels
+    #: under which blocking work is sanctioned) and ``levels`` (identity ->
+    #: level aliases for locks not created via ``new_lock``).
+    locks: Mapping[str, object] = field(default_factory=dict)
 
     def rule_options(self, rule_id: str) -> Mapping[str, object]:
         return self.rules.get(rule_id.lower(), {})
+
+    def lock_levels(self) -> dict[str, str]:
+        """Identity -> level aliases from ``[tool.reprolint.locks.levels]``."""
+        levels = self.locks.get("levels", {})
+        if not isinstance(levels, Mapping):
+            return {}
+        return {str(k): str(v) for k, v in levels.items()}
+
+    def blocking_allowed(self) -> tuple[str, ...]:
+        """Lock levels under which blocking calls are sanctioned."""
+        allowed = self.locks.get("blocking-allowed", ())
+        if not isinstance(allowed, (list, tuple)):
+            return ()
+        return tuple(str(level) for level in allowed)
 
     def severity_for(self, rule_id: str, default: str) -> str:
         return self.severity.get(rule_id, default)
@@ -81,7 +99,26 @@ class LintConfig:
                     f"[tool.reprolint.rules.{rule_id}] must be a table"
                 )
             rules[str(rule_id).lower()] = {str(k): v for k, v in table.items()}
-        return cls(select=select, severity=severity, exclude=exclude, rules=rules)
+        locks_raw = data.get("locks", {})
+        if not isinstance(locks_raw, Mapping):
+            raise ConfigError("[tool.reprolint.locks] must be a table")
+        locks: dict[str, object] = {}
+        for key, value in locks_raw.items():
+            if key == "blocking-allowed":
+                locks[key] = list(_str_tuple(value, "locks.blocking-allowed"))
+            elif key == "levels":
+                if not isinstance(value, Mapping):
+                    raise ConfigError(
+                        "[tool.reprolint.locks.levels] must be a table"
+                    )
+                locks[key] = {str(k): str(v) for k, v in value.items()}
+            else:
+                raise ConfigError(
+                    f"unknown [tool.reprolint.locks] key {key!r} "
+                    "(expected blocking-allowed or levels)"
+                )
+        return cls(select=select, severity=severity, exclude=exclude,
+                   rules=rules, locks=locks)
 
     def to_mapping(self) -> dict[str, object]:
         """The inverse of :meth:`from_mapping` (lossless round trip)."""
@@ -94,6 +131,16 @@ class LintConfig:
             out["severity"] = dict(self.severity)
         if self.rules:
             out["rules"] = {k: dict(v) for k, v in self.rules.items()}
+        if self.locks:
+            locks: dict[str, object] = {}
+            for key, value in self.locks.items():
+                if isinstance(value, Mapping):
+                    locks[key] = dict(value)
+                elif isinstance(value, (list, tuple)):
+                    locks[key] = list(value)
+                else:
+                    locks[key] = value
+            out["locks"] = locks
         return out
 
 

@@ -200,3 +200,24 @@ def build_context(
     return ModuleContext(
         path=path, relpath=relpath, source=source, tree=tree, config=config
     )
+
+
+@dataclass
+class TreeContext:
+    """Every parseable module of one lint run, for whole-tree rules.
+
+    Rules that need interprocedural facts (the CONC family) receive this
+    instead of a single :class:`ModuleContext`.  ``cache`` lets several
+    rules share one expensive analysis: build it on first use, stash it
+    under a stable key, and later rules find it ready.
+    """
+
+    modules: tuple[ModuleContext, ...]
+    config: LintConfig
+    cache: dict[str, object] = field(default_factory=dict)
+
+    def module(self, relpath: str) -> ModuleContext | None:
+        for ctx in self.modules:
+            if ctx.relpath == relpath:
+                return ctx
+        return None

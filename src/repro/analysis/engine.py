@@ -12,9 +12,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis import registry
+from repro.analysis.concurrency import ConcurrencyModel, analyze_modules
 from repro.analysis.config import LintConfig, path_matches
-from repro.analysis.context import build_context, package_relpath
-from repro.analysis.suppressions import parse_suppressions, resolve_ranges
+from repro.analysis.context import TreeContext, build_context, package_relpath
+from repro.analysis.suppressions import (
+    Suppression,
+    parse_suppressions,
+    resolve_ranges,
+)
 from repro.analysis.violations import Violation
 
 
@@ -161,8 +166,17 @@ def check_source(
 
 
 def lint_paths(paths: list[Path], config: LintConfig) -> Report:
-    """Lint every Python file under ``paths`` and aggregate a report."""
+    """Lint every Python file under ``paths`` and aggregate a report.
+
+    Runs the per-module rules file by file (:func:`check_source`), then the
+    whole-tree rules (``Rule.whole_tree``) once over every parseable module
+    -- those need the cross-module call graph, so they cannot run per file.
+    Suppression pragmas work identically for both kinds; the unused-
+    suppression check for tree-rule pragmas happens here because only this
+    function knows whether a tree rule fired.
+    """
     report = Report()
+    sources: list[tuple[Path, str, str]] = []
     for file, relpath in discover_files(paths):
         if path_matches(relpath, config.exclude):
             continue
@@ -178,6 +192,115 @@ def lint_paths(paths: list[Path], config: LintConfig) -> Report:
             report.files_checked += 1
             continue
         report.files_checked += 1
+        sources.append((file, relpath, source))
         report.violations.extend(check_source(source, relpath, config, path=file))
+    report.violations.extend(_check_tree(sources, config))
     report.violations.sort(key=Violation.sort_key)
     return report
+
+
+def build_lock_model(paths: list[Path], config: LintConfig) -> ConcurrencyModel:
+    """The static lock model for the tree under ``paths`` (for the CLI's
+    ``--lock-graph``/``--check-lock-graph``; unparseable files are skipped,
+    which the lint pass reports separately as SYN001)."""
+    modules = []
+    for file, relpath in discover_files(paths):
+        if path_matches(relpath, config.exclude):
+            continue
+        try:
+            source = file.read_text(encoding="utf-8")
+            modules.append(build_context(file, relpath, source, config))
+        except (OSError, UnicodeDecodeError, SyntaxError):
+            continue
+    return analyze_modules(
+        modules,
+        level_aliases=config.lock_levels(),
+        blocking_allowed=config.blocking_allowed(),
+    )
+
+
+def _check_tree(
+    sources: list[tuple[Path, str, str]], config: LintConfig
+) -> list[Violation]:
+    """Run every enabled whole-tree rule over the parseable modules."""
+    tree_rules = [
+        rule for rule in registry.iter_tree_rules()
+        if config.enabled(rule.id, rule.default_severity)
+    ]
+    if not tree_rules:
+        return []
+    modules = []
+    suppression_map: dict[str, list[Suppression]] = {}
+    for file, relpath, source in sources:
+        try:
+            module = build_context(file, relpath, source, config)
+        except SyntaxError:
+            continue  # already reported as SYN001 by check_source
+        modules.append(module)
+        suppressions = parse_suppressions(source)
+        resolve_ranges(suppressions, module.tree)
+        suppression_map[relpath] = suppressions
+
+    tree = TreeContext(modules=tuple(modules), config=config)
+    raw: list[Violation] = []
+    for rule in tree_rules:
+        options = config.rule_options(rule.id)
+        paths_opt = options.get("paths", rule.default_paths)
+        exclude_opt = options.get("exclude", rule.default_exclude)
+        if not isinstance(paths_opt, (list, tuple)):
+            paths_opt = rule.default_paths
+        if not isinstance(exclude_opt, (list, tuple)):
+            exclude_opt = rule.default_exclude
+        severity = config.severity_for(rule.id, rule.default_severity)
+        for violation in rule.check_tree(tree):
+            if not path_matches(
+                violation.file, tuple(str(p) for p in paths_opt)
+            ):
+                continue
+            if path_matches(
+                violation.file, tuple(str(p) for p in exclude_opt)
+            ):
+                continue
+            raw.append(
+                Violation(
+                    file=violation.file,
+                    line=violation.line,
+                    col=violation.col,
+                    rule=violation.rule,
+                    severity=severity,
+                    message=violation.message,
+                )
+            )
+
+    kept: list[Violation] = []
+    for violation in raw:
+        suppressed = False
+        for suppression in suppression_map.get(violation.file, []):
+            if suppression.covers(violation.rule, violation.line):
+                suppression.used.add(violation.rule)
+                suppressed = True
+        if not suppressed:
+            kept.append(violation)
+
+    sup_rule = registry.get_rule("SUP001")
+    assert sup_rule is not None
+    if config.enabled(sup_rule.id, sup_rule.default_severity):
+        sup_severity = config.severity_for(
+            sup_rule.id, sup_rule.default_severity
+        )
+        tree_rule_ids = {rule.id for rule in tree_rules}
+        for relpath in sorted(suppression_map):
+            for suppression in suppression_map[relpath]:
+                for rule_id in suppression.rules:
+                    if (rule_id in tree_rule_ids
+                            and rule_id not in suppression.used):
+                        kept.append(
+                            Violation(
+                                file=relpath, line=suppression.line, col=1,
+                                rule=sup_rule.id, severity=sup_severity,
+                                message=f"unused suppression: `{rule_id}` "
+                                        "does not fire here; delete the "
+                                        "pragma",
+                            )
+                        )
+    return kept

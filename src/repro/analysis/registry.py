@@ -41,9 +41,16 @@ def rule_ids() -> set[str]:
 
 
 def iter_checkable() -> Iterator[Rule]:
-    """Rules that inspect source (skips engine-emitted pseudo-rules)."""
+    """Per-module rules (skips engine-emitted and whole-tree rules)."""
     for rule in all_rules():
-        if not rule.engine_emitted:
+        if not rule.engine_emitted and not rule.whole_tree:
+            yield rule
+
+
+def iter_tree_rules() -> Iterator[Rule]:
+    """Whole-tree (interprocedural) rules, run once per lint invocation."""
+    for rule in all_rules():
+        if rule.whole_tree and not rule.engine_emitted:
             yield rule
 
 

@@ -31,6 +31,71 @@ def render_json(report: Report) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+
+def render_sarif(report: Report) -> str:
+    """SARIF 2.1.0 report for code-scanning upload (byte-deterministic).
+
+    The driver's rule table lists every registered rule (not just the ones
+    that fired) so rule metadata -- invariant, rationale, fix -- renders in
+    the code-scanning UI; results reference rules by index.
+    """
+    rules = registry.all_rules()
+    rule_index = {rule.id: index for index, rule in enumerate(rules)}
+    driver_rules = []
+    for rule in rules:
+        driver_rules.append({
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.invariant or rule.name},
+            "fullDescription": {"text": rule.rationale or rule.invariant},
+            "help": {"text": rule.fix or rule.invariant},
+            "defaultConfiguration": {
+                "level": "error" if rule.default_severity == "error"
+                else "warning",
+            },
+        })
+    results = []
+    for violation in report.violations:
+        results.append({
+            "ruleId": violation.rule,
+            "ruleIndex": rule_index.get(violation.rule, -1),
+            "level": "error" if violation.severity == "error" else "warning",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.file,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col,
+                    },
+                },
+            }],
+        })
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri":
+                        "https://example.invalid/repro/DESIGN.md",
+                    "rules": driver_rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def render_text(report: Report) -> str:
     """Human-readable report grouped by file, with a per-rule summary."""
     lines: list[str] = []

@@ -7,6 +7,7 @@ at import time); :mod:`repro.analysis.registry` triggers this lazily.
 from __future__ import annotations
 
 from repro.analysis.rules import api as _api
+from repro.analysis.rules import concurrency_rules as _concurrency_rules
 from repro.analysis.rules import determinism as _determinism
 from repro.analysis.rules import errors_rule as _errors_rule
 from repro.analysis.rules import meta as _meta
@@ -18,6 +19,7 @@ from repro.analysis.rules.base import Rule
 __all__ = [
     "Rule",
     "_api",
+    "_concurrency_rules",
     "_determinism",
     "_errors_rule",
     "_meta",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.analysis.context import ModuleContext
+from repro.analysis.context import ModuleContext, TreeContext
 from repro.analysis.violations import Violation
 
 
@@ -34,9 +34,16 @@ class Rule:
     fix: str = ""
     #: True for diagnostics the engine emits itself (no ``check`` body).
     engine_emitted: bool = False
+    #: True for interprocedural rules: the engine calls :meth:`check_tree`
+    #: once with every parsed module instead of :meth:`check` per module.
+    whole_tree: bool = False
 
     def check(self, module: ModuleContext) -> Iterator[Violation]:
         """Yield every finding in one module.  Default: nothing."""
+        return iter(())
+
+    def check_tree(self, tree: TreeContext) -> Iterator[Violation]:
+        """Yield every finding across the whole tree (``whole_tree`` rules)."""
         return iter(())
 
     def violation(
@@ -48,6 +55,20 @@ class Rule:
         """
         return Violation(
             file=module.relpath,
+            line=line,
+            col=col + 1,
+            rule=self.id,
+            severity=self.default_severity,
+            message=message,
+        )
+
+    def tree_violation(
+        self, file: str, line: int, col: int, message: str
+    ) -> Violation:
+        """Like :meth:`violation` but for whole-tree rules, which report
+        against arbitrary files rather than "the" module being checked."""
+        return Violation(
+            file=file,
             line=line,
             col=col + 1,
             rule=self.id,

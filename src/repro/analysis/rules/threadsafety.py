@@ -175,7 +175,11 @@ def _is_lock_ctor(value: ast.expr) -> bool:
     name = func.attr if isinstance(func, ast.Attribute) else (
         func.id if isinstance(func, ast.Name) else ""
     )
-    return name in ("Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore")
+    # ``new_lock`` is the sanitizer-aware factory from repro.telemetry.locks.
+    return name in (
+        "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+        "new_lock",
+    )
 
 
 def _self_parameter(func: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:

@@ -6,7 +6,8 @@ Grammar (one comment per line, reason optional but encouraged)::
     def hot():   # reprolint: disable=ZOV001,DET001 -- whole-function scope
     # reprolint: disable-file=THR001 -- single-threaded by construction
 
-A suppression on a ``def``/``class`` header line covers that whole block; a
+A suppression on a ``def``/``class``/``with`` header line covers that
+whole block (including multi-line parenthesized ``with`` headers); a
 ``disable-file`` comment anywhere covers the file; anything else covers its
 own line.  Suppressions that never match a finding of an *enabled* rule are
 themselves reported as ``SUP001`` -- stale pragmas are contract rot.
@@ -21,6 +22,12 @@ import tokenize
 from dataclasses import dataclass, field
 
 from repro.analysis.context import FUNCTION_NODES
+
+#: Statements whose header line(s) extend a suppression over the whole
+#: block: function/class definitions and ``with`` statements (whose
+#: multi-line parenthesized headers would otherwise leave lines 2+ of the
+#: header uncovered).
+_BLOCK_NODES = (*FUNCTION_NODES, ast.ClassDef, ast.With, ast.AsyncWith)
 
 _PATTERN = re.compile(
     r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*="
@@ -82,15 +89,17 @@ def parse_suppressions(source: str) -> list[Suppression]:
 def resolve_ranges(suppressions: list[Suppression], tree: ast.Module) -> None:
     """Assign each suppression its covered line range (see module docstring).
 
-    A comment on the header of a ``def``/``class`` (anywhere from the first
-    decorator through the line before the body starts) covers the whole
-    definition; other line comments cover only their own line.
+    A comment on the header of a ``def``/``class``/``with`` (anywhere from
+    the first decorator -- or the ``with`` keyword -- through the line
+    before the body starts) covers the whole block; other line comments
+    cover only their own line.
     """
     blocks: list[tuple[int, int, int]] = []  # (header_start, header_end, end)
     for node in ast.walk(tree):
-        if isinstance(node, (*FUNCTION_NODES, ast.ClassDef)):
+        if isinstance(node, _BLOCK_NODES):
+            decorators = getattr(node, "decorator_list", [])
             header_start = min(
-                [node.lineno] + [d.lineno for d in node.decorator_list]
+                [node.lineno] + [d.lineno for d in decorators]
             )
             body_start = node.body[0].lineno if node.body else node.lineno
             end = node.end_lineno if node.end_lineno is not None else node.lineno

@@ -24,6 +24,7 @@ from repro.cudnn.enums import AlgoFamily, is_deterministic
 from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.handle import CudnnHandle
 from repro.cudnn.perfmodel import PerfResult
+from repro.telemetry.locks import blocking
 
 if TYPE_CHECKING:
     from repro.core.cache import BenchmarkCache
@@ -259,6 +260,7 @@ def benchmark_kernel(
     """
     if samples < 1:
         raise ValueError("samples must be >= 1")
+    blocking("solver.benchmark_kernel")
     bench = KernelBenchmark(geometry=geometry, policy=policy)
     gpu_name = handle.gpu.spec.name
     with telemetry.span(

@@ -19,7 +19,6 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable
@@ -31,6 +30,7 @@ from repro.cudnn.enums import ALGOS_FOR, ConvType
 from repro.cudnn.perfmodel import PerfResult
 from repro.cudnn.status import Status
 from repro.errors import CacheError
+from repro.telemetry.locks import blocking, new_lock
 
 _FORMAT_VERSION = 1
 
@@ -127,7 +127,13 @@ class BenchmarkCache:
         self.capacity = capacity
         #: Owning lock for all mutable state below: the cache is shared by
         #: the parallel evaluator's worker threads and across policies.
-        self._lock = threading.RLock()
+        self._lock = new_lock("bench", reentrant=True)
+        #: Serializes file writes only.  ``save`` snapshots the payload
+        #: under the data lock, releases it, then writes under this one --
+        #: so a multi-megabyte JSON dump never stalls cache lookups.  The
+        #: "bench.io" level is blocking-allowed by contract (DESIGN.md
+        #: section 14); "bench" is not.
+        self._io_lock = new_lock("bench.io")
         self._bench: dict[str, list[PerfResult]] = {}
         self._configs: dict[str, dict] = {}
         #: Hit/miss counters, split by what was looked up: benchmark tables
@@ -314,14 +320,27 @@ class BenchmarkCache:
         """
         if self.path is None:
             return
-        with self._lock:
-            if not self._dirty and self.path.exists():
-                telemetry.count("cache.saves_skipped",
-                                help="persist calls skipped because nothing changed")
-                return
-            with telemetry.span("cache.save", path=str(self.path), entries=len(self)):
-                self._save()
-            self._dirty = False
+        with self._io_lock:
+            with self._lock:
+                if not self._dirty and self.path.exists():
+                    telemetry.count("cache.saves_skipped",
+                                    help="persist calls skipped because "
+                                         "nothing changed")
+                    return
+                payload = {"version": _FORMAT_VERSION, **self.export_payload()}
+                entries = len(self)
+                self._dirty = False
+            # The write happens with only the io lock held: lookups and
+            # inserts proceed against the snapshot-consistent payload.
+            try:
+                with telemetry.span(
+                    "cache.save", path=str(self.path), entries=entries
+                ):
+                    self._save(payload)
+            except BaseException:
+                with self._lock:
+                    self._dirty = True  # the state never reached disk
+                raise
         telemetry.count("cache.saves", help="benchmark DB persist operations")
 
     def export_payload(self) -> dict:
@@ -351,8 +370,8 @@ class BenchmarkCache:
                 },
             }
 
-    def _save(self) -> None:
-        payload = {"version": _FORMAT_VERSION, **self.export_payload()}
+    def _save(self, payload: dict) -> None:
+        blocking("cache.save")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
@@ -381,6 +400,7 @@ class BenchmarkCache:
         """
         if self.path is None:
             raise CacheError("cache has no backing file")
+        blocking("cache.load")
         try:
             with open(self.path) as fh:
                 text = fh.read()

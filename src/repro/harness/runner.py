@@ -47,7 +47,7 @@ import traceback
 import repro.telemetry as telemetry
 from repro.harness import experiments as E
 from repro.observability import report as provenance_report
-from repro.telemetry import exporters
+from repro.telemetry import exporters, locks
 
 #: Experiment registry: id -> (callable, description).  Callables take no
 #: arguments here (paper-default parameterizations).
@@ -126,6 +126,35 @@ def _write_output(path: str, content: str, what: str) -> bool:
         return False
     print(f"[{what} written to {path}]")
     return True
+
+
+def _finish_lock_sanitizer(
+    monitor: locks.LockMonitor, args: argparse.Namespace
+) -> bool:
+    """Tear down ``--sanitize-locks``: dump the graph, report violations.
+
+    Returns False when any runtime violation was recorded (lock-order
+    inversion, non-reentrant re-acquisition, or blocking work under a lock
+    whose level is not blocking-allowed) -- the run must fail even if the
+    workload itself succeeded.
+    """
+    locks.disable_sanitizer()
+    ok = True
+    if args.lock_graph:
+        ok &= _write_output(args.lock_graph, monitor.dump_graph(),
+                            "dynamic lock graph")
+    violations = monitor.violations()
+    for violation in violations:
+        print(f"[lock-sanitizer {violation.kind}: {violation.message}]",
+              file=sys.stderr)
+    if violations:
+        print(f"[lock-sanitizer: {len(violations)} violation(s)]",
+              file=sys.stderr)
+        return False
+    graph = monitor.graph()
+    print(f"[lock-sanitizer: clean -- {len(graph['levels'])} level(s), "
+          f"{len(graph['edges'])} edge(s) observed]")
+    return ok
 
 
 def _run_diff(path_a: str, path_b: str) -> int:
@@ -293,10 +322,28 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="S",
                         help="with --listen: log a structured JSON line for "
                              "every request slower than S seconds")
+    parser.add_argument("--sanitize-locks", action="store_true",
+                        help="wrap every repro lock in the runtime sanitizer: "
+                             "record the dynamic lock-acquisition graph and "
+                             "fail on order inversions or blocking work under "
+                             "a disallowed lock")
+    parser.add_argument("--lock-graph", metavar="FILE.json", default=None,
+                        help="with --sanitize-locks: write the dynamic lock "
+                             "graph as canonical JSON (CI checks it is a "
+                             "subgraph of reprolint's static graph)")
     args = parser.parse_args(argv)
 
     if args.diff is not None:
         return _run_diff(*args.diff)
+
+    if args.lock_graph and not args.sanitize_locks:
+        print("--lock-graph needs --sanitize-locks", file=sys.stderr)
+        return 2
+    monitor = None
+    if args.sanitize_locks:
+        # Installed before any service object exists: new_lock() only wraps
+        # locks created while the monitor is live.
+        monitor = locks.enable_sanitizer()
 
     if args.listen is not None:
         if args.experiments != ["serve"]:
@@ -304,7 +351,10 @@ def main(argv: list[str] | None = None) -> int:
                   "as: serve --listen HOST:PORT [--store FILE.json]",
                   file=sys.stderr)
             return 2
-        return _run_server(args)
+        code = _run_server(args)
+        if monitor is not None and not _finish_lock_sanitizer(monitor, args):
+            code = code or 1
+        return code
 
     if args.list or not args.experiments:
         width = max(len(k) for k in REGISTRY)
@@ -447,6 +497,8 @@ def main(argv: list[str] | None = None) -> int:
         ok &= _write_output(args.metrics_file,
                             exporters.prometheus_text(session.metrics),
                             "metrics")
+    if monitor is not None:
+        ok &= _finish_lock_sanitizer(monitor, args)
     if not ok:
         return 1
     if failed:

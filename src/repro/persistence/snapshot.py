@@ -49,6 +49,7 @@ from repro.errors import (
 )
 from repro.service.requests import PlanKey
 from repro.service.store import PlanStore
+from repro.telemetry.locks import blocking
 
 if TYPE_CHECKING:
     from repro.service.plan_service import PlanService
@@ -282,6 +283,7 @@ def save_snapshot(path: "str | os.PathLike[str]", document: dict) -> Path:
     see either the old complete file or the new complete file, never a mix.
     """
     validate_snapshot(document)
+    blocking("snapshot.save")
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     payload = to_json(document)

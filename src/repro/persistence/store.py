@@ -18,7 +18,6 @@ behind the disk.
 from __future__ import annotations
 
 import os
-import threading
 from pathlib import Path
 
 import repro.telemetry as telemetry
@@ -34,6 +33,7 @@ from repro.persistence.snapshot import (
 from repro.service.requests import PlanKey
 from repro.service.store import PlanStore
 from repro.telemetry.clock import Clock
+from repro.telemetry.locks import new_lock
 
 
 class PersistentPlanStore(PlanStore):
@@ -80,7 +80,7 @@ class PersistentPlanStore(PlanStore):
         self.sync_every = sync_every
         self._meta = {str(k): v for k, v in sorted((meta or {}).items())}
         #: Owning lock for the write-through counter and all file writes.
-        self._sync_lock = threading.Lock()
+        self._sync_lock = new_lock("store.sync")
         self._unsynced = 0
         #: Plans warm-loaded from ``path`` at construction (0 if no file).
         self.loaded_plans = 0

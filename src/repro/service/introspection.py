@@ -19,8 +19,9 @@ telemetry null objects.
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass, field
+
+from repro.telemetry.locks import new_lock
 
 #: Default ring capacity (last N requests kept).
 DEFAULT_REQUEST_LOG_CAPACITY = 256
@@ -71,7 +72,7 @@ class RequestLog:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         #: Owning lock for the ring, sequence counter, and dropped count.
-        self._lock = threading.Lock()
+        self._lock = new_lock("ring")
         self._ring: list[RequestRecord | None] = [None] * capacity
         self._next_seq = 0
         self._dropped = 0

@@ -71,6 +71,7 @@ from repro.service.introspection import RequestLog
 from repro.service.requests import PlanKey, PlanRequest, PlanResponse, ServiceStats
 from repro.service.store import PlanStore
 from repro.telemetry.clock import Clock, WallClock
+from repro.telemetry.locks import new_lock
 
 #: A solver: request in, ``(configuration, simulated solve seconds)`` out.
 SolveFn = Callable[[PlanRequest], "tuple[Configuration, float]"]
@@ -199,9 +200,9 @@ class PlanService:
         )
         #: Owning lock for every mutable field below (and for ``stats``):
         #: submissions, worker completions, and wave serving all cross it.
-        self._lock = threading.Lock()
+        self._lock = new_lock("service")
         #: Serializes actual solver work on the single simulated device.
-        self._solver_lock = threading.Lock()
+        self._solver_lock = new_lock("solver")
         self._inflight: dict[
             PlanKey, Future[tuple[Configuration, float, float]]
         ] = {}

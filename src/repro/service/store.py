@@ -15,7 +15,6 @@ with a :class:`~repro.telemetry.clock.ManualClock`.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Callable
 
@@ -23,6 +22,7 @@ import repro.telemetry as telemetry
 from repro.core.config import Configuration
 from repro.service.requests import PlanKey, StoreStats
 from repro.telemetry.clock import Clock, WallClock
+from repro.telemetry.locks import new_lock
 
 
 class PlanStore:
@@ -56,7 +56,7 @@ class PlanStore:
         self.clock: Clock = clock if clock is not None else WallClock()
         #: Owning lock for all mutable state below; the store is shared by
         #: the service's worker threads and every submitting client thread.
-        self._lock = threading.Lock()
+        self._lock = new_lock("store")
         self._entries: "OrderedDict[PlanKey, tuple[Configuration, float]]" = (
             OrderedDict()
         )
@@ -153,18 +153,25 @@ class PlanStore:
 
         Used by the plan service when fresh benchmark rows land for a kernel
         family: the matching plans were derived from the old rows and must
-        not be served again.  Removal, warm-marker cleanup, and the
-        ``invalidations`` counter all update under the store lock, so a
-        concurrent ``get`` either sees the old plan (pre-removal) or a miss
-        -- never a half-invalidated state; this is the same single-lock
-        discipline that keeps TTL expiry race-free.
+        not be served again.  ``predicate`` is caller code, so it runs on a
+        key snapshot *outside* the lock (it may be slow, or re-enter the
+        store); removal, warm-marker cleanup, and the ``invalidations``
+        counter then all update under the store lock, so a concurrent
+        ``get`` either sees the old plan (pre-removal) or a miss -- never a
+        half-invalidated state.  Keys inserted after the snapshot are not
+        examined, exactly as if they had been ``put`` after this returned.
         """
         with self._lock:
-            removed = [key for key in self._entries if predicate(key)]
-            for key in removed:
-                del self._entries[key]
-                self._warm_keys.discard(key)
-                self.stats.invalidations += 1
+            keys = list(self._entries)
+        matched = [key for key in keys if predicate(key)]
+        removed: list[PlanKey] = []
+        with self._lock:
+            for key in matched:
+                if key in self._entries:
+                    del self._entries[key]
+                    self._warm_keys.discard(key)
+                    self.stats.invalidations += 1
+                    removed.append(key)
         if removed and telemetry.enabled():
             telemetry.count("service.store.invalidations", len(removed),
                             help="plans dropped by explicit invalidation")

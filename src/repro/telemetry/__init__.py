@@ -37,8 +37,16 @@ from __future__ import annotations
 import contextlib
 from dataclasses import dataclass
 
-from repro.telemetry import exporters
+from repro.telemetry import exporters, locks
 from repro.telemetry.clock import ManualClock, WallClock
+from repro.telemetry.locks import (
+    LockMonitor,
+    SanitizedLock,
+    disable_sanitizer,
+    enable_sanitizer,
+    new_lock,
+    sanitizer_enabled,
+)
 from repro.telemetry.trace import (
     TraceContext,
     TraceIdSource,
@@ -57,10 +65,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LockMonitor",
     "ManualClock",
     "Metrics",
     "NullMetrics",
     "NullSpan",
+    "SanitizedLock",
     "Span",
     "TelemetrySession",
     "TraceContext",
@@ -72,14 +82,19 @@ __all__ = [
     "count",
     "device_span",
     "disable",
+    "disable_sanitizer",
     "enable",
+    "enable_sanitizer",
     "enabled",
     "event",
     "exporters",
     "gauge",
     "get_metrics",
     "get_tracer",
+    "locks",
+    "new_lock",
     "observe",
+    "sanitizer_enabled",
     "session",
     "span",
 ]

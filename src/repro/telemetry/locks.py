@@ -1,0 +1,307 @@
+"""Leveled locks and the runtime lock sanitizer.
+
+Every lock in the serving stack is created through :func:`new_lock` with a
+*level name* (``"service"``, ``"store"``, ``"metrics.values"``, ...).  With
+the sanitizer disabled -- the default -- :func:`new_lock` returns a plain
+``threading.Lock``/``RLock``: zero wrappers, zero per-acquire overhead,
+the same ZOV001 contract the telemetry null objects honour.
+
+With the sanitizer enabled (tests, the soak driver under
+``--sanitize-locks``), :func:`new_lock` returns a :class:`SanitizedLock`
+that reports every acquisition to one process-global :class:`LockMonitor`:
+
+* the monitor keeps a per-thread stack of held locks and records every
+  *held-while-acquiring* pair as an edge ``held.level -> acquired.level``
+  in the dynamic lock graph;
+* acquiring ``b`` while holding ``a`` after some thread acquired ``a``
+  while holding ``b`` is an **order inversion** -- a potential deadlock --
+  and is recorded as a violation with both witnesses;
+* :func:`blocking` checkpoints (placed at socket reads/writes, snapshot
+  saves, and solver entry) record a violation when any held lock's level
+  is not in the monitor's ``blocking_allowed`` set.
+
+The dynamic graph dumps as canonical JSON (sorted keys, sorted edges, no
+counts or timestamps) so two identical runs produce byte-identical dumps,
+and CI can check it is a subgraph of the static analyzer's graph
+(``python -m repro.analysis --check-lock-graph``).
+
+Because :func:`new_lock` decides plain-vs-sanitized at *creation* time,
+enable the sanitizer **before** building the objects whose locks you want
+watched (the runner does this before constructing the service).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+class LockLike(Protocol):
+    """What callers may assume about a :func:`new_lock` result."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> object: ...
+
+    def __exit__(self, *exc_info: object) -> object: ...
+
+#: Lock levels under which blocking work is sanctioned by design.  Must
+#: match ``[tool.reprolint.locks].blocking-allowed`` in pyproject.toml
+#: (a meta-test pins the two together):
+#:
+#: * ``solver`` serializes whole solver invocations -- blocking is its job;
+#: * ``store.sync`` serializes snapshot writes (atomic-save discipline);
+#: * ``bench.io`` serializes benchmark-cache file writes;
+#: * ``wire.client`` serializes one request/response exchange on the wire.
+DEFAULT_BLOCKING_ALLOWED: tuple[str, ...] = (
+    "bench.io", "solver", "store.sync", "wire.client",
+)
+
+#: Dynamic lock-graph dump schema; bump on incompatible layout changes.
+LOCK_GRAPH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One runtime violation caught by the sanitizer."""
+
+    #: ``"inversion"`` (order inversion), ``"blocking"`` (blocking call
+    #: under a disallowed lock), or ``"self-deadlock"`` (re-acquiring a
+    #: non-reentrant lock on the same thread).
+    kind: str
+    message: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"kind": self.kind, "message": self.message}
+
+
+@dataclass
+class LockMonitor:
+    """Process-global dynamic lock-graph recorder (one per enable)."""
+
+    blocking_allowed: frozenset[str] = frozenset(DEFAULT_BLOCKING_ALLOWED)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _local: threading.local = field(default_factory=threading.local)
+    #: Every level acquired at least once.
+    _levels: set[str] = field(default_factory=set)
+    #: ``(held_level, acquired_level) -> witness string`` (first seen).
+    _edges: dict[tuple[str, str], str] = field(default_factory=dict)
+    _violations: list[LockViolation] = field(default_factory=list)
+
+    # -- per-thread held stack ---------------------------------------------
+
+    def _stack(self) -> "list[SanitizedLock]":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def held_levels(self) -> list[str]:
+        """Levels held by the calling thread, outermost first."""
+        return [lock.level for lock in self._stack()]
+
+    # -- recording ----------------------------------------------------------
+
+    def on_attempt(self, lock: "SanitizedLock") -> None:
+        """Called *before* the inner acquire: catches the same-thread
+        re-acquisition of a non-reentrant lock while the evidence can still
+        be recorded -- the inner acquire would deadlock forever."""
+        if not lock.reentrant and any(
+            held is lock for held in self._stack()
+        ):
+            self._record_violation(
+                "self-deadlock",
+                f"non-reentrant lock '{lock.level}' re-acquired by the "
+                "thread already holding it",
+            )
+
+    def on_acquire(self, lock: "SanitizedLock") -> None:
+        """Called by :class:`SanitizedLock` after the inner acquire."""
+        stack = self._stack()
+        if any(held is lock for held in stack):
+            # Reentrant re-acquisition: no new edges (an RLock nesting
+            # under itself is not an ordering fact), but push so release
+            # bookkeeping stays balanced.
+            stack.append(lock)
+            return
+        witness_held = [
+            held.level for held in stack if held.level != lock.level
+        ]
+        with self._lock:
+            self._levels.add(lock.level)
+            for held_level in witness_held:
+                edge = (held_level, lock.level)
+                inverse = (lock.level, held_level)
+                if inverse in self._edges and edge not in self._edges:
+                    self._violations.append(LockViolation(
+                        kind="inversion",
+                        message=(
+                            f"lock-order inversion: acquired "
+                            f"'{lock.level}' while holding '{held_level}', "
+                            f"but previously {self._edges[inverse]}"
+                        ),
+                    ))
+                if edge not in self._edges:
+                    self._edges[edge] = (
+                        f"acquired '{lock.level}' while holding "
+                        f"'{held_level}'"
+                    )
+        stack.append(lock)
+
+    def on_release(self, lock: "SanitizedLock") -> None:
+        stack = self._stack()
+        # Tolerate out-of-order releases rather than corrupting the stack.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    def on_blocking(self, what: str) -> None:
+        """A blocking operation is about to run on the calling thread."""
+        disallowed = [
+            level for level in self.held_levels()
+            if level not in self.blocking_allowed
+        ]
+        if disallowed:
+            self._record_violation(
+                "blocking",
+                f"blocking operation '{what}' while holding lock(s) "
+                + ", ".join(f"'{level}'" for level in disallowed),
+            )
+
+    def _record_violation(self, kind: str, message: str) -> None:
+        with self._lock:
+            self._violations.append(LockViolation(kind=kind, message=message))
+
+    # -- results -------------------------------------------------------------
+
+    def violations(self) -> list[LockViolation]:
+        with self._lock:
+            return list(self._violations)
+
+    def graph(self) -> dict[str, object]:
+        """The dynamic lock graph in canonical (dump-ready) form."""
+        with self._lock:
+            levels = sorted(self._levels)
+            edges = sorted(self._edges)
+        return {
+            "schema_version": LOCK_GRAPH_SCHEMA_VERSION,
+            "levels": levels,
+            "edges": [{"from": a, "to": b} for a, b in edges],
+        }
+
+    def dump_graph(self) -> str:
+        """Canonical JSON: sorted keys/edges, no counts, no timestamps."""
+        return json.dumps(self.graph(), indent=2, sort_keys=True) + "\n"
+
+
+class SanitizedLock:
+    """Drop-in ``threading.Lock``/``RLock`` reporting to a monitor.
+
+    Supports the context-manager protocol plus explicit
+    ``acquire``/``release``, so it substitutes anywhere a plain lock is
+    stored.  Created only by :func:`new_lock` while a sanitizer is enabled.
+    """
+
+    __slots__ = ("level", "reentrant", "_inner", "_monitor")
+
+    def __init__(
+        self, level: str, monitor: LockMonitor, reentrant: bool = False
+    ) -> None:
+        self.level = level
+        self.reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        self._monitor = monitor
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._monitor.on_attempt(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._monitor.on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.on_release(self)
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SanitizedLock({self.level!r}, reentrant={self.reentrant})"
+
+
+#: The enabled monitor, or ``None`` (the zero-overhead default).  One
+#: module-global check is all the disabled path ever costs.
+_monitor: LockMonitor | None = None
+
+
+def new_lock(level: str, *, reentrant: bool = False) -> LockLike:
+    """A lock at the named level: plain when the sanitizer is off.
+
+    The static analyzer reads the ``level`` literal to name the lock in
+    the static graph; the runtime monitor uses the same name, which is
+    what makes the two graphs comparable.
+    """
+    monitor = _monitor
+    if monitor is None:
+        return threading.RLock() if reentrant else threading.Lock()
+    return SanitizedLock(level, monitor, reentrant=reentrant)
+
+
+def enable_sanitizer(
+    blocking_allowed: tuple[str, ...] = DEFAULT_BLOCKING_ALLOWED,
+) -> LockMonitor:
+    """Install a fresh monitor; locks created *afterwards* are sanitized."""
+    global _monitor
+    _monitor = LockMonitor(  # reprolint: disable=THR001 -- startup-only, pre-thread
+        blocking_allowed=frozenset(blocking_allowed)
+    )
+    return _monitor
+
+
+def disable_sanitizer() -> LockMonitor | None:
+    """Remove the monitor (existing SanitizedLocks keep reporting to it)."""
+    global _monitor
+    monitor, _monitor = _monitor, None  # reprolint: disable=THR001 -- teardown-only
+    return monitor
+
+
+def sanitizer_enabled() -> bool:
+    return _monitor is not None
+
+
+def current_monitor() -> LockMonitor | None:
+    return _monitor
+
+
+def blocking(what: str) -> None:
+    """Checkpoint marking a blocking operation (socket I/O, file writes,
+    solver entry).  Free when the sanitizer is off."""
+    monitor = _monitor
+    if monitor is not None:
+        monitor.on_blocking(what)
+
+
+__all__ = [
+    "DEFAULT_BLOCKING_ALLOWED",
+    "LOCK_GRAPH_SCHEMA_VERSION",
+    "LockLike",
+    "LockMonitor",
+    "LockViolation",
+    "SanitizedLock",
+    "blocking",
+    "current_monitor",
+    "disable_sanitizer",
+    "enable_sanitizer",
+    "new_lock",
+    "sanitizer_enabled",
+]

@@ -14,8 +14,9 @@ floats (integral values render without a decimal point in the exporters).
 from __future__ import annotations
 
 import bisect
-import threading
 from dataclasses import dataclass, field
+
+from repro.telemetry.locks import new_lock
 
 #: Prometheus' classic latency buckets (seconds) -- suitable defaults for
 #: the simulated device times and optimizer solve times alike.
@@ -31,7 +32,7 @@ SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 #: One lock for all instrument value updates.  Updates are a few float ops,
 #: so contention is cheaper than a lock per instrument, and a shared lock
 #: keeps multi-field updates (histogram sum/count/bucket) atomic together.
-_VALUES_LOCK = threading.Lock()
+_VALUES_LOCK = new_lock("metrics.values")
 
 
 @dataclass
@@ -125,7 +126,7 @@ class Metrics:
     """Thread-safe registry of named instruments."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = new_lock("metrics.registry")
         self._instruments: dict[str, object] = {}
 
     def _get_or_create(self, name: str, kind, key: str | None = None, **kwargs):

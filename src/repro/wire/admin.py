@@ -34,6 +34,7 @@ from typing import Callable
 import repro.telemetry as telemetry
 from repro.service.plan_service import PlanService
 from repro.telemetry.exporters import prometheus_sample, prometheus_text
+from repro.telemetry.locks import new_lock
 
 #: ``(status, content_type, body)`` produced by one endpoint handler.
 _Reply = "tuple[int, str, bytes]"
@@ -74,7 +75,7 @@ class AdminServer:
         self.port = port
         #: Owning lock for the listener lifecycle state below (start/close
         #: may race with each other and with handler threads reading port).
-        self._lock = threading.Lock()
+        self._lock = new_lock("admin")
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 

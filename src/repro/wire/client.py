@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import dataclasses
 import socket
-import threading
 
 import repro.telemetry as telemetry
 from repro.errors import DeadlineExceededError, WireProtocolError
 from repro.service.requests import PlanRequest, PlanResponse
+from repro.telemetry.locks import new_lock
 from repro.telemetry.trace import TraceIdSource
 from repro.wire.protocol import (
     decode_envelope,
@@ -48,7 +48,7 @@ class PlanClient:
         self.host = host
         self.port = port
         #: Owning lock: one request/response exchange at a time on the wire.
-        self._lock = threading.Lock()
+        self._lock = new_lock("wire.client")
         self._next_id = 1
         self._closed = False
         #: Deterministic trace-id mint for traced ``plan`` calls

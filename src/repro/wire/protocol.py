@@ -55,6 +55,7 @@ from repro.errors import (
 )
 from repro.persistence.snapshot import conv_type_of
 from repro.service.requests import PlanKey, PlanRequest, PlanResponse
+from repro.telemetry.locks import blocking
 from repro.telemetry.spans import Span
 from repro.units import MIB
 
@@ -171,6 +172,7 @@ def _recv_exact(sock: socket.socket, count: int, what: str) -> bytes | None:
 
 def read_frame(sock: socket.socket) -> bytes | None:
     """The next frame's payload bytes; ``None`` on clean EOF between frames."""
+    blocking("wire.read_frame")
     header = _recv_exact(sock, 4, "length prefix")
     if header is None:
         return None
@@ -190,6 +192,7 @@ def read_frame(sock: socket.socket) -> bytes | None:
 
 def write_frame(sock: socket.socket, payload: bytes) -> int:
     """Send one frame; returns bytes written (prefix included)."""
+    blocking("wire.write_frame")
     if len(payload) > MAX_FRAME_BYTES:
         raise WireProtocolError(
             f"refusing to send a {len(payload)}-byte frame "

@@ -36,6 +36,7 @@ from repro.errors import PersistenceError, ReproError, WireProtocolError
 from repro.persistence.snapshot import save_snapshot, snapshot_service
 from repro.persistence.store import PersistentPlanStore
 from repro.service.plan_service import PlanService
+from repro.telemetry.locks import new_lock
 from repro.wire.protocol import (
     WIRE_VERSION,
     decode_envelope,
@@ -95,7 +96,7 @@ class PlanServer:
         self.port = port
         self.snapshot_path = snapshot_path
         #: Owning lock for the stats and the connection registry below.
-        self._lock = threading.Lock()
+        self._lock = new_lock("wire")
         self.stats = WireStats()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -164,18 +165,22 @@ class PlanServer:
                 # either way accepting is over.
                 return
             with self._lock:
-                if self._closing:
-                    _quiet_close(conn)
-                    return
-                self.stats.connections += 1
-                self._connections[conn.fileno()] = conn
-                thread = threading.Thread(
-                    target=self._serve_connection,
-                    args=(conn, conn.fileno()),
-                    name=f"plan-server-conn-{self.stats.connections}",
-                    daemon=True,
-                )
-                self._handlers.append(thread)
+                closing = self._closing
+                if not closing:
+                    self.stats.connections += 1
+                    self._connections[conn.fileno()] = conn
+                    thread = threading.Thread(
+                        target=self._serve_connection,
+                        args=(conn, conn.fileno()),
+                        name=f"plan-server-conn-{self.stats.connections}",
+                        daemon=True,
+                    )
+                    self._handlers.append(thread)
+            if closing:
+                # Close outside the lock: socket teardown can block, and
+                # close() may already hold the lock on another thread.
+                _quiet_close(conn)
+                return
             if telemetry.enabled():
                 telemetry.count("wire.server.connections",
                                 help="connections accepted by plan servers")

@@ -95,45 +95,90 @@ def explode() -> None:
 def optimize(kernel, limit=None):
     return kernel
 ''',
+    "parallel/conc_bad.py": '''\
+"""CONC fixtures: lock-order cycle, blocking/callback under lock, split."""
+import threading
+import time
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def ab() -> None:
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def ba() -> None:
+    with LOCK_B:
+        with LOCK_A:
+            pass
+
+
+def sleepy() -> None:
+    with LOCK_A:
+        time.sleep(0.1)
+
+
+def fire(callbacks: list) -> None:
+    with LOCK_B:
+        for callback in callbacks:
+            callback()
+
+
+def grab() -> None:
+    LOCK_A.acquire()
+''',
     "core/syntax_bad.py": "def broken(:\n",
 }
 
 GOLDEN_TEXT = """\
-reprolint: 9 finding(s) in 7 of 7 file(s)
+reprolint: 13 finding(s) in 8 of 8 file(s)
 
 core/api_bad.py
-  4:1   API001  error  public function `optimize` missing annotations: parameter `kernel`, parameter `limit`, return type
+  4:1   API001   error  public function `optimize` missing annotations: parameter `kernel`, parameter `limit`, return type
 
 core/determinism_bad.py
-  6:12  DET001  error  wall-clock call `time.time()` in deterministic module; take time from an injected Clock (repro.telemetry.clock) instead
+  6:12  DET001   error  wall-clock call `time.time()` in deterministic module; take time from an injected Clock (repro.telemetry.clock) instead
 
 core/errors_bad.py
-  7:5   ERR001  error  bare `except:` without re-raise swallows taxonomy information; catch the specific repro.errors classes or re-raise
-  12:5  ERR001  error  raise of `RuntimeError` outside the repro.errors taxonomy; use the closest taxonomy class (see repro/errors.py) or a precise builtin
+  7:5   ERR001   error  bare `except:` without re-raise swallows taxonomy information; catch the specific repro.errors classes or re-raise
+  12:5  ERR001   error  raise of `RuntimeError` outside the repro.errors taxonomy; use the closest taxonomy class (see repro/errors.py) or a precise builtin
 
 core/overhead_bad.py
-  8:9   ZOV001  error  telemetry call `telemetry.count(...)` inside a loop without an `if telemetry.enabled():` guard (zero-overhead contract)
-  9:5   ZOV001  error  chained recorder call `...recorder().record(...)` can never be guarded; bind the recorder and guard with `if rec:`
+  8:9   ZOV001   error  telemetry call `telemetry.count(...)` inside a loop without an `if telemetry.enabled():` guard (zero-overhead contract)
+  9:5   ZOV001   error  chained recorder call `...recorder().record(...)` can never be guarded; bind the recorder and guard with `if rec:`
 
 core/syntax_bad.py
-  1:12  SYN001  error  file does not parse: invalid syntax
+  1:12  SYN001   error  file does not parse: invalid syntax
 
 core/units_bad.py
-  2:21  UNI001  error  raw byte-count literal 8388608 (8 MiB if bytes) -- build sizes with repro.units helpers (mib/kib or * MIB) so the unit is explicit
+  2:21  UNI001   error  raw byte-count literal 8388608 (8 MiB if bytes) -- build sizes with repro.units helpers (mib/kib or * MIB) so the unit is explicit
+
+parallel/conc_bad.py
+  11:1  CONC001  error  lock-order cycle: 'parallel/conc_bad.py::LOCK_A' -> 'parallel/conc_bad.py::LOCK_B' -> 'parallel/conc_bad.py::LOCK_A'; path 1: ab (parallel/conc_bad.py) (parallel/conc_bad.py:11) acquires 'parallel/conc_bad.py::LOCK_B' while holding 'parallel/conc_bad.py::LOCK_A' (taken at line 10); path 2: ba (parallel/conc_bad.py) (parallel/conc_bad.py:17) acquires 'parallel/conc_bad.py::LOCK_A' while holding 'parallel/conc_bad.py::LOCK_B' (taken at line 16)
+  23:1  CONC002  error  blocking call (time.sleep) while holding lock 'parallel/conc_bad.py::LOCK_A' (taken at line 22); move the blocking work outside the lock or declare the level in [tool.reprolint.locks] blocking-allowed
+  29:1  CONC003  error  user callback `callback(...)` (iterated from a listener container) invoked while holding lock 'parallel/conc_bad.py::LOCK_B'; collect callbacks under the lock, invoke them after release
+  33:1  CONC004  error  lock `parallel/conc_bad.py::LOCK_A` acquired here is not released in the same function; cross-function acquire/release hides the critical section -- use `with` in one scope
 
 parallel/threads_bad.py
-  11:9  THR001  error  mutation of `self.jobs.append(...)` in threaded module outside `with self._lock:` (class Pool owns that lock)
+  11:9  THR001   error  mutation of `self.jobs.append(...)` in threaded module outside `with self._lock:` (class Pool owns that lock)
 
 summary
-  API001     1  public-annotations
-  DET001     1  determinism
-  ERR001     2  error-taxonomy
-  SYN001     1  unparseable
-  THR001     1  thread-safety
-  UNI001     1  units
-  ZOV001     2  zero-overhead
+  API001      1  public-annotations
+  CONC001     1  lock-order-cycle
+  CONC002     1  blocking-under-lock
+  CONC003     1  callback-under-lock
+  CONC004     1  split-acquire-release
+  DET001      1  determinism
+  ERR001      2  error-taxonomy
+  SYN001      1  unparseable
+  THR001      1  thread-safety
+  UNI001      1  units
+  ZOV001      2  zero-overhead
 
-9 error(s), 0 warning(s)
+13 error(s), 0 warning(s)
 """
 
 GOLDEN_JSON = """\
@@ -198,8 +243,8 @@ class TestGoldenReports:
         report = lint_fixture_tree(tmp_path)
         payload = json.loads(render_json(report))
         assert payload["schema_version"] == 1
-        assert payload["errors"] == report.errors == 9
-        assert payload["files_checked"] == 7
+        assert payload["errors"] == report.errors == 13
+        assert payload["files_checked"] == 8
         assert sum(payload["counts"].values()) == len(payload["violations"])
 
     def test_clean_tree_renders_clean(self, tmp_path):
@@ -338,7 +383,9 @@ class TestConfig:
         report = lint_paths(
             [write_tree(tmp_path)], LintConfig(exclude=("core/",))
         )
-        assert set(v.file for v in report.violations) == {"parallel/threads_bad.py"}
+        assert set(v.file for v in report.violations) == {
+            "parallel/conc_bad.py", "parallel/threads_bad.py"
+        }
 
     def test_path_matches_semantics(self):
         assert path_matches("core/wr.py", ("core/",))
