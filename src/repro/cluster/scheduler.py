@@ -1,0 +1,187 @@
+"""Device-aware wave placement: load estimation + cross-shard work stealing.
+
+Given one cluster wave already partitioned onto home shards by the
+:class:`~repro.cluster.shardmap.ShardMap`, this module decides which solve
+*groups* (key-coalesced request batches) actually run where.  The policy:
+
+* a shard's **queue depth** is its number of solve groups -- requests the
+  plan store cannot answer;
+* each group's **cost estimate** comes from bench-cache locality: a shard
+  that already holds the kernel's benchmark rows re-solves from cache
+  (cheap), a cold shard pays the full ``cudnnFind`` pass (unit cost);
+* when a shard's depth exceeds the **steal watermark**, the overflow (its
+  newest groups -- the oldest keep their home locality) is re-placed onto
+  the under-watermark shards of the *same device* with
+  :func:`~repro.parallel.scheduler.schedule_lpt`, seeding the thieves'
+  retained load through ``initial_loads``.  Stealing never crosses devices:
+  plans are benchmarked per GPU model, so a foreign shard's answer would be
+  wrong, not just slow.
+
+Everything here is a pure function of the wave's contents and the shards'
+cache states -- no wall clock, no RNG -- so two identical soak runs place
+(and steal) identically, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.scheduler import schedule_lpt
+from repro.service.plan_service import PlanService
+from repro.service.requests import PlanKey, PlanRequest
+
+#: Relative cost of re-solving a kernel whose benchmark rows the shard
+#: already holds (a WR DP over cached rows vs. a full ``cudnnFind`` pass;
+#: the paper's table II puts the benchmark pass at the bulk of the cost).
+BENCH_WARM_COST = 0.1
+
+#: Relative cost of a cold solve (benchmark pass + WR DP).
+COLD_COST = 1.0
+
+
+@dataclass
+class SolveGroup:
+    """One key-coalesced batch of wave requests bound for a solver."""
+
+    key: PlanKey
+    #: Positions of the group's requests in the *cluster* wave (arrival
+    #: order; the first is the group's leader).
+    indices: list[int] = field(default_factory=list)
+    #: The shard the shard map calls home for this key.
+    home: str = ""
+    #: Estimated solve cost on the home shard (see module docstring).
+    cost: float = COLD_COST
+
+
+@dataclass
+class Placement:
+    """The scheduler's verdict for one wave: who runs what.
+
+    ``assignments`` maps every shard to the groups it will serve, in a
+    deterministic order (retained home groups by arrival, then stolen
+    groups in LPT placement order).  ``steals`` records the moved groups as
+    ``(key, victim, thief)`` for telemetry and the wave's metrics summary.
+    """
+
+    assignments: dict[str, list[SolveGroup]] = field(default_factory=dict)
+    steals: list[tuple[PlanKey, str, str]] = field(default_factory=list)
+
+
+def estimate_cost(shard: PlanService, request: PlanRequest) -> float:
+    """Bench-cache-locality cost estimate of solving ``request`` on ``shard``.
+
+    Probes the shard's benchmark cache without touching its hit/miss
+    counters (the probe is a scheduling decision, not cache traffic).
+    """
+    warm = shard.bench_cache.has_benchmark(shard.gpu_name, request.geometry)
+    return BENCH_WARM_COST if warm else COLD_COST
+
+
+def place_wave(
+    groups_by_shard: "dict[str, list[SolveGroup]]",
+    shards: "dict[str, PlanService]",
+    device_shards: "dict[str, list[str]]",
+    admitted: "dict[str, int]",
+    steal_watermark: int,
+) -> Placement:
+    """Decide the serving shard of every solve group in one wave.
+
+    Parameters
+    ----------
+    groups_by_shard:
+        Solve groups per *home* shard (cache hits are not groups; they are
+        served where they live, by definition).
+    shards:
+        Shard id -> its :class:`~repro.service.PlanService`.
+    device_shards:
+        The shard map's device -> shard-id grouping (steal domain).
+    admitted:
+        Requests admitted per shard this wave; a thief may not end up
+        serving more than its own ``max_pending``, so capacity left is
+        ``max_pending - admitted + moved-away + moved-in`` tracked here.
+    steal_watermark:
+        Queue-depth (solve-group count) bound past which a shard sheds its
+        overflow; ``0`` disables stealing entirely.
+    """
+    placement = Placement(
+        assignments={shard: list(groups) for shard, groups
+                     in sorted(groups_by_shard.items())}
+    )
+    for shard in sorted(shards):
+        placement.assignments.setdefault(shard, [])
+    if steal_watermark < 1:
+        return placement
+    # Per-shard request headroom: stealing must never push a thief past its
+    # own admission limit, or the shard wave would refuse mid-serve.
+    headroom = {
+        shard: shards[shard].max_pending - admitted.get(shard, 0)
+        for shard in sorted(shards)
+    }
+    for device in sorted(device_shards):
+        group_ids = device_shards[device]
+        overflow: list[SolveGroup] = []
+        for shard in group_ids:  # ascending shard index: deterministic
+            kept = placement.assignments[shard]
+            if len(kept) <= steal_watermark:
+                continue
+            # Oldest groups keep their home (their requesters arrived
+            # first and their keys hashed here); the tail overflows.
+            placement.assignments[shard] = kept[:steal_watermark]
+            for group in kept[steal_watermark:]:
+                overflow.append(group)
+                headroom[shard] += len(group.indices)
+        if not overflow:
+            continue
+        thieves = [
+            shard for shard in group_ids
+            if len(placement.assignments[shard]) < steal_watermark
+        ]
+        if not thieves:
+            # Every same-device shard is at the watermark: nothing to win
+            # by moving work, so the overflow stays home.
+            _return_home(placement, overflow, headroom)
+            continue
+        # LPT over the overflow, seeded with the thieves' retained load --
+        # the makespan machinery of the parallel benchmark evaluator,
+        # re-used shard-wise.
+        schedule = schedule_lpt(
+            [group.cost for group in overflow],
+            workers=len(thieves),
+            initial_loads=[
+                sum(g.cost for g in placement.assignments[shard])
+                for shard in thieves
+            ],
+        )
+        for worker, units in enumerate(schedule.assignments):
+            thief = thieves[worker]
+            for unit in units:
+                group = overflow[unit]
+                moved = len(group.indices)
+                if thief == group.home or headroom[thief] < moved:
+                    _return_home(placement, [group], headroom)
+                    continue
+                headroom[thief] -= moved
+                placement.assignments[thief].append(group)
+                placement.steals.append((group.key, group.home, thief))
+    return placement
+
+
+def _return_home(
+    placement: Placement,
+    groups: list[SolveGroup],
+    headroom: "dict[str, int]",
+) -> None:
+    """Re-attach unstealable overflow groups to their home shards."""
+    for group in groups:
+        placement.assignments[group.home].append(group)
+        headroom[group.home] -= len(group.indices)
+
+
+__all__ = [
+    "BENCH_WARM_COST",
+    "COLD_COST",
+    "Placement",
+    "SolveGroup",
+    "estimate_cost",
+    "place_wave",
+]

@@ -199,6 +199,17 @@ class BenchmarkCache:
             telemetry.event("cache.hit", key=_bench_key(gpu_name, geometry))
         return entry
 
+    def has_benchmark(self, gpu_name: str, geometry: ConvGeometry) -> bool:
+        """Whether benchmark rows exist, without counting a hit or miss.
+
+        A pure peek for schedulers deciding *where* to run a solve: the
+        probe must not perturb the hit/miss counters (or LRU recency) that
+        describe actual cache traffic, or scheduling would skew the very
+        locality signal it reads.
+        """
+        with self._lock:
+            return _bench_key(gpu_name, geometry) in self._bench
+
     def put_benchmark(
         self, gpu_name: str, geometry: ConvGeometry, results: list[PerfResult]
     ) -> None:

@@ -155,6 +155,15 @@ class DeadlineExceededError(ServiceError):
     """
 
 
+class ClusterError(ServiceError):
+    """A sharded cluster could not route a request.
+
+    Raised when a request's routing hint names a shard or device the
+    cluster's shard map does not contain -- a client/deployment mismatch,
+    not an overload, so it is its own type rather than backpressure.
+    """
+
+
 class WireError(ServiceError):
     """Base class for errors in the wire-protocol (out-of-process) layer."""
 

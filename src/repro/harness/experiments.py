@@ -902,7 +902,10 @@ class ServeResult:
 
 
 def serve_plans(
-    soak: bool = False, seed: int = 0, store_path: str | None = None
+    soak: bool = False, seed: int = 0, store_path: str | None = None,
+    clients: int | None = None, shards: int = 1,
+    devices: "tuple[str, ...]" = (), steal_watermark: int = 0,
+    tenant_mix: str = "",
 ) -> ServeResult:
     """Exercise the plan service under a deterministic client population.
 
@@ -914,29 +917,47 @@ def serve_plans(
     :class:`~repro.telemetry.clock.ManualClock`: two runs with equal
     arguments produce byte-identical report JSON.
 
+    ``clients`` overrides the population size (``--soak-clients``);
+    ``None`` keeps the historical defaults (64 soaking, 16 demo).
+    ``shards`` / ``devices`` / ``steal_watermark`` switch the run onto a
+    sharded :class:`~repro.cluster.ClusterService` with the same report
+    contract (plus per-shard counts); ``tenant_mix`` names the clients by
+    tenant (e.g. ``"train:3,infer:1"``).
+
     ``store_path`` turns on persistence: an existing snapshot there
     warm-starts the service before the run (a rerun of the same
     configuration then needs **zero** solver invocations -- the CI
     ``--expect-warm`` gate), and the final state is saved back atomically.
     Because the snapshot schema is byte-deterministic and the run is
     clock-deterministic, save -> warm-start -> re-save reproduces the file
-    byte for byte.
+    byte for byte.  Both delegate to the cluster's merged snapshot /
+    routed warm-start when sharding is on.
     """
     from repro.persistence import (
         load_snapshot, save_snapshot, snapshot_service, warm_start,
     )
     from repro.service import RequestLog, SoakConfig, build_service, run_soak
 
+    cluster_knobs = {
+        "shards": shards,
+        "devices": tuple(devices),
+        "steal_watermark": steal_watermark,
+        "tenant_mix": tenant_mix,
+    }
     if soak:
         # Rates chosen so the seeded schedule exercises *both* fallback
         # rungs (timeout and solver_error) within the run's ~30 solves.
         config = SoakConfig(
-            clients=64, rounds=6, seed=seed, max_pending=64,
+            clients=64 if clients is None else clients,
+            rounds=6, seed=seed, max_pending=64,
             deadline_s=1.0, fail_rate=0.15, stall_rate=0.12, stall_s=5.0,
-            capacity=48, bench_capacity=64,
+            capacity=48, bench_capacity=64, **cluster_knobs,
         )
     else:
-        config = SoakConfig(clients=16, rounds=3, seed=seed, max_pending=64)
+        config = SoakConfig(
+            clients=16 if clients is None else clients,
+            rounds=3, seed=seed, max_pending=64, **cluster_knobs,
+        )
     if store_path is None:
         return ServeResult(report=run_soak(config))
     import os

@@ -14,6 +14,8 @@ benchmark suite asserts on.  Useful for eyeballing a single figure quickly::
     python -m repro.harness.runner serve --store out/plans.json --expect-warm
     python -m repro.harness.runner serve --listen 127.0.0.1:7070 \\
         --store out/plans.json
+    python -m repro.harness.runner serve --soak --shards 4 \\
+        --devices p100-sxm2,v100-sxm2 --steal-watermark 4
     python -m repro.harness.runner client --connect 127.0.0.1:7070
 
 ``--profile FILE.json`` writes a Chrome-trace (``chrome://tracing`` /
@@ -31,6 +33,10 @@ fails the run unless the warm store answered everything with zero solver
 invocations).  ``serve --listen HOST:PORT`` serves the plan service to
 out-of-process clients over the wire protocol until SIGINT/SIGTERM; the
 ``client`` experiment (``--connect HOST:PORT``) is its counterpart.
+``--soak-clients N`` sizes the population, ``--tenant-mix train:3,infer:1``
+names clients by tenant, and ``--shards N --devices A,B`` runs the soak (or
+server) against a sharded multi-device cluster with deterministic placement
+and optional work stealing (``--steal-watermark``).
 Output-path parent directories are created on demand.  A failing experiment no longer aborts the whole run: its
 traceback goes to stderr, the remaining experiments still run, and the exit
 status is non-zero.
@@ -172,12 +178,25 @@ def _run_diff(path_a: str, path_b: str) -> int:
     return 0
 
 
+def _device_list(args: argparse.Namespace) -> "tuple[str, ...]":
+    """The cluster device slots from ``--devices`` (empty when unset)."""
+    if not getattr(args, "devices", None):
+        return ()
+    return tuple(d.strip() for d in args.devices.split(",") if d.strip())
+
+
 def _run_server(args: argparse.Namespace) -> int:
     """``serve --listen HOST:PORT``: serve plans to wire clients until killed.
 
     SIGINT/SIGTERM stop the server cleanly: the store is flushed to its
     snapshot file (when ``--store`` is set) and the exit status is 0, so
     process supervisors and the CI job can ``kill`` it without losing state.
+
+    ``--shards N`` (optionally with ``--devices``) serves a sharded
+    :class:`~repro.cluster.ClusterService` behind the same wire endpoint:
+    requests route by their ``shard`` hint (shard id or device name), the
+    snapshot file becomes the cluster's merged document, and warm-start
+    routes every restored plan to its map-owned shard.
     """
     import signal
     import threading
@@ -208,27 +227,52 @@ def _run_server(args: argparse.Namespace) -> int:
     clock = ManualClock() if args.sim_clock else None
     if args.trace:
         telemetry.enable(clock=clock)
-    bench = BenchmarkCache()
-    store = None
-    if args.store:
-        try:
-            _prepare_output(args.store)
-            store = PersistentPlanStore(args.store, gpu=args.gpu,
-                                        bench_cache=bench)
-        except (OSError, ReproError) as exc:
-            print(f"cannot open plan store {args.store}: {exc}",
-                  file=sys.stderr)
-            return 2
-        if store.loaded_plans:
-            print(f"[warm-started {store.loaded_plans} plans "
-                  f"(+{store.loaded_bench_rows} bench rows) from {args.store}]")
     stop = threading.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda _sig, _frame: stop.set())
     request_log = RequestLog() if admin_addr is not None else None
-    service = PlanService(args.gpu, store=store, bench_cache=bench,
-                          clock=clock, request_log=request_log,
-                          slow_request_s=args.slow_request_s)
+    devices = _device_list(args)
+    clustered = args.shards > 1 or len(devices) > 1
+    store = None
+    if clustered:
+        from repro.cluster import ClusterService
+        from repro.persistence import load_snapshot, warm_start
+
+        slots = devices if devices else (args.gpu,)
+        service = ClusterService(
+            slots, max(args.shards, len(slots)),
+            steal_watermark=args.steal_watermark,
+            clock_factory=ManualClock if args.sim_clock else None,
+            request_log=request_log, slow_request_s=args.slow_request_s,
+        )
+        if args.store and os.path.exists(args.store):
+            try:
+                restored = warm_start(service, load_snapshot(args.store))
+            except ReproError as exc:
+                print(f"cannot open plan store {args.store}: {exc}",
+                      file=sys.stderr)
+                service.close()
+                return 2
+            print(f"[warm-started {restored} plans across "
+                  f"{args.shards} shards from {args.store}]")
+    else:
+        bench = BenchmarkCache()
+        if args.store:
+            try:
+                _prepare_output(args.store)
+                store = PersistentPlanStore(args.store, gpu=args.gpu,
+                                            bench_cache=bench)
+            except (OSError, ReproError) as exc:
+                print(f"cannot open plan store {args.store}: {exc}",
+                      file=sys.stderr)
+                return 2
+            if store.loaded_plans:
+                print(f"[warm-started {store.loaded_plans} plans "
+                      f"(+{store.loaded_bench_rows} bench rows) from "
+                      f"{args.store}]")
+        service = PlanService(args.gpu, store=store, bench_cache=bench,
+                              clock=clock, request_log=request_log,
+                              slow_request_s=args.slow_request_s)
     admin = None
     try:
         with PlanServer(service, host, port,
@@ -246,6 +290,12 @@ def _run_server(args: argparse.Namespace) -> int:
             if store is not None:
                 store.save()
                 print(f"[plan store saved to {args.store}]")
+            elif clustered and args.store:
+                from repro.persistence import save_snapshot, snapshot_service
+
+                save_snapshot(_prepare_output(args.store),
+                              snapshot_service(service))
+                print(f"[cluster snapshot saved to {args.store}]")
             stats = server.stats.as_dict()
     finally:
         if admin is not None:
@@ -292,6 +342,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="run 'serve' at the CI soak scale (64 clients, "
                              "injected faults) and fail on any dropped or "
                              "errored request")
+    parser.add_argument("--soak-clients", type=int, default=None, metavar="N",
+                        help="client population for 'serve' (defaults: 64 "
+                             "with --soak, 16 without)")
+    parser.add_argument("--tenant-mix", default="", metavar="NAME:W,...",
+                        help="multi-tenant soak mix, e.g. 'train:3,infer:1'; "
+                             "clients cycle through tenants by weight and "
+                             "the report adds per-tenant served counts")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="with 'serve': shard the plan service into N "
+                             "per-device shards behind the cluster router")
+    parser.add_argument("--devices", default=None, metavar="GPU,GPU,...",
+                        help="with --shards: comma-separated GPU models the "
+                             "shard map stripes over (default: --gpu only)")
+    parser.add_argument("--steal-watermark", type=int, default=0, metavar="N",
+                        help="with --shards: per-shard solve-queue depth "
+                             "past which overflow is stolen by same-device "
+                             "shards (0 disables stealing)")
     parser.add_argument("--soak-report", metavar="FILE.json", default=None,
                         help="write the serve/soak report as stable JSON")
     parser.add_argument("--store", metavar="FILE.json", default=None,
@@ -397,7 +464,12 @@ def main(argv: list[str] | None = None) -> int:
                         )
                         explain_result = result
                     elif key == "serve":
-                        result = fn(soak=args.soak, store_path=args.store)
+                        result = fn(soak=args.soak, store_path=args.store,
+                                    clients=args.soak_clients,
+                                    shards=args.shards,
+                                    devices=_device_list(args),
+                                    steal_watermark=args.steal_watermark,
+                                    tenant_mix=args.tenant_mix)
                         serve_result = result
                     elif key == "client":
                         result = fn(connect=args.connect)

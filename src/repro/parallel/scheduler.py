@@ -5,6 +5,14 @@ independent benchmark units over the homogeneous GPUs of one node.  Unit
 durations are known up front (the performance model is the oracle), so this
 is classic makespan minimization; we provide Longest-Processing-Time-first
 (LPT, the standard 4/3-approximation) and round-robin for comparison.
+
+Determinism contract: ties -- equal durations, equal worker loads -- are
+broken by *index* (task id, worker id), never by heap insertion accidents
+or the input's incidental order.  Two calls with equal inputs produce the
+same :class:`Schedule`, and permuting equal-duration tasks permutes the
+assignment the same way.  The cluster router
+(:mod:`repro.cluster.scheduler`) builds its steal placement on exactly this
+property, seeding per-worker starting loads through ``initial_loads``.
 """
 
 from __future__ import annotations
@@ -29,15 +37,42 @@ class Schedule:
         return len(self.assignments)
 
 
-def schedule_lpt(durations: list[float], workers: int) -> Schedule:
-    """Longest-processing-time-first list scheduling."""
+def schedule_lpt(
+    durations: list[float],
+    workers: int,
+    initial_loads: "list[float] | None" = None,
+) -> Schedule:
+    """Longest-processing-time-first list scheduling.
+
+    ``initial_loads`` seeds each worker with pre-existing load (work it is
+    already committed to) before any unit is placed -- the cluster scheduler
+    uses this to rebalance overflow onto shards that already hold retained
+    work.  The returned ``loads`` include the seed values.
+
+    An empty task list is a valid (empty) schedule even with zero workers;
+    with tasks to place, at least one worker is required.
+    """
+    if not durations and workers < 1 and initial_loads is None:
+        return Schedule(assignments=[], loads=[])
     if workers < 1:
         raise ValueError("need at least one worker")
+    if initial_loads is not None and len(initial_loads) != workers:
+        raise ValueError(
+            f"initial_loads has {len(initial_loads)} entries "
+            f"for {workers} workers"
+        )
     assignments: list[list[int]] = [[] for _ in range(workers)]
-    loads = [0.0] * workers
-    heap = [(0.0, w) for w in range(workers)]
+    loads = (
+        [float(load) for load in initial_loads]
+        if initial_loads is not None
+        else [0.0] * workers
+    )
+    # Heap entries are (load, worker): equal loads fall back to the worker
+    # id, so the least-loaded *lowest-numbered* worker always wins ties.
+    heap = [(loads[w], w) for w in range(workers)]
     heapq.heapify(heap)
-    order = sorted(range(len(durations)), key=lambda i: -durations[i])
+    # Stable order: longest first, equal durations by ascending task id.
+    order = sorted(range(len(durations)), key=lambda i: (-durations[i], i))
     for unit in order:
         load, worker = heapq.heappop(heap)
         assignments[worker].append(unit)
@@ -49,6 +84,8 @@ def schedule_lpt(durations: list[float], workers: int) -> Schedule:
 
 def schedule_round_robin(durations: list[float], workers: int) -> Schedule:
     """Naive striping (what a simple env-var implementation would do)."""
+    if not durations and workers < 1:
+        return Schedule(assignments=[], loads=[])
     if workers < 1:
         raise ValueError("need at least one worker")
     assignments: list[list[int]] = [[] for _ in range(workers)]

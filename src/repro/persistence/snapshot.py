@@ -153,7 +153,15 @@ def snapshot_store(
 def snapshot_service(
     service: "PlanService", meta: dict[str, object] | None = None
 ) -> dict:
-    """Snapshot a running service: its plan store and benchmark cache."""
+    """Snapshot a running service: its plan store and benchmark cache.
+
+    A sharded cluster snapshots itself: services exposing
+    ``snapshot_document`` (the :class:`~repro.cluster.ClusterService`
+    facade) return one merged document covering every shard.
+    """
+    delegate = getattr(service, "snapshot_document", None)
+    if delegate is not None:
+        return dict(delegate(meta=meta))
     return snapshot_store(
         service.store, service.gpu_name,
         bench_cache=service.bench_cache, meta=meta,

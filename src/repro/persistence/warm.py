@@ -27,7 +27,14 @@ def warm_start(service: "PlanService", document: dict) -> int:
     are restored; restored plans keep their original ``stored_at`` so the
     store's TTL policy sees their true age.  Returns the count of restored
     *plans* -- the number the CI zero-cold-solve gate divides by.
+
+    A sharded cluster restores itself: services exposing
+    ``warm_start_document`` (the :class:`~repro.cluster.ClusterService`
+    facade) route every plan to its map-owned shard instead of one store.
     """
+    delegate = getattr(service, "warm_start_document", None)
+    if delegate is not None:
+        return int(delegate(document))
     validate_snapshot(document, "warm-start")
     restored = 0
     skipped = 0

@@ -630,6 +630,38 @@ class PlanService:
         """A batch of simultaneously-arriving requests (see :class:`PlanWave`)."""
         return PlanWave(self)
 
+    def admit_wave_request(self, pending: int) -> None:
+        """Admit one wave-front-end request or refuse it.
+
+        ``pending`` is the number of requests the front-end (a
+        :class:`PlanWave`, or the cluster router batching for this shard)
+        has already admitted toward this service in the current wave;
+        at ``max_pending`` the submission is refused with
+        :class:`~repro.errors.ServiceOverloadedError` and counted, exactly
+        like the threaded path's backpressure.
+        """
+        with self._lock:
+            if pending >= self.max_pending:
+                self.stats.overloaded += 1
+                self._count_overload()
+                raise ServiceOverloadedError(
+                    f"wave at admission limit ({pending}/{self.max_pending})"
+                )
+            self.stats.requests += 1
+            if telemetry.enabled():
+                telemetry.count("service.requests", help="requests admitted")
+
+    def serve_wave(self, requests: list[PlanRequest]) -> list[PlanResponse]:
+        """Serve one batch of pre-admitted requests deterministically.
+
+        The public entry behind :meth:`PlanWave.serve` (and the cluster's
+        per-shard serving): every request must have been admitted through
+        :meth:`admit_wave_request` first.  Responses come back in arrival
+        order.
+        """
+        with telemetry.span("service.wave", requests=len(requests)):
+            return self._serve_wave(requests)
+
     def _serve_wave(self, requests: list[PlanRequest]) -> list[PlanResponse]:
         """Serve one admitted wave deterministically on the service clock.
 
@@ -933,18 +965,7 @@ class PlanWave:  # reprolint: disable=THR001 -- a wave is thread-confined: built
         self._served = False
 
     def add(self, request: PlanRequest) -> None:
-        service = self._service
-        with service._lock:
-            if len(self._requests) >= service.max_pending:
-                service.stats.overloaded += 1
-                service._count_overload()
-                raise ServiceOverloadedError(
-                    f"wave at admission limit "
-                    f"({len(self._requests)}/{service.max_pending})"
-                )
-            service.stats.requests += 1
-            if telemetry.enabled():
-                telemetry.count("service.requests", help="requests admitted")
+        self._service.admit_wave_request(len(self._requests))
         self._requests.append(request)
 
     def __len__(self) -> int:
@@ -955,5 +976,4 @@ class PlanWave:  # reprolint: disable=THR001 -- a wave is thread-confined: built
         if self._served:
             raise ServiceOverloadedError("wave already served")
         self._served = True
-        with telemetry.span("service.wave", requests=len(self._requests)):
-            return self._service._serve_wave(self._requests)
+        return self._service.serve_wave(self._requests)

@@ -75,6 +75,11 @@ class PlanRequest:
     #: untraced path allocation-free (ZOV001).
     trace_id: str = ""
     parent_span_id: str = ""
+    #: Cluster routing hint: a shard id (``"shard-2"``) pins the request to
+    #: that shard, a device name (``"v100-sxm2"``) routes it within that
+    #: device's shard group, and ``""`` (the default) routes by the cluster's
+    #: primary device.  Ignored entirely by a single :class:`PlanService`.
+    shard: str = ""
 
     def key(self, gpu: str) -> PlanKey:
         return PlanKey(
@@ -104,6 +109,10 @@ class PlanResponse:
     latency_s: float = 0.0
     fallback_reason: str = ""
     client: str = ""
+    #: Cluster provenance: the shard that served this response (``""`` from
+    #: a plain single-shard service, and for work-stolen requests the
+    #: *thief* shard -- the one that actually ran the solve).
+    shard: str = ""
 
     @property
     def degraded(self) -> bool:

@@ -23,6 +23,10 @@ import json
 import math
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster.service import ClusterService
 
 from repro.core.cache import BenchmarkCache
 from repro.core.policies import BatchSizePolicy
@@ -67,9 +71,21 @@ class SoakConfig:
     stall_rate: float = 0.0
     stall_s: float = 5.0
     bench_capacity: int | None = None
+    #: Cluster mode: shard count (> 1 builds a sharded
+    #: :class:`~repro.cluster.ClusterService` instead of one service) and
+    #: the device list its shard map stripes over (empty = ``(gpu,)``).
+    shards: int = 1
+    devices: tuple[str, ...] = ()
+    #: Cross-shard work-stealing watermark (0 = stealing disabled).
+    steal_watermark: int = 0
+    #: Multi-tenant client mix, e.g. ``"train:3,infer:1"``: clients cycle
+    #: through the listed tenant names by weight (client names become
+    #: ``train-0``, ``train-1``, ``train-2``, ``infer-3``, ...).  ``""``
+    #: keeps the single-tenant ``client-N`` naming.
+    tenant_mix: str = ""
 
     def describe(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "clients": self.clients,
             "rounds": self.rounds,
             "seed": self.seed,
@@ -85,6 +101,43 @@ class SoakConfig:
             "stall_rate": self.stall_rate,
             "stall_s": self.stall_s,
         }
+        # Cluster/tenant knobs appear only when set, so every pre-cluster
+        # report (and its CI cmp golden) stays byte-identical.
+        if self.shards != 1:
+            out["shards"] = self.shards
+        if self.devices:
+            out["devices"] = list(self.devices)
+        if self.steal_watermark:
+            out["steal_watermark"] = self.steal_watermark
+        if self.tenant_mix:
+            out["tenant_mix"] = self.tenant_mix
+        return out
+
+    @property
+    def clustered(self) -> bool:
+        """Whether this config soaks a sharded cluster."""
+        return self.shards > 1 or len(self.devices) > 1
+
+    def device_list(self) -> tuple[str, ...]:
+        """The cluster's device slots (``devices`` or the single ``gpu``)."""
+        return self.devices if self.devices else (self.gpu,)
+
+    def tenants(self) -> list[str]:
+        """The tenant cycle parsed from ``tenant_mix`` (empty when unset)."""
+        if not self.tenant_mix:
+            return []
+        cycle: list[str] = []
+        for part in self.tenant_mix.split(","):
+            name, _, weight = part.partition(":")
+            name = name.strip()
+            count = int(weight) if weight.strip() else 1
+            if not name or count < 1:
+                raise ValueError(
+                    f"bad tenant mix entry {part!r}; expected 'name:weight' "
+                    f"with weight >= 1"
+                )
+            cycle.extend([name] * count)
+        return cycle
 
 
 @dataclass
@@ -113,6 +166,10 @@ class SoakReport:
     throughput_rps: float = 0.0
     service: dict[str, object] = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
+    #: Served-request counts per serving shard / per tenant; populated only
+    #: in cluster / tenant-mix runs (and only then serialized).
+    by_shard: dict[str, int] = field(default_factory=dict)
+    by_tenant: dict[str, int] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -120,7 +177,7 @@ class SoakReport:
         return self.errored == 0 and self.dropped == 0
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "config": self.config,
             "kernels": self.kernels,
             "submitted": self.submitted,
@@ -141,6 +198,13 @@ class SoakReport:
             "service": self.service,
             "errors": self.errors,
         }
+        # Emitted only when populated: single-service single-tenant reports
+        # keep their exact pre-cluster byte shape.
+        if self.by_shard:
+            out["by_shard"] = self.by_shard
+        if self.by_tenant:
+            out["by_tenant"] = self.by_tenant
+        return out
 
     def to_json(self) -> str:
         """Canonical serialization (byte-identical across equal runs)."""
@@ -207,13 +271,35 @@ def soak_geometries(config: SoakConfig) -> dict[str, ConvGeometry]:
 
 def build_service(
     config: SoakConfig, request_log: RequestLog | None = None
-) -> PlanService:
-    """A service wired for deterministic soak (manual clock, seeded faults)."""
+) -> "PlanService | ClusterService":
+    """A service wired for deterministic soak (manual clock, seeded faults).
+
+    Cluster configs (``shards > 1`` or multiple ``devices``) build a
+    sharded :class:`~repro.cluster.ClusterService` -- same facade, same
+    determinism, one manual clock per shard (synced each wave).
+    """
     faults: FaultInjector | None = None
     if config.fail_rate > 0 or config.stall_rate > 0:
         faults = FaultInjector(
             seed=config.seed, fail_rate=config.fail_rate,
             stall_rate=config.stall_rate, stall_s=config.stall_s,
+        )
+    if config.clustered:
+        # Imported here: repro.cluster builds on this module's layer.
+        from repro.cluster.service import ClusterService
+
+        return ClusterService(
+            config.device_list(),
+            max(config.shards, len(config.device_list())),
+            steal_watermark=config.steal_watermark,
+            capacity=config.capacity,
+            ttl_s=config.ttl_s,
+            max_pending=config.max_pending,
+            fallback=True,
+            clock_factory=ManualClock,
+            faults=faults,
+            bench_capacity=config.bench_capacity,
+            request_log=request_log,
         )
     return PlanService(
         config.gpu,
@@ -229,15 +315,24 @@ def build_service(
 
 
 def run_soak(
-    config: SoakConfig, service: PlanService | None = None
+    config: SoakConfig, service: "PlanService | ClusterService | None" = None
 ) -> SoakReport:
     """Replay the closed-loop client population; aggregate the outcome.
 
     A caller-provided ``service`` must use a manual clock for the report's
     latency/throughput figures to be deterministic.
+
+    Cluster configs route each client to a fixed device slot
+    (``devices[client % len(devices)]`` -- a stable assignment that draws
+    nothing from the RNG, so the request stream for a given seed is the
+    same with or without a device list), and a ``tenant_mix`` renames
+    clients by tenant; the report then carries per-shard and per-tenant
+    served counts.
     """
     geometries = soak_geometries(config)
     names = sorted(geometries)
+    devices = config.devices  # "" hints (single service) when unset
+    tenants = config.tenants()
     owned = service is None
     if service is None:
         # Ring sized to the whole run so no record rotates out before the
@@ -261,14 +356,16 @@ def run_soak(
                 limit_mib = config.workspace_limits_mib[
                     rng.randrange(len(config.workspace_limits_mib))
                 ]
+                tenant = tenants[client % len(tenants)] if tenants else "client"
                 request = PlanRequest(
                     kernel=name,
                     geometry=geometries[name],
                     policy=config.policy,
                     workspace_limit=limit_mib * MIB,
                     deadline_s=config.deadline_s,
-                    client=f"client-{client}",
+                    client=f"{tenant}-{client}",
                     trace_id=trace_ids.next(),
+                    shard=(devices[client % len(devices)] if devices else ""),
                 )
                 report.submitted += 1
                 try:
@@ -282,7 +379,7 @@ def run_soak(
                 report.errored += len(wave)
                 report.errors.append(f"{type(exc).__name__}: {exc}")
                 continue
-            _tally(report, responses, latencies)
+            _tally(report, responses, latencies, tenants=bool(tenants))
     finally:
         if owned:
             service.close()
@@ -325,6 +422,7 @@ def _tally(
     report: SoakReport,
     responses: list[PlanResponse],
     latencies: list[float],
+    tenants: bool = False,
 ) -> None:
     for response in responses:
         report.served += 1
@@ -334,5 +432,14 @@ def _tally(
         if response.fallback_reason:
             report.fallback_reasons[response.fallback_reason] = (
                 report.fallback_reasons.get(response.fallback_reason, 0) + 1
+            )
+        if response.shard:
+            report.by_shard[response.shard] = (
+                report.by_shard.get(response.shard, 0) + 1
+            )
+        if tenants:
+            tenant = response.client.rpartition("-")[0] or response.client
+            report.by_tenant[tenant] = (
+                report.by_tenant.get(tenant, 0) + 1
             )
         latencies.append(response.latency_s)

@@ -199,11 +199,15 @@ def device_span(name: str, start: float, end: float, track: str, **attributes):
     return s.tracer.device_span(name, start, end, track, **attributes)
 
 
-def count(name: str, amount: float = 1.0, help: str = "") -> None:
-    """Increment a counter (no-op when disabled)."""
+def count(name: str, amount: float = 1.0, help: str = "", labels=None) -> None:
+    """Increment a counter (no-op when disabled).
+
+    ``labels`` selects one series of a labelled family (e.g. per-shard
+    cluster counters); omit it for the ordinary unlabelled counter.
+    """
     s = _session
     if s is not None:
-        s.metrics.counter(name, help=help).inc(amount)
+        s.metrics.counter(name, help=help, labels=labels).inc(amount)
 
 
 def gauge(name: str, value: float, help: str = "") -> None:

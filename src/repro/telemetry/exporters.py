@@ -206,15 +206,25 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
-def _histogram_labels(inst: Histogram, extra: str) -> str:
-    """``{a="b",le="0.1"}``-style label block for one histogram sample."""
+def _label_block(labels: tuple, extra: str = "") -> str:
+    """``{a="b",le="0.1"}``-style label block for one labelled sample.
+
+    ``labels`` is the instrument's sorted ``(name, value)`` tuple (counters
+    and histograms share the representation); ``extra`` appends a
+    pre-rendered pair such as the histogram's ``le`` bound.
+    """
     parts = [
         f'{_ascii_sanitize(k)}="{prometheus_escape(v)}"'
-        for k, v in inst.labels
+        for k, v in labels
     ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _histogram_labels(inst: Histogram, extra: str) -> str:
+    """``{a="b",le="0.1"}``-style label block for one histogram sample."""
+    return _label_block(inst.labels, extra)
 
 
 def prometheus_text(metrics: Metrics) -> str:
@@ -241,7 +251,8 @@ def prometheus_text(metrics: Metrics) -> str:
             elif isinstance(inst, Histogram):
                 lines.append(f"# TYPE {name} histogram")
         if isinstance(inst, Counter):
-            lines.append(f"{name}_total {_prom_value(inst.value)}")
+            labels = _label_block(inst.labels)
+            lines.append(f"{name}_total{labels} {_prom_value(inst.value)}")
         elif isinstance(inst, Gauge):
             lines.append(f"{name} {_prom_value(inst.value)}")
         elif isinstance(inst, Histogram):
@@ -289,7 +300,8 @@ def summary(tracer: Tracer | None = None, metrics: Metrics | None = None) -> str
                     f"sum {_fmt(inst.sum)}  mean {_fmt(inst.mean)}"
                 )
             else:
-                lines.append(f"{inst.name:<{width}}  {_fmt(inst.value)}")
+                key = getattr(inst, "key", inst.name)
+                lines.append(f"{key:<{width}}  {_fmt(inst.value)}")
 
     if tracer is not None:
         agg: dict[str, list[float]] = {}

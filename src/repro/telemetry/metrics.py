@@ -37,11 +37,25 @@ _VALUES_LOCK = new_lock("metrics.values")
 
 @dataclass
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
+
+    ``labels`` is a sorted tuple of ``(name, value)`` pairs identifying one
+    series of a labelled family (e.g. ``(("shard", "shard-0"),)`` on the
+    cluster's per-shard hit counters); unlabelled counters keep ``()``.
+    """
 
     name: str
     help: str = ""
     value: float = 0.0
+    labels: tuple = ()
+
+    @property
+    def key(self) -> str:
+        """Registry/exporter identity: name plus rendered labels."""
+        if not self.labels:
+            return self.name
+        rendered = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return f"{self.name}{{{rendered}}}"
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -142,8 +156,22 @@ class Metrics:
                 )
             return inst
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(name, Counter, help=help)
+    def counter(self, name: str, help: str = "", labels=None) -> Counter:
+        """Get/create one counter series.
+
+        ``labels`` (a mapping) selects one series of a labelled family,
+        exactly as on :meth:`histogram`: all series share the metric name
+        but register (and export) separately per label set.
+        """
+        kwargs: dict = {"help": help}
+        key = name
+        if labels:
+            label_items = tuple(sorted((str(k), str(v))
+                                       for k, v in labels.items()))
+            kwargs["labels"] = label_items
+            rendered = ",".join(f'{k}="{v}"' for k, v in label_items)
+            key = f"{name}{{{rendered}}}"
+        return self._get_or_create(name, Counter, key=key, **kwargs)
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get_or_create(name, Gauge, help=help)
@@ -231,7 +259,7 @@ class NullMetrics:
 
     __slots__ = ()
 
-    def counter(self, name: str, help: str = "") -> _NullInstrument:
+    def counter(self, name: str, help: str = "", labels=None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def gauge(self, name: str, help: str = "") -> _NullInstrument:

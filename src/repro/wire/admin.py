@@ -29,12 +29,15 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import repro.telemetry as telemetry
 from repro.service.plan_service import PlanService
 from repro.telemetry.exporters import prometheus_sample, prometheus_text
 from repro.telemetry.locks import new_lock
+
+if TYPE_CHECKING:
+    from repro.cluster.service import ClusterService
 
 #: ``(status, content_type, body)`` produced by one endpoint handler.
 _Reply = "tuple[int, str, bytes]"
@@ -64,7 +67,7 @@ class AdminServer:
 
     def __init__(
         self,
-        service: PlanService,
+        service: "PlanService | ClusterService",
         wire_stats: "Callable[[], dict[str, int]] | None" = None,
         host: str = "127.0.0.1",
         port: int = 0,

@@ -39,6 +39,7 @@ from repro.cudnn.descriptors import ConvGeometry
 from repro.cudnn.enums import ConvType, ConvolutionMode
 from repro.errors import (
     CacheError,
+    ClusterError,
     DeadlineExceededError,
     InfeasibleError,
     MergeConflictError,
@@ -86,6 +87,7 @@ WIRE_ERRORS: dict[str, type[Exception]] = {
         ServiceError,
         ServiceOverloadedError,
         DeadlineExceededError,
+        ClusterError,
         WireProtocolError,
     )
 }
@@ -256,6 +258,10 @@ def request_to_wire(request: PlanRequest) -> dict:
             "parent_span_id": request.parent_span_id,
             "trace_id": request.trace_id,
         }
+    # Same omit-when-empty discipline for the cluster routing hint: frames
+    # from unrouted clients stay byte-identical to pre-cluster builds.
+    if request.shard:
+        out["shard"] = request.shard
     return out
 
 
@@ -279,6 +285,9 @@ def request_from_wire(data: object) -> PlanRequest:
             raise WireProtocolError(
                 "plan body 'trace' fields must be strings"
             )
+    shard = data.get("shard", "")
+    if not isinstance(shard, str):
+        raise WireProtocolError("plan body 'shard' must be a string")
     try:
         return PlanRequest(
             kernel=str(data["kernel"]),
@@ -289,6 +298,7 @@ def request_from_wire(data: object) -> PlanRequest:
             client=str(data.get("client", "")),
             trace_id=trace_id,
             parent_span_id=parent_span_id,
+            shard=shard,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireProtocolError(f"corrupt wire plan request: {exc}") from exc
@@ -296,7 +306,7 @@ def request_from_wire(data: object) -> PlanRequest:
 
 def response_to_wire(response: PlanResponse) -> dict:
     key = response.key
-    return {
+    out = {
         "kernel": response.kernel,
         "key": {
             "gpu": key.gpu,
@@ -314,6 +324,11 @@ def response_to_wire(response: PlanResponse) -> dict:
         "fallback_reason": response.fallback_reason,
         "client": response.client,
     }
+    # Omitted for single-shard services (byte-identity with older peers);
+    # cluster responses carry the shard that actually served the plan.
+    if response.shard:
+        out["shard"] = response.shard
+    return out
 
 
 def response_from_wire(data: object) -> PlanResponse:
@@ -336,6 +351,7 @@ def response_from_wire(data: object) -> PlanResponse:
             latency_s=float(data["latency_s"]),
             fallback_reason=str(data["fallback_reason"]),
             client=str(data["client"]),
+            shard=str(data.get("shard", "")),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireProtocolError(f"corrupt wire plan response: {exc}") from exc

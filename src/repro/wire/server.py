@@ -30,6 +30,7 @@ import dataclasses
 import socket
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import repro.telemetry as telemetry
 from repro.errors import PersistenceError, ReproError, WireProtocolError
@@ -48,6 +49,9 @@ from repro.wire.protocol import (
     span_to_wire,
     write_frame,
 )
+
+if TYPE_CHECKING:
+    from repro.cluster.service import ClusterService
 
 
 @dataclass
@@ -86,7 +90,7 @@ class PlanServer:
 
     def __init__(
         self,
-        service: PlanService,
+        service: "PlanService | ClusterService",
         host: str = "127.0.0.1",
         port: int = 0,
         snapshot_path: "str | None" = None,

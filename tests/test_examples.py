@@ -25,6 +25,7 @@ FAST_EXAMPLES = [
      "Summary"),
     ("serve_plans.py", [], "clients never waited on a stalled solve"),
     ("persist_and_serve.py", [], "0 solver invocations (plans identical: True)"),
+    ("cluster_serve.py", [], "plan identical to a single-shard service: True"),
 ]
 
 

@@ -57,6 +57,58 @@ class TestSchedulers:
         with pytest.raises(ValueError):
             schedule_lpt([1.0], 0)
 
+    def test_empty_task_list_is_a_valid_schedule(self):
+        sched = schedule_lpt([], 3)
+        assert sched.assignments == [[], [], []]
+        assert sched.makespan == 0.0
+        assert schedule_lpt([], 0).assignments == []
+        assert schedule_round_robin([], 0).makespan == 0.0
+
+    @given(durations=st.lists(st.floats(0.001, 10.0), min_size=1, max_size=20),
+           workers=st.integers(1, 6), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_determinism_and_permutation_invariance(self, durations, workers,
+                                                    seed):
+        """Equal inputs give equal schedules, and permuting the input
+        permutes the assignment consistently: worker *loads* (the quantity
+        placement is about) are a function of the duration multiset alone."""
+        import random
+
+        assert schedule_lpt(durations, workers) == \
+            schedule_lpt(durations, workers)
+        shuffled = list(durations)
+        random.Random(seed).shuffle(shuffled)
+        a = schedule_lpt(durations, workers)
+        b = schedule_lpt(shuffled, workers)
+        assert sorted(a.loads) == pytest.approx(sorted(b.loads))
+        assert a.makespan == pytest.approx(b.makespan)
+
+    def test_ties_break_by_task_and_worker_index(self):
+        """Four identical tasks on two idle workers: ascending task ids
+        alternate over ascending worker ids -- heap insertion accidents
+        never decide placement."""
+        sched = schedule_lpt([2.0, 2.0, 2.0, 2.0], 2)
+        assert sched.assignments == [[0, 2], [1, 3]]
+
+    def test_golden_skewed_schedule(self):
+        """The documented LPT trace for one skewed load (cluster-steal
+        shape: two expensive cold solves among cheap warm ones)."""
+        sched = schedule_lpt([8.0, 1.0, 8.0, 1.0, 1.0], 3)
+        assert sched.assignments == [[0], [2], [1, 3, 4]]
+        assert sched.loads == pytest.approx([8.0, 8.0, 3.0])
+        assert sched.makespan == pytest.approx(8.0)
+
+    def test_initial_loads_seed_the_workers(self):
+        """Pre-committed load steers placement (the cluster scheduler seeds
+        thieves with their retained groups) and is included in ``loads``."""
+        sched = schedule_lpt([4.0, 1.0], 2, initial_loads=[5.0, 0.0])
+        assert sched.assignments == [[], [0, 1]]
+        assert sched.loads == pytest.approx([5.0, 5.0])
+
+    def test_initial_loads_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="initial_loads"):
+            schedule_lpt([1.0], 2, initial_loads=[0.0])
+
 
 class TestParallelEvaluator:
     def geometries(self):

@@ -181,8 +181,9 @@ class TestServe:
     def test_unhealthy_soak_exits_nonzero(self, capsys, monkeypatch):
         from repro.harness import experiments as E
 
-        def unhealthy(soak=False, seed=0, store_path=None):
-            result = E.serve_plans(soak=soak, seed=seed, store_path=store_path)
+        def unhealthy(soak=False, seed=0, store_path=None, **kwargs):
+            result = E.serve_plans(soak=soak, seed=seed, store_path=store_path,
+                                   **kwargs)
             result.report.errored = 1
             result.report.errors.append("SolverError: injected")
             return result
